@@ -1,0 +1,151 @@
+//! The serial dependency analyzer's event throughput — the resource whose
+//! saturation produces Figure 10's scaling collapse. Measured
+//! synchronously (no threads): events in, dispatch units out.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use p2g_core::prelude::*;
+use p2g_core::runtime::analyzer::{DependencyAnalyzer, SharedFields};
+use p2g_core::runtime::events::{Event, StoreEvent};
+
+/// Build the analyzer plus fields for a given spec.
+fn setup(
+    spec: ProgramSpec,
+    limits: RunLimits,
+) -> (DependencyAnalyzer, SharedFields, Arc<ProgramSpec>) {
+    let spec = Arc::new(spec);
+    let fields: SharedFields = Arc::new(
+        spec.fields
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                parking_lot_rwlock(p2g_core::field::Field::new(FieldId(i as u32), d.clone()))
+            })
+            .collect(),
+    );
+    let options = vec![KernelOptions::default(); spec.kernels.len()];
+    let an = DependencyAnalyzer::new(
+        spec.clone(),
+        options,
+        HashSet::new(),
+        fields.clone(),
+        limits,
+    );
+    (an, fields, spec)
+}
+
+fn parking_lot_rwlock<T>(v: T) -> parking_lot::RwLock<T> {
+    parking_lot::RwLock::new(v)
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analyzer");
+    g.sample_size(20);
+
+    // K-means assign pattern: element stores into `assignments` trigger
+    // refine scans — this is the per-event cost that serializes Figure 10.
+    g.bench_function("kmeans_assign_event_stream", |b| {
+        b.iter_with_setup(
+            || {
+                let spec = p2g_kmeans::pipeline::kmeans_spec(2000, 100, 2);
+                let (mut an, fields, spec) = setup(spec, RunLimits::ages(1));
+                an.seed();
+                // init stores both fields.
+                let pts = Buffer::zeroed(ScalarType::F64, Extents::new([2000, 2]));
+                let cts = Buffer::zeroed(ScalarType::F64, Extents::new([100, 2]));
+                let o1 = fields[0]
+                    .write()
+                    .store(Age(0), &Region::all(2), &pts)
+                    .unwrap();
+                let o2 = fields[1]
+                    .write()
+                    .store(Age(0), &Region::all(2), &cts)
+                    .unwrap();
+                for (fid, o) in [(0u32, o1), (1, o2)] {
+                    an.on_event(&Event::Store(StoreEvent {
+                        field: FieldId(fid),
+                        age: Age(0),
+                        elements: o.stored,
+                        age_complete: o.age_complete,
+                        resized: o.resized,
+                    }))
+                    .unwrap();
+                }
+                let _ = spec;
+                (an, fields)
+            },
+            |(mut an, fields)| {
+                // 2000 element stores into assignments(0), one event each.
+                let mut units = 0usize;
+                for x in 0..2000usize {
+                    let o = fields[2]
+                        .write()
+                        .store_element(Age(0), &[x], Value::I32((x % 100) as i32))
+                        .unwrap();
+                    units += an
+                        .on_event(&Event::Store(StoreEvent {
+                            field: FieldId(2),
+                            age: Age(0),
+                            elements: o.stored,
+                            age_complete: o.age_complete,
+                            resized: o.resized,
+                        }))
+                        .unwrap()
+                        .len();
+                }
+                black_box(units)
+            },
+        )
+    });
+
+    // MJPEG pattern: one whole-frame store unblocks 1584 DCT instances.
+    g.bench_function("mjpeg_frame_event", |b| {
+        b.iter_with_setup(
+            || {
+                let spec = p2g_mjpeg::pipeline::mjpeg_spec(352, 288);
+                let (mut an, fields, _) = setup(spec, RunLimits::ages(1));
+                an.seed();
+                let params = Buffer::from_vec(vec![75i32]);
+                let o = fields[0]
+                    .write()
+                    .store(Age(0), &Region::all(1), &params)
+                    .unwrap();
+                an.on_event(&Event::Store(StoreEvent {
+                    field: FieldId(0),
+                    age: Age(0),
+                    elements: o.stored,
+                    age_complete: o.age_complete,
+                    resized: o.resized,
+                }))
+                .unwrap();
+                (an, fields)
+            },
+            |(mut an, fields)| {
+                let frame = Buffer::zeroed(ScalarType::U8, Extents::new([1584, 64]));
+                let o = fields[1]
+                    .write()
+                    .store(Age(0), &Region::all(2), &frame)
+                    .unwrap();
+                let units = an
+                    .on_event(&Event::Store(StoreEvent {
+                        field: FieldId(1),
+                        age: Age(0),
+                        elements: o.stored,
+                        age_complete: o.age_complete,
+                        resized: o.resized,
+                    }))
+                    .unwrap();
+                black_box(units.len())
+            },
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_analyzer);
+criterion_main!(benches);

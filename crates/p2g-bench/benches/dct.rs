@@ -1,0 +1,45 @@
+//! DCT ablation: the paper's naive DCT vs the AAN FastDCT it cites as the
+//! obvious optimization ("there are versions of DCT that can significantly
+//! improve performance, such as FastDCT [2]").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use p2g_mjpeg::dct::{dct_quantize_aan, dct_quantize_naive, scaled_quant_table, QUANT_LUMA};
+
+fn test_block() -> [u8; 64] {
+    let mut b = [0u8; 64];
+    for (i, v) in b.iter_mut().enumerate() {
+        *v = ((i * 37 + 11) % 251) as u8;
+    }
+    b
+}
+
+fn bench_dct(c: &mut Criterion) {
+    let block = test_block();
+    let table = scaled_quant_table(&QUANT_LUMA, 75);
+
+    let mut g = c.benchmark_group("dct");
+    g.bench_function("naive_8x8", |b| {
+        b.iter(|| black_box(dct_quantize_naive(black_box(&block), &table)))
+    });
+    g.bench_function("aan_8x8", |b| {
+        b.iter(|| black_box(dct_quantize_aan(black_box(&block), &table)))
+    });
+    // One full CIF frame of luma blocks: the per-frame cost driving the
+    // paper's 170 µs/block kernel time.
+    g.sample_size(20);
+    g.bench_function("naive_cif_frame_luma", |b| {
+        b.iter(|| {
+            let mut acc = 0i32;
+            for _ in 0..1584 {
+                acc = acc.wrapping_add(dct_quantize_naive(black_box(&block), &table)[0] as i32);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dct);
+criterion_main!(benches);

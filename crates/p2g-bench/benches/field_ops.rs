@@ -1,0 +1,105 @@
+//! Micro-benchmarks of the field substrate: write-once stores, region
+//! fetches, completeness queries — the operations on the dependency
+//! analyzer's and workers' hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use p2g_core::prelude::*;
+
+fn bench_field_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("field");
+    g.sample_size(30);
+
+    g.bench_function("store_element_1d", |b| {
+        b.iter_with_setup(
+            || {
+                Field::new(
+                    FieldId(0),
+                    FieldDef::with_extents("f", ScalarType::I32, Extents::new([4096])),
+                )
+            },
+            |mut f| {
+                for x in 0..4096usize {
+                    f.store_element(Age(0), &[x], Value::I32(x as i32)).unwrap();
+                }
+                black_box(f.written_count(Age(0)))
+            },
+        )
+    });
+
+    g.bench_function("store_block_2d", |b| {
+        // The MJPEG pattern: 64-element block stores into a 2-D field.
+        b.iter_with_setup(
+            || {
+                let f = Field::new(
+                    FieldId(0),
+                    FieldDef::with_extents("f", ScalarType::I16, Extents::new([1584, 64])),
+                );
+                let block = Buffer::from_vec(vec![7i16; 64])
+                    .reshape(Extents::new([1, 64]))
+                    .unwrap();
+                (f, block)
+            },
+            |(mut f, block)| {
+                for x in 0..1584usize {
+                    let region = Region(vec![DimSel::Index(x), DimSel::All]);
+                    f.store(Age(0), &region, &block).unwrap();
+                }
+                black_box(f.is_complete(Age(0)))
+            },
+        )
+    });
+
+    g.bench_function("fetch_block_2d", |b| {
+        let mut f = Field::new(
+            FieldId(0),
+            FieldDef::with_extents("f", ScalarType::I16, Extents::new([1584, 64])),
+        );
+        let all = Buffer::zeroed(ScalarType::I16, Extents::new([1584, 64]));
+        f.store(Age(0), &Region::all(2), &all).unwrap();
+        b.iter(|| {
+            let region = Region(vec![DimSel::Index(black_box(700)), DimSel::All]);
+            black_box(f.fetch(Age(0), &region).unwrap())
+        })
+    });
+
+    g.bench_function("fetch_whole_field", |b| {
+        let mut f = Field::new(
+            FieldId(0),
+            FieldDef::with_extents("f", ScalarType::F64, Extents::new([2000, 2])),
+        );
+        let all = Buffer::zeroed(ScalarType::F64, Extents::new([2000, 2]));
+        f.store(Age(0), &Region::all(2), &all).unwrap();
+        b.iter(|| black_box(f.fetch(Age(0), &Region::all(2)).unwrap()))
+    });
+
+    g.bench_function("completeness_query", |b| {
+        let mut f = Field::new(
+            FieldId(0),
+            FieldDef::with_extents("f", ScalarType::I32, Extents::new([2000])),
+        );
+        for x in 0..2000usize {
+            f.store_element(Age(0), &[x], Value::I32(0)).unwrap();
+        }
+        b.iter(|| black_box(f.is_complete(Age(0))))
+    });
+
+    g.bench_function("region_written_row", |b| {
+        let mut f = Field::new(
+            FieldId(0),
+            FieldDef::with_extents("f", ScalarType::U8, Extents::new([1584, 64])),
+        );
+        let all = Buffer::zeroed(ScalarType::U8, Extents::new([1584, 64]));
+        f.store(Age(0), &Region::all(2), &all).unwrap();
+        b.iter(|| {
+            let region = Region(vec![DimSel::Index(black_box(123)), DimSel::All]);
+            black_box(f.region_written(Age(0), &region))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_field_ops);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Granularity-adaptation ablation (paper Figure 4): the same program run
+//! at the four configurations the paper illustrates — fine-grained
+//! (Age=1), data-combined (Age=2), task-fused (Age=3), and both (Age=4) —
+//! plus chunk-size sweeps on the K-means assign kernel (the fix the paper
+//! proposes for its Figure-10 bottleneck).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use p2g_core::prelude::*;
+
+fn mul_sum_program() -> Program {
+    let spec = p2g_core::graph::spec::mul_sum_example();
+    let mut program = Program::new(spec).unwrap();
+    program.body("init", |ctx| {
+        ctx.store(
+            0,
+            Buffer::from_vec((0..64).map(|i| i + 10).collect::<Vec<i32>>()),
+        );
+        Ok(())
+    });
+    program.body("mul2", |ctx| {
+        let input = ctx.input(0);
+        let out: Vec<i32> = input
+            .as_i32()
+            .unwrap()
+            .iter()
+            .map(|v| v.wrapping_mul(2))
+            .collect();
+        ctx.store(0, Buffer::from_vec(out));
+        Ok(())
+    });
+    program.body("plus5", |ctx| {
+        let input = ctx.input(0);
+        let out: Vec<i32> = input
+            .as_i32()
+            .unwrap()
+            .iter()
+            .map(|v| v.wrapping_add(5))
+            .collect();
+        ctx.store(0, Buffer::from_vec(out));
+        Ok(())
+    });
+    program.body("print", |_| Ok(()));
+    program
+}
+
+fn run(program: Program, workers: usize, ages: u64) {
+    ExecutionNode::new(program, workers)
+        .run(RunLimits::ages(ages).with_gc_window(4))
+        .expect("run succeeds");
+}
+
+fn bench_granularity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure4");
+    g.sample_size(15);
+    let ages = 20;
+
+    // Age=1: finest granularity — one instance per element.
+    g.bench_function("age1_fine_grained", |b| {
+        b.iter(|| run(mul_sum_program(), 2, black_box(ages)))
+    });
+
+    // Age=2: reduced data parallelism — elements merged per dispatch.
+    g.bench_function("age2_data_combined", |b| {
+        b.iter(|| {
+            let mut p = mul_sum_program();
+            p.set_chunk_size("mul2", 64).set_chunk_size("plus5", 64);
+            run(p, 2, black_box(ages))
+        })
+    });
+
+    // Age=3: reduced task parallelism — mul2+plus5 fused.
+    g.bench_function("age3_task_fused", |b| {
+        b.iter(|| {
+            let mut p = mul_sum_program();
+            p.fuse("mul2", "plus5").unwrap();
+            run(p, 2, black_box(ages))
+        })
+    });
+
+    // Age=4: both — effectively a sequential loop per age.
+    g.bench_function("age4_fused_and_combined", |b| {
+        b.iter(|| {
+            let mut p = mul_sum_program();
+            p.fuse("mul2", "plus5").unwrap();
+            p.set_chunk_size("mul2", 64);
+            run(p, 2, black_box(ages))
+        })
+    });
+    g.finish();
+
+    // The paper's proposed Figure-10 fix: decrease assign's data
+    // granularity so each instance covers more datapoints.
+    let mut g = c.benchmark_group("kmeans_assign_chunk");
+    g.sample_size(10);
+    for chunk in [1usize, 10, 50, 200] {
+        g.bench_function(format!("chunk_{chunk}"), |b| {
+            b.iter(|| {
+                let config = p2g_kmeans::KmeansConfig {
+                    n: 1000,
+                    k: 50,
+                    iterations: 3,
+                    assign_chunk: chunk,
+                    ..p2g_kmeans::KmeansConfig::default()
+                };
+                let (program, _) = p2g_kmeans::build_kmeans_program(&config).unwrap();
+                run(program, 2, 3)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_granularity);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! High-level-scheduler partitioning algorithms (paper refs [14], [17]):
+//! greedy growth, Kernighan–Lin refinement and tabu search on kernel
+//! graphs of increasing size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use p2g_core::graph::static_graph::FinalEdge;
+use p2g_core::graph::{kernighan_lin_refine, partition_greedy, tabu_refine, FinalGraph};
+use p2g_core::prelude::*;
+
+/// A layered pipeline graph with cross edges — the shape of real
+/// multimedia workloads (stages with fan-out per stage).
+fn synthetic_graph(stages: usize, width: usize) -> FinalGraph {
+    let n = stages * width;
+    let mut edges = Vec::new();
+    for s in 0..stages - 1 {
+        for i in 0..width {
+            for j in 0..width {
+                let from = KernelId((s * width + i) as u32);
+                let to = KernelId(((s + 1) * width + j) as u32);
+                let weight = if i == j { 10.0 } else { 1.0 };
+                edges.push(FinalEdge {
+                    from,
+                    to,
+                    via: FieldId((s * width + i) as u32),
+                    weight,
+                });
+            }
+        }
+    }
+    FinalGraph {
+        kernel_weights: (0..n).map(|i| 1.0 + (i % 3) as f64).collect(),
+        edges,
+    }
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition");
+    g.sample_size(20);
+
+    for (stages, width) in [(4usize, 4usize), (8, 8)] {
+        let graph = synthetic_graph(stages, width);
+        let label = format!("{}k", stages * width);
+
+        g.bench_function(format!("greedy_{label}"), |b| {
+            b.iter(|| black_box(partition_greedy(&graph, 4)))
+        });
+        g.bench_function(format!("greedy_kl_{label}"), |b| {
+            b.iter(|| {
+                let p = partition_greedy(&graph, 4);
+                black_box(kernighan_lin_refine(&graph, p))
+            })
+        });
+        g.bench_function(format!("greedy_tabu_{label}"), |b| {
+            b.iter(|| {
+                let p = partition_greedy(&graph, 4);
+                black_box(tabu_refine(&graph, p, 50, 4, 7))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

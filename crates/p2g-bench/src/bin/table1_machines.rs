@@ -1,0 +1,22 @@
+//! Table I — overview of test machines.
+//!
+//! The paper tabulates its two test machines (4-way Core i7 860, 8-way
+//! Opteron 8218). We cannot fabricate other microarchitectures, so this
+//! binary reports the host the benchmarks actually run on, in the same
+//! format, next to the paper's machines for reference.
+
+fn main() {
+    let mut out = String::new();
+    out.push_str("Table I — Overview of test machines\n");
+    out.push_str("===================================\n\n");
+    out.push_str("This reproduction (host machine)\n");
+    out.push_str(&p2g_bench::hwinfo());
+    out.push('\n');
+    out.push_str("Paper's machines (for reference, not available here)\n");
+    out.push_str("4-way Intel Core i7:  Core i7 860 2.8 GHz, 4 physical / 8 logical, Nehalem\n");
+    out.push_str(
+        "8-way AMD Opteron:    Opteron 8218 2.6 GHz, 8 physical / 8 logical, Santa Rosa\n",
+    );
+    print!("{out}");
+    p2g_bench::write_result("table1_machines.txt", &out);
+}

@@ -1,0 +1,304 @@
+//! The simulated multi-node cluster: master + execution nodes + network.
+//!
+//! Global termination uses the distributed analogue of the node-local
+//! outstanding-work counter: the cluster is quiescent when every node's
+//! counter is zero *and* no messages are in flight, observed stably across
+//! consecutive checks. (The counters are arranged so no message can be
+//! "invisible": a store forward is sent while its producing unit is still
+//! counted, and delivery increments the destination's counter before the
+//! in-flight count drops.)
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use p2g_field::{Age, Buffer, FieldId, Region, Value};
+use p2g_graph::{KernelId, NodeId, NodeSpec};
+use p2g_runtime::instrument::RunReport;
+use p2g_runtime::node::{FieldStore, RunningNode};
+use p2g_runtime::{ExecutionNode, Program, RunLimits, RuntimeError};
+
+use crate::master::MasterNode;
+use crate::transport::{NetMsg, SimNet};
+
+/// Cluster deployment parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of execution nodes.
+    pub nodes: usize,
+    /// Worker threads per execution node.
+    pub workers_per_node: usize,
+    /// Heterogeneous override: worker threads per node (index = node id).
+    /// Nodes beyond the vector fall back to `workers_per_node`. The master
+    /// weights its partition sizes by these counts, mirroring the paper's
+    /// "execution nodes can consist of heterogeneous resources".
+    pub node_workers: Vec<usize>,
+    /// Simulated per-message network latency.
+    pub latency: Duration,
+}
+
+impl ClusterConfig {
+    /// `n` nodes with 2 workers each and zero latency.
+    pub fn nodes(n: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes: n.max(1),
+            workers_per_node: 2,
+            node_workers: Vec::new(),
+            latency: Duration::ZERO,
+        }
+    }
+
+    /// Heterogeneous worker counts, one per node (earlier nodes first).
+    pub fn with_node_workers(mut self, workers: Vec<usize>) -> ClusterConfig {
+        self.node_workers = workers;
+        self
+    }
+
+    /// Worker threads for a given node id under this config.
+    pub fn workers_for(&self, node: usize) -> usize {
+        self.node_workers
+            .get(node)
+            .copied()
+            .unwrap_or(self.workers_per_node)
+            .max(1)
+    }
+
+    /// Set worker threads per node.
+    pub fn with_workers(mut self, w: usize) -> ClusterConfig {
+        self.workers_per_node = w.max(1);
+        self
+    }
+
+    /// Set simulated network latency.
+    pub fn with_latency(mut self, l: Duration) -> ClusterConfig {
+        self.latency = l;
+        self
+    }
+}
+
+/// A ready-to-run simulated cluster.
+pub struct SimCluster {
+    config: ClusterConfig,
+    master: MasterNode,
+    assignment: HashMap<NodeId, HashSet<KernelId>>,
+    programs: Vec<Program>,
+    node_ids: Vec<NodeId>,
+}
+
+/// The result of a cluster run.
+pub struct ClusterOutcome {
+    /// Per-node run reports, in node order.
+    pub reports: Vec<(NodeId, RunReport)>,
+    /// Per-node field replicas, in node order.
+    pub fields: Vec<(NodeId, FieldStore)>,
+    /// The network with its final statistics.
+    pub net: Arc<SimNet>,
+    /// The kernel assignment that was executed.
+    pub assignment: HashMap<NodeId, HashSet<KernelId>>,
+}
+
+impl ClusterOutcome {
+    /// Fetch field data from whichever node replica has it complete.
+    pub fn fetch(&self, name: &str, age: Age, region: &Region) -> Option<Buffer> {
+        self.fields
+            .iter()
+            .find_map(|(_, fs)| fs.fetch(name, age, region))
+    }
+
+    /// Fetch one element from any replica that has it.
+    pub fn fetch_element(&self, name: &str, age: Age, index: &[usize]) -> Option<Value> {
+        self.fields
+            .iter()
+            .find_map(|(_, fs)| fs.fetch_element(name, age, index))
+    }
+
+    /// Total kernel instances executed across the cluster for a kernel.
+    pub fn total_instances(&self, kernel: &str) -> u64 {
+        self.reports
+            .iter()
+            .filter_map(|(_, r)| r.instruments.kernel(kernel))
+            .map(|s| s.instances)
+            .sum()
+    }
+}
+
+impl SimCluster {
+    /// Build a cluster: each node constructs its own program via `build`
+    /// (kernel bodies are closures and cannot be cloned), the master
+    /// aggregates reported topologies and plans the kernel assignment.
+    pub fn new(
+        config: ClusterConfig,
+        build: impl Fn() -> Program,
+    ) -> Result<SimCluster, RuntimeError> {
+        let node_ids: Vec<NodeId> = (0..config.nodes as u32).map(NodeId).collect();
+        let mut master = MasterNode::new();
+        for &id in &node_ids {
+            master.report_topology(NodeSpec::multicore(
+                id,
+                format!("sim-node-{}", id.0),
+                config.workers_for(id.0 as usize),
+            ));
+        }
+        let programs: Vec<Program> = (0..config.nodes).map(|_| build()).collect();
+        for p in &programs {
+            p.check_bodies()?;
+        }
+        let assignment = master.plan(programs[0].spec());
+        Ok(SimCluster {
+            config,
+            master,
+            assignment,
+            programs,
+            node_ids,
+        })
+    }
+
+    /// The master node (topology/plan inspection).
+    pub fn master(&self) -> &MasterNode {
+        &self.master
+    }
+
+    /// The planned kernel assignment.
+    pub fn assignment(&self) -> &HashMap<NodeId, HashSet<KernelId>> {
+        &self.assignment
+    }
+
+    /// Run the cluster to global quiescence (or the deadline).
+    pub fn run(self, limits: RunLimits) -> Result<ClusterOutcome, RuntimeError> {
+        let SimCluster {
+            config,
+            master: _,
+            assignment,
+            programs,
+            node_ids,
+        } = self;
+
+        let net = SimNet::new(&node_ids, config.latency);
+        let spec = programs[0].spec().clone();
+
+        // Subscription map: for each field, the nodes running a consumer.
+        let mut subscribers: HashMap<FieldId, Vec<NodeId>> = HashMap::new();
+        for k in &spec.kernels {
+            let Some((&node, _)) = assignment.iter().find(|(_, ks)| ks.contains(&k.id)) else {
+                continue;
+            };
+            for fe in &k.fetches {
+                let subs = subscribers.entry(fe.field).or_default();
+                if !subs.contains(&node) {
+                    subs.push(node);
+                }
+            }
+        }
+
+        // Node limits: hold open for remote stores; the coordinator owns
+        // the wall deadline.
+        let mut node_limits = limits.clone();
+        node_limits.hold_open = true;
+        node_limits.wall_deadline = None;
+
+        // Start every node with its assignment and a forwarding tap.
+        let mut running: Vec<Arc<RunningNode>> = Vec::with_capacity(programs.len());
+        for (program, &node_id) in programs.into_iter().zip(&node_ids) {
+            let mut exec = ExecutionNode::new(program, config.workers_for(node_id.0 as usize));
+            exec.set_assigned(assignment.get(&node_id).cloned().unwrap_or_default());
+            let tap_net = net.clone();
+            let tap_subs = subscribers.clone();
+            let src = node_id;
+            exec.set_store_tap(Arc::new(move |field, age, region, buffer| {
+                if let Some(subs) = tap_subs.get(&field) {
+                    for &dst in subs {
+                        if dst != src {
+                            tap_net.send(
+                                src,
+                                dst,
+                                NetMsg::StoreForward {
+                                    field,
+                                    age,
+                                    region: region.clone(),
+                                    buffer: buffer.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }));
+            running.push(Arc::new(exec.start(node_limits.clone())?));
+        }
+
+        // Delivery threads: apply incoming store forwards to each node.
+        let deliver_stop = Arc::new(AtomicBool::new(false));
+        let mut delivery_handles = Vec::new();
+        for (i, &node_id) in node_ids.iter().enumerate() {
+            let node = running[i].clone();
+            let net = net.clone();
+            let stop = deliver_stop.clone();
+            delivery_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("p2g-deliver-{}", node_id.0))
+                    .spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            let Some((_src, msg)) =
+                                net.recv_timeout(node_id, Duration::from_millis(2))
+                            else {
+                                continue;
+                            };
+                            match msg {
+                                NetMsg::StoreForward {
+                                    field,
+                                    age,
+                                    region,
+                                    buffer,
+                                } => {
+                                    node.inject_remote_store(field, age, region, buffer);
+                                }
+                            }
+                            net.delivered();
+                        }
+                    })
+                    .expect("spawn delivery thread"),
+            );
+        }
+
+        // Coordinator: detect stable global quiescence, then stop.
+        let start = Instant::now();
+        let mut stable = 0;
+        loop {
+            let deadline_hit = limits.wall_deadline.is_some_and(|d| start.elapsed() >= d);
+            let quiescent = running.iter().all(|n| n.outstanding() == 0) && net.in_flight() == 0;
+            if quiescent {
+                stable += 1;
+            } else {
+                stable = 0;
+            }
+            if stable >= 3 || deadline_hit {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for node in &running {
+            node.request_stop();
+        }
+        deliver_stop.store(true, Ordering::SeqCst);
+        for h in delivery_handles {
+            h.join().map_err(|_| RuntimeError::WorkerPanic)?;
+        }
+
+        let mut reports = Vec::new();
+        let mut fields = Vec::new();
+        for (node, &id) in running.into_iter().zip(&node_ids) {
+            let node = Arc::try_unwrap(node)
+                .unwrap_or_else(|_| panic!("delivery threads joined; sole owner"));
+            let (report, store) = node.join()?;
+            reports.push((id, report));
+            fields.push((id, store));
+        }
+
+        Ok(ClusterOutcome {
+            reports,
+            fields,
+            net,
+            assignment,
+        })
+    }
+}

@@ -1,0 +1,49 @@
+//! Distributed P2G: master node (high-level scheduler), the event-based
+//! publish–subscribe transport, and a simulated multi-node cluster.
+//!
+//! The paper's deployment (Figure 1) is a master node plus an arbitrary
+//! number of execution nodes over a network. This crate reproduces that
+//! architecture in-process (see DESIGN.md's substitution table): each
+//! execution node owns its own worker pool, dependency analyzer and field
+//! *replicas*; stores are forwarded to subscriber nodes through a simulated
+//! network with per-link latency and byte accounting; the master aggregates
+//! reported topologies, partitions the final implicit static dependency
+//! graph across nodes, and can repartition from instrumentation feedback.
+//!
+//! ```
+//! use p2g_dist::{SimCluster, ClusterConfig};
+//! use p2g_graph::spec::mul_sum_example;
+//! use p2g_runtime::Program;
+//! use p2g_field::Buffer;
+//!
+//! let build = || {
+//!     let mut p = Program::new(mul_sum_example()).unwrap();
+//!     p.body("init", |ctx| {
+//!         ctx.store(0, Buffer::from_vec((0..5).map(|i| i + 10).collect::<Vec<i32>>()));
+//!         Ok(())
+//!     });
+//!     p.body("mul2", |ctx| {
+//!         let v = ctx.input(0).value(0).as_i64() as i32;
+//!         ctx.store(0, Buffer::from_vec(vec![v.wrapping_mul(2)]));
+//!         Ok(())
+//!     });
+//!     p.body("plus5", |ctx| {
+//!         let v = ctx.input(0).value(0).as_i64() as i32;
+//!         ctx.store(0, Buffer::from_vec(vec![v.wrapping_add(5)]));
+//!         Ok(())
+//!     });
+//!     p.body("print", |_| Ok(()));
+//!     p
+//! };
+//! let cluster = SimCluster::new(ClusterConfig::nodes(2), build).unwrap();
+//! let outcome = cluster.run(p2g_runtime::RunLimits::ages(3)).unwrap();
+//! assert!(outcome.net.messages() > 0); // data really crossed the "network"
+//! ```
+
+pub mod cluster;
+pub mod master;
+pub mod transport;
+
+pub use cluster::{ClusterConfig, ClusterOutcome, SimCluster};
+pub use master::MasterNode;
+pub use transport::{LinkStats, NetMsg, SimNet};

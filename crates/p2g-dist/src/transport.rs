@@ -1,0 +1,205 @@
+//! The simulated cluster network: an event-based publish–subscribe
+//! transport with per-link latency injection and byte accounting.
+//!
+//! Real deployments would serialize messages onto sockets; the simulation
+//! moves owned buffers between threads, which exercises the same
+//! architectural paths (subscription routing, in-flight tracking for
+//! distributed termination, per-link statistics for the HLS) determinis-
+//! tically on one machine.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use p2g_field::{Age, Buffer, FieldId, Region};
+use p2g_graph::NodeId;
+
+/// A message on the simulated network.
+#[derive(Debug, Clone)]
+pub enum NetMsg {
+    /// A store forwarded from a producer node to a subscriber node.
+    StoreForward {
+        field: FieldId,
+        age: Age,
+        region: Region,
+        buffer: Buffer,
+    },
+}
+
+impl NetMsg {
+    /// Approximate wire size in bytes (payload + fixed header), used for
+    /// the per-link statistics the HLS weighs edges with.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            NetMsg::StoreForward { buffer, .. } => {
+                32 + (buffer.len() * buffer.scalar_type().size_bytes()) as u64
+            }
+        }
+    }
+}
+
+/// Statistics for one directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkStats {
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+struct Inbox {
+    tx: Sender<(NodeId, NetMsg)>,
+    rx: Receiver<(NodeId, NetMsg)>,
+}
+
+/// The simulated network connecting the cluster's nodes.
+pub struct SimNet {
+    inboxes: BTreeMap<NodeId, Inbox>,
+    /// Messages sent but not yet fully delivered — part of the global
+    /// quiescence condition.
+    in_flight: AtomicI64,
+    /// Added to every delivery, modeling interconnect latency.
+    latency: Duration,
+    stats: Mutex<BTreeMap<(NodeId, NodeId), LinkStats>>,
+    total_msgs: AtomicU64,
+    total_bytes: AtomicU64,
+}
+
+impl SimNet {
+    /// A network connecting `nodes`, with uniform per-message latency.
+    pub fn new(nodes: &[NodeId], latency: Duration) -> Arc<SimNet> {
+        let inboxes = nodes
+            .iter()
+            .map(|&n| {
+                let (tx, rx) = unbounded();
+                (n, Inbox { tx, rx })
+            })
+            .collect();
+        Arc::new(SimNet {
+            inboxes,
+            in_flight: AtomicI64::new(0),
+            latency,
+            stats: Mutex::new(BTreeMap::new()),
+            total_msgs: AtomicU64::new(0),
+            total_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// Send a message from `src` to `dst`. Panics on unknown destinations
+    /// (the cluster wires all nodes up front).
+    pub fn send(&self, src: NodeId, dst: NodeId, msg: NetMsg) {
+        let bytes = msg.wire_bytes();
+        {
+            let mut stats = self.stats.lock();
+            let e = stats.entry((src, dst)).or_default();
+            e.messages += 1;
+            e.bytes += bytes;
+        }
+        self.total_msgs.fetch_add(1, Ordering::Relaxed);
+        self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.inboxes[&dst]
+            .tx
+            .send((src, msg))
+            .expect("inbox receiver alive while cluster runs");
+    }
+
+    /// Receive the next message for `dst`, waiting up to `timeout`.
+    /// Returns `None` on timeout. The caller must call
+    /// [`SimNet::delivered`] once the message has been applied.
+    pub fn recv_timeout(&self, dst: NodeId, timeout: Duration) -> Option<(NodeId, NetMsg)> {
+        let msg = self.inboxes[&dst].rx.recv_timeout(timeout).ok()?;
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        Some(msg)
+    }
+
+    /// Mark one received message as fully applied. Must be called *after*
+    /// the message's effects are visible in the destination node's
+    /// outstanding-work counter, so global quiescence detection never
+    /// races delivery.
+    pub fn delivered(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Messages sent but not yet applied.
+    pub fn in_flight(&self) -> i64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Total messages sent.
+    pub fn messages(&self) -> u64 {
+        self.total_msgs.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes sent.
+    pub fn bytes(&self) -> u64 {
+        self.total_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Per-directed-link statistics snapshot.
+    pub fn link_stats(&self) -> BTreeMap<(NodeId, NodeId), LinkStats> {
+        self.stats.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2g_field::DimSel;
+
+    fn msg(n: usize) -> NetMsg {
+        NetMsg::StoreForward {
+            field: FieldId(0),
+            age: Age(0),
+            region: Region(vec![DimSel::All]),
+            buffer: Buffer::from_vec(vec![0i32; n]),
+        }
+    }
+
+    #[test]
+    fn send_recv_round_trip() {
+        let net = SimNet::new(&[NodeId(0), NodeId(1)], Duration::ZERO);
+        net.send(NodeId(0), NodeId(1), msg(4));
+        assert_eq!(net.in_flight(), 1);
+        let (src, m) = net.recv_timeout(NodeId(1), Duration::from_secs(1)).unwrap();
+        assert_eq!(src, NodeId(0));
+        assert_eq!(m.wire_bytes(), 32 + 16);
+        net.delivered();
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let net = SimNet::new(&[NodeId(0)], Duration::ZERO);
+        assert!(net
+            .recv_timeout(NodeId(0), Duration::from_millis(5))
+            .is_none());
+    }
+
+    #[test]
+    fn stats_accumulate_per_link() {
+        let net = SimNet::new(&[NodeId(0), NodeId(1), NodeId(2)], Duration::ZERO);
+        net.send(NodeId(0), NodeId(1), msg(1));
+        net.send(NodeId(0), NodeId(1), msg(1));
+        net.send(NodeId(0), NodeId(2), msg(2));
+        let stats = net.link_stats();
+        assert_eq!(stats[&(NodeId(0), NodeId(1))].messages, 2);
+        assert_eq!(stats[&(NodeId(0), NodeId(2))].bytes, 32 + 8);
+        assert_eq!(net.messages(), 3);
+        assert!(net.bytes() > 0);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let net = SimNet::new(&[NodeId(0), NodeId(1)], Duration::from_millis(20));
+        net.send(NodeId(0), NodeId(1), msg(1));
+        let t0 = std::time::Instant::now();
+        net.recv_timeout(NodeId(1), Duration::from_secs(1)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        net.delivered();
+    }
+}

@@ -1,0 +1,220 @@
+//! Compact written-element tracking for write-once enforcement.
+
+/// A growable bitmap with a popcount, tracking which elements of a field age
+/// have been written.
+///
+/// The dependency analyzer asks two questions constantly: "is this region
+/// fully written?" (to decide whether a kernel instance is runnable) and
+/// "was this element written before?" (write-once enforcement). Both must be
+/// cheap; the bitmap keeps a running count so full-age completeness is O(1).
+#[derive(Debug, Clone, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+    count: usize,
+}
+
+impl Bitmap {
+    /// An all-zero bitmap of the given length.
+    pub fn new(len: usize) -> Bitmap {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            count: 0,
+        }
+    }
+
+    /// Number of bits tracked.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bits are tracked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// True when every tracked bit is set.
+    #[inline]
+    pub fn all_set(&self) -> bool {
+        self.count == self.len
+    }
+
+    /// Grow to `len` bits (new bits start unset). Shrinking is not
+    /// supported: extents only ever grow.
+    pub fn grow(&mut self, len: usize) {
+        assert!(len >= self.len, "bitmaps only grow (extents are monotonic)");
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
+    /// Get bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Set bit `i`, returning `false` if it was already set (the write-once
+    /// violation signal).
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *w & mask != 0 {
+            return false;
+        }
+        *w |= mask;
+        self.count += 1;
+        true
+    }
+
+    /// True when every bit in `indices` is set.
+    pub fn all_set_in(&self, indices: impl IntoIterator<Item = usize>) -> bool {
+        indices.into_iter().all(|i| self.get(i))
+    }
+
+    /// Iterate the indices of set bits.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let base = wi * 64;
+            let len = self.len;
+            BitIter { word: w, base }.take_while(move |&i| i < len)
+        })
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+/// Remap a bitmap when its underlying extents grow: old linear indices are
+/// recomputed against the new shape. The field calls this after an implicit
+/// resize, because row-major linearization changes when inner dimensions
+/// grow.
+pub fn remap_for_resize(
+    old: &Bitmap,
+    old_extents: &crate::Extents,
+    new_extents: &crate::Extents,
+) -> Bitmap {
+    let mut out = Bitmap::new(new_extents.len());
+    for lin in old.iter_set() {
+        let idx = old_extents.delinearize(lin);
+        let new_lin = new_extents
+            .linearize(&idx)
+            .expect("old index fits in grown extents");
+        out.set(new_lin);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Extents;
+
+    #[test]
+    fn set_and_get() {
+        let mut b = Bitmap::new(130);
+        assert!(!b.get(0));
+        assert!(b.set(0));
+        assert!(b.set(64));
+        assert!(b.set(129));
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn double_set_reports_violation() {
+        let mut b = Bitmap::new(8);
+        assert!(b.set(3));
+        assert!(!b.set(3));
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn all_set_tracking() {
+        let mut b = Bitmap::new(3);
+        assert!(!b.all_set());
+        b.set(0);
+        b.set(1);
+        b.set(2);
+        assert!(b.all_set());
+    }
+
+    #[test]
+    fn empty_bitmap_is_complete() {
+        let b = Bitmap::new(0);
+        assert!(b.all_set());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn grow_preserves_bits() {
+        let mut b = Bitmap::new(10);
+        b.set(9);
+        b.grow(100);
+        assert!(b.get(9));
+        assert!(!b.get(10));
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn iter_set_yields_sorted_indices() {
+        let mut b = Bitmap::new(200);
+        for i in [0, 63, 64, 65, 127, 199] {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_set().collect();
+        assert_eq!(got, vec![0, 63, 64, 65, 127, 199]);
+    }
+
+    #[test]
+    fn all_set_in_region() {
+        let mut b = Bitmap::new(16);
+        for i in 4..8 {
+            b.set(i);
+        }
+        assert!(b.all_set_in(4..8));
+        assert!(!b.all_set_in(3..8));
+    }
+
+    #[test]
+    fn remap_after_inner_dim_growth() {
+        // 2x2 grown to 2x3: element (1,1) moves from lin 3 to lin 4.
+        let old_e = Extents::new([2, 2]);
+        let new_e = Extents::new([2, 3]);
+        let mut b = Bitmap::new(old_e.len());
+        b.set(old_e.linearize(&[1, 1]).unwrap());
+        b.set(old_e.linearize(&[0, 0]).unwrap());
+        let nb = remap_for_resize(&b, &old_e, &new_e);
+        assert!(nb.get(new_e.linearize(&[1, 1]).unwrap()));
+        assert!(nb.get(new_e.linearize(&[0, 0]).unwrap()));
+        assert_eq!(nb.count(), 2);
+    }
+}

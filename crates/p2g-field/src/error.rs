@@ -1,0 +1,83 @@
+//! Error type for field operations.
+
+use crate::extent::{Extents, Region};
+use crate::types::ScalarType;
+use crate::Age;
+
+/// Errors raised by field operations.
+///
+/// `WriteOnceViolation` is the load-bearing one: P2G's determinism rests on
+/// every (field, age, element) cell being written at most once, so a second
+/// store is a deterministic program error rather than a race.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldError {
+    /// An element was stored twice for the same age.
+    WriteOnceViolation {
+        field: String,
+        age: Age,
+        linear_index: usize,
+    },
+    /// A value or buffer of the wrong scalar type was supplied.
+    TypeMismatch {
+        expected: ScalarType,
+        found: ScalarType,
+    },
+    /// An index was outside the field's extents and implicit resize was not
+    /// permitted for the operation (fetches never resize).
+    OutOfBounds { index: Vec<usize>, extents: Extents },
+    /// A region had the wrong dimensionality for the field.
+    DimensionMismatch { expected: usize, found: usize },
+    /// A fetch touched elements that have not been written yet. Dependency
+    /// analysis should prevent this; seeing it indicates a scheduler bug.
+    UnwrittenRead {
+        field: String,
+        age: Age,
+        region: Region,
+    },
+    /// The requested age has been garbage collected.
+    AgeCollected { field: String, age: Age },
+    /// A buffer's length did not match the region it was stored into.
+    LengthMismatch { expected: usize, found: usize },
+}
+
+impl std::fmt::Display for FieldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldError::WriteOnceViolation {
+                field,
+                age,
+                linear_index,
+            } => write!(
+                f,
+                "write-once violation: field '{field}' {age} element {linear_index} stored twice"
+            ),
+            FieldError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            FieldError::OutOfBounds { index, extents } => {
+                write!(f, "index {index:?} out of bounds for extents {extents}")
+            }
+            FieldError::DimensionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "dimension mismatch: field has {expected} dims, got {found}"
+                )
+            }
+            FieldError::UnwrittenRead { field, age, region } => write!(
+                f,
+                "read of unwritten data: field '{field}' {age} region {region}"
+            ),
+            FieldError::AgeCollected { field, age } => {
+                write!(f, "field '{field}' {age} has been garbage collected")
+            }
+            FieldError::LengthMismatch { expected, found } => {
+                write!(
+                    f,
+                    "buffer length mismatch: region has {expected} elements, buffer {found}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}

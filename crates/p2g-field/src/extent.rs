@@ -1,0 +1,404 @@
+//! N-dimensional extents, regions (slices) and row-major index math.
+
+use crate::error::FieldError;
+
+/// The shape of one age of a field: the size of each dimension.
+///
+/// Extents may grow during execution — P2G supports *implicit resizing*:
+/// storing past the current extent of a dimension enlarges it, and the
+/// resize event is propagated so dependent kernels can dispatch additional
+/// instances.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Extents(pub Vec<usize>);
+
+impl Extents {
+    /// Create extents for the given per-dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Extents {
+        Extents(dims.into())
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dimension sizes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True when any dimension is zero-sized.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of one dimension.
+    #[inline]
+    pub fn dim(&self, d: usize) -> usize {
+        self.0[d]
+    }
+
+    /// Row-major linearization of a multi-index.
+    ///
+    /// Returns `None` if out of bounds or wrong dimensionality.
+    #[inline]
+    pub fn linearize(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.0.len() {
+            return None;
+        }
+        let mut lin = 0usize;
+        for (i, (&ix, &ext)) in index.iter().zip(&self.0).enumerate() {
+            if ix >= ext {
+                return None;
+            }
+            let _ = i;
+            lin = lin * ext + ix;
+        }
+        Some(lin)
+    }
+
+    /// Inverse of [`Extents::linearize`].
+    pub fn delinearize(&self, mut lin: usize) -> Vec<usize> {
+        let mut idx = vec![0usize; self.0.len()];
+        for d in (0..self.0.len()).rev() {
+            let ext = self.0[d];
+            idx[d] = lin % ext;
+            lin /= ext;
+        }
+        idx
+    }
+
+    /// Grow so that `index` is in bounds, returning `true` when anything
+    /// changed. This is the primitive behind implicit resizing.
+    pub fn grow_to_include(&mut self, index: &[usize]) -> bool {
+        let mut changed = false;
+        for (ext, &ix) in self.0.iter_mut().zip(index) {
+            if ix >= *ext {
+                *ext = ix + 1;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Component-wise maximum with another extent set.
+    pub fn union(&self, other: &Extents) -> Extents {
+        Extents(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(&a, &b)| a.max(b))
+                .collect(),
+        )
+    }
+
+    /// True when `self` fits entirely inside `other`.
+    pub fn fits_within(&self, other: &Extents) -> bool {
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(&a, &b)| a <= b)
+    }
+}
+
+impl std::fmt::Display for Extents {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Selection along one dimension of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DimSel {
+    /// A single index.
+    Index(usize),
+    /// A contiguous range `[start, start+len)`. Used by the low-level
+    /// scheduler when it *combines* several fine-grained kernel instances
+    /// into one coarser instance (Figure 4, Age=2 in the paper).
+    Range { start: usize, len: usize },
+    /// The whole dimension, whatever its (current) extent.
+    All,
+}
+
+impl DimSel {
+    /// Resolve against a concrete extent to a `(start, len)` pair.
+    #[inline]
+    pub fn resolve(self, extent: usize) -> (usize, usize) {
+        match self {
+            DimSel::Index(i) => (i, 1),
+            DimSel::Range { start, len } => (start, len),
+            DimSel::All => (0, extent),
+        }
+    }
+}
+
+/// An N-dimensional rectangular slice of a field: one [`DimSel`] per
+/// dimension. This is the granularity unit of fetch/store statements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Region(pub Vec<DimSel>);
+
+impl Region {
+    /// Region selecting one element.
+    pub fn point(index: &[usize]) -> Region {
+        Region(index.iter().map(|&i| DimSel::Index(i)).collect())
+    }
+
+    /// Region selecting everything.
+    pub fn all(ndim: usize) -> Region {
+        Region(vec![DimSel::All; ndim])
+    }
+
+    /// Number of dimensions this region addresses.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The shape of the region when resolved against `extents`.
+    pub fn shape(&self, extents: &Extents) -> Result<Extents, FieldError> {
+        if self.0.len() != extents.ndim() {
+            return Err(FieldError::DimensionMismatch {
+                expected: extents.ndim(),
+                found: self.0.len(),
+            });
+        }
+        Ok(Extents(
+            self.0
+                .iter()
+                .zip(&extents.0)
+                .map(|(sel, &ext)| sel.resolve(ext).1)
+                .collect(),
+        ))
+    }
+
+    /// Check the region is fully inside `extents` and return the resolved
+    /// per-dimension `(start, len)` pairs.
+    pub fn resolve(&self, extents: &Extents) -> Result<Vec<(usize, usize)>, FieldError> {
+        if self.0.len() != extents.ndim() {
+            return Err(FieldError::DimensionMismatch {
+                expected: extents.ndim(),
+                found: self.0.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.0.len());
+        for (sel, &ext) in self.0.iter().zip(&extents.0) {
+            let (start, len) = sel.resolve(ext);
+            if start + len > ext {
+                return Err(FieldError::OutOfBounds {
+                    index: vec![start + len - 1],
+                    extents: extents.clone(),
+                });
+            }
+            out.push((start, len));
+        }
+        Ok(out)
+    }
+
+    /// The largest multi-index this region touches, used for implicit
+    /// resizing on stores. `None` when the region contains an `All`
+    /// selector (those adopt the current extent rather than forcing growth)
+    /// or is empty along some dimension.
+    pub fn max_index(&self) -> Option<Vec<usize>> {
+        self.0
+            .iter()
+            .map(|sel| match *sel {
+                DimSel::Index(i) => Some(i),
+                DimSel::Range { start, len } => {
+                    if len == 0 {
+                        None
+                    } else {
+                        Some(start + len - 1)
+                    }
+                }
+                DimSel::All => None,
+            })
+            .collect()
+    }
+
+    /// Iterate the linear indices (against `extents`) of every element in
+    /// the region, in row-major order. `extents` must already contain the
+    /// region (call [`Region::resolve`] first).
+    pub fn linear_indices<'a>(&self, extents: &'a Extents) -> Result<RegionIter<'a>, FieldError> {
+        let spans = self.resolve(extents)?;
+        Ok(RegionIter::new(spans, extents))
+    }
+
+    /// Number of elements this region selects under `extents`.
+    pub fn len(&self, extents: &Extents) -> Result<usize, FieldError> {
+        Ok(self.shape(extents)?.len())
+    }
+
+    /// True if the region selects no elements under `extents`.
+    pub fn is_empty(&self, extents: &Extents) -> Result<bool, FieldError> {
+        Ok(self.len(extents)? == 0)
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for sel in &self.0 {
+            match sel {
+                DimSel::Index(i) => write!(f, "[{i}]")?,
+                DimSel::Range { start, len } => write!(f, "[{start}..{}]", start + len)?,
+                DimSel::All => write!(f, "[*]")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Row-major iterator over the linear indices of a region.
+pub struct RegionIter<'a> {
+    spans: Vec<(usize, usize)>,
+    extents: &'a Extents,
+    cursor: Vec<usize>,
+    done: bool,
+}
+
+impl<'a> RegionIter<'a> {
+    fn new(spans: Vec<(usize, usize)>, extents: &'a Extents) -> RegionIter<'a> {
+        let done = spans.iter().any(|&(_, len)| len == 0);
+        let cursor = spans.iter().map(|&(start, _)| start).collect();
+        RegionIter {
+            spans,
+            extents,
+            cursor,
+            done,
+        }
+    }
+}
+
+impl Iterator for RegionIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.done {
+            return None;
+        }
+        let lin = self
+            .extents
+            .linearize(&self.cursor)
+            .expect("RegionIter cursor in bounds");
+        // Advance the row-major odometer.
+        for d in (0..self.cursor.len()).rev() {
+            let (start, len) = self.spans[d];
+            self.cursor[d] += 1;
+            if self.cursor[d] < start + len {
+                return Some(lin);
+            }
+            self.cursor[d] = start;
+        }
+        self.done = true;
+        Some(lin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearize_row_major() {
+        let e = Extents::new([3, 4]);
+        assert_eq!(e.linearize(&[0, 0]), Some(0));
+        assert_eq!(e.linearize(&[0, 3]), Some(3));
+        assert_eq!(e.linearize(&[1, 0]), Some(4));
+        assert_eq!(e.linearize(&[2, 3]), Some(11));
+        assert_eq!(e.linearize(&[3, 0]), None);
+        assert_eq!(e.linearize(&[0]), None);
+    }
+
+    #[test]
+    fn delinearize_round_trip() {
+        let e = Extents::new([2, 3, 5]);
+        for lin in 0..e.len() {
+            assert_eq!(e.linearize(&e.delinearize(lin)), Some(lin));
+        }
+    }
+
+    #[test]
+    fn grow_to_include() {
+        let mut e = Extents::new([2, 2]);
+        assert!(!e.grow_to_include(&[1, 1]));
+        assert!(e.grow_to_include(&[4, 0]));
+        assert_eq!(e, Extents::new([5, 2]));
+    }
+
+    #[test]
+    fn union_and_fits() {
+        let a = Extents::new([2, 5]);
+        let b = Extents::new([4, 3]);
+        assert_eq!(a.union(&b), Extents::new([4, 5]));
+        assert!(a.fits_within(&a.union(&b)));
+        assert!(!b.fits_within(&a));
+    }
+
+    #[test]
+    fn region_point_and_all() {
+        let e = Extents::new([4, 4]);
+        let p = Region::point(&[2, 3]);
+        assert_eq!(p.len(&e).unwrap(), 1);
+        let a = Region::all(2);
+        assert_eq!(a.len(&e).unwrap(), 16);
+    }
+
+    #[test]
+    fn region_shape_and_resolve() {
+        let e = Extents::new([4, 6]);
+        let r = Region(vec![DimSel::Index(1), DimSel::Range { start: 2, len: 3 }]);
+        assert_eq!(r.shape(&e).unwrap(), Extents::new([1, 3]));
+        assert_eq!(r.resolve(&e).unwrap(), vec![(1, 1), (2, 3)]);
+        let oob = Region(vec![DimSel::Index(4), DimSel::All]);
+        assert!(oob.resolve(&e).is_err());
+    }
+
+    #[test]
+    fn region_iteration_row_major() {
+        let e = Extents::new([3, 4]);
+        let r = Region(vec![
+            DimSel::Range { start: 1, len: 2 },
+            DimSel::Range { start: 0, len: 2 },
+        ]);
+        let got: Vec<usize> = r.linear_indices(&e).unwrap().collect();
+        assert_eq!(got, vec![4, 5, 8, 9]);
+    }
+
+    #[test]
+    fn region_iteration_all() {
+        let e = Extents::new([2, 2]);
+        let got: Vec<usize> = Region::all(2).linear_indices(&e).unwrap().collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn region_empty() {
+        let e = Extents::new([0, 4]);
+        let r = Region::all(2);
+        assert!(r.is_empty(&e).unwrap());
+        assert_eq!(r.linear_indices(&e).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn region_max_index() {
+        let r = Region(vec![DimSel::Index(3), DimSel::Range { start: 1, len: 4 }]);
+        assert_eq!(r.max_index(), Some(vec![3, 4]));
+        assert_eq!(Region::all(2).max_index(), None);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let e = Extents::new([4]);
+        let r = Region::all(2);
+        assert!(matches!(
+            r.shape(&e),
+            Err(FieldError::DimensionMismatch { .. })
+        ));
+    }
+}

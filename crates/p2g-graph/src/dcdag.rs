@@ -1,0 +1,206 @@
+//! The dynamically created directed acyclic dependency graph (DC-DAG,
+//! paper Figure 4).
+//!
+//! Write-once semantics turn the cyclic kernel graph into an acyclic graph
+//! over (kernel, age) pairs: each trip around a cycle advances the age, so
+//! unrolling by age removes the cycles without inserting barriers between
+//! iterations. The low-level scheduler reasons on this DAG when it combines
+//! task and data granularity.
+
+use crate::spec::{AgeExpr, KernelId, ProgramSpec};
+use p2g_field::Age;
+
+/// A vertex of the DC-DAG: one kernel definition at one age.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DcDagNode {
+    pub kernel: KernelId,
+    pub age: Age,
+}
+
+/// The DC-DAG unrolled to a bounded number of ages.
+#[derive(Debug, Clone)]
+pub struct DcDag {
+    pub nodes: Vec<DcDagNode>,
+    /// Dependency edges producer→consumer (data flows along the edge).
+    pub edges: Vec<(DcDagNode, DcDagNode)>,
+}
+
+impl DcDag {
+    /// Unroll `spec` for ages `0..max_ages`. Kernels without an age
+    /// variable appear only at age 0 (they run once).
+    pub fn unroll(spec: &ProgramSpec, max_ages: u64) -> DcDag {
+        let mut nodes = Vec::new();
+        for k in &spec.kernels {
+            let ages = if k.has_age_var { max_ages } else { 1 };
+            for a in 0..ages {
+                nodes.push(DcDagNode {
+                    kernel: k.id,
+                    age: Age(a),
+                });
+            }
+        }
+
+        let mut edges = Vec::new();
+        for prod in &spec.kernels {
+            let prod_ages = if prod.has_age_var { max_ages } else { 1 };
+            for st in &prod.stores {
+                for cons in &spec.kernels {
+                    let cons_ages = if cons.has_age_var { max_ages } else { 1 };
+                    for fe in &cons.fetches {
+                        if fe.field != st.field {
+                            continue;
+                        }
+                        // Instance (prod, ap) stores at resolve(st.age, ap);
+                        // instance (cons, ac) fetches at resolve(fe.age, ac).
+                        // Edge when those field ages coincide.
+                        for ap in 0..prod_ages {
+                            let stored_at = st.age.resolve(Age(ap));
+                            let ac = match fe.age {
+                                AgeExpr::Rel(t) => {
+                                    let target = stored_at.0 as i64 - t;
+                                    if target < 0 || target as u64 >= cons_ages {
+                                        continue;
+                                    }
+                                    target as u64
+                                }
+                                AgeExpr::Const(c) => {
+                                    if c != stored_at.0 {
+                                        continue;
+                                    }
+                                    0 // const-age fetches live at any age; attribute to 0
+                                }
+                            };
+                            edges.push((
+                                DcDagNode {
+                                    kernel: prod.id,
+                                    age: Age(ap),
+                                },
+                                DcDagNode {
+                                    kernel: cons.id,
+                                    age: Age(ac),
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        DcDag { nodes, edges }
+    }
+
+    /// Kahn topological sort; `None` if a cycle exists (which would violate
+    /// the age-monotonicity invariant checked at spec validation).
+    pub fn topo_order(&self) -> Option<Vec<DcDagNode>> {
+        use std::collections::HashMap;
+        let mut indeg: HashMap<DcDagNode, usize> = self.nodes.iter().map(|&n| (n, 0)).collect();
+        let mut adj: HashMap<DcDagNode, Vec<DcDagNode>> = HashMap::new();
+        for &(u, v) in &self.edges {
+            *indeg.entry(v).or_insert(0) += 1;
+            adj.entry(u).or_default().push(v);
+        }
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<DcDagNode>> = indeg
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&n, _)| std::cmp::Reverse(n))
+            .collect();
+        let mut order = Vec::with_capacity(indeg.len());
+        while let Some(std::cmp::Reverse(u)) = ready.pop() {
+            order.push(u);
+            if let Some(vs) = adj.get(&u) {
+                for &v in vs {
+                    let d = indeg.get_mut(&v).expect("edge endpoints are nodes");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(std::cmp::Reverse(v));
+                    }
+                }
+            }
+        }
+        (order.len() == indeg.len()).then_some(order)
+    }
+
+    /// True when the unrolled graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topo_order().is_some()
+    }
+
+    /// Direct dependencies of a node.
+    pub fn deps_of(&self, n: DcDagNode) -> impl Iterator<Item = DcDagNode> + '_ {
+        self.edges
+            .iter()
+            .filter(move |&&(_, v)| v == n)
+            .map(|&(u, _)| u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::mul_sum_example;
+
+    #[test]
+    fn unroll_counts_nodes() {
+        let spec = mul_sum_example();
+        let dag = DcDag::unroll(&spec, 3);
+        // init appears once; mul2/plus5/print appear 3 times each.
+        assert_eq!(dag.nodes.len(), 1 + 3 * 3);
+    }
+
+    #[test]
+    fn unrolled_cycle_is_acyclic() {
+        let spec = mul_sum_example();
+        let dag = DcDag::unroll(&spec, 4);
+        assert!(dag.is_acyclic());
+    }
+
+    #[test]
+    fn dependencies_cross_ages() {
+        let spec = mul_sum_example();
+        let mul2 = spec.kernel_by_name("mul2").unwrap();
+        let plus5 = spec.kernel_by_name("plus5").unwrap();
+        let dag = DcDag::unroll(&spec, 3);
+        // plus5 at age a stores m_data(a+1) which mul2 at age a+1 fetches.
+        let mul2_age1 = DcDagNode {
+            kernel: mul2,
+            age: Age(1),
+        };
+        let deps: Vec<_> = dag.deps_of(mul2_age1).collect();
+        assert!(deps.contains(&DcDagNode {
+            kernel: plus5,
+            age: Age(0)
+        }));
+        // ...and not on plus5 at its own age.
+        assert!(!deps.contains(&DcDagNode {
+            kernel: plus5,
+            age: Age(1)
+        }));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let spec = mul_sum_example();
+        let dag = DcDag::unroll(&spec, 3);
+        let order = dag.topo_order().unwrap();
+        let pos: std::collections::HashMap<DcDagNode, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for &(u, v) in &dag.edges {
+            assert!(pos[&u] < pos[&v], "{u:?} must precede {v:?}");
+        }
+    }
+
+    #[test]
+    fn init_feeds_only_age_zero() {
+        let spec = mul_sum_example();
+        let init = spec.kernel_by_name("init").unwrap();
+        let dag = DcDag::unroll(&spec, 3);
+        let init_edges: Vec<_> = dag
+            .edges
+            .iter()
+            .filter(|&&(u, _)| u.kernel == init)
+            .collect();
+        assert!(!init_edges.is_empty());
+        assert!(init_edges.iter().all(|&&(_, v)| v.age == Age(0)));
+    }
+}

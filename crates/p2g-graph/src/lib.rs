@@ -1,0 +1,25 @@
+//! Dependency model of P2G: program specifications (kernels, fetch/store
+//! statements), the implicit static dependency graphs of Figures 2–3, the
+//! dynamically created DAG (DC-DAG, Figure 4), workload partitioning for the
+//! high-level scheduler, and the resource topology model.
+//!
+//! This crate is purely declarative — kernel *bodies* live in the runtime
+//! crate. Keeping the graph model separate lets the master node analyze and
+//! partition workloads without ever loading executable code, exactly as the
+//! paper's high-level scheduler operates on fetch/store statements alone.
+
+pub mod dcdag;
+pub mod partition;
+pub mod simulate;
+pub mod spec;
+pub mod static_graph;
+pub mod topology;
+
+pub use dcdag::{DcDag, DcDagNode};
+pub use partition::{kernighan_lin_refine, partition_greedy, tabu_refine, Partitioning};
+pub use simulate::{estimate, sweep_part_counts, CostEstimate};
+pub use spec::{
+    AgeExpr, FetchDecl, IndexSel, IndexVar, KernelId, KernelSpec, ProgramSpec, SpecError, StoreDecl,
+};
+pub use static_graph::{FinalGraph, IntermediateGraph, IntermediateNode};
+pub use topology::{LinkSpec, NodeId, NodeSpec, Topology};

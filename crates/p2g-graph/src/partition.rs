@@ -1,0 +1,336 @@
+//! Workload partitioning for the high-level scheduler.
+//!
+//! The paper's HLS splits the final implicit static dependency graph into
+//! components mapped onto execution nodes, using graph partitioning
+//! (Hendrickson & Kolda [17]) or search-based algorithms (tabu search,
+//! Glover [14]). We implement a greedy seeded growth for the initial
+//! assignment plus two refiners: Kernighan–Lin style pairwise swaps and a
+//! tabu search over single-vertex moves.
+
+use crate::spec::KernelId;
+use crate::static_graph::FinalGraph;
+
+/// A k-way assignment of kernels to parts (execution nodes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partitioning {
+    /// part index per kernel, indexed by `KernelId::idx`.
+    pub assignment: Vec<usize>,
+    /// Number of parts.
+    pub parts: usize,
+}
+
+impl Partitioning {
+    /// The part a kernel is assigned to.
+    pub fn part_of(&self, k: KernelId) -> usize {
+        self.assignment[k.idx()]
+    }
+
+    /// Kernels assigned to one part.
+    pub fn kernels_in(&self, part: usize) -> Vec<KernelId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == part)
+            .map(|(i, _)| KernelId(i as u32))
+            .collect()
+    }
+
+    /// Total vertex weight per part.
+    pub fn loads(&self, g: &FinalGraph) -> Vec<f64> {
+        let mut loads = vec![0.0; self.parts];
+        for (i, &p) in self.assignment.iter().enumerate() {
+            loads[p] += g.kernel_weights[i];
+        }
+        loads
+    }
+
+    /// Imbalance: max part load / mean part load. 1.0 is perfect.
+    pub fn imbalance(&self, g: &FinalGraph) -> f64 {
+        let loads = self.loads(g);
+        let total: f64 = loads.iter().sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        let mean = total / self.parts as f64;
+        loads.iter().cloned().fold(0.0f64, f64::max) / mean
+    }
+
+    /// The partitioning objective used by the refiners: edge cut plus a
+    /// quadratic imbalance penalty.
+    pub fn cost(&self, g: &FinalGraph) -> f64 {
+        let imb = self.imbalance(g);
+        g.cut_weight(&self.assignment) + (imb - 1.0) * (imb - 1.0) * total_weight(g)
+    }
+}
+
+fn total_weight(g: &FinalGraph) -> f64 {
+    g.kernel_weights.iter().sum::<f64>() + g.edges.iter().map(|e| e.weight).sum::<f64>()
+}
+
+/// Greedy seeded growth: repeatedly grow the lightest part by pulling in
+/// the unassigned kernel most strongly connected to it (or the heaviest
+/// remaining kernel when none is connected).
+pub fn partition_greedy(g: &FinalGraph, parts: usize) -> Partitioning {
+    assert!(parts >= 1, "need at least one part");
+    let n = g.len();
+    let mut assignment = vec![usize::MAX; n];
+    if n == 0 {
+        return Partitioning { assignment, parts };
+    }
+
+    // Seed each part with the heaviest unassigned kernels.
+    let mut by_weight: Vec<usize> = (0..n).collect();
+    by_weight.sort_by(|&a, &b| {
+        g.kernel_weights[b]
+            .partial_cmp(&g.kernel_weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut loads = vec![0.0; parts];
+    for (p, &k) in by_weight.iter().take(parts).enumerate() {
+        assignment[k] = p;
+        loads[p] += g.kernel_weights[k];
+    }
+
+    let mut remaining = n.saturating_sub(parts);
+    while remaining > 0 {
+        // Lightest part picks next.
+        let p = (0..parts)
+            .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).unwrap())
+            .expect("parts >= 1");
+        // Strongest-connected unassigned kernel to part p.
+        let mut best: Option<(usize, f64)> = None;
+        for e in &g.edges {
+            let (u, v) = (e.from.idx(), e.to.idx());
+            for (a, b) in [(u, v), (v, u)] {
+                if assignment[a] == p && assignment[b] == usize::MAX {
+                    let score = e.weight;
+                    if best.is_none_or(|(_, s)| score > s) {
+                        best = Some((b, score));
+                    }
+                }
+            }
+        }
+        let pick = best.map(|(k, _)| k).unwrap_or_else(|| {
+            by_weight
+                .iter()
+                .copied()
+                .find(|&k| assignment[k] == usize::MAX)
+                .expect("remaining > 0")
+        });
+        assignment[pick] = p;
+        loads[p] += g.kernel_weights[pick];
+        remaining -= 1;
+    }
+
+    Partitioning { assignment, parts }
+}
+
+/// Kernighan–Lin style refinement: greedily apply the single best vertex
+/// move or pair swap while it strictly improves the cost. Terminates at a
+/// local optimum.
+pub fn kernighan_lin_refine(g: &FinalGraph, mut part: Partitioning) -> Partitioning {
+    let n = g.len();
+    loop {
+        let base = part.cost(g);
+        let mut best: Option<(Partitioning, f64)> = None;
+        // Single-vertex moves.
+        for v in 0..n {
+            let from = part.assignment[v];
+            for to in 0..part.parts {
+                if to == from {
+                    continue;
+                }
+                let mut cand = part.clone();
+                cand.assignment[v] = to;
+                let c = cand.cost(g);
+                if c < base && best.as_ref().is_none_or(|&(_, bc)| c < bc) {
+                    best = Some((cand, c));
+                }
+            }
+        }
+        // Pairwise swaps (KL's signature move — keeps balance intact).
+        for a in 0..n {
+            for b in a + 1..n {
+                if part.assignment[a] == part.assignment[b] {
+                    continue;
+                }
+                let mut cand = part.clone();
+                cand.assignment.swap(a, b);
+                let c = cand.cost(g);
+                if c < base && best.as_ref().is_none_or(|&(_, bc)| c < bc) {
+                    best = Some((cand, c));
+                }
+            }
+        }
+        match best {
+            Some((cand, _)) => part = cand,
+            None => return part,
+        }
+    }
+}
+
+/// Tabu search refinement (Glover): explores single-vertex moves, allowing
+/// non-improving steps, with a recency-based tabu list to escape local
+/// optima. Returns the best assignment seen.
+pub fn tabu_refine(
+    g: &FinalGraph,
+    mut part: Partitioning,
+    iterations: usize,
+    tenure: usize,
+    seed: u64,
+) -> Partitioning {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let n = g.len();
+    if n == 0 || part.parts < 2 {
+        return part;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best = part.clone();
+    let mut best_cost = best.cost(g);
+    // tabu[v] = iteration until which moving v is forbidden.
+    let mut tabu = vec![0usize; n];
+
+    for it in 1..=iterations {
+        let mut chosen: Option<(usize, usize, f64)> = None;
+        for v in 0..n {
+            let from = part.assignment[v];
+            for to in 0..part.parts {
+                if to == from {
+                    continue;
+                }
+                let mut cand_assign = part.assignment.clone();
+                cand_assign[v] = to;
+                let cand = Partitioning {
+                    assignment: cand_assign,
+                    parts: part.parts,
+                };
+                let c = cand.cost(g);
+                let is_tabu = tabu[v] > it;
+                // Aspiration: a tabu move is allowed when it beats the
+                // global best.
+                if is_tabu && c >= best_cost {
+                    continue;
+                }
+                if chosen.is_none_or(|(_, _, cc)| c < cc) {
+                    chosen = Some((v, to, c));
+                }
+            }
+        }
+        let Some((v, to, c)) = chosen else { break };
+        part.assignment[v] = to;
+        tabu[v] = it + tenure + rng.random_range(0..=tenure.max(1));
+        if c < best_cost {
+            best_cost = c;
+            best = part.clone();
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::mul_sum_example;
+    use crate::static_graph::FinalGraph;
+
+    fn example_graph() -> FinalGraph {
+        FinalGraph::from_spec(&mul_sum_example())
+    }
+
+    #[test]
+    fn greedy_assigns_every_kernel() {
+        let g = example_graph();
+        for parts in 1..=4 {
+            let p = partition_greedy(&g, parts);
+            assert_eq!(p.assignment.len(), g.len());
+            assert!(p.assignment.iter().all(|&a| a < parts));
+        }
+    }
+
+    #[test]
+    fn single_part_has_zero_cut() {
+        let g = example_graph();
+        let p = partition_greedy(&g, 1);
+        assert_eq!(g.cut_weight(&p.assignment), 0.0);
+        assert_eq!(p.imbalance(&g), 1.0);
+    }
+
+    #[test]
+    fn kl_never_worsens() {
+        let g = example_graph();
+        for parts in 2..=3 {
+            let p0 = partition_greedy(&g, parts);
+            let c0 = p0.cost(&g);
+            let p1 = kernighan_lin_refine(&g, p0);
+            assert!(p1.cost(&g) <= c0);
+        }
+    }
+
+    #[test]
+    fn tabu_never_worse_than_start() {
+        let g = example_graph();
+        let p0 = partition_greedy(&g, 2);
+        let c0 = p0.cost(&g);
+        let p1 = tabu_refine(&g, p0, 50, 3, 42);
+        assert!(p1.cost(&g) <= c0);
+    }
+
+    #[test]
+    fn pipeline_graph_partitions_at_weak_edge() {
+        // Chain a-b-c-d with a weak edge in the middle: 2-way partition
+        // should cut the weak edge.
+        let g = FinalGraph {
+            kernel_weights: vec![1.0; 4],
+            edges: vec![
+                crate::static_graph::FinalEdge {
+                    from: KernelId(0),
+                    to: KernelId(1),
+                    via: p2g_field::FieldId(0),
+                    weight: 10.0,
+                },
+                crate::static_graph::FinalEdge {
+                    from: KernelId(1),
+                    to: KernelId(2),
+                    via: p2g_field::FieldId(1),
+                    weight: 0.1,
+                },
+                crate::static_graph::FinalEdge {
+                    from: KernelId(2),
+                    to: KernelId(3),
+                    via: p2g_field::FieldId(2),
+                    weight: 10.0,
+                },
+            ],
+        };
+        let p = kernighan_lin_refine(&g, partition_greedy(&g, 2));
+        assert_eq!(p.assignment[0], p.assignment[1]);
+        assert_eq!(p.assignment[2], p.assignment[3]);
+        assert_ne!(p.assignment[0], p.assignment[2]);
+        assert!((g.cut_weight(&p.assignment) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loads_and_kernels_in() {
+        let g = example_graph();
+        let p = partition_greedy(&g, 2);
+        let loads = p.loads(&g);
+        assert_eq!(loads.len(), 2);
+        assert!((loads.iter().sum::<f64>() - 4.0).abs() < 1e-9);
+        let all: usize = (0..2).map(|q| p.kernels_in(q).len()).sum();
+        assert_eq!(all, 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = FinalGraph {
+            kernel_weights: vec![],
+            edges: vec![],
+        };
+        let p = partition_greedy(&g, 2);
+        assert!(p.assignment.is_empty());
+        let p = tabu_refine(&g, p, 10, 2, 0);
+        assert!(p.assignment.is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Static offline what-if analysis for the high-level scheduler.
+//!
+//! The paper (Section V-A): the weighted final graph "could be used as
+//! input to a simulator to best determine how to initially configure a
+//! workload, given various global topology configurations". This module is
+//! that simulator: given a weighted kernel graph, a candidate partitioning
+//! and a topology, it estimates per-node compute time, inter-node
+//! communication time and the resulting makespan — letting the master
+//! compare deployment configurations before distributing anything.
+
+use crate::partition::Partitioning;
+use crate::static_graph::FinalGraph;
+use crate::topology::{NodeId, Topology};
+
+/// Cost estimate for one candidate deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEstimate {
+    /// Per-node compute time: assigned kernel weight divided by cores.
+    pub compute: Vec<(NodeId, f64)>,
+    /// Total communication time across cut edges.
+    pub comm: f64,
+    /// The bottleneck estimate: slowest node's compute plus the
+    /// communication it is involved in.
+    pub makespan: f64,
+}
+
+/// Default link parameters assumed when the topology declares no link
+/// between two nodes (loopback-class connectivity).
+const DEFAULT_BANDWIDTH_MBPS: f64 = 1000.0;
+const DEFAULT_LATENCY_US: f64 = 50.0;
+
+/// Estimate the cost of running `g` under `part`, mapping part `i` to
+/// `nodes[i]`. Kernel weights are interpreted as µs of compute per
+/// activation; edge weights as KB transferred per activation.
+pub fn estimate(
+    g: &FinalGraph,
+    part: &Partitioning,
+    topo: &Topology,
+    nodes: &[NodeId],
+) -> CostEstimate {
+    assert!(
+        nodes.len() >= part.parts,
+        "need a target node per partition part"
+    );
+
+    // Compute: part load / node parallelism.
+    let loads = part.loads(g);
+    let mut compute = Vec::with_capacity(part.parts);
+    for (p, &load) in loads.iter().enumerate() {
+        let node = nodes[p];
+        let cores = topo.node(node).map_or(1, |n| n.cores.max(1)) as f64;
+        compute.push((node, load / cores));
+    }
+
+    // Communication: cut edges cross node links.
+    let mut comm_total = 0.0;
+    let mut comm_per_node = vec![0.0f64; part.parts];
+    for e in &g.edges {
+        let (pa, pb) = (part.part_of(e.from), part.part_of(e.to));
+        if pa == pb {
+            continue;
+        }
+        let (na, nb) = (nodes[pa], nodes[pb]);
+        let (bw, lat) = topo
+            .link(na, nb)
+            .map(|l| (l.bandwidth_mbps as f64, l.latency_us as f64))
+            .unwrap_or((DEFAULT_BANDWIDTH_MBPS, DEFAULT_LATENCY_US));
+        // KB over Mbps → µs: kb * 8 / mbps * 1000.
+        let cost = lat + e.weight * 8.0 / bw * 1000.0;
+        comm_total += cost;
+        comm_per_node[pa] += cost;
+        comm_per_node[pb] += cost;
+    }
+
+    let makespan = compute
+        .iter()
+        .zip(&comm_per_node)
+        .map(|(&(_, c), &m)| c + m)
+        .fold(0.0f64, f64::max);
+
+    CostEstimate {
+        compute,
+        comm: comm_total,
+        makespan,
+    }
+}
+
+/// Compare candidate part counts for a workload on a topology, returning
+/// `(parts, makespan)` sorted by estimated makespan — "how to initially
+/// configure a workload given various global topology configurations".
+pub fn sweep_part_counts(
+    g: &FinalGraph,
+    topo: &Topology,
+    candidates: impl IntoIterator<Item = usize>,
+) -> Vec<(usize, f64)> {
+    let nodes: Vec<NodeId> = topo.nodes().map(|n| n.id).collect();
+    let mut out = Vec::new();
+    for parts in candidates {
+        if parts == 0 || parts > nodes.len() || parts > g.len().max(1) {
+            continue;
+        }
+        let p = crate::partition::partition_greedy(g, parts);
+        let p = crate::partition::kernighan_lin_refine(g, p);
+        let est = estimate(g, &p, topo, &nodes[..parts]);
+        out.push((parts, est.makespan));
+    }
+    out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_greedy;
+    use crate::spec::mul_sum_example;
+    use crate::topology::{LinkSpec, NodeSpec};
+
+    fn topo2(cores_a: usize, cores_b: usize, bw: u64) -> Topology {
+        let mut t = Topology::new();
+        t.add_node(NodeSpec::multicore(NodeId(0), "a", cores_a));
+        t.add_node(NodeSpec::multicore(NodeId(1), "b", cores_b));
+        t.add_link(LinkSpec {
+            a: NodeId(0),
+            b: NodeId(1),
+            latency_us: 100,
+            bandwidth_mbps: bw,
+        });
+        t
+    }
+
+    #[test]
+    fn single_part_has_no_comm() {
+        let g = FinalGraph::from_spec(&mul_sum_example());
+        let t = topo2(4, 4, 1000);
+        let p = partition_greedy(&g, 1);
+        let est = estimate(&g, &p, &t, &[NodeId(0)]);
+        assert_eq!(est.comm, 0.0);
+        assert!(est.makespan > 0.0);
+    }
+
+    #[test]
+    fn split_parts_pay_communication() {
+        let g = FinalGraph::from_spec(&mul_sum_example());
+        let t = topo2(4, 4, 1000);
+        let p = partition_greedy(&g, 2);
+        let est = estimate(&g, &p, &t, &[NodeId(0), NodeId(1)]);
+        assert!(est.comm > 0.0, "cut edges must cost communication");
+        assert_eq!(est.compute.len(), 2);
+    }
+
+    #[test]
+    fn slower_link_raises_makespan() {
+        let g = FinalGraph::from_spec(&mul_sum_example());
+        let p = partition_greedy(&g, 2);
+        let fast = estimate(&g, &p, &topo2(4, 4, 10_000), &[NodeId(0), NodeId(1)]);
+        let slow = estimate(&g, &p, &topo2(4, 4, 10), &[NodeId(0), NodeId(1)]);
+        assert!(slow.makespan > fast.makespan);
+    }
+
+    #[test]
+    fn more_cores_lower_compute() {
+        let g = FinalGraph::from_spec(&mul_sum_example());
+        let p = partition_greedy(&g, 1);
+        let small = estimate(&g, &p, &topo2(1, 1, 1000), &[NodeId(0)]);
+        let big = estimate(&g, &p, &topo2(8, 1, 1000), &[NodeId(0)]);
+        assert!(big.compute[0].1 < small.compute[0].1);
+    }
+
+    #[test]
+    fn sweep_prefers_single_node_for_chatty_graphs() {
+        // mul/sum is all communication and almost no compute: splitting
+        // it across a slow link must lose to keeping it on one node.
+        let mut g = FinalGraph::from_spec(&mul_sum_example());
+        for e in &mut g.edges {
+            e.weight = 100.0; // heavy traffic per edge
+        }
+        let t = topo2(4, 4, 10); // slow link
+        let ranked = sweep_part_counts(&g, &t, [1, 2]);
+        assert_eq!(ranked[0].0, 1, "single node should win: {ranked:?}");
+    }
+
+    #[test]
+    fn sweep_prefers_split_for_compute_heavy_graphs() {
+        let mut g = FinalGraph::from_spec(&mul_sum_example());
+        for w in &mut g.kernel_weights {
+            *w = 100_000.0; // compute-dominant
+        }
+        for e in &mut g.edges {
+            e.weight = 0.001;
+        }
+        let t = topo2(4, 4, 10_000); // fast link
+        let ranked = sweep_part_counts(&g, &t, [1, 2]);
+        assert_eq!(ranked[0].0, 2, "splitting should win: {ranked:?}");
+    }
+
+    #[test]
+    fn sweep_skips_invalid_candidates() {
+        let g = FinalGraph::from_spec(&mul_sum_example());
+        let t = topo2(2, 2, 100);
+        let ranked = sweep_part_counts(&g, &t, [0, 1, 2, 9]);
+        let counts: Vec<usize> = ranked.iter().map(|&(p, _)| p).collect();
+        assert!(!counts.contains(&0));
+        assert!(!counts.contains(&9));
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests for the graph layer: DC-DAG acyclicity for every valid
+//! program, partitioning invariants, and simulator sanity.
+
+use proptest::prelude::*;
+
+use p2g_field::{FieldDef, ScalarType};
+use p2g_graph::spec::{AgeExpr, FetchDecl, IndexSel, KernelId, KernelSpec, ProgramSpec, StoreDecl};
+use p2g_graph::static_graph::FinalEdge;
+use p2g_graph::{kernighan_lin_refine, partition_greedy, tabu_refine, DcDag, FinalGraph};
+
+/// Generate a random chain-with-feedback program: `n` kernels in a
+/// pipeline, with optional feedback edges that must carry a positive age
+/// delta (valid) or zero (invalid). Returns (spec, valid).
+fn random_program(n: usize, feedback: Vec<(usize, usize, i64)>) -> (ProgramSpec, bool) {
+    let mut spec = ProgramSpec::new();
+    let fields: Vec<_> = (0..=n + feedback.len())
+        .map(|i| spec.add_field(FieldDef::new(format!("f{i}"), ScalarType::I32, 1)))
+        .collect();
+
+    // source kernel stores f0(a).
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "src".into(),
+        index_vars: 0,
+        has_age_var: true,
+        fetches: vec![],
+        stores: vec![StoreDecl {
+            field: fields[0],
+            age: AgeExpr::Rel(0),
+            dims: vec![IndexSel::All],
+        }],
+    });
+    // chain: k_i fetches f_i, stores f_{i+1}.
+    for i in 0..n {
+        spec.add_kernel(KernelSpec {
+            id: KernelId(0),
+            name: format!("k{i}"),
+            index_vars: 0,
+            has_age_var: true,
+            fetches: vec![FetchDecl {
+                field: fields[i],
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::All],
+            }],
+            stores: vec![StoreDecl {
+                field: fields[i + 1],
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::All],
+            }],
+        });
+    }
+    // feedback: a kernel fetching f_to's level and storing back to f_from
+    // with the given delta. Cycle total = delta, so delta <= 0 is invalid
+    // whenever from <= to (a real cycle).
+    let mut valid = true;
+    for (fi, &(from, to, delta)) in feedback.iter().enumerate() {
+        let (from, to) = (from % (n + 1), to % (n + 1));
+        if from <= to && delta <= 0 {
+            valid = false;
+        }
+        spec.add_kernel(KernelSpec {
+            id: KernelId(0),
+            name: format!("fb{fi}"),
+            index_vars: 0,
+            has_age_var: true,
+            fetches: vec![FetchDecl {
+                field: fields[to],
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::All],
+            }],
+            stores: vec![StoreDecl {
+                field: fields[from],
+                age: AgeExpr::Rel(delta),
+                dims: vec![IndexSel::All],
+            }],
+        });
+    }
+    (spec, valid)
+}
+
+fn random_graph(n: usize, edges: &[(usize, usize)], weights: &[u8]) -> FinalGraph {
+    FinalGraph {
+        kernel_weights: (0..n).map(|i| 1.0 + (i % 5) as f64).collect(),
+        edges: edges
+            .iter()
+            .zip(weights.iter().cycle())
+            .filter(|&(&(a, b), _)| a % n != b % n)
+            .map(|(&(a, b), &w)| FinalEdge {
+                from: KernelId((a % n) as u32),
+                to: KernelId((b % n) as u32),
+                via: p2g_field::FieldId(0),
+                weight: 0.5 + w as f64,
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    /// Every program that passes validation unrolls to an acyclic DC-DAG —
+    /// the core theorem behind write-once + aging.
+    #[test]
+    fn valid_programs_unroll_acyclically(
+        n in 1usize..5,
+        feedback in prop::collection::vec((0usize..6, 0usize..6, 0i64..3), 0..3),
+    ) {
+        let (spec, expect_valid) = random_program(n, feedback);
+        match spec.validate() {
+            Ok(()) => {
+                let dag = DcDag::unroll(&spec, 4);
+                prop_assert!(dag.is_acyclic(), "validated program must unroll acyclically");
+            }
+            Err(e) => {
+                // Only the zero-delta-cycle case may fail.
+                prop_assert!(!expect_valid, "unexpected rejection: {e}");
+            }
+        }
+    }
+
+    /// Programs we constructed as invalid (zero-increment cycles) are
+    /// always rejected.
+    #[test]
+    fn zero_increment_cycles_rejected(
+        n in 1usize..4,
+        from in 0usize..4,
+        to in 0usize..4,
+    ) {
+        let from = from % (n + 1);
+        let to = to % (n + 1);
+        prop_assume!(from <= to); // ensures a genuine cycle
+        let (spec, _) = random_program(n, vec![(from, to, 0)]);
+        prop_assert!(spec.validate().is_err());
+    }
+
+    /// Partitioning invariants: every kernel assigned to a valid part;
+    /// refinement never increases cost; single part ⇒ zero cut.
+    #[test]
+    fn partitioning_invariants(
+        n in 2usize..12,
+        edges in prop::collection::vec((0usize..12, 0usize..12), 1..30),
+        weights in prop::collection::vec(any::<u8>(), 1..30),
+        parts in 1usize..5,
+    ) {
+        let g = random_graph(n, &edges, &weights);
+        let p0 = partition_greedy(&g, parts);
+        prop_assert_eq!(p0.assignment.len(), n);
+        prop_assert!(p0.assignment.iter().all(|&a| a < parts));
+
+        let c0 = p0.cost(&g);
+        let p1 = kernighan_lin_refine(&g, p0.clone());
+        prop_assert!(p1.cost(&g) <= c0 + 1e-9);
+        let p2 = tabu_refine(&g, p0.clone(), 30, 3, 1);
+        prop_assert!(p2.cost(&g) <= c0 + 1e-9);
+
+        if parts == 1 {
+            prop_assert_eq!(g.cut_weight(&p0.assignment), 0.0);
+        }
+        // Cut weight is bounded by total edge weight.
+        let total: f64 = g.edges.iter().map(|e| e.weight).sum();
+        prop_assert!(g.cut_weight(&p1.assignment) <= total + 1e-9);
+    }
+
+    /// The deployment simulator is monotone in link speed: a faster link
+    /// never yields a worse makespan for the same assignment.
+    #[test]
+    fn simulator_monotone_in_bandwidth(
+        n in 2usize..8,
+        edges in prop::collection::vec((0usize..8, 0usize..8), 1..16),
+        weights in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        use p2g_graph::topology::{LinkSpec, NodeId, NodeSpec, Topology};
+        let g = random_graph(n, &edges, &weights);
+        let p = partition_greedy(&g, 2);
+        let mk_topo = |bw: u64| {
+            let mut t = Topology::new();
+            t.add_node(NodeSpec::multicore(NodeId(0), "a", 4));
+            t.add_node(NodeSpec::multicore(NodeId(1), "b", 4));
+            t.add_link(LinkSpec { a: NodeId(0), b: NodeId(1), latency_us: 10, bandwidth_mbps: bw });
+            t
+        };
+        let nodes = [NodeId(0), NodeId(1)];
+        let slow = p2g_graph::estimate(&g, &p, &mk_topo(10), &nodes);
+        let fast = p2g_graph::estimate(&g, &p, &mk_topo(10_000), &nodes);
+        prop_assert!(fast.makespan <= slow.makespan + 1e-9);
+        prop_assert!(fast.comm <= slow.comm + 1e-9);
+    }
+}

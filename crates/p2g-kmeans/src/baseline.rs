@@ -1,0 +1,117 @@
+//! The standalone sequential K-means baseline (Lloyd's algorithm with a
+//! fixed iteration break-point, as the paper evaluates it).
+
+use crate::data::{assign_point, inertia, refine_centroid};
+
+/// The per-iteration history of a K-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansTrace {
+    /// Centroids per age: `centroids[a]` is the flattened `[k][dim]`
+    /// matrix at iteration `a` (age 0 = initial selection).
+    pub centroids: Vec<Vec<f64>>,
+    /// Assignments per completed iteration.
+    pub assignments: Vec<Vec<i32>>,
+    /// Inertia per completed iteration.
+    pub inertia: Vec<f64>,
+}
+
+/// Run `iterations` rounds of assign/refine sequentially. Initial
+/// centroids are the first `k` datapoints (deterministic, shared with the
+/// P2G `init` kernel).
+pub fn kmeans_baseline(
+    points: &[f64],
+    n: usize,
+    dim: usize,
+    k: usize,
+    iterations: u64,
+) -> KmeansTrace {
+    assert_eq!(points.len(), n * dim);
+    let mut centroids: Vec<Vec<f64>> = vec![points[..k * dim].to_vec()];
+    let mut all_assignments = Vec::new();
+    let mut inertias = Vec::new();
+
+    for it in 0..iterations as usize {
+        let current = &centroids[it];
+        let assignments: Vec<i32> = (0..n)
+            .map(|x| assign_point(&points[x * dim..(x + 1) * dim], current, k, dim) as i32)
+            .collect();
+        let mut next = Vec::with_capacity(k * dim);
+        for c in 0..k {
+            next.extend(refine_centroid(
+                points,
+                &assignments,
+                c,
+                dim,
+                &current[c * dim..(c + 1) * dim],
+            ));
+        }
+        inertias.push(inertia(points, current, &assignments, dim));
+        all_assignments.push(assignments);
+        centroids.push(next);
+    }
+    KmeansTrace {
+        centroids,
+        assignments: all_assignments,
+        inertia: inertias,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::generate_dataset;
+
+    #[test]
+    fn trace_shape() {
+        let points = generate_dataset(50, 2, 4, 1);
+        let t = kmeans_baseline(&points, 50, 2, 4, 5);
+        assert_eq!(t.centroids.len(), 6); // ages 0..=5
+        assert_eq!(t.assignments.len(), 5);
+        assert_eq!(t.inertia.len(), 5);
+        assert_eq!(t.centroids[0].len(), 8);
+    }
+
+    #[test]
+    fn inertia_monotonically_non_increasing() {
+        // Lloyd's algorithm never increases the objective.
+        let points = generate_dataset(200, 3, 8, 7);
+        let t = kmeans_baseline(&points, 200, 3, 8, 8);
+        for w in t.inertia.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "inertia increased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn converges_on_separated_blobs() {
+        // Two blobs far apart, k = 2, initial centroids both inside blob A
+        // (first k points): Lloyd's must still separate the blobs.
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.extend([i as f64 * 0.1, 0.0]); // blob A near origin
+        }
+        for i in 0..10 {
+            points.extend([1000.0 + i as f64 * 0.1, 0.0]); // blob B far away
+        }
+        let t = kmeans_baseline(&points, 20, 2, 2, 10);
+        let last = t.assignments.last().unwrap();
+        // All of blob A in one cluster, all of blob B in the other.
+        assert!(last[..10].iter().all(|&a| a == last[0]));
+        assert!(last[10..].iter().all(|&a| a == last[10]));
+        assert_ne!(last[0], last[10]);
+        // And the objective collapsed relative to the first iteration.
+        assert!(t.inertia.last().unwrap() < &t.inertia[0]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let points = generate_dataset(100, 2, 5, 11);
+        let a = kmeans_baseline(&points, 100, 2, 5, 6);
+        let b = kmeans_baseline(&points, 100, 2, 5, 6);
+        assert_eq!(a, b);
+    }
+}

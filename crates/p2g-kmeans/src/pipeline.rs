@@ -1,0 +1,371 @@
+//! The P2G K-means program (paper Figure 7).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use p2g_field::{Age, Buffer, Extents, FieldDef, Region, ScalarType, Value};
+use p2g_graph::spec::{
+    AgeExpr, FetchDecl, IndexSel, IndexVar, KernelId, KernelSpec, ProgramSpec, StoreDecl,
+};
+use p2g_runtime::{Program, RuntimeError};
+
+use crate::data::{assign_point, generate_dataset, inertia, refine_centroid};
+
+/// Workload parameters. The paper's evaluation uses `n = 2000`, `k = 100`,
+/// 10 iterations.
+#[derive(Debug, Clone)]
+pub struct KmeansConfig {
+    pub n: usize,
+    pub k: usize,
+    pub dim: usize,
+    pub iterations: u64,
+    pub seed: u64,
+    /// Data-granularity chunk for the `assign` kernel — the knob the paper
+    /// says would relieve the dependency-analyzer bottleneck.
+    pub assign_chunk: usize,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> KmeansConfig {
+        KmeansConfig {
+            n: 2000,
+            k: 100,
+            dim: 2,
+            iterations: 10,
+            seed: 0xC1C1,
+            assign_chunk: 1,
+        }
+    }
+}
+
+/// Captured per-iteration inertia from the `print` kernel.
+#[derive(Debug, Default, Clone)]
+pub struct KmeansResult {
+    log: Arc<Mutex<Vec<f64>>>,
+}
+
+impl KmeansResult {
+    /// Inertia values in iteration order.
+    pub fn inertia_log(&self) -> Vec<f64> {
+        self.log.lock().clone()
+    }
+
+    fn push(&self, v: f64) {
+        self.log.lock().push(v);
+    }
+}
+
+/// Build the K-means program spec.
+pub fn kmeans_spec(n: usize, k: usize, dim: usize) -> ProgramSpec {
+    let mut spec = ProgramSpec::new();
+    let f_points = spec.add_field(FieldDef::with_extents(
+        "datapoints",
+        ScalarType::F64,
+        Extents::new([n, dim]),
+    ));
+    let f_centroids = spec.add_field(FieldDef::with_extents(
+        "centroids",
+        ScalarType::F64,
+        Extents::new([k, dim]),
+    ));
+    let f_assign = spec.add_field(FieldDef::with_extents(
+        "assignments",
+        ScalarType::I32,
+        Extents::new([n]),
+    ));
+
+    // init: generate the dataset, select the initial centroids.
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "init".into(),
+        index_vars: 0,
+        has_age_var: false,
+        fetches: vec![],
+        stores: vec![
+            StoreDecl {
+                field: f_points,
+                age: AgeExpr::Const(0),
+                dims: vec![IndexSel::All, IndexSel::All],
+            },
+            StoreDecl {
+                field: f_centroids,
+                age: AgeExpr::Const(0),
+                dims: vec![IndexSel::All, IndexSel::All],
+            },
+        ],
+    });
+
+    // assign: one instance per datapoint per iteration.
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "assign".into(),
+        index_vars: 1,
+        has_age_var: true,
+        fetches: vec![
+            FetchDecl {
+                field: f_points,
+                age: AgeExpr::Const(0),
+                dims: vec![IndexSel::Var(IndexVar(0)), IndexSel::All],
+            },
+            FetchDecl {
+                field: f_centroids,
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::All, IndexSel::All],
+            },
+        ],
+        stores: vec![StoreDecl {
+            field: f_assign,
+            age: AgeExpr::Rel(0),
+            dims: vec![IndexSel::Var(IndexVar(0))],
+        }],
+    });
+
+    // refine: one instance per cluster per iteration; closes the aging
+    // cycle by storing centroids(a+1).
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "refine".into(),
+        index_vars: 1,
+        has_age_var: true,
+        fetches: vec![
+            FetchDecl {
+                field: f_centroids,
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::Var(IndexVar(0)), IndexSel::All],
+            },
+            FetchDecl {
+                field: f_assign,
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::All],
+            },
+            FetchDecl {
+                field: f_points,
+                age: AgeExpr::Const(0),
+                dims: vec![IndexSel::All, IndexSel::All],
+            },
+        ],
+        stores: vec![StoreDecl {
+            field: f_centroids,
+            age: AgeExpr::Rel(1),
+            dims: vec![IndexSel::Var(IndexVar(0)), IndexSel::All],
+        }],
+    });
+
+    // print: reports per-iteration inertia.
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "print".into(),
+        index_vars: 0,
+        has_age_var: true,
+        fetches: vec![
+            FetchDecl {
+                field: f_centroids,
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::All, IndexSel::All],
+            },
+            FetchDecl {
+                field: f_assign,
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::All],
+            },
+            FetchDecl {
+                field: f_points,
+                age: AgeExpr::Const(0),
+                dims: vec![IndexSel::All, IndexSel::All],
+            },
+        ],
+        stores: vec![],
+    });
+
+    spec
+}
+
+/// Build the runnable K-means program. Run with
+/// `RunLimits::ages(config.iterations)` to reproduce the paper's fixed
+/// break-point.
+pub fn build_kmeans_program(
+    config: &KmeansConfig,
+) -> Result<(Program, KmeansResult), RuntimeError> {
+    let spec = kmeans_spec(config.n, config.k, config.dim);
+    let mut program = Program::new(spec)?;
+    let result = KmeansResult::default();
+    let (n, k, dim, seed) = (config.n, config.k, config.dim, config.seed);
+
+    program.body("init", move |ctx| {
+        let points = generate_dataset(n, dim, k, seed);
+        let initial: Vec<f64> = points[..k * dim].to_vec();
+        ctx.store(
+            0,
+            Buffer::from_vec(points)
+                .reshape(Extents::new([n, dim]))
+                .expect("n*dim samples"),
+        );
+        ctx.store(
+            1,
+            Buffer::from_vec(initial)
+                .reshape(Extents::new([k, dim]))
+                .expect("k*dim samples"),
+        );
+        Ok(())
+    });
+
+    program.body("assign", move |ctx| {
+        let point = ctx.input(0).as_f64().ok_or("datapoints must be f64")?;
+        let centroids = ctx.input(1).as_f64().ok_or("centroids must be f64")?;
+        let best = assign_point(point, centroids, k, dim) as i32;
+        ctx.store_value(0, Value::I32(best));
+        Ok(())
+    });
+    if config.assign_chunk > 1 {
+        program.set_chunk_size("assign", config.assign_chunk);
+    }
+
+    program.body("refine", move |ctx| {
+        let c = ctx.index(0);
+        let old = ctx
+            .input(0)
+            .as_f64()
+            .ok_or("centroid must be f64")?
+            .to_vec();
+        let assignments = ctx.input(1).as_i32().ok_or("assignments must be i32")?;
+        let points = ctx.input(2).as_f64().ok_or("datapoints must be f64")?;
+        let next = refine_centroid(points, assignments, c, dim, &old);
+        ctx.store(
+            0,
+            Buffer::from_vec(next)
+                .reshape(Extents::new([1, dim]))
+                .expect("dim samples"),
+        );
+        Ok(())
+    });
+
+    let log = result.clone();
+    program.body("print", move |ctx| {
+        let centroids = ctx.input(0).as_f64().ok_or("centroids must be f64")?;
+        let assignments = ctx.input(1).as_i32().ok_or("assignments must be i32")?;
+        let points = ctx.input(2).as_f64().ok_or("datapoints must be f64")?;
+        log.push(inertia(points, centroids, assignments, dim));
+        Ok(())
+    });
+    program.set_ordered("print");
+
+    Ok((program, result))
+}
+
+/// Extract the centroid history from a finished run's fields.
+pub fn centroid_history(
+    fields: &p2g_runtime::node::FieldStore,
+    k: usize,
+    dim: usize,
+    ages: u64,
+) -> Vec<Vec<f64>> {
+    (0..=ages)
+        .map_while(|a| {
+            fields
+                .fetch("centroids", Age(a), &Region::all(2))
+                .map(|b| b.as_f64().unwrap().to_vec())
+        })
+        .inspect(|c| debug_assert_eq!(c.len(), k * dim))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::kmeans_baseline;
+    use crate::data::generate_dataset;
+    use p2g_runtime::{ExecutionNode, RunLimits};
+
+    fn small_config() -> KmeansConfig {
+        KmeansConfig {
+            n: 60,
+            k: 5,
+            dim: 2,
+            iterations: 4,
+            seed: 99,
+            assign_chunk: 1,
+        }
+    }
+
+    fn run(
+        config: &KmeansConfig,
+        workers: usize,
+    ) -> (Vec<Vec<f64>>, Vec<f64>, p2g_runtime::instrument::RunReport) {
+        let (program, result) = build_kmeans_program(config).unwrap();
+        let node = ExecutionNode::new(program, workers);
+        let (report, fields) = node
+            .run_collect(RunLimits::ages(config.iterations))
+            .unwrap();
+        let history = centroid_history(&fields, config.k, config.dim, config.iterations);
+        (history, result.inertia_log(), report)
+    }
+
+    #[test]
+    fn spec_validates() {
+        kmeans_spec(100, 10, 2).validate().unwrap();
+    }
+
+    #[test]
+    fn matches_baseline_bitwise() {
+        let config = small_config();
+        let (history, _, _) = run(&config, 4);
+        let points = generate_dataset(config.n, config.dim, config.k, config.seed);
+        let trace = kmeans_baseline(&points, config.n, config.dim, config.k, config.iterations);
+        // Ages 0..iterations (the final refine stores age `iterations`,
+        // whose assign/refine instances are clipped by max_ages).
+        assert!(history.len() >= config.iterations as usize);
+        for (a, got) in history.iter().enumerate() {
+            assert_eq!(got, &trace.centroids[a], "age {a} centroids diverged");
+        }
+    }
+
+    #[test]
+    fn inertia_log_matches_baseline() {
+        let config = small_config();
+        let (_, log, _) = run(&config, 2);
+        let points = generate_dataset(config.n, config.dim, config.k, config.seed);
+        let trace = kmeans_baseline(&points, config.n, config.dim, config.k, config.iterations);
+        assert_eq!(log.len(), config.iterations as usize);
+        for (a, (&got, &want)) in log.iter().zip(&trace.inertia).enumerate() {
+            assert_eq!(got, want, "iteration {a} inertia");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let config = small_config();
+        let (h1, l1, _) = run(&config, 1);
+        let (h8, l8, _) = run(&config, 8);
+        assert_eq!(h1, h8);
+        assert_eq!(l1, l8);
+    }
+
+    #[test]
+    fn instance_counts_match_model() {
+        let config = small_config();
+        let (_, _, report) = run(&config, 2);
+        let ins = &report.instruments;
+        assert_eq!(ins.kernel("init").unwrap().instances, 1);
+        assert_eq!(
+            ins.kernel("assign").unwrap().instances,
+            config.n as u64 * config.iterations
+        );
+        assert_eq!(
+            ins.kernel("refine").unwrap().instances,
+            config.k as u64 * config.iterations
+        );
+        assert_eq!(ins.kernel("print").unwrap().instances, config.iterations);
+    }
+
+    #[test]
+    fn chunked_assign_is_equivalent() {
+        let mut config = small_config();
+        let (h_ref, _, _) = run(&config, 4);
+        config.assign_chunk = 32;
+        let (h_chunked, _, report) = run(&config, 4);
+        assert_eq!(h_ref, h_chunked);
+        let st = report.instruments.kernel("assign").unwrap();
+        assert!(st.units < st.instances, "chunking must merge dispatches");
+    }
+}

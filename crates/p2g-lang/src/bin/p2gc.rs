@@ -1,0 +1,106 @@
+//! `p2gc` — the P2G compiler driver.
+//!
+//! The paper's compiler "works also as a compiler driver ... and produces
+//! complete binaries for programs that run directly on the target system".
+//! This driver compiles a kernel-language source file and executes it on an
+//! execution node, printing the program's `print` output and the
+//! per-kernel instrumentation table.
+//!
+//! Usage:
+//!   p2gc run <file.p2g> [--ages N] [--workers W] [--gc-window W]
+//!   p2gc check <file.p2g>
+//!   p2gc graph <file.p2g>        # dump Figures 2/3 style dot graphs
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use p2g_graph::{FinalGraph, IntermediateGraph};
+use p2g_lang::compile_source;
+use p2g_runtime::{ExecutionNode, RunLimits};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--gc-window W] [--deadline-ms D]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>"
+    );
+    ExitCode::from(2)
+}
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("p2gc: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let compiled = match compile_source(&source) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("p2gc: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd.as_str() {
+        "check" => {
+            println!(
+                "{path}: ok ({} fields, {} kernels)",
+                compiled.spec.fields.len(),
+                compiled.spec.kernels.len()
+            );
+            ExitCode::SUCCESS
+        }
+        "graph" => {
+            let ig = IntermediateGraph::from_spec(&compiled.spec);
+            println!("// intermediate implicit static dependency graph (Figure 2)");
+            print!("{}", ig.to_dot(&compiled.spec));
+            let fg = FinalGraph::from_spec(&compiled.spec);
+            println!("// final implicit static dependency graph (Figure 3)");
+            print!("{}", fg.to_dot(&compiled.spec));
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let ages: u64 = flag(&args, "--ages").unwrap_or(4);
+            let workers: usize = flag(&args, "--workers")
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |n| n.get()));
+            let mut limits = RunLimits::ages(ages);
+            if let Some(w) = flag::<u64>(&args, "--gc-window") {
+                limits = limits.with_gc_window(w);
+            }
+            if let Some(ms) = flag::<u64>(&args, "--deadline-ms") {
+                limits = limits.with_deadline(Duration::from_millis(ms));
+            }
+
+            let node = ExecutionNode::new(compiled.program, workers);
+            match node.run(limits) {
+                Ok(report) => {
+                    print!("{}", compiled.print.take());
+                    eprintln!(
+                        "--- {path}: {:?} ({:?}) ---",
+                        report.termination, report.wall_time
+                    );
+                    eprint!("{}", report.instruments.render_table());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("p2gc: runtime error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,75 @@
+//! Kernel-language errors with source positions.
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from lexing, parsing, semantic analysis or interpretation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangError {
+    /// Lexical error (bad character, unterminated block...).
+    Lex { pos: Pos, message: String },
+    /// Syntax error.
+    Parse { pos: Pos, message: String },
+    /// Semantic error (unknown field, type mismatch, unbound variable...).
+    Sema { message: String },
+    /// Runtime error inside an interpreted native block.
+    Interp { kernel: String, message: String },
+}
+
+impl LangError {
+    pub(crate) fn lex(pos: Pos, message: impl Into<String>) -> LangError {
+        LangError::Lex {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn parse(pos: Pos, message: impl Into<String>) -> LangError {
+        LangError::Parse {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn sema(message: impl Into<String>) -> LangError {
+        LangError::Sema {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LangError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            LangError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            LangError::Sema { message } => write!(f, "semantic error: {message}"),
+            LangError::Interp { kernel, message } => {
+                write!(f, "runtime error in kernel '{kernel}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_display() {
+        let p = Pos { line: 3, col: 14 };
+        assert_eq!(p.to_string(), "3:14");
+    }
+}

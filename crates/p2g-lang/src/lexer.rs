@@ -1,0 +1,389 @@
+//! The kernel-language lexer.
+//!
+//! One token stream covers both the declarative layer (field/kernel
+//! definitions) and the C-like native blocks; `%{` / `%}` are ordinary
+//! tokens, so the parser decides which grammar applies. `//` line comments
+//! and `/* */` block comments are skipped.
+
+use crate::error::{LangError, Pos};
+use crate::token::{keyword, Spanned, Tok};
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Tokenize `src` into a vector ending with [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        lx.skip_trivia()?;
+        let pos = lx.pos();
+        if lx.at_end() {
+            out.push(Spanned { tok: Tok::Eof, pos });
+            return Ok(out);
+        }
+        let tok = lx.next_token()?;
+        out.push(Spanned { tok, pos });
+    }
+}
+
+impl Lexer<'_> {
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.src.len()
+    }
+
+    fn peek(&self) -> u8 {
+        if self.at_end() {
+            0
+        } else {
+            self.src[self.i]
+        }
+    }
+
+    fn peek2(&self) -> u8 {
+        if self.i + 1 >= self.src.len() {
+            0
+        } else {
+            self.src[self.i + 1]
+        }
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.src[self.i];
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LangError> {
+        loop {
+            if self.at_end() {
+                return Ok(());
+            }
+            let c = self.peek();
+            if c.is_ascii_whitespace() {
+                self.bump();
+            } else if c == b'/' && self.peek2() == b'/' {
+                while !self.at_end() && self.peek() != b'\n' {
+                    self.bump();
+                }
+            } else if c == b'/' && self.peek2() == b'*' {
+                let start = self.pos();
+                self.bump();
+                self.bump();
+                loop {
+                    if self.at_end() {
+                        return Err(LangError::lex(start, "unterminated block comment"));
+                    }
+                    if self.peek() == b'*' && self.peek2() == b'/' {
+                        self.bump();
+                        self.bump();
+                        break;
+                    }
+                    self.bump();
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Tok, LangError> {
+        let pos = self.pos();
+        let c = self.peek();
+
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.i;
+            while !self.at_end() && (self.peek().is_ascii_alphanumeric() || self.peek() == b'_') {
+                self.bump();
+            }
+            let s = std::str::from_utf8(&self.src[start..self.i]).expect("ascii ident");
+            return Ok(keyword(s).unwrap_or_else(|| Tok::Ident(s.to_string())));
+        }
+
+        if c.is_ascii_digit() {
+            return self.number(pos);
+        }
+
+        if c == b'"' {
+            self.bump();
+            let mut s = String::new();
+            loop {
+                if self.at_end() {
+                    return Err(LangError::lex(pos, "unterminated string literal"));
+                }
+                let c = self.bump();
+                match c {
+                    b'"' => return Ok(Tok::Str(s)),
+                    b'\\' => {
+                        let e = self.bump();
+                        s.push(match e {
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'\\' => '\\',
+                            b'"' => '"',
+                            other => {
+                                return Err(LangError::lex(
+                                    pos,
+                                    format!("unknown escape '\\{}'", other as char),
+                                ))
+                            }
+                        });
+                    }
+                    other => s.push(other as char),
+                }
+            }
+        }
+
+        self.bump();
+        let two = |lx: &mut Lexer, next: u8, a: Tok, b: Tok| {
+            if lx.peek() == next {
+                lx.bump();
+                a
+            } else {
+                b
+            }
+        };
+        Ok(match c {
+            b':' => Tok::Colon,
+            b';' => Tok::Semi,
+            b',' => Tok::Comma,
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b'?' => Tok::Question,
+            b'%' => match self.peek() {
+                b'{' => {
+                    self.bump();
+                    Tok::BlockOpen
+                }
+                b'}' => {
+                    self.bump();
+                    Tok::BlockClose
+                }
+                _ => Tok::Percent,
+            },
+            b'*' => two(self, b'=', Tok::StarAssign, Tok::Star),
+            b'/' => two(self, b'=', Tok::SlashAssign, Tok::Slash),
+            b'+' => match self.peek() {
+                b'+' => {
+                    self.bump();
+                    Tok::PlusPlus
+                }
+                b'=' => {
+                    self.bump();
+                    Tok::PlusAssign
+                }
+                _ => Tok::Plus,
+            },
+            b'-' => match self.peek() {
+                b'-' => {
+                    self.bump();
+                    Tok::MinusMinus
+                }
+                b'=' => {
+                    self.bump();
+                    Tok::MinusAssign
+                }
+                _ => Tok::Minus,
+            },
+            b'=' => two(self, b'=', Tok::Eq, Tok::Assign),
+            b'!' => two(self, b'=', Tok::Ne, Tok::Not),
+            b'<' => two(self, b'=', Tok::Le, Tok::Lt),
+            b'>' => two(self, b'=', Tok::Ge, Tok::Gt),
+            b'&' => {
+                if self.peek() == b'&' {
+                    self.bump();
+                    Tok::AndAnd
+                } else {
+                    return Err(LangError::lex(pos, "expected '&&'"));
+                }
+            }
+            b'|' => {
+                if self.peek() == b'|' {
+                    self.bump();
+                    Tok::OrOr
+                } else {
+                    return Err(LangError::lex(pos, "expected '||'"));
+                }
+            }
+            other => {
+                return Err(LangError::lex(
+                    pos,
+                    format!("unexpected character '{}'", other as char),
+                ))
+            }
+        })
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<Tok, LangError> {
+        let start = self.i;
+        while !self.at_end() && self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+            is_float = true;
+            self.bump();
+            while !self.at_end() && self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), b'e' | b'E') {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), b'+' | b'-') {
+                self.bump();
+            }
+            while !self.at_end() && self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        let s = std::str::from_utf8(&self.src[start..self.i]).expect("ascii number");
+        if is_float {
+            s.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|e| LangError::lex(pos, format!("bad float literal: {e}")))
+        } else {
+            s.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|e| LangError::lex(pos, format!("bad integer literal: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_field_decl() {
+        assert_eq!(
+            toks("int32[] m_data age;"),
+            vec![
+                Tok::Type(p2g_field::ScalarType::I32),
+                Tok::LBracket,
+                Tok::RBracket,
+                Tok::Ident("m_data".into()),
+                Tok::KwAge,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_native_block_markers() {
+        assert_eq!(
+            toks("%{ x += 1; %}"),
+            vec![
+                Tok::BlockOpen,
+                Tok::Ident("x".into()),
+                Tok::PlusAssign,
+                Tok::Int(1),
+                Tok::Semi,
+                Tok::BlockClose,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn percent_alone_is_modulo() {
+        assert_eq!(
+            toks("a % b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Percent,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        assert_eq!(
+            toks("42 3.25 1e3"),
+            vec![Tok::Int(42), Tok::Float(3.25), Tok::Float(1000.0), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a // comment\n /* multi\nline */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("== != <= >= && || ++ -- ?"),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::PlusPlus,
+                Tok::MinusMinus,
+                Tok::Question,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(
+            toks(r#""hi\n" "t1""#),
+            vec![Tok::Str("hi\n".into()), Tok::Str("t1".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let spanned = lex("a\n  b").unwrap();
+        assert_eq!(spanned[0].pos.line, 1);
+        assert_eq!(spanned[1].pos.line, 2);
+        assert_eq!(spanned[1].pos.col, 3);
+    }
+
+    #[test]
+    fn errors_on_bad_char() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

@@ -1,0 +1,767 @@
+//! Recursive-descent parser for the kernel language.
+
+use p2g_field::ScalarType;
+
+use crate::ast::*;
+use crate::error::{LangError, Pos};
+use crate::lexer::lex;
+use crate::token::{Spanned, Tok};
+
+/// Parse a kernel-language source file.
+pub fn parse(src: &str) -> Result<SourceUnit, LangError> {
+    let toks = lex(src)?;
+    Parser { toks, i: 0 }.source_unit()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.i + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> Result<(), LangError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(LangError::parse(
+                self.pos(),
+                format!(
+                    "expected {}, found {}",
+                    want.describe(),
+                    self.peek().describe()
+                ),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(LangError::parse(
+                self.pos(),
+                format!("expected identifier, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn source_unit(&mut self) -> Result<SourceUnit, LangError> {
+        let mut unit = SourceUnit::default();
+        loop {
+            match self.peek().clone() {
+                Tok::Eof => return Ok(unit),
+                Tok::KwTimer => {
+                    self.bump();
+                    unit.timers.push(self.ident()?);
+                    self.eat(&Tok::Semi)?;
+                }
+                Tok::Type(ty) => {
+                    self.bump();
+                    unit.fields.push(self.field_decl(ty)?);
+                }
+                Tok::Ident(_) if *self.peek2() == Tok::Colon => {
+                    unit.kernels.push(self.kernel_def()?);
+                }
+                other => {
+                    return Err(LangError::parse(
+                        self.pos(),
+                        format!(
+                            "expected field, timer or kernel definition, found {}",
+                            other.describe()
+                        ),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// `int32[] m_data age;` — the type keyword is already consumed.
+    fn field_decl(&mut self, ty: ScalarType) -> Result<FieldDecl, LangError> {
+        let mut dims = Vec::new();
+        while *self.peek() == Tok::LBracket {
+            self.bump();
+            let extent = match self.peek().clone() {
+                Tok::Int(n) if n >= 0 => {
+                    self.bump();
+                    Some(n as usize)
+                }
+                _ => None,
+            };
+            self.eat(&Tok::RBracket)?;
+            dims.push(extent);
+        }
+        if dims.is_empty() {
+            return Err(LangError::parse(
+                self.pos(),
+                "field declarations need at least one [] dimension",
+            ));
+        }
+        let name = self.ident()?;
+        let aged = if *self.peek() == Tok::KwAge {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        self.eat(&Tok::Semi)?;
+        Ok(FieldDecl {
+            name,
+            ty,
+            dims,
+            aged,
+        })
+    }
+
+    fn kernel_def(&mut self) -> Result<KernelDef, LangError> {
+        let name = self.ident()?;
+        self.eat(&Tok::Colon)?;
+        let mut k = KernelDef {
+            name,
+            age_var: None,
+            index_vars: Vec::new(),
+            locals: Vec::new(),
+            body: Vec::new(),
+        };
+        loop {
+            match self.peek().clone() {
+                // A new kernel starts (ident ':') or the file ends.
+                Tok::Eof => return Ok(k),
+                Tok::Ident(_) if *self.peek2() == Tok::Colon => return Ok(k),
+                Tok::KwAge => {
+                    self.bump();
+                    let v = self.ident()?;
+                    if k.age_var.is_some() {
+                        return Err(LangError::parse(self.pos(), "duplicate age declaration"));
+                    }
+                    k.age_var = Some(v);
+                    self.eat(&Tok::Semi)?;
+                }
+                Tok::KwIndex => {
+                    self.bump();
+                    k.index_vars.push(self.ident()?);
+                    self.eat(&Tok::Semi)?;
+                }
+                Tok::KwLocal => {
+                    self.bump();
+                    let ty = match self.bump() {
+                        Tok::Type(t) => t,
+                        other => {
+                            return Err(LangError::parse(
+                                self.pos(),
+                                format!("expected type after 'local', found {}", other.describe()),
+                            ))
+                        }
+                    };
+                    let mut dims = 0;
+                    while *self.peek() == Tok::LBracket {
+                        self.bump();
+                        self.eat(&Tok::RBracket)?;
+                        dims += 1;
+                    }
+                    let name = self.ident()?;
+                    self.eat(&Tok::Semi)?;
+                    k.locals.push(LocalDecl { name, ty, dims });
+                }
+                Tok::KwFetch => {
+                    self.bump();
+                    let target = self.ident()?;
+                    self.eat(&Tok::Assign)?;
+                    let (field, age, subscripts) = self.field_ref()?;
+                    self.eat(&Tok::Semi)?;
+                    k.body.push(KernelStmt::Fetch {
+                        target,
+                        field,
+                        age,
+                        subscripts,
+                    });
+                }
+                Tok::KwStore => {
+                    self.bump();
+                    let (field, age, subscripts) = self.field_ref()?;
+                    self.eat(&Tok::Assign)?;
+                    let value = self.ident()?;
+                    self.eat(&Tok::Semi)?;
+                    k.body.push(KernelStmt::Store {
+                        field,
+                        age,
+                        subscripts,
+                        value,
+                    });
+                }
+                Tok::BlockOpen => {
+                    self.bump();
+                    let mut stmts = Vec::new();
+                    while *self.peek() != Tok::BlockClose {
+                        if *self.peek() == Tok::Eof {
+                            return Err(LangError::parse(self.pos(), "unterminated %{ block"));
+                        }
+                        stmts.push(self.stmt()?);
+                    }
+                    self.bump();
+                    k.body.push(KernelStmt::Native(stmts));
+                }
+                other => {
+                    return Err(LangError::parse(
+                        self.pos(),
+                        format!("unexpected {} in kernel body", other.describe()),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// `m_data(a+1)[x][*]`
+    fn field_ref(&mut self) -> Result<(String, AgeRef, Vec<Subscript>), LangError> {
+        let field = self.ident()?;
+        self.eat(&Tok::LParen)?;
+        let age = match self.bump() {
+            Tok::Int(n) if n >= 0 => AgeRef::Const(n as u64),
+            Tok::Ident(var) => {
+                if *self.peek() == Tok::Plus {
+                    self.bump();
+                    match self.bump() {
+                        Tok::Int(d) => AgeRef::Rel { var, delta: d },
+                        other => {
+                            return Err(LangError::parse(
+                                self.pos(),
+                                format!("expected integer age delta, found {}", other.describe()),
+                            ))
+                        }
+                    }
+                } else {
+                    AgeRef::Rel { var, delta: 0 }
+                }
+            }
+            other => {
+                return Err(LangError::parse(
+                    self.pos(),
+                    format!("expected age expression, found {}", other.describe()),
+                ))
+            }
+        };
+        self.eat(&Tok::RParen)?;
+        let mut subs = Vec::new();
+        while *self.peek() == Tok::LBracket {
+            self.bump();
+            if *self.peek() == Tok::Star {
+                self.bump();
+                subs.push(Subscript::All);
+            } else {
+                subs.push(Subscript::Expr(self.expr()?));
+            }
+            self.eat(&Tok::RBracket)?;
+        }
+        Ok((field, age, subs))
+    }
+
+    // ---- native-block statements ------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        match self.peek().clone() {
+            Tok::LBrace => {
+                self.bump();
+                let mut stmts = Vec::new();
+                while *self.peek() != Tok::RBrace {
+                    if *self.peek() == Tok::Eof {
+                        return Err(LangError::parse(self.pos(), "unterminated block"));
+                    }
+                    stmts.push(self.stmt()?);
+                }
+                self.bump();
+                Ok(Stmt::Block(stmts))
+            }
+            Tok::Type(ty) => {
+                self.bump();
+                let name = self.ident()?;
+                let init = if *self.peek() == Tok::Assign {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Decl { ty, name, init })
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                let then_branch = Box::new(self.stmt()?);
+                let else_branch = if *self.peek() == Tok::KwElse {
+                    self.bump();
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(Stmt::While {
+                    cond,
+                    body: Box::new(self.stmt()?),
+                })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let init = if *self.peek() == Tok::Semi {
+                    self.bump();
+                    None
+                } else {
+                    let s = match self.peek().clone() {
+                        Tok::Type(ty) => {
+                            self.bump();
+                            let name = self.ident()?;
+                            let init = if *self.peek() == Tok::Assign {
+                                self.bump();
+                                Some(self.expr()?)
+                            } else {
+                                None
+                            };
+                            Stmt::Decl { ty, name, init }
+                        }
+                        _ => Stmt::Expr(self.expr()?),
+                    };
+                    self.eat(&Tok::Semi)?;
+                    Some(Box::new(s))
+                };
+                let cond = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat(&Tok::Semi)?;
+                let step = if *self.peek() == Tok::RParen {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat(&Tok::RParen)?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body: Box::new(self.stmt()?),
+                })
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Break)
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            Tok::KwReturn => {
+                self.bump();
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Return)
+            }
+            _ => {
+                let e = self.expr()?;
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    // ---- expressions (precedence climbing) ---------------------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.ternary()?;
+        let op = match self.peek() {
+            Tok::Assign => AssignOp::Set,
+            Tok::PlusAssign => AssignOp::Add,
+            Tok::MinusAssign => AssignOp::Sub,
+            Tok::StarAssign => AssignOp::Mul,
+            Tok::SlashAssign => AssignOp::Div,
+            _ => return Ok(lhs),
+        };
+        let pos = self.pos();
+        self.bump();
+        let target = match lhs {
+            Expr::Var(name) => name,
+            _ => {
+                return Err(LangError::parse(
+                    pos,
+                    "assignment target must be a variable (use put() for array elements)",
+                ))
+            }
+        };
+        let value = Box::new(self.assignment()?);
+        Ok(Expr::Assign { target, op, value })
+    }
+
+    fn ternary(&mut self) -> Result<Expr, LangError> {
+        let cond = self.or_expr()?;
+        if *self.peek() != Tok::Question {
+            return Ok(cond);
+        }
+        self.bump();
+        let then_val = Box::new(self.expr()?);
+        self.eat(&Tok::Colon)?;
+        let else_val = Box::new(self.expr()?);
+        Ok(Expr::Ternary {
+            cond: Box::new(cond),
+            then_val,
+            else_val,
+        })
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Tok::OrOr {
+            self.bump();
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(self.and_expr()?),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.equality()?;
+        while *self.peek() == Tok::AndAnd {
+            self.bump();
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(self.equality()?),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Eq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(self.relational()?),
+            };
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinOp::Lt,
+                Tok::Gt => BinOp::Gt,
+                Tok::Le => BinOp::Le,
+                Tok::Ge => BinOp::Ge,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(self.additive()?),
+            };
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(self.multiplicative()?),
+            };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(self.unary()?),
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        let op = match self.peek() {
+            Tok::Minus => UnaryOp::Neg,
+            Tok::Not => UnaryOp::Not,
+            Tok::PlusPlus => UnaryOp::PreInc,
+            Tok::MinusMinus => UnaryOp::PreDec,
+            _ => return self.postfix(),
+        };
+        self.bump();
+        Ok(Expr::Unary {
+            op,
+            expr: Box::new(self.unary()?),
+        })
+    }
+
+    fn postfix(&mut self) -> Result<Expr, LangError> {
+        let e = self.primary()?;
+        match self.peek() {
+            Tok::PlusPlus | Tok::MinusMinus => {
+                let inc = *self.peek() == Tok::PlusPlus;
+                let pos = self.pos();
+                match e {
+                    Expr::Var(target) => {
+                        self.bump();
+                        Ok(Expr::PostIncDec { target, inc })
+                    }
+                    _ => Err(LangError::parse(pos, "++/-- needs a variable")),
+                }
+            }
+            _ => Ok(e),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Float(v) => Ok(Expr::Float(v)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::Ident(name) => {
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat(&Tok::RParen)?;
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(LangError::parse(
+                self.pos(),
+                format!("expected expression, found {}", other.describe()),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MUL_SUM: &str = r#"
+int32[] m_data age;
+int32[] p_data age;
+
+init:
+  local int32[] values;
+  %{
+    int i = 0;
+    for (; i < 5; ++i) put(values, i + 10, i);
+  %}
+  store m_data(0) = values;
+
+mul2:
+  age a;
+  index x;
+  local int32 value;
+  fetch value = m_data(a)[x];
+  %{ value *= 2; %}
+  store p_data(a)[x] = value;
+
+plus5:
+  age a;
+  index x;
+  local int32 value;
+  fetch value = p_data(a)[x];
+  %{ value += 5; %}
+  store m_data(a+1)[x] = value;
+
+print:
+  age a;
+  local int32[] m;
+  local int32[] p;
+  fetch m = m_data(a);
+  fetch p = p_data(a);
+  %{
+    for (int i = 0; i < extent(m, 0); ++i) print(get(m, i));
+    println();
+    for (int i = 0; i < extent(p, 0); ++i) print(get(p, i));
+    println();
+  %}
+"#;
+
+    #[test]
+    fn parses_figure5_program() {
+        let unit = parse(MUL_SUM).unwrap();
+        assert_eq!(unit.fields.len(), 2);
+        assert_eq!(unit.kernels.len(), 4);
+        assert_eq!(unit.kernels[0].name, "init");
+        assert_eq!(unit.kernels[1].age_var, Some("a".into()));
+        assert_eq!(unit.kernels[1].index_vars, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn field_decl_with_extents() {
+        let unit = parse("uint8[1584][64] y_input age;").unwrap();
+        let f = &unit.fields[0];
+        assert_eq!(f.dims, vec![Some(1584), Some(64)]);
+        assert!(f.aged);
+        assert_eq!(f.ty, ScalarType::U8);
+    }
+
+    #[test]
+    fn timer_decl() {
+        let unit = parse("timer t1;").unwrap();
+        assert_eq!(unit.timers, vec!["t1".to_string()]);
+    }
+
+    #[test]
+    fn fetch_store_shapes() {
+        let unit = parse(
+            "int32[][] f age;\nk:\n age a; index x;\n local int32[] row;\n fetch row = f(a)[x][*];\n store f(a+1)[x][*] = row;",
+        )
+        .unwrap();
+        let k = &unit.kernels[0];
+        match &k.body[0] {
+            KernelStmt::Fetch {
+                field,
+                age,
+                subscripts,
+                ..
+            } => {
+                assert_eq!(field, "f");
+                assert_eq!(
+                    *age,
+                    AgeRef::Rel {
+                        var: "a".into(),
+                        delta: 0
+                    }
+                );
+                assert_eq!(subscripts.len(), 2);
+                assert!(matches!(subscripts[1], Subscript::All));
+            }
+            other => panic!("expected fetch, got {other:?}"),
+        }
+        match &k.body[1] {
+            KernelStmt::Store { age, .. } => {
+                assert_eq!(
+                    *age,
+                    AgeRef::Rel {
+                        var: "a".into(),
+                        delta: 1
+                    }
+                );
+            }
+            other => panic!("expected store, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let unit = parse("k:\n %{ int x = 1 + 2 * 3; %}").unwrap();
+        match &unit.kernels[0].body[0] {
+            KernelStmt::Native(stmts) => match &stmts[0] {
+                Stmt::Decl {
+                    init: Some(Expr::Binary { op, rhs, .. }),
+                    ..
+                } => {
+                    assert_eq!(*op, BinOp::Add);
+                    assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_and_logic() {
+        parse("k:\n %{ int x = a < b && c != 0 ? 1 : 0; %}").unwrap();
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let err = parse("int32[] ;").unwrap_err();
+        assert!(matches!(err, LangError::Parse { .. }), "{err}");
+        let err = parse("k:\n fetch = f(a);").unwrap_err();
+        assert!(err.to_string().contains("identifier"), "{err}");
+    }
+
+    #[test]
+    fn rejects_assignment_to_call() {
+        let err = parse("k:\n %{ get(a, 0) = 1; %}").unwrap_err();
+        assert!(err.to_string().contains("assignment target"), "{err}");
+    }
+
+    #[test]
+    fn if_else_while_break() {
+        parse("k:\n %{ while (1) { if (x > 3) break; else x++; } %}").unwrap();
+    }
+}

@@ -1,0 +1,250 @@
+//! Feature-level tests of the kernel language: deadline-driven alternate
+//! code paths, control flow, scoping, numeric semantics and diagnostics.
+
+use p2g_field::{Age, Region};
+use p2g_lang::compile_source;
+use p2g_runtime::{ExecutionNode, RunLimits};
+
+fn run(src: &str, ages: u64, workers: usize) -> (p2g_runtime::node::FieldStore, String) {
+    let compiled = compile_source(src).unwrap_or_else(|e| panic!("compile failed: {e}"));
+    let node = ExecutionNode::new(compiled.program, workers);
+    let (_, fields) = node.run_collect(RunLimits::ages(ages)).unwrap();
+    (fields, compiled.print.take())
+}
+
+/// The paper's deadline construct: poll a timer, take the alternate path
+/// (store to a different field) on expiry.
+#[test]
+fn deadline_alternate_code_path() {
+    let src = r#"
+timer t1;
+int32[] frames age;
+int32[] encoded age;
+int32[] skipped age;
+
+capture:
+  age a;
+  local int32 v;
+  %{
+    timer_reset("t1");
+    v = a * 100;
+  %}
+  store frames(a)[0] = v;
+
+encode:
+  age a;
+  local int32 v;
+  local int32 mark;
+  fetch v = frames(a)[0];
+  %{
+    // Odd ages simulate a load spike that blows the 5 ms budget.
+    if (a % 2 == 1) {
+      int spin = 0;
+      while (timer_expired("t1", 5) == 0) { spin = spin + 1; }
+    }
+  %}
+  %{
+    if (timer_expired("t1", 5)) {
+      mark = 0 - a;
+    } else {
+      v = v + 1;
+    }
+  %}
+  store encoded(a)[0] = v;
+  store skipped(a)[0] = mark;
+"#;
+    // Both stores are declared; the body performs both here (the alternate
+    // path writes the skip marker, the primary path increments) — verify
+    // that values reflect which branch ran.
+    let (fields, _) = run(src, 4, 2);
+    for a in 0..4u64 {
+        let enc = fields
+            .fetch_element("encoded", Age(a), &[0])
+            .unwrap()
+            .as_i64();
+        let skip = fields
+            .fetch_element("skipped", Age(a), &[0])
+            .unwrap()
+            .as_i64();
+        if a % 2 == 1 {
+            // Deadline missed: encoded unchanged, marker set.
+            assert_eq!(enc, a as i64 * 100, "age {a}");
+            assert_eq!(skip, -(a as i64), "age {a}");
+        } else {
+            assert_eq!(enc, a as i64 * 100 + 1, "age {a}");
+            assert_eq!(skip, 0, "age {a}");
+        }
+    }
+}
+
+#[test]
+fn lexical_scoping_shadows() {
+    let src = r#"
+int32[] out age;
+k:
+  local int32 r;
+  %{
+    int x = 1;
+    {
+      int x = 10;
+      x = x + 5; // inner x = 15
+      r = r + x;
+    }
+    r = r + x; // outer x still 1
+  %}
+  store out(0)[0] = r;
+"#;
+    let (fields, _) = run(src, 1, 1);
+    assert_eq!(
+        fields.fetch_element("out", Age(0), &[0]).unwrap().as_i64(),
+        16
+    );
+}
+
+#[test]
+fn while_break_continue() {
+    let src = r#"
+int32[] out age;
+k:
+  local int32 r;
+  %{
+    int i = 0;
+    while (1) {
+      i = i + 1;
+      if (i > 10) break;
+      if (i % 2 == 0) continue;
+      r = r + i; // 1+3+5+7+9 = 25
+    }
+  %}
+  store out(0)[0] = r;
+"#;
+    let (fields, _) = run(src, 1, 1);
+    assert_eq!(
+        fields.fetch_element("out", Age(0), &[0]).unwrap().as_i64(),
+        25
+    );
+}
+
+#[test]
+fn integer_vs_float_division() {
+    let src = r#"
+int32[] iout age;
+float64[] fout age;
+k:
+  local int32 i;
+  local float64 f;
+  %{
+    i = 7 / 2;        // integer division
+    f = 7.0 / 2;      // float division
+  %}
+  store iout(0)[0] = i;
+  store fout(0)[0] = f;
+"#;
+    let (fields, _) = run(src, 1, 1);
+    assert_eq!(
+        fields.fetch_element("iout", Age(0), &[0]).unwrap().as_i64(),
+        3
+    );
+    assert_eq!(
+        fields.fetch_element("fout", Age(0), &[0]).unwrap().as_f64(),
+        3.5
+    );
+}
+
+#[test]
+fn declared_type_truncates_on_assignment() {
+    let src = r#"
+int32[] out age;
+k:
+  local int32 r;
+  %{
+    r = 3.9; // int32 slot truncates like C
+  %}
+  store out(0)[0] = r;
+"#;
+    let (fields, _) = run(src, 1, 1);
+    assert_eq!(
+        fields.fetch_element("out", Age(0), &[0]).unwrap().as_i64(),
+        3
+    );
+}
+
+#[test]
+fn uint8_field_wraps_like_c() {
+    let src = r#"
+uint8[] out age;
+k:
+  local int32 v;
+  %{ v = 300; %}
+  store out(0)[0] = v;
+"#;
+    let (fields, _) = run(src, 1, 1);
+    assert_eq!(
+        fields.fetch_element("out", Age(0), &[0]).unwrap().as_i64(),
+        300 % 256
+    );
+}
+
+#[test]
+fn string_output_and_mixed_print() {
+    let src = r#"
+int32[] out age;
+k:
+  local int32 v;
+  %{
+    v = 42;
+    print("value:");
+    println(v);
+  %}
+  store out(0)[0] = v;
+"#;
+    let (_, output) = run(src, 1, 1);
+    assert_eq!(output, "value: 42\n");
+}
+
+#[test]
+fn compile_errors_carry_position_or_kernel() {
+    // Lexical.
+    let e = compile_source("int32[] f age;\nk:\n %{ let $x = 1; %}")
+        .err()
+        .unwrap();
+    assert!(e.to_string().contains("lex error"), "{e}");
+    // Syntactic.
+    let e = compile_source("int32[] f age\nk:").err().unwrap();
+    assert!(e.to_string().contains("parse error"), "{e}");
+    // Semantic.
+    let e = compile_source("k:\n local int32 v;\n fetch v = ghost(0);")
+        .err()
+        .unwrap();
+    assert!(e.to_string().contains("unknown field"), "{e}");
+}
+
+#[test]
+fn whole_2d_field_store_and_slice_fetch() {
+    let src = r#"
+int32[][] grid age;
+int32[] out age;
+init:
+  local int32[][] g;
+  %{
+    resize(g, 3, 4);
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 4; ++c)
+        put(g, r * 10 + c, r, c);
+  %}
+  store grid(0) = g;
+rowsum:
+  age a; index r;
+  local int32[] row;
+  local int32 s;
+  fetch row = grid(a)[r][*];
+  %{
+    for (int c = 0; c < extent(row, 0); ++c) s += get(row, c);
+  %}
+  store out(a)[r] = s;
+"#;
+    let (fields, _) = run(src, 1, 3);
+    let sums = fields.fetch("out", Age(0), &Region::all(1)).unwrap();
+    // Row r: sum of r*10+c for c in 0..4 = 40r + 6.
+    assert_eq!(sums.as_i32().unwrap(), &[6, 46, 86]);
+}

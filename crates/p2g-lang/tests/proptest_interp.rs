@@ -1,0 +1,149 @@
+//! Property tests for the native-block interpreter: randomly generated
+//! arithmetic programs must compute the same values as a Rust reference
+//! evaluation.
+
+use proptest::prelude::*;
+
+use p2g_field::{Age, Region};
+use p2g_runtime::{ExecutionNode, RunLimits};
+
+/// A tiny random expression language over two variables that maps
+/// directly to both Rust semantics and kernel-language source.
+#[derive(Debug, Clone)]
+enum E {
+    ConstI(i32),
+    VarX,
+    VarY,
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Ternary(Box<E>, Box<E>, Box<E>),
+    Min(Box<E>, Box<E>),
+    Abs(Box<E>),
+}
+
+impl E {
+    fn to_source(&self) -> String {
+        match self {
+            E::ConstI(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", -(*v as i64))
+                } else {
+                    v.to_string()
+                }
+            }
+            E::VarX => "x".into(),
+            E::VarY => "y".into(),
+            E::Add(a, b) => format!("({} + {})", a.to_source(), b.to_source()),
+            E::Sub(a, b) => format!("({} - {})", a.to_source(), b.to_source()),
+            E::Mul(a, b) => format!("({} * {})", a.to_source(), b.to_source()),
+            E::Ternary(c, t, e) => format!(
+                "({} > 0 ? {} : {})",
+                c.to_source(),
+                t.to_source(),
+                e.to_source()
+            ),
+            E::Min(a, b) => format!("min({}, {})", a.to_source(), b.to_source()),
+            E::Abs(a) => format!("abs({})", a.to_source()),
+        }
+    }
+
+    fn eval(&self, x: i64, y: i64) -> i64 {
+        match self {
+            E::ConstI(v) => *v as i64,
+            E::VarX => x,
+            E::VarY => y,
+            E::Add(a, b) => a.eval(x, y).wrapping_add(b.eval(x, y)),
+            E::Sub(a, b) => a.eval(x, y).wrapping_sub(b.eval(x, y)),
+            E::Mul(a, b) => a.eval(x, y).wrapping_mul(b.eval(x, y)),
+            E::Ternary(c, t, e) => {
+                if c.eval(x, y) > 0 {
+                    t.eval(x, y)
+                } else {
+                    e.eval(x, y)
+                }
+            }
+            E::Min(a, b) => a.eval(x, y).min(b.eval(x, y)),
+            E::Abs(a) => a.eval(x, y).abs(),
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-20i32..20).prop_map(E::ConstI),
+        Just(E::VarX),
+        Just(E::VarY),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| E::Ternary(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| E::Abs(Box::new(a))),
+        ]
+    })
+}
+
+/// Compile a program that evaluates `expr` over (x, y) pairs from the
+/// input field and run it, returning the results.
+fn run_expr(expr: &E, inputs: &[(i32, i32)]) -> Vec<i64> {
+    let mut src = String::from(
+        "int64[][] in age;\nint64[] out age;\ninit:\n  local int64[][] v;\n  %{\n    resize(v, ",
+    );
+    src.push_str(&inputs.len().to_string());
+    src.push_str(", 2);\n");
+    for (i, (x, y)) in inputs.iter().enumerate() {
+        src.push_str(&format!(
+            "    put(v, {}, {i}, 0);\n",
+            E::ConstI(*x).to_source()
+        ));
+        src.push_str(&format!(
+            "    put(v, {}, {i}, 1);\n",
+            E::ConstI(*y).to_source()
+        ));
+    }
+    src.push_str("  %}\n  store in(0) = v;\n");
+    src.push_str("compute:\n  age a; index i;\n  local int64[] pair;\n  local int64 r;\n");
+    src.push_str("  fetch pair = in(a)[i][*];\n");
+    src.push_str("  %{\n    int64 x = get(pair, 0);\n    int64 y = get(pair, 1);\n");
+    src.push_str(&format!("    r = {};\n  %}}\n", expr.to_source()));
+    src.push_str("  store out(a)[i] = r;\n");
+
+    let compiled = p2g_lang::compile_source(&src)
+        .unwrap_or_else(|e| panic!("generated program failed to compile: {e}\n{src}"));
+    let node = ExecutionNode::new(compiled.program, 2);
+    let (_, fields) = node.run_collect(RunLimits::ages(1)).unwrap();
+    fields
+        .fetch("out", Age(0), &Region::all(1))
+        .expect("out field complete")
+        .as_i64()
+        .unwrap()
+        .to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interpreted arithmetic matches the Rust reference for random
+    /// expressions over random inputs, executed as parallel kernel
+    /// instances.
+    #[test]
+    fn interpreter_matches_reference(
+        expr in expr_strategy(),
+        inputs in prop::collection::vec((-100i32..100, -100i32..100), 1..6),
+    ) {
+        let got = run_expr(&expr, &inputs);
+        let want: Vec<i64> = inputs
+            .iter()
+            .map(|&(x, y)| expr.eval(x as i64, y as i64))
+            .collect();
+        prop_assert_eq!(got, want, "expr: {}", expr.to_source());
+    }
+}

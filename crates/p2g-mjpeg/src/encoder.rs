@@ -1,0 +1,114 @@
+//! The standalone single-threaded MJPEG encoder — the paper's baseline
+//! ("the standalone single threaded MJPEG encoder on which the P2G version
+//! is based"). It shares every component (block extraction, DCT,
+//! quantization, VLC) with the P2G pipeline so outputs are byte-identical.
+
+use crate::dct::{dct_quantize_aan, dct_quantize_naive};
+use crate::jpeg::{write_frame, JpegParams};
+use crate::synthetic::FrameSource;
+
+/// Encode up to `max_frames` frames from `source` into an MJPEG stream
+/// (concatenated baseline JPEGs). `fast_dct` selects AAN instead of the
+/// paper's naive DCT.
+pub fn encode_standalone(
+    source: &dyn FrameSource,
+    quality: u8,
+    max_frames: u64,
+    fast_dct: bool,
+) -> Vec<u8> {
+    let params = JpegParams::new(source.width(), source.height(), quality);
+    let dct = if fast_dct {
+        dct_quantize_aan
+    } else {
+        dct_quantize_naive
+    };
+
+    let mut out = Vec::new();
+    let mut n = 0u64;
+    while n < max_frames {
+        let Some(frame) = source.frame(n) else { break };
+
+        let encode_plane = |blocks: &[u8], table: &[u16; 64]| -> Vec<i16> {
+            let mut coeffs = vec![0i16; blocks.len()];
+            for (b, chunk) in blocks.chunks_exact(64).enumerate() {
+                let mut block = [0u8; 64];
+                block.copy_from_slice(chunk);
+                coeffs[b * 64..b * 64 + 64].copy_from_slice(&dct(&block, table));
+            }
+            coeffs
+        };
+
+        let y = encode_plane(&frame.luma_plane_blocks(), &params.luma_table);
+        let u = encode_plane(&frame.u_plane_blocks(), &params.chroma_table);
+        let v = encode_plane(&frame.v_plane_blocks(), &params.chroma_table);
+        write_frame(&mut out, &params, &y, &u, &v);
+        n += 1;
+    }
+    out
+}
+
+/// Count the JPEG frames in an MJPEG stream, walking the marker structure
+/// of each frame (robust to `FF D9`-looking bytes inside header payloads).
+pub fn count_frames(stream: &[u8]) -> usize {
+    crate::avi::split_frames(stream).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticVideo;
+
+    #[test]
+    fn encodes_expected_frame_count() {
+        let src = SyntheticVideo::new(32, 32, 3, 1);
+        let stream = encode_standalone(&src, 75, 10, false);
+        assert_eq!(count_frames(&stream), 3);
+    }
+
+    #[test]
+    fn max_frames_truncates() {
+        let src = SyntheticVideo::new(32, 32, 10, 1);
+        let stream = encode_standalone(&src, 75, 2, false);
+        assert_eq!(count_frames(&stream), 2);
+    }
+
+    #[test]
+    fn naive_and_fast_dct_agree_closely() {
+        // Not bit-exact (quantization rounding at .5 boundaries can differ
+        // between the transforms), but structurally identical: same frame
+        // count and nearly identical stream size.
+        let src = SyntheticVideo::new(32, 32, 2, 5);
+        let a = encode_standalone(&src, 75, 2, false);
+        let b = encode_standalone(&src, 75, 2, true);
+        assert_eq!(count_frames(&a), count_frames(&b));
+        let diff = (a.len() as i64 - b.len() as i64).unsigned_abs();
+        assert!(
+            diff * 100 <= a.len() as u64,
+            "streams differ by more than 1%: {} vs {}",
+            a.len(),
+            b.len()
+        );
+    }
+
+    #[test]
+    fn quality_changes_size() {
+        let src = SyntheticVideo::new(48, 48, 2, 5);
+        let lo = encode_standalone(&src, 10, 2, false);
+        let hi = encode_standalone(&src, 95, 2, false);
+        assert!(
+            hi.len() > lo.len(),
+            "higher quality must produce more bytes ({} vs {})",
+            hi.len(),
+            lo.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let src = SyntheticVideo::new(32, 32, 2, 9);
+        assert_eq!(
+            encode_standalone(&src, 50, 2, false),
+            encode_standalone(&src, 50, 2, false)
+        );
+    }
+}

@@ -1,0 +1,423 @@
+//! The P2G MJPEG pipeline (paper Figure 8): `init` and `read/splityuv`
+//! feed per-component block fields, one DCT kernel instance per 8×8
+//! macro-block transforms and quantizes, and an ordered `vlc/write` kernel
+//! entropy-codes each frame into the output stream.
+//!
+//! Field/kernel layout (ages are frame numbers):
+//!
+//! ```text
+//! init ──► params(0)
+//! read/splityuv ──► y_input(a)[1584][64] ─► yDCT(a)[x] ─► y_result(a)[x][64] ─┐
+//!               └─► u_input(a)[396][64]  ─► uDCT(a)[x] ─► u_result ───────────┼─► vlc/write(a)
+//!               └─► v_input(a)[396][64]  ─► vDCT(a)[x] ─► v_result ───────────┘
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use p2g_field::{Buffer, Extents, FieldDef, ScalarType, Value};
+use p2g_graph::spec::{
+    AgeExpr, FetchDecl, IndexSel, IndexVar, KernelId, KernelSpec, ProgramSpec, StoreDecl,
+};
+use p2g_runtime::{Program, RuntimeError};
+
+use crate::dct::{
+    dct_quantize_aan, dct_quantize_naive, scaled_quant_table, QUANT_CHROMA, QUANT_LUMA,
+};
+use crate::jpeg::{write_frame, JpegParams};
+use crate::synthetic::FrameSource;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct MjpegConfig {
+    /// IJG quality (1..=100).
+    pub quality: u8,
+    /// Upper bound on encoded frames (the paper uses 50).
+    pub max_frames: u64,
+    /// Use the AAN FastDCT instead of the paper's naive DCT.
+    pub fast_dct: bool,
+    /// Data-granularity chunk size for the DCT kernels (Figure 4, Age=2).
+    pub dct_chunk: usize,
+}
+
+impl Default for MjpegConfig {
+    fn default() -> MjpegConfig {
+        MjpegConfig {
+            quality: 75,
+            max_frames: 50,
+            fast_dct: false,
+            dct_chunk: 1,
+        }
+    }
+}
+
+/// Shared output stream the `vlc/write` kernel appends encoded frames to.
+#[derive(Debug, Default, Clone)]
+pub struct MjpegSink {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MjpegSink {
+    /// Empty sink.
+    pub fn new() -> MjpegSink {
+        MjpegSink::default()
+    }
+
+    /// Take the encoded MJPEG stream.
+    pub fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut self.buf.lock())
+    }
+
+    /// Current stream length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn append(&self, bytes: &[u8]) {
+        self.buf.lock().extend_from_slice(bytes);
+    }
+}
+
+/// Build the MJPEG program spec for a frame geometry.
+pub fn mjpeg_spec(width: usize, height: usize) -> ProgramSpec {
+    let params = JpegParams::new(width, height, 50);
+    let yb = params.luma_blocks();
+    let cb = params.chroma_blocks();
+
+    let mut spec = ProgramSpec::new();
+    let f_params = spec.add_field(FieldDef::with_extents(
+        "params",
+        ScalarType::I32,
+        Extents::new([1]),
+    ));
+    let f_yin = spec.add_field(FieldDef::with_extents(
+        "y_input",
+        ScalarType::U8,
+        Extents::new([yb, 64]),
+    ));
+    let f_uin = spec.add_field(FieldDef::with_extents(
+        "u_input",
+        ScalarType::U8,
+        Extents::new([cb, 64]),
+    ));
+    let f_vin = spec.add_field(FieldDef::with_extents(
+        "v_input",
+        ScalarType::U8,
+        Extents::new([cb, 64]),
+    ));
+    let f_yres = spec.add_field(FieldDef::with_extents(
+        "y_result",
+        ScalarType::I16,
+        Extents::new([yb, 64]),
+    ));
+    let f_ures = spec.add_field(FieldDef::with_extents(
+        "u_result",
+        ScalarType::I16,
+        Extents::new([cb, 64]),
+    ));
+    let f_vres = spec.add_field(FieldDef::with_extents(
+        "v_result",
+        ScalarType::I16,
+        Extents::new([cb, 64]),
+    ));
+
+    // init: store params(0).
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "init".into(),
+        index_vars: 0,
+        has_age_var: false,
+        fetches: vec![],
+        stores: vec![StoreDecl {
+            field: f_params,
+            age: AgeExpr::Const(0),
+            dims: vec![IndexSel::All],
+        }],
+    });
+
+    // read/splityuv: source with age var; stores the three input planes.
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "read/splityuv".into(),
+        index_vars: 0,
+        has_age_var: true,
+        fetches: vec![],
+        stores: [f_yin, f_uin, f_vin]
+            .into_iter()
+            .map(|f| StoreDecl {
+                field: f,
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::All, IndexSel::All],
+            })
+            .collect(),
+    });
+
+    // The three DCT kernels: one instance per block.
+    for (name, fin, fout) in [
+        ("yDCT", f_yin, f_yres),
+        ("uDCT", f_uin, f_ures),
+        ("vDCT", f_vin, f_vres),
+    ] {
+        spec.add_kernel(KernelSpec {
+            id: KernelId(0),
+            name: name.into(),
+            index_vars: 1,
+            has_age_var: true,
+            fetches: vec![
+                FetchDecl {
+                    field: fin,
+                    age: AgeExpr::Rel(0),
+                    dims: vec![IndexSel::Var(IndexVar(0)), IndexSel::All],
+                },
+                FetchDecl {
+                    field: f_params,
+                    age: AgeExpr::Const(0),
+                    dims: vec![IndexSel::Const(0)],
+                },
+            ],
+            stores: vec![StoreDecl {
+                field: fout,
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::Var(IndexVar(0)), IndexSel::All],
+            }],
+        });
+    }
+
+    // vlc/write: consumes all three result planes per age.
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "vlc/write".into(),
+        index_vars: 0,
+        has_age_var: true,
+        fetches: [f_yres, f_ures, f_vres]
+            .into_iter()
+            .map(|f| FetchDecl {
+                field: f,
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::All, IndexSel::All],
+            })
+            .collect(),
+        stores: vec![],
+    });
+
+    spec
+}
+
+/// Build the runnable MJPEG program. Returns the program and the sink the
+/// encoded stream lands in.
+pub fn build_mjpeg_program(
+    source: Arc<dyn FrameSource>,
+    config: MjpegConfig,
+) -> Result<(Program, MjpegSink), RuntimeError> {
+    let width = source.width();
+    let height = source.height();
+    let spec = mjpeg_spec(width, height);
+    let mut program = Program::new(spec)?;
+    let sink = MjpegSink::new();
+    let max_frames = config.max_frames;
+    let quality = config.quality;
+    let fast = config.fast_dct;
+
+    program.body("init", move |ctx| {
+        ctx.store(0, Buffer::from_vec(vec![quality as i32]));
+        Ok(())
+    });
+
+    let src = source.clone();
+    program.body("read/splityuv", move |ctx| {
+        let n = ctx.age().0;
+        if n >= max_frames {
+            return Ok(()); // store nothing: end of stream
+        }
+        let Some(frame) = src.frame(n) else {
+            return Ok(());
+        };
+        let yb = frame.luma_blocks();
+        let cb = frame.chroma_blocks();
+        let to2d = |data: Vec<u8>, blocks: usize| {
+            Buffer::from_vec(data)
+                .reshape(Extents::new([blocks, 64]))
+                .expect("plane is blocks*64 samples")
+        };
+        ctx.store(0, to2d(frame.luma_plane_blocks(), yb));
+        ctx.store(1, to2d(frame.u_plane_blocks(), cb));
+        ctx.store(2, to2d(frame.v_plane_blocks(), cb));
+        Ok(())
+    });
+
+    for (name, base) in [
+        ("yDCT", &QUANT_LUMA),
+        ("uDCT", &QUANT_CHROMA),
+        ("vDCT", &QUANT_CHROMA),
+    ] {
+        let base = *base;
+        program.body(name, move |ctx| {
+            let q = match ctx.input(1).value(0) {
+                Value::I32(q) => q as u8,
+                other => return Err(format!("bad params value {other:?}")),
+            };
+            let table = scaled_quant_table(&base, q);
+            let samples = ctx
+                .input(0)
+                .as_u8()
+                .ok_or_else(|| "input block must be u8".to_string())?;
+            let mut block = [0u8; 64];
+            block.copy_from_slice(samples);
+            let coeffs = if fast {
+                dct_quantize_aan(&block, &table)
+            } else {
+                dct_quantize_naive(&block, &table)
+            };
+            ctx.store(0, Buffer::from_vec(coeffs.to_vec()));
+            Ok(())
+        });
+        if config.dct_chunk > 1 {
+            program.set_chunk_size(name, config.dct_chunk);
+        }
+    }
+
+    let out = sink.clone();
+    program.body("vlc/write", move |ctx| {
+        let params = JpegParams::new(width, height, quality);
+        let y = ctx.input(0).as_i16().ok_or("y_result must be i16")?;
+        let u = ctx.input(1).as_i16().ok_or("u_result must be i16")?;
+        let v = ctx.input(2).as_i16().ok_or("v_result must be i16")?;
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &params, y, u, v);
+        out.append(&frame);
+        Ok(())
+    });
+    // Frames must land in the stream in display order.
+    program.set_ordered("vlc/write");
+
+    Ok((program, sink))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{count_frames, encode_standalone};
+    use crate::synthetic::SyntheticVideo;
+    use p2g_runtime::{ExecutionNode, RunLimits};
+
+    fn run_pipeline(
+        source: SyntheticVideo,
+        config: MjpegConfig,
+        workers: usize,
+    ) -> (Vec<u8>, p2g_runtime::instrument::RunReport) {
+        let frames = config.max_frames;
+        let (program, sink) = build_mjpeg_program(Arc::new(source), config).unwrap();
+        let node = ExecutionNode::new(program, workers);
+        let report = node
+            .run(RunLimits::ages(frames + 1).with_gc_window(4))
+            .unwrap();
+        (sink.take(), report)
+    }
+
+    #[test]
+    fn spec_validates_and_matches_paper_shape() {
+        let spec = mjpeg_spec(352, 288);
+        spec.validate().unwrap();
+        assert_eq!(spec.kernels.len(), 6);
+        assert_eq!(spec.fields.len(), 7);
+    }
+
+    #[test]
+    fn pipeline_output_matches_standalone_encoder() {
+        let src = SyntheticVideo::new(32, 32, 3, 11);
+        let config = MjpegConfig {
+            quality: 75,
+            max_frames: 3,
+            fast_dct: false,
+            dct_chunk: 1,
+        };
+        let (p2g_stream, _) = run_pipeline(src.clone(), config, 4);
+        let reference = encode_standalone(&src, 75, 3, false);
+        assert_eq!(p2g_stream, reference, "P2G must be bit-exact with baseline");
+        assert_eq!(count_frames(&p2g_stream), 3);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let config = MjpegConfig {
+            quality: 60,
+            max_frames: 2,
+            fast_dct: true,
+            dct_chunk: 1,
+        };
+        let (a, _) = run_pipeline(SyntheticVideo::new(32, 32, 2, 3), config.clone(), 1);
+        let (b, _) = run_pipeline(SyntheticVideo::new(32, 32, 2, 3), config, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn instance_counts_follow_block_geometry() {
+        // 32x32: 16 luma blocks, 4 chroma blocks per frame.
+        let config = MjpegConfig {
+            quality: 75,
+            max_frames: 2,
+            fast_dct: true,
+            dct_chunk: 1,
+        };
+        let (_, report) = run_pipeline(SyntheticVideo::new(32, 32, 5, 1), config, 2);
+        let ins = &report.instruments;
+        assert_eq!(ins.kernel("init").unwrap().instances, 1);
+        // 2 frames + 1 end-of-stream probe.
+        assert_eq!(ins.kernel("read/splityuv").unwrap().instances, 3);
+        assert_eq!(ins.kernel("yDCT").unwrap().instances, 2 * 16);
+        assert_eq!(ins.kernel("uDCT").unwrap().instances, 2 * 4);
+        assert_eq!(ins.kernel("vDCT").unwrap().instances, 2 * 4);
+        assert_eq!(ins.kernel("vlc/write").unwrap().instances, 2);
+    }
+
+    #[test]
+    fn source_shorter_than_max_frames_ends_stream() {
+        let config = MjpegConfig {
+            quality: 75,
+            max_frames: 10,
+            fast_dct: true,
+            dct_chunk: 1,
+        };
+        let (stream, report) = run_pipeline(SyntheticVideo::new(32, 32, 2, 1), config, 2);
+        assert_eq!(count_frames(&stream), 2);
+        assert_eq!(report.instruments.kernel("vlc/write").unwrap().instances, 2);
+    }
+
+    #[test]
+    fn chunked_dct_is_bit_exact() {
+        let src = SyntheticVideo::new(32, 32, 2, 7);
+        let reference = encode_standalone(&src, 75, 2, false);
+        let config = MjpegConfig {
+            quality: 75,
+            max_frames: 2,
+            fast_dct: false,
+            dct_chunk: 8,
+        };
+        let (stream, _) = run_pipeline(src, config, 4);
+        assert_eq!(stream, reference);
+    }
+
+    #[test]
+    fn cif_geometry_instances() {
+        // One CIF frame: the paper's per-frame instance counts (1584 luma,
+        // 396 chroma DCT instances).
+        let config = MjpegConfig {
+            quality: 75,
+            max_frames: 1,
+            fast_dct: true, // keep the test fast
+            dct_chunk: 1,
+        };
+        let (stream, report) = run_pipeline(SyntheticVideo::foreman_like(1), config, 8);
+        let ins = &report.instruments;
+        assert_eq!(ins.kernel("yDCT").unwrap().instances, 1584);
+        assert_eq!(ins.kernel("uDCT").unwrap().instances, 396);
+        assert_eq!(ins.kernel("vDCT").unwrap().instances, 396);
+        assert_eq!(count_frames(&stream), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Planar YUV 4:2:0 frames and 8×8 macro-block extraction.
+
+/// A planar YUV 4:2:0 frame: full-resolution luma, chroma subsampled by 2
+/// in both dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YuvFrame {
+    pub width: usize,
+    pub height: usize,
+    pub y: Vec<u8>,
+    pub u: Vec<u8>,
+    pub v: Vec<u8>,
+}
+
+impl YuvFrame {
+    /// A black frame. Dimensions must be multiples of 16 (whole MCUs),
+    /// which holds for all standard video sizes (CIF is 352×288).
+    pub fn new(width: usize, height: usize) -> YuvFrame {
+        assert!(
+            width.is_multiple_of(16) && height.is_multiple_of(16),
+            "frame dimensions must be multiples of 16"
+        );
+        YuvFrame {
+            width,
+            height,
+            y: vec![0; width * height],
+            u: vec![128; width * height / 4],
+            v: vec![128; width * height / 4],
+        }
+    }
+
+    /// Parse one frame of planar I420 data (the layout of `.yuv` test
+    /// sequences like Foreman). Returns `None` when `data` is too short.
+    pub fn from_i420(width: usize, height: usize, data: &[u8]) -> Option<YuvFrame> {
+        let ysz = width * height;
+        let csz = ysz / 4;
+        if data.len() < ysz + 2 * csz {
+            return None;
+        }
+        Some(YuvFrame {
+            width,
+            height,
+            y: data[..ysz].to_vec(),
+            u: data[ysz..ysz + csz].to_vec(),
+            v: data[ysz + csz..ysz + 2 * csz].to_vec(),
+        })
+    }
+
+    /// Size of one I420 frame in bytes.
+    pub fn i420_size(width: usize, height: usize) -> usize {
+        width * height * 3 / 2
+    }
+
+    /// Number of 8×8 luma blocks (1584 for CIF — the paper's `yDCT`
+    /// instance count per frame).
+    pub fn luma_blocks(&self) -> usize {
+        (self.width / 8) * (self.height / 8)
+    }
+
+    /// Number of 8×8 chroma blocks per component (396 for CIF).
+    pub fn chroma_blocks(&self) -> usize {
+        (self.width / 16) * (self.height / 16)
+    }
+
+    /// Extract luma block `i` (row-major block order) as 64 samples.
+    pub fn luma_block(&self, i: usize) -> [u8; 64] {
+        extract_block(&self.y, self.width, i)
+    }
+
+    /// Extract chroma block `i` from the U plane.
+    pub fn u_block(&self, i: usize) -> [u8; 64] {
+        extract_block(&self.u, self.width / 2, i)
+    }
+
+    /// Extract chroma block `i` from the V plane.
+    pub fn v_block(&self, i: usize) -> [u8; 64] {
+        extract_block(&self.v, self.width / 2, i)
+    }
+
+    /// All luma blocks flattened into one buffer (block-major, 64 samples
+    /// per block) — the layout of the `y_input` field.
+    pub fn luma_plane_blocks(&self) -> Vec<u8> {
+        plane_blocks(&self.y, self.width, self.height)
+    }
+
+    /// All U blocks flattened.
+    pub fn u_plane_blocks(&self) -> Vec<u8> {
+        plane_blocks(&self.u, self.width / 2, self.height / 2)
+    }
+
+    /// All V blocks flattened.
+    pub fn v_plane_blocks(&self) -> Vec<u8> {
+        plane_blocks(&self.v, self.width / 2, self.height / 2)
+    }
+}
+
+fn extract_block(plane: &[u8], stride: usize, block: usize) -> [u8; 64] {
+    let blocks_per_row = stride / 8;
+    let bx = (block % blocks_per_row) * 8;
+    let by = (block / blocks_per_row) * 8;
+    let mut out = [0u8; 64];
+    for r in 0..8 {
+        let src = (by + r) * stride + bx;
+        out[r * 8..r * 8 + 8].copy_from_slice(&plane[src..src + 8]);
+    }
+    out
+}
+
+fn plane_blocks(plane: &[u8], width: usize, height: usize) -> Vec<u8> {
+    let nblocks = (width / 8) * (height / 8);
+    let mut out = Vec::with_capacity(nblocks * 64);
+    for b in 0..nblocks {
+        out.extend_from_slice(&extract_block(plane, width, b));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cif_block_counts_match_paper() {
+        let f = YuvFrame::new(352, 288);
+        assert_eq!(f.luma_blocks(), 1584);
+        assert_eq!(f.chroma_blocks(), 396);
+    }
+
+    #[test]
+    fn block_extraction_row_major() {
+        let mut f = YuvFrame::new(16, 16);
+        // Mark pixel (row 1, col 9): belongs to luma block 1, offset 8+1.
+        f.y[16 + 9] = 200;
+        let b = f.luma_block(1);
+        assert_eq!(b[8 + 1], 200);
+        assert_eq!(f.luma_block(0)[8 + 1], 0);
+    }
+
+    #[test]
+    fn plane_blocks_cover_everything() {
+        let mut f = YuvFrame::new(16, 16);
+        for (i, p) in f.y.iter_mut().enumerate() {
+            *p = (i % 251) as u8;
+        }
+        let blocks = f.luma_plane_blocks();
+        assert_eq!(blocks.len(), 4 * 64);
+        // Each block matches individual extraction.
+        for b in 0..4 {
+            assert_eq!(&blocks[b * 64..(b + 1) * 64], &f.luma_block(b));
+        }
+    }
+
+    #[test]
+    fn i420_round_trip() {
+        let w = 32;
+        let h = 16;
+        let mut data = vec![0u8; YuvFrame::i420_size(w, h)];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 250) as u8;
+        }
+        let f = YuvFrame::from_i420(w, h, &data).unwrap();
+        assert_eq!(f.y[..], data[..w * h]);
+        assert_eq!(f.u.len(), w * h / 4);
+        assert!(YuvFrame::from_i420(w, h, &data[..10]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 16")]
+    fn odd_dimensions_rejected() {
+        YuvFrame::new(20, 20);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the JPEG substrate: entropy coding must be a
+//! bijection on quantized blocks, and the DCT/IDCT pair must reconstruct.
+
+use proptest::prelude::*;
+
+use p2g_mjpeg::dct::{
+    dct_quantize_aan, dct_quantize_naive, dequantize, idct_naive, scaled_quant_table, QUANT_LUMA,
+};
+use p2g_mjpeg::huffman::{
+    decode_block, encode_block, extend_magnitude, magnitude_bits, BitReader, BitWriter, HuffTable,
+    AC_CHROMA, AC_LUMA, DC_CHROMA, DC_LUMA,
+};
+
+/// JPEG baseline AC coefficients fit 10 magnitude bits; DC differences 11.
+fn coeff() -> impl Strategy<Value = i16> {
+    -1023i16..=1023
+}
+
+proptest! {
+    /// decode ∘ encode = id over random quantized blocks and random block
+    /// sequences (DC prediction chains across blocks).
+    #[test]
+    fn huffman_block_round_trip(
+        blocks in prop::collection::vec(
+            prop::collection::vec(coeff(), 64),
+            1..5
+        ),
+        chroma in any::<bool>(),
+    ) {
+        let (dc_spec, ac_spec) = if chroma {
+            (&DC_CHROMA, &AC_CHROMA)
+        } else {
+            (&DC_LUMA, &AC_LUMA)
+        };
+        let dc = HuffTable::build(dc_spec);
+        let ac = HuffTable::build(ac_spec);
+
+        let blocks: Vec<[i16; 64]> = blocks
+            .into_iter()
+            .map(|v| {
+                let mut b = [0i16; 64];
+                b.copy_from_slice(&v);
+                b
+            })
+            .collect();
+
+        let mut w = BitWriter::new();
+        let mut pred = 0i16;
+        for b in &blocks {
+            encode_block(&mut w, b, &mut pred, &dc, &ac);
+        }
+        let bytes = w.finish();
+
+        let mut r = BitReader::new(&bytes);
+        let mut dpred = 0i16;
+        for (i, b) in blocks.iter().enumerate() {
+            let got = decode_block(&mut r, &mut dpred, dc_spec, ac_spec)
+                .unwrap_or_else(|| panic!("block {i} failed to decode"));
+            prop_assert_eq!(&got[..], &b[..], "block {}", i);
+        }
+    }
+
+    /// Magnitude coding is a bijection over the full DC-difference range.
+    #[test]
+    fn magnitude_round_trip(v in -2047i32..=2047) {
+        let (size, bits) = magnitude_bits(v);
+        prop_assert!(size <= 11);
+        prop_assert_eq!(extend_magnitude(bits, size), v);
+    }
+
+    /// DCT → quantize → dequantize → IDCT reconstructs within the error
+    /// bound implied by the quantization step sizes.
+    #[test]
+    fn dct_reconstruction_bounded(pixels in prop::collection::vec(any::<u8>(), 64)) {
+        let mut block = [0u8; 64];
+        block.copy_from_slice(&pixels);
+        let table = scaled_quant_table(&QUANT_LUMA, 90);
+        let q = dct_quantize_naive(&block, &table);
+        let back = idct_naive(&dequantize(&q, &table));
+        // Mean absolute error stays small at quality 90 even for noise
+        // blocks (each coefficient's rounding error is bounded by half its
+        // quantization step).
+        let mae: f64 = block
+            .iter()
+            .zip(&back)
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .sum::<f64>()
+            / 64.0;
+        prop_assert!(mae < 12.0, "mean absolute error {mae}");
+    }
+
+    /// The naive and AAN transforms agree within one quantization step on
+    /// every coefficient, for arbitrary content.
+    #[test]
+    fn naive_vs_aan_within_one_step(pixels in prop::collection::vec(any::<u8>(), 64)) {
+        let mut block = [0u8; 64];
+        block.copy_from_slice(&pixels);
+        let table = scaled_quant_table(&QUANT_LUMA, 75);
+        let a = dct_quantize_naive(&block, &table);
+        let b = dct_quantize_aan(&block, &table);
+        for i in 0..64 {
+            prop_assert!((a[i] - b[i]).abs() <= 1, "coeff {}: {} vs {}", i, a[i], b[i]);
+        }
+    }
+
+    /// Bit writer/reader round-trip over arbitrary bit runs.
+    #[test]
+    fn bit_io_round_trip(chunks in prop::collection::vec((any::<u16>(), 1u8..=16), 1..50)) {
+        let mut w = BitWriter::new();
+        let masked: Vec<(u16, u8)> = chunks
+            .iter()
+            .map(|&(bits, len)| {
+                let mask = if len == 16 { u16::MAX } else { (1u16 << len) - 1 };
+                (bits & mask, len)
+            })
+            .collect();
+        for &(bits, len) in &masked {
+            w.put(bits, len);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(bits, len) in &masked {
+            prop_assert_eq!(r.read(len), Some(bits));
+        }
+    }
+}

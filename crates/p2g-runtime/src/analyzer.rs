@@ -1,0 +1,1043 @@
+//! The dependency analyzer: the serial heart of the low-level scheduler.
+//!
+//! On every store/resize event the analyzer finds all *new* valid
+//! combinations of age and index variables whose fetch dependencies are now
+//! fulfilled, and emits them as dispatch units (paper Section VI-B). It runs
+//! in a dedicated thread — which is exactly why the paper's K-means workload
+//! stops scaling past a handful of workers, an effect the Figure-10 bench
+//! reproduces.
+//!
+//! The analyzer also implements:
+//! * **source-kernel sequencing** — a fetch-less kernel with an age
+//!   variable (the MJPEG reader) gets its next age dispatched only after the
+//!   previous instance completed *and stored something*; an instance that
+//!   stores nothing ends the stream.
+//! * **ordered-kernel gating** — instances of kernels marked ordered are
+//!   released one age at a time (bitstream writers).
+//! * **age garbage collection** — with a configured window, field ages far
+//!   enough behind the field's newest age are reclaimed.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use p2g_field::{Age, Field, FieldId};
+use p2g_graph::spec::{AgeExpr, IndexSel, KernelSpec};
+use p2g_graph::{KernelId, ProgramSpec};
+
+use crate::events::{Event, StoreEvent};
+use crate::instance::{DispatchUnit, PackedIndices};
+use crate::options::{KernelOptions, RunLimits};
+
+/// Shared handle to the node's fields.
+pub type SharedFields = Arc<Vec<RwLock<Field>>>;
+
+/// See module docs.
+pub struct DependencyAnalyzer {
+    spec: Arc<ProgramSpec>,
+    options: Vec<KernelOptions>,
+    fused_consumers: HashSet<KernelId>,
+    fields: SharedFields,
+    limits: RunLimits,
+    /// Instances already dispatched (or held), per (kernel, age).
+    dispatched: HashMap<(u32, u64), HashSet<PackedIndices>>,
+    /// Kernels consuming each field (deduplicated), indexed by field.
+    consumers: Vec<Vec<KernelId>>,
+    /// For each kernel, the (fetch, dim) binding each index var's range.
+    bindings: Vec<Vec<(usize, usize)>>,
+    /// Ordered kernels: the age currently allowed to dispatch.
+    ordered_next: HashMap<u32, u64>,
+    /// Ordered kernels: units dispatched but not completed at the current
+    /// age.
+    ordered_outstanding: HashMap<u32, usize>,
+    /// Ordered kernels: units held for future ages.
+    held: HashMap<u32, BTreeMap<u64, Vec<DispatchUnit>>>,
+    /// Highest age stored per field, for GC.
+    field_max_age: Vec<u64>,
+    /// Distributed mode: only these kernels run on this node. `None` runs
+    /// everything (single-node mode).
+    assigned: Option<HashSet<KernelId>>,
+    /// Expected extents per (field, age) dimension, derived by propagating
+    /// index-variable ranges from fetched fields to stored fields (the
+    /// paper: "these extents are then propagated to the respective fields
+    /// impacted by this resize"). Without this, a whole-field fetch of an
+    /// implicitly-sized field could observe a transiently-complete prefix.
+    expected_extents: HashMap<(u32, u64), Vec<Option<usize>>>,
+    /// Kernel instances completed (UnitDone), per (kernel, age) — drives
+    /// consumer-aware garbage collection.
+    completed: HashMap<(u32, u64), usize>,
+    /// Monotone cache: the smallest age of each kernel that is not yet
+    /// fully dispatched + completed.
+    gc_floor: HashMap<u32, u64>,
+}
+
+impl DependencyAnalyzer {
+    /// Build the analyzer for a program.
+    pub fn new(
+        spec: Arc<ProgramSpec>,
+        options: Vec<KernelOptions>,
+        fused_consumers: HashSet<KernelId>,
+        fields: SharedFields,
+        limits: RunLimits,
+    ) -> DependencyAnalyzer {
+        let nf = spec.fields.len();
+        let mut consumers: Vec<Vec<KernelId>> = vec![Vec::new(); nf];
+        for k in &spec.kernels {
+            for fe in &k.fetches {
+                if !consumers[fe.field.idx()].contains(&k.id) {
+                    consumers[fe.field.idx()].push(k.id);
+                }
+            }
+        }
+        let bindings =
+            spec.kernels
+                .iter()
+                .map(|k| {
+                    (0..k.index_vars as usize)
+                        .map(|v| {
+                            k.fetches
+                                .iter()
+                                .enumerate()
+                                .find_map(|(fi, fe)| {
+                                    fe.dims.iter().position(|d| {
+                                    matches!(d, IndexSel::Var(iv) if iv.0 as usize == v)
+                                })
+                                .map(|dim| (fi, dim))
+                                })
+                                .expect("validated: every index var bound by a fetch")
+                        })
+                        .collect()
+                })
+                .collect();
+        DependencyAnalyzer {
+            options,
+            fused_consumers,
+            fields,
+            limits,
+            dispatched: HashMap::new(),
+            consumers,
+            bindings,
+            ordered_next: HashMap::new(),
+            ordered_outstanding: HashMap::new(),
+            held: HashMap::new(),
+            field_max_age: vec![0; nf],
+            assigned: None,
+            expected_extents: HashMap::new(),
+            completed: HashMap::new(),
+            gc_floor: HashMap::new(),
+            spec,
+        }
+    }
+
+    /// Restrict dispatch to an assigned kernel subset (distributed mode).
+    pub fn set_assigned(&mut self, assigned: HashSet<KernelId>) {
+        self.assigned = Some(assigned);
+    }
+
+    /// True when this node runs the given kernel.
+    fn runs(&self, kid: KernelId) -> bool {
+        self.assigned.as_ref().is_none_or(|s| s.contains(&kid))
+    }
+
+    /// Whether instances of `k` may exist at age `a` under the run limits.
+    fn age_allowed(&self, k: &KernelSpec, a: u64) -> bool {
+        if !k.has_age_var {
+            return a == 0;
+        }
+        match self.limits.max_ages {
+            Some(m) => a < m,
+            None => true,
+        }
+    }
+
+    /// Initial dispatch units: every source kernel's first instance.
+    pub fn seed(&mut self) -> Vec<DispatchUnit> {
+        let mut out = Vec::new();
+        let source_ids: Vec<KernelId> = self
+            .spec
+            .kernels
+            .iter()
+            .filter(|k| k.is_source() && !self.fused_consumers.contains(&k.id))
+            .map(|k| k.id)
+            .filter(|&id| self.runs(id))
+            .collect();
+        for id in source_ids {
+            if !self.age_allowed(self.spec.kernel(id), 0) {
+                continue;
+            }
+            if self.mark_dispatched(id, 0, &[]) {
+                self.emit(
+                    DispatchUnit {
+                        kernel: id,
+                        age: Age(0),
+                        instances: vec![vec![]],
+                    },
+                    &mut out,
+                );
+            }
+        }
+        out
+    }
+
+    /// Handle one event, returning newly runnable dispatch units. An
+    /// error (write-once conflict applying a remote store) aborts the run.
+    pub fn on_event(&mut self, ev: &Event) -> Result<Vec<DispatchUnit>, p2g_field::FieldError> {
+        let mut out = Vec::new();
+        match ev {
+            Event::Store(se) => self.on_store(se, &mut out),
+            Event::RemoteStore {
+                field,
+                age,
+                region,
+                buffer,
+            } => {
+                // Apply the forwarded store to the local replica, then
+                // treat it like a local store. A conflicting write means
+                // two nodes produced the same element — a partitioning
+                // bug surfaced deterministically.
+                let outcome = self.fields[field.idx()].write().store(*age, region, buffer);
+                let o = outcome?;
+                let se = StoreEvent {
+                    field: *field,
+                    age: *age,
+                    elements: o.stored,
+                    age_complete: o.age_complete,
+                    resized: o.resized,
+                };
+                self.on_store(&se, &mut out);
+            }
+            Event::UnitDone {
+                kernel,
+                age,
+                instances,
+                stored_any,
+            } => self.on_unit_done(*kernel, *age, *instances, *stored_any, &mut out),
+            Event::Failure(_) => {}
+        }
+        Ok(out)
+    }
+
+    fn on_store(&mut self, se: &StoreEvent, out: &mut Vec<DispatchUnit>) {
+        // Track the field's frontier and garbage collect behind it.
+        let fmax = &mut self.field_max_age[se.field.idx()];
+        if se.age.0 > *fmax {
+            *fmax = se.age.0;
+        }
+        let fmax = *fmax;
+        if let Some(w) = self.limits.gc_window {
+            if fmax > w {
+                let limit = self.gc_limit(se.field, fmax - w);
+                if limit > 0 {
+                    self.fields[se.field.idx()].write().collect_below(Age(limit));
+                }
+            }
+        }
+
+        // Propagate extents downstream, then attempt dispatch. Extent
+        // propagation is cluster-global knowledge, so it ignores the
+        // node-local kernel assignment.
+        let consumer_ids = self.consumers[se.field.idx()].clone();
+        for &kid in &consumer_ids {
+            if self.fused_consumers.contains(&kid) {
+                continue;
+            }
+            let ages = self.affected_ages(kid, se.field, se.age);
+            self.propagate_extents(kid, se.field, &ages);
+        }
+        for kid in consumer_ids {
+            if self.fused_consumers.contains(&kid) || !self.runs(kid) {
+                continue;
+            }
+            let ages = self.affected_ages(kid, se.field, se.age);
+            for a in ages {
+                self.try_generate(kid, a, out);
+            }
+        }
+    }
+
+    /// For kernel `kid` consuming `field`, carry the index-variable ranges
+    /// observed on `field` over to the extents expected of the kernel's
+    /// store targets at the affected ages.
+    fn propagate_extents(&mut self, kid: KernelId, field: FieldId, ages: &[u64]) {
+        let k = self.spec.kernel(kid);
+        let mut updates: Vec<(u32, u64, usize, usize)> = Vec::new();
+        for fe in &k.fetches {
+            if fe.field != field {
+                continue;
+            }
+            for a in ages {
+                let fa = fe.age.resolve(Age(*a));
+                let Some(ext) = self.fields[field.idx()].read().extents(fa).cloned() else {
+                    continue;
+                };
+                for (d, sel) in fe.dims.iter().enumerate() {
+                    let IndexSel::Var(v) = sel else { continue };
+                    let range = ext.dim(d);
+                    for st in &k.stores {
+                        let ta = st.age.resolve(Age(*a));
+                        for (d2, sel2) in st.dims.iter().enumerate() {
+                            if matches!(sel2, IndexSel::Var(v2) if v2 == v) {
+                                updates.push((st.field.0, ta.0, d2, range));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (f, a, d, range) in updates {
+            let ndim = self.spec.fields[f as usize].ndim;
+            let entry = self
+                .expected_extents
+                .entry((f, a))
+                .or_insert_with(|| vec![None; ndim]);
+            let slot = &mut entry[d];
+            *slot = Some(slot.map_or(range, |cur| cur.max(range)));
+        }
+    }
+
+    /// True when the known extents of (field, age) have reached every
+    /// expected (propagated) extent — guards against dispatching consumers
+    /// of implicitly-sized fields on a transiently-complete prefix.
+    fn extents_settled(&self, field: FieldId, age: Age, ext: &p2g_field::Extents) -> bool {
+        match self.expected_extents.get(&(field.0, age.0)) {
+            None => true,
+            Some(exp) => exp
+                .iter()
+                .enumerate()
+                .all(|(d, e)| e.is_none_or(|n| ext.dim(d) >= n)),
+        }
+    }
+
+    /// The instance ages of kernel `k` whose fetches the stored (field,
+    /// age) may satisfy.
+    fn affected_ages(&self, kid: KernelId, field: FieldId, fa: Age) -> Vec<u64> {
+        let k = self.spec.kernel(kid);
+        let mut ages = Vec::new();
+        for fe in &k.fetches {
+            if fe.field != field {
+                continue;
+            }
+            match fe.age {
+                AgeExpr::Rel(t) => {
+                    if !k.has_age_var {
+                        // A rel expression degenerates to age 0 for
+                        // age-less kernels.
+                        if fa.0 as i64 == t {
+                            ages.push(0);
+                        }
+                    } else if fa.0 as i64 >= t {
+                        ages.push((fa.0 as i64 - t) as u64);
+                    }
+                }
+                AgeExpr::Const(c) => {
+                    if fa.0 != c {
+                        continue;
+                    }
+                    if !k.has_age_var {
+                        ages.push(0);
+                    } else {
+                        // A constant-age fetch can unblock any age whose
+                        // *other* (relative) fetches already have data;
+                        // derive candidates from those fields' resident
+                        // ages.
+                        let mut any_rel = false;
+                        for other in &k.fetches {
+                            if let AgeExpr::Rel(t) = other.age {
+                                any_rel = true;
+                                let resident: Vec<u64> = self.fields[other.field.idx()]
+                                    .read()
+                                    .resident_ages()
+                                    .map(|a| a.0)
+                                    .collect();
+                                for ra in resident {
+                                    if ra as i64 >= t {
+                                        ages.push((ra as i64 - t) as u64);
+                                    }
+                                }
+                            }
+                        }
+                        if !any_rel {
+                            ages.push(0);
+                        }
+                    }
+                }
+            }
+        }
+        ages.sort_unstable();
+        ages.dedup();
+        ages
+    }
+
+    fn on_unit_done(
+        &mut self,
+        kernel: KernelId,
+        age: Age,
+        instances: usize,
+        stored_any: bool,
+        out: &mut Vec<DispatchUnit>,
+    ) {
+        *self.completed.entry((kernel.0, age.0)).or_insert(0) += instances;
+        let k = self.spec.kernel(kernel);
+        // Source sequencing: schedule the next age after this one finished
+        // and actually produced data ("the read loop ends when the kernel
+        // stops storing to the next age").
+        if k.is_source() && k.has_age_var && stored_any {
+            let next = age.0 + 1;
+            if self.age_allowed(k, next) && self.mark_dispatched(kernel, next, &[]) {
+                self.emit(
+                    DispatchUnit {
+                        kernel,
+                        age: Age(next),
+                        instances: vec![vec![]],
+                    },
+                    out,
+                );
+            }
+        }
+        // Ordered gating: when the current age drains, advance and release
+        // held units.
+        if self.options[kernel.idx()].ordered {
+            let outst = self.ordered_outstanding.entry(kernel.0).or_insert(0);
+            *outst = outst.saturating_sub(1);
+            if *outst == 0 {
+                let next = self.ordered_next.entry(kernel.0).or_insert(0);
+                *next = (*next).max(age.0 + 1);
+                let release_age = *next;
+                if let Some(per_age) = self.held.get_mut(&kernel.0) {
+                    if let Some(units) = per_age.remove(&release_age) {
+                        for u in units {
+                            *self.ordered_outstanding.entry(kernel.0).or_insert(0) += 1;
+                            out.push(u);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record an instance as dispatched; false when already dispatched.
+    fn mark_dispatched(&mut self, kernel: KernelId, age: u64, indices: &[usize]) -> bool {
+        let packed = PackedIndices::pack(indices).expect("index values fit 16 bits");
+        self.dispatched
+            .entry((kernel.0, age))
+            .or_default()
+            .insert(packed)
+    }
+
+    /// Route a unit to the output, respecting ordered gating.
+    fn emit(&mut self, unit: DispatchUnit, out: &mut Vec<DispatchUnit>) {
+        let kid = unit.kernel;
+        if self.options[kid.idx()].ordered {
+            let next = *self.ordered_next.entry(kid.0).or_insert(0);
+            if unit.age.0 > next {
+                self.held
+                    .entry(kid.0)
+                    .or_default()
+                    .entry(unit.age.0)
+                    .or_default()
+                    .push(unit);
+                return;
+            }
+            *self.ordered_outstanding.entry(kid.0).or_insert(0) += 1;
+        }
+        out.push(unit);
+    }
+
+    /// Size of kernel `kid`'s instance space at age `a`, when its binding
+    /// extents are known and settled; `None` while undetermined.
+    fn instance_space(&self, kid: KernelId, a: u64) -> Option<usize> {
+        let k = self.spec.kernel(kid);
+        if k.is_source() {
+            return Some(1);
+        }
+        let mut space = 1usize;
+        for &(fi, dim) in &self.bindings[kid.idx()] {
+            let fe = &k.fetches[fi];
+            let fa = fe.age.resolve(Age(a));
+            let field = self.fields[fe.field.idx()].read();
+            let ext = field.extents(fa)?.clone();
+            drop(field);
+            if !self.extents_settled(fe.field, fa, &ext) {
+                return None;
+            }
+            space *= ext.dim(dim);
+        }
+        Some(space)
+    }
+
+    /// The smallest age of `kid` whose instances are not all dispatched and
+    /// completed — no field age that `kid` still needs may be collected.
+    /// `u64::MAX` when the kernel can never run again (age cap reached).
+    fn kernel_safe_age(&mut self, kid: KernelId) -> u64 {
+        let mut a = *self.gc_floor.get(&kid.0).unwrap_or(&0);
+        loop {
+            let k = self.spec.kernel(kid);
+            if !self.age_allowed(k, a) {
+                a = u64::MAX;
+                break;
+            }
+            let Some(space) = self.instance_space(kid, a) else { break };
+            let d = self.dispatched.get(&(kid.0, a)).map_or(0, |s| s.len());
+            let c = *self.completed.get(&(kid.0, a)).unwrap_or(&0);
+            if d < space || c < d {
+                break;
+            }
+            a += 1;
+        }
+        if a != u64::MAX {
+            self.gc_floor.insert(kid.0, a);
+        }
+        a
+    }
+
+    /// The exclusive upper bound of collectible ages for `field`:
+    /// the window bound, clamped so no (current or future) consumer
+    /// instance can still fetch a collected age. Constant-age fetches pin
+    /// their age forever (the k-means `datapoints(0)` pattern).
+    fn gc_limit(&mut self, field: FieldId, window_bound: u64) -> u64 {
+        let mut limit = window_bound;
+        let consumer_ids = self.consumers[field.idx()].clone();
+        for kid in consumer_ids {
+            // Fused consumers read the producer's staged buffer, never the
+            // field itself.
+            if self.fused_consumers.contains(&kid) {
+                continue;
+            }
+            let fetch_ages: Vec<crate::AgeExprCopy> = self
+                .spec
+                .kernel(kid)
+                .fetches
+                .iter()
+                .filter(|fe| fe.field == field)
+                .map(|fe| match fe.age {
+                    AgeExpr::Rel(t) => crate::AgeExprCopy::Rel(t),
+                    AgeExpr::Const(c) => crate::AgeExprCopy::Const(c),
+                })
+                .collect();
+            for fa in fetch_ages {
+                match fa {
+                    crate::AgeExprCopy::Rel(t) => {
+                        let safe = self.kernel_safe_age(kid);
+                        limit = limit.min(safe.saturating_add(t.max(0) as u64));
+                    }
+                    crate::AgeExprCopy::Const(c) => {
+                        limit = limit.min(c);
+                    }
+                }
+            }
+        }
+        limit
+    }
+
+    /// Enumerate kernel `kid`'s instance space at age `a`, dispatching
+    /// every not-yet-dispatched instance whose fetches are all satisfied.
+    fn try_generate(&mut self, kid: KernelId, a: u64, out: &mut Vec<DispatchUnit>) {
+        let k = self.spec.kernel(kid);
+        if !self.age_allowed(k, a) || k.is_source() {
+            return;
+        }
+        let nvars = k.index_vars as usize;
+
+        // Index-variable ranges from their binding fetches' extents.
+        let mut ranges = Vec::with_capacity(nvars);
+        for &(fi, dim) in &self.bindings[kid.idx()] {
+            let fe = &k.fetches[fi];
+            let fa = fe.age.resolve(Age(a));
+            let field = self.fields[fe.field.idx()].read();
+            match field.extents(fa) {
+                Some(e) => ranges.push(e.dim(dim)),
+                None => return, // no data for the binding age yet
+            }
+        }
+        if ranges.contains(&0) {
+            return;
+        }
+        let space: usize = ranges.iter().product::<usize>().max(1);
+        if let Some(set) = self.dispatched.get(&(kid.0, a)) {
+            if set.len() >= space {
+                return; // everything already dispatched at this extent
+            }
+        }
+
+        // Enumerate the instance space (mixed radix odometer).
+        let mut runnable: Vec<Vec<usize>> = Vec::new();
+        let mut idx = vec![0usize; nvars];
+        loop {
+            let packed = PackedIndices::pack(&idx).expect("index values fit 16 bits");
+            let seen = self
+                .dispatched
+                .get(&(kid.0, a))
+                .is_some_and(|s| s.contains(&packed));
+            if !seen && self.instance_runnable(k, a, &idx) {
+                self.dispatched
+                    .entry((kid.0, a))
+                    .or_default()
+                    .insert(packed);
+                runnable.push(idx.clone());
+            }
+            // Advance odometer.
+            let mut d = nvars;
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < ranges[d] {
+                    break;
+                }
+                idx[d] = 0;
+                if d == 0 {
+                    d = usize::MAX;
+                    break;
+                }
+            }
+            if nvars == 0 || d == usize::MAX {
+                break;
+            }
+        }
+
+        // Chunk runnable instances into dispatch units (data granularity).
+        let chunk = self.options[kid.idx()].chunk_size.max(1);
+        for group in runnable.chunks(chunk) {
+            self.emit(
+                DispatchUnit {
+                    kernel: kid,
+                    age: Age(a),
+                    instances: group.to_vec(),
+                },
+                out,
+            );
+        }
+    }
+
+    /// True when every fetch of instance (k, a, idx) is fully written.
+    fn instance_runnable(&self, k: &KernelSpec, a: u64, indices: &[usize]) -> bool {
+        for fe in &k.fetches {
+            let fa = fe.age.resolve(Age(a));
+            let field = self.fields[fe.field.idx()].read();
+            // Fetches spanning whole dimensions must wait until the
+            // field's extents have settled (implicit-resize propagation).
+            if fe.dims.iter().any(|d| matches!(d, IndexSel::All)) {
+                match field.extents(fa) {
+                    Some(ext) => {
+                        if !self.extents_settled(fe.field, fa, &ext.clone()) {
+                            return false;
+                        }
+                    }
+                    None => return false,
+                }
+            }
+            let whole_field = fe.dims.iter().all(|d| matches!(d, IndexSel::All));
+            if whole_field {
+                if !field.is_complete(fa) {
+                    return false;
+                }
+                continue;
+            }
+            let region = crate::program::resolve_region(&fe.dims, indices);
+            if !field.region_written(fa, &region) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Test/diagnostic helper: total instances dispatched for a kernel.
+    pub fn dispatched_count(&self, kid: KernelId) -> usize {
+        self.dispatched
+            .iter()
+            .filter(|&(&(k, _), _)| k == kid.0)
+            .map(|(_, s)| s.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::StoreEvent;
+    use p2g_field::{Buffer, FieldDef, Region};
+    use p2g_graph::spec::mul_sum_example;
+
+    fn setup() -> (DependencyAnalyzer, SharedFields, Arc<ProgramSpec>) {
+        let spec = Arc::new(mul_sum_example());
+        let fields: SharedFields = Arc::new(
+            spec.fields
+                .iter()
+                .enumerate()
+                .map(|(i, d)| RwLock::new(Field::new(p2g_field::FieldId(i as u32), d.clone())))
+                .collect(),
+        );
+        let options = vec![KernelOptions::default(); spec.kernels.len()];
+        let an = DependencyAnalyzer::new(
+            spec.clone(),
+            options,
+            HashSet::new(),
+            fields.clone(),
+            RunLimits::ages(3),
+        );
+        (an, fields, spec)
+    }
+
+    fn store_whole(fields: &SharedFields, fid: usize, age: u64, data: Vec<i32>) -> StoreEvent {
+        let out = fields[fid]
+            .write()
+            .store(Age(age), &Region::all(1), &Buffer::from_vec(data))
+            .unwrap();
+        StoreEvent {
+            field: p2g_field::FieldId(fid as u32),
+            age: Age(age),
+            elements: out.stored,
+            age_complete: out.age_complete,
+            resized: out.resized,
+        }
+    }
+
+    #[test]
+    fn seed_emits_sources_once() {
+        let (mut an, _, spec) = setup();
+        let units = an.seed();
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].kernel, spec.kernel_by_name("init").unwrap());
+        // Seeding again emits nothing (already dispatched).
+        assert!(an.seed().is_empty());
+    }
+
+    #[test]
+    fn store_unblocks_element_consumers() {
+        let (mut an, fields, spec) = setup();
+        an.seed();
+        // init stores m_data(0) fully: mul2 gets 5 instances, print still
+        // blocked (needs p_data too).
+        let ev = store_whole(&fields, 0, 0, vec![10, 11, 12, 13, 14]);
+        let units = an.on_event(&Event::Store(ev)).unwrap();
+        let mul2 = spec.kernel_by_name("mul2").unwrap();
+        assert_eq!(units.len(), 5);
+        assert!(units.iter().all(|u| u.kernel == mul2));
+        let mut xs: Vec<usize> = units.iter().map(|u| u.instances[0][0]).collect();
+        xs.sort_unstable();
+        assert_eq!(xs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn print_unblocks_when_both_fields_complete() {
+        let (mut an, fields, spec) = setup();
+        an.seed();
+        let ev = store_whole(&fields, 0, 0, vec![1, 2, 3]);
+        an.on_event(&Event::Store(ev)).unwrap();
+        let ev = store_whole(&fields, 1, 0, vec![2, 4, 6]);
+        let units = an.on_event(&Event::Store(ev)).unwrap();
+        let print = spec.kernel_by_name("print").unwrap();
+        assert!(units.iter().any(|u| u.kernel == print));
+    }
+
+    #[test]
+    fn no_duplicate_dispatch() {
+        let (mut an, fields, spec) = setup();
+        an.seed();
+        let ev = store_whole(&fields, 0, 0, vec![1, 2, 3]);
+        let first = an.on_event(&Event::Store(ev.clone())).unwrap();
+        assert_eq!(first.len(), 3);
+        // Replay of the same event produces nothing new.
+        let second = an.on_event(&Event::Store(ev)).unwrap();
+        assert!(second.is_empty());
+        let mul2 = spec.kernel_by_name("mul2").unwrap();
+        assert_eq!(an.dispatched_count(mul2), 3);
+    }
+
+    #[test]
+    fn max_ages_caps_instances() {
+        let (mut an, fields, _) = setup();
+        an.seed();
+        // Ages 0..3 allowed (max_ages = 3); age 3 store must not generate
+        // mul2 instances at age 3.
+        for age in 0..4 {
+            let ev = store_whole(&fields, 0, age, vec![1]);
+            let units = an.on_event(&Event::Store(ev)).unwrap();
+            if age < 3 {
+                assert!(!units.is_empty(), "age {age} should dispatch");
+            } else {
+                assert!(units.is_empty(), "age {age} is beyond max_ages");
+            }
+        }
+    }
+
+    #[test]
+    fn source_sequencing_follows_stored_any() {
+        // A source kernel with an age variable re-arms only when the prior
+        // instance stored data.
+        let mut spec = ProgramSpec::new();
+        let out_f = spec.add_field(FieldDef::new("frames", p2g_field::ScalarType::I32, 1));
+        spec.add_kernel(p2g_graph::spec::KernelSpec {
+            id: KernelId(0),
+            name: "read".into(),
+            index_vars: 0,
+            has_age_var: true,
+            fetches: vec![],
+            stores: vec![p2g_graph::spec::StoreDecl {
+                field: out_f,
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::All],
+            }],
+        });
+        let spec = Arc::new(spec);
+        let fields: SharedFields = Arc::new(
+            spec.fields
+                .iter()
+                .enumerate()
+                .map(|(i, d)| RwLock::new(Field::new(p2g_field::FieldId(i as u32), d.clone())))
+                .collect(),
+        );
+        let mut an = DependencyAnalyzer::new(
+            spec.clone(),
+            vec![KernelOptions::default()],
+            HashSet::new(),
+            fields,
+            RunLimits::unbounded(),
+        );
+        let units = an.seed();
+        assert_eq!(units.len(), 1);
+        // Completing with data: next age dispatched.
+        let units = an
+            .on_event(&Event::UnitDone {
+                kernel: KernelId(0),
+                age: Age(0),
+                instances: 1,
+                stored_any: true,
+            })
+            .unwrap();
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].age, Age(1));
+        // Completing without data (EOF): stream ends.
+        let units = an
+            .on_event(&Event::UnitDone {
+                kernel: KernelId(0),
+                age: Age(1),
+                instances: 1,
+                stored_any: false,
+            })
+            .unwrap();
+        assert!(units.is_empty());
+    }
+
+    #[test]
+    fn ordered_kernel_releases_in_age_order() {
+        let (mut an, fields, spec) = setup();
+        let print = spec.kernel_by_name("print").unwrap();
+        an.options[print.idx()].ordered = true;
+        an.seed();
+
+        // Complete age 0 and age 1 data for both fields, but deliver age 1
+        // completions first — print(1) must be held until print(0) is done.
+        for age in [1u64, 0] {
+            let ev = store_whole(&fields, 0, age, vec![1, 2]);
+            an.on_event(&Event::Store(ev)).unwrap();
+        }
+        let mut print_units = Vec::new();
+        for age in [1u64, 0] {
+            let ev = store_whole(&fields, 1, age, vec![2, 4]);
+            print_units.extend(
+                an.on_event(&Event::Store(ev))
+                    .unwrap()
+                    .into_iter()
+                    .filter(|u| u.kernel == print),
+            );
+        }
+        // Only age 0 released so far.
+        assert_eq!(print_units.len(), 1);
+        assert_eq!(print_units[0].age, Age(0));
+        // Completing age 0 releases age 1.
+        let released = an
+            .on_event(&Event::UnitDone {
+                kernel: print,
+                age: Age(0),
+                instances: 1,
+                stored_any: false,
+            })
+            .unwrap();
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].age, Age(1));
+    }
+
+    #[test]
+    fn chunking_merges_instances() {
+        let (mut an, fields, spec) = setup();
+        let mul2 = spec.kernel_by_name("mul2").unwrap();
+        an.options[mul2.idx()].chunk_size = 5;
+        an.seed();
+        let ev = store_whole(&fields, 0, 0, vec![1, 2, 3, 4, 5]);
+        let units: Vec<_> = an
+            .on_event(&Event::Store(ev))
+            .unwrap()
+            .into_iter()
+            .filter(|u| u.kernel == mul2)
+            .collect();
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].len(), 5);
+    }
+
+    #[test]
+    fn gc_respects_lagging_consumers() {
+        // Consumers that have not completed pin their ages: storing far
+        // ahead must not collect ages whose consumer instances are still
+        // outstanding.
+        let (mut an, fields, _) = setup();
+        an.limits = RunLimits::ages(10).with_gc_window(1);
+        an.seed();
+        for age in 0..4 {
+            let ev = store_whole(&fields, 0, age, vec![1]);
+            an.on_event(&Event::Store(ev)).unwrap();
+        }
+        // mul2 instances were dispatched but never completed; print never
+        // became runnable. Nothing may be collected.
+        let resident: Vec<u64> = fields[0].read().resident_ages().map(|a| a.0).collect();
+        assert_eq!(resident, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn gc_collects_behind_completed_consumers() {
+        // A private pipeline (source → sink) where the sink completes each
+        // age: old ages fall to the window GC.
+        let mut spec = ProgramSpec::new();
+        let f = spec.add_field(p2g_field::FieldDef::new(
+            "stream",
+            p2g_field::ScalarType::I32,
+            1,
+        ));
+        spec.add_kernel(p2g_graph::spec::KernelSpec {
+            id: KernelId(0),
+            name: "src".into(),
+            index_vars: 0,
+            has_age_var: true,
+            fetches: vec![],
+            stores: vec![p2g_graph::spec::StoreDecl {
+                field: f,
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::All],
+            }],
+        });
+        spec.add_kernel(p2g_graph::spec::KernelSpec {
+            id: KernelId(0),
+            name: "sink".into(),
+            index_vars: 0,
+            has_age_var: true,
+            fetches: vec![p2g_graph::spec::FetchDecl {
+                field: f,
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::All],
+            }],
+            stores: vec![],
+        });
+        let spec = Arc::new(spec);
+        let fields: SharedFields = Arc::new(
+            spec.fields
+                .iter()
+                .enumerate()
+                .map(|(i, d)| RwLock::new(Field::new(p2g_field::FieldId(i as u32), d.clone())))
+                .collect(),
+        );
+        let mut an = DependencyAnalyzer::new(
+            spec.clone(),
+            vec![KernelOptions::default(); 2],
+            HashSet::new(),
+            fields.clone(),
+            RunLimits::ages(20).with_gc_window(2),
+        );
+        an.seed();
+        let sink = spec.kernel_by_name("sink").unwrap();
+        for age in 0..8u64 {
+            let ev = store_whole(&fields, 0, age, vec![1, 2]);
+            let units = an.on_event(&Event::Store(ev)).unwrap();
+            // Complete the sink instance for this age immediately.
+            for u in units.iter().filter(|u| u.kernel == sink) {
+                an.on_event(&Event::UnitDone {
+                    kernel: sink,
+                    age: u.age,
+                    instances: u.len(),
+                    stored_any: false,
+                })
+                .unwrap();
+            }
+        }
+        // Window 2 behind age 7, consumers fully caught up → ages < 5
+        // collected.
+        let resident: Vec<u64> = fields[0].read().resident_ages().map(|a| a.0).collect();
+        assert_eq!(resident, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn gc_never_collects_const_fetched_ages() {
+        // The k-means pattern: datapoints(0) is fetched at a constant age
+        // by every iteration and must survive any window.
+        let mut spec = ProgramSpec::new();
+        let f_const = spec.add_field(p2g_field::FieldDef::new(
+            "points",
+            p2g_field::ScalarType::I32,
+            1,
+        ));
+        let f_aged = spec.add_field(p2g_field::FieldDef::new(
+            "state",
+            p2g_field::ScalarType::I32,
+            1,
+        ));
+        spec.add_kernel(p2g_graph::spec::KernelSpec {
+            id: KernelId(0),
+            name: "step".into(),
+            index_vars: 0,
+            has_age_var: true,
+            fetches: vec![
+                p2g_graph::spec::FetchDecl {
+                    field: f_const,
+                    age: AgeExpr::Const(0),
+                    dims: vec![IndexSel::All],
+                },
+                p2g_graph::spec::FetchDecl {
+                    field: f_aged,
+                    age: AgeExpr::Rel(0),
+                    dims: vec![IndexSel::All],
+                },
+            ],
+            stores: vec![],
+        });
+        let spec = Arc::new(spec);
+        let fields: SharedFields = Arc::new(
+            spec.fields
+                .iter()
+                .enumerate()
+                .map(|(i, d)| RwLock::new(Field::new(p2g_field::FieldId(i as u32), d.clone())))
+                .collect(),
+        );
+        let mut an = DependencyAnalyzer::new(
+            spec.clone(),
+            vec![KernelOptions::default(); spec.kernels.len()],
+            HashSet::new(),
+            fields.clone(),
+            RunLimits::ages(50).with_gc_window(1),
+        );
+        an.seed();
+        // Store the const field at age 0, then push the aged field far
+        // ahead; age 0 of the const field must survive.
+        let ev = store_whole(&fields, 0, 0, vec![1, 2, 3]);
+        an.on_event(&Event::Store(ev)).unwrap();
+        for age in 0..6 {
+            let ev = store_whole(&fields, 1, age, vec![9]);
+            let units = an.on_event(&Event::Store(ev)).unwrap();
+            for u in units {
+                let (k, a, n) = (u.kernel, u.age, u.len());
+                an.on_event(&Event::UnitDone {
+                    kernel: k,
+                    age: a,
+                    instances: n,
+                    stored_any: false,
+                })
+                .unwrap();
+            }
+        }
+        assert!(
+            fields[0].read().is_complete(Age(0)),
+            "const-fetched field must never be collected"
+        );
+    }
+}

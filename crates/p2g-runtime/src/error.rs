@@ -1,0 +1,53 @@
+//! Runtime errors.
+
+use p2g_field::FieldError;
+
+/// Errors surfaced while executing a P2G program.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A field operation failed (write-once violation, type mismatch...).
+    Field(FieldError),
+    /// A kernel body reported an error; the program is aborted.
+    Kernel { kernel: String, message: String },
+    /// The program referenced a kernel with no registered body.
+    MissingBody { kernel: String },
+    /// The program spec failed validation.
+    Spec(p2g_graph::SpecError),
+    /// An index variable value exceeded the encodable range (65535).
+    IndexTooLarge { kernel: String, value: usize },
+    /// A worker thread panicked.
+    WorkerPanic,
+}
+
+impl From<FieldError> for RuntimeError {
+    fn from(e: FieldError) -> RuntimeError {
+        RuntimeError::Field(e)
+    }
+}
+
+impl From<p2g_graph::SpecError> for RuntimeError {
+    fn from(e: p2g_graph::SpecError) -> RuntimeError {
+        RuntimeError::Spec(e)
+    }
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Field(e) => write!(f, "field error: {e}"),
+            RuntimeError::Kernel { kernel, message } => {
+                write!(f, "kernel '{kernel}' failed: {message}")
+            }
+            RuntimeError::MissingBody { kernel } => {
+                write!(f, "kernel '{kernel}' has no registered body")
+            }
+            RuntimeError::Spec(e) => write!(f, "invalid program: {e}"),
+            RuntimeError::IndexTooLarge { kernel, value } => {
+                write!(f, "kernel '{kernel}': index value {value} exceeds 65535")
+            }
+            RuntimeError::WorkerPanic => write!(f, "a worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -1,0 +1,51 @@
+//! Events on the publish–subscribe bus between workers and the dependency
+//! analyzer.
+//!
+//! P2G is push-based: kernel instances publish store/resize events; the
+//! analyzer subscribes to events for the fields each kernel fetches and
+//! derives newly-runnable instances.
+
+use p2g_field::{Age, Extents, FieldId};
+use p2g_graph::KernelId;
+
+/// A store applied to a field by a kernel instance.
+#[derive(Debug, Clone)]
+pub struct StoreEvent {
+    pub field: FieldId,
+    pub age: Age,
+    /// Elements written by this store.
+    pub elements: usize,
+    /// True when this store completed the age (every element written).
+    pub age_complete: bool,
+    /// New extents when the store triggered an implicit resize.
+    pub resized: Option<Extents>,
+}
+
+/// Bus events consumed by the dependency analyzer.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A kernel instance stored into a field.
+    Store(StoreEvent),
+    /// A store forwarded from another execution node (distributed mode).
+    /// The analyzer applies it to the local field replica and then treats
+    /// it like a local store event.
+    RemoteStore {
+        field: FieldId,
+        age: Age,
+        region: p2g_field::Region,
+        buffer: p2g_field::Buffer,
+    },
+    /// A dispatch unit finished executing. Drives source-kernel
+    /// self-sequencing ("read the next frame only if this one stored
+    /// something") and ordered-kernel gating.
+    UnitDone {
+        kernel: KernelId,
+        age: Age,
+        /// Instances covered by the unit.
+        instances: usize,
+        /// True when the unit's bodies performed at least one store.
+        stored_any: bool,
+    },
+    /// A kernel body failed; the node aborts the run.
+    Failure(String),
+}

@@ -1,0 +1,341 @@
+//! Instrumentation: the per-kernel dispatch/kernel timing the paper reports
+//! in Tables II and III, plus the feedback data the high-level scheduler
+//! uses for repartitioning.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use p2g_field::FieldId;
+use p2g_graph::KernelId;
+
+/// Lock-free accumulator for one kernel definition.
+#[derive(Debug, Default)]
+pub struct KernelCounters {
+    /// Kernel instances executed.
+    pub instances: AtomicU64,
+    /// Dispatch units executed (differs from `instances` when chunking).
+    pub units: AtomicU64,
+    /// Nanoseconds of dispatch overhead: popping the unit, assembling
+    /// fetch buffers, applying stores and emitting events. (The paper's
+    /// dispatch time likewise includes field allocation.)
+    pub dispatch_ns: AtomicU64,
+    /// Nanoseconds spent inside kernel bodies.
+    pub kernel_ns: AtomicU64,
+    /// Elements stored by this kernel, per target field — the edge volume
+    /// feedback for the HLS.
+    pub stored_elements: AtomicU64,
+}
+
+/// A snapshot of one kernel's counters, averaged per instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelStats {
+    pub instances: u64,
+    pub units: u64,
+    /// Mean dispatch overhead per instance.
+    pub dispatch_time: Duration,
+    /// Mean time in kernel code per instance.
+    pub kernel_time: Duration,
+    /// Total elements stored.
+    pub stored_elements: u64,
+}
+
+impl KernelStats {
+    /// Mean dispatch time in microseconds (the unit of the paper's tables).
+    pub fn dispatch_us(&self) -> f64 {
+        self.dispatch_time.as_nanos() as f64 / 1000.0
+    }
+
+    /// Mean kernel time in microseconds.
+    pub fn kernel_us(&self) -> f64 {
+        self.kernel_time.as_nanos() as f64 / 1000.0
+    }
+}
+
+/// Instrumentation for one execution node.
+#[derive(Debug)]
+pub struct Instruments {
+    kernels: Vec<(String, KernelCounters)>,
+    /// Nanoseconds the dedicated dependency-analyzer thread spent inside
+    /// event processing — the serial resource behind the paper's
+    /// Figure-10 saturation.
+    analyzer_busy_ns: AtomicU64,
+    /// Events the analyzer processed.
+    analyzer_events: AtomicU64,
+    /// Elements moved per (producer kernel, field) — aggregated into edge
+    /// volumes for repartitioning.
+    volumes: parking_lot::Mutex<BTreeMap<(KernelId, FieldId), u64>>,
+}
+
+impl Instruments {
+    /// Create counters for `names` kernels (indexed by `KernelId::idx`).
+    pub fn new(names: Vec<String>) -> Instruments {
+        Instruments {
+            kernels: names
+                .into_iter()
+                .map(|n| (n, KernelCounters::default()))
+                .collect(),
+            analyzer_busy_ns: AtomicU64::new(0),
+            analyzer_events: AtomicU64::new(0),
+            volumes: parking_lot::Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Record one processed analyzer event and its processing time.
+    pub fn record_analyzer_event(&self, busy: Duration) {
+        self.analyzer_busy_ns
+            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+        self.analyzer_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total time the analyzer spent processing events.
+    pub fn analyzer_busy(&self) -> Duration {
+        Duration::from_nanos(self.analyzer_busy_ns.load(Ordering::Relaxed))
+    }
+
+    /// Number of events the analyzer processed.
+    pub fn analyzer_events(&self) -> u64 {
+        self.analyzer_events.load(Ordering::Relaxed)
+    }
+
+    /// Record one executed dispatch unit.
+    pub fn record_unit(
+        &self,
+        kernel: KernelId,
+        instances: u64,
+        dispatch: Duration,
+        body: Duration,
+    ) {
+        let c = &self.kernels[kernel.idx()].1;
+        c.instances.fetch_add(instances, Ordering::Relaxed);
+        c.units.fetch_add(1, Ordering::Relaxed);
+        c.dispatch_ns
+            .fetch_add(dispatch.as_nanos() as u64, Ordering::Relaxed);
+        c.kernel_ns
+            .fetch_add(body.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record elements stored by a kernel into a field.
+    pub fn record_store(&self, kernel: KernelId, field: FieldId, elements: u64) {
+        self.kernels[kernel.idx()]
+            .1
+            .stored_elements
+            .fetch_add(elements, Ordering::Relaxed);
+        *self.volumes.lock().entry((kernel, field)).or_insert(0) += elements;
+    }
+
+    /// Snapshot one kernel's stats by id.
+    pub fn kernel_by_id(&self, kernel: KernelId) -> KernelStats {
+        let c = &self.kernels[kernel.idx()].1;
+        let instances = c.instances.load(Ordering::Relaxed);
+        let div = instances.max(1);
+        KernelStats {
+            instances,
+            units: c.units.load(Ordering::Relaxed),
+            dispatch_time: Duration::from_nanos(c.dispatch_ns.load(Ordering::Relaxed) / div),
+            kernel_time: Duration::from_nanos(c.kernel_ns.load(Ordering::Relaxed) / div),
+            stored_elements: c.stored_elements.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot one kernel's stats by name.
+    pub fn kernel(&self, name: &str) -> Option<KernelStats> {
+        self.kernels
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| self.kernel_by_id(KernelId(i as u32)))
+    }
+
+    /// All kernels with their stats, in definition order.
+    pub fn all(&self) -> Vec<(String, KernelStats)> {
+        (0..self.kernels.len())
+            .map(|i| {
+                (
+                    self.kernels[i].0.clone(),
+                    self.kernel_by_id(KernelId(i as u32)),
+                )
+            })
+            .collect()
+    }
+
+    /// Per-(kernel, field) element volumes, for HLS edge weighting.
+    pub fn store_volumes(&self) -> BTreeMap<(KernelId, FieldId), u64> {
+        self.volumes.lock().clone()
+    }
+
+    /// Mean kernel time per kernel in microseconds, for HLS vertex
+    /// weighting.
+    pub fn kernel_times_us(&self) -> BTreeMap<KernelId, f64> {
+        (0..self.kernels.len())
+            .map(|i| {
+                let id = KernelId(i as u32);
+                (id, self.kernel_by_id(id).kernel_us())
+            })
+            .collect()
+    }
+
+    /// Render the paper's micro-benchmark table (Tables II/III format).
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<16} {:>10} {:>16} {:>16}\n",
+            "Kernel", "Instances", "Dispatch Time", "Kernel Time"
+        ));
+        for (name, st) in self.all() {
+            s.push_str(&format!(
+                "{:<16} {:>10} {:>13.2} us {:>13.2} us\n",
+                name,
+                st.instances,
+                st.dispatch_us(),
+                st.kernel_us()
+            ));
+        }
+        s
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// No more runnable instances (program finished or hit `max_ages`).
+    Quiescent,
+    /// The wall-clock deadline fired.
+    DeadlineExpired,
+    /// A kernel body or field operation failed.
+    Failed,
+}
+
+/// The result of running a program on an execution node.
+#[derive(Debug)]
+pub struct RunReport {
+    pub termination: Termination,
+    /// Total wall time of the run.
+    pub wall_time: Duration,
+    /// Final instrumentation snapshot.
+    pub instruments: InstrumentsSnapshot,
+}
+
+/// An owned snapshot of [`Instruments`] usable after the node is dropped.
+#[derive(Debug, Clone)]
+pub struct InstrumentsSnapshot {
+    entries: Vec<(String, KernelStats)>,
+    volumes: BTreeMap<(KernelId, FieldId), u64>,
+    analyzer_busy: Duration,
+    analyzer_events: u64,
+}
+
+impl InstrumentsSnapshot {
+    /// Capture a snapshot.
+    pub fn capture(live: &Instruments) -> InstrumentsSnapshot {
+        InstrumentsSnapshot {
+            entries: live.all(),
+            volumes: live.store_volumes(),
+            analyzer_busy: live.analyzer_busy(),
+            analyzer_events: live.analyzer_events(),
+        }
+    }
+
+    /// Total time the dependency analyzer spent processing events.
+    pub fn analyzer_busy(&self) -> Duration {
+        self.analyzer_busy
+    }
+
+    /// Events the analyzer processed.
+    pub fn analyzer_events(&self) -> u64 {
+        self.analyzer_events
+    }
+
+    /// Stats for a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelStats> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// All kernel stats in definition order.
+    pub fn all(&self) -> &[(String, KernelStats)] {
+        &self.entries
+    }
+
+    /// Per-(kernel, field) stored-element volumes.
+    pub fn store_volumes(&self) -> &BTreeMap<(KernelId, FieldId), u64> {
+        &self.volumes
+    }
+
+    /// Render as the paper's micro-benchmark table.
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<16} {:>10} {:>16} {:>16}\n",
+            "Kernel", "Instances", "Dispatch Time", "Kernel Time"
+        ));
+        for (name, st) in &self.entries {
+            s.push_str(&format!(
+                "{:<16} {:>10} {:>13.2} us {:>13.2} us\n",
+                name,
+                st.instances,
+                st.dispatch_us(),
+                st.kernel_us()
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let ins = Instruments::new(vec!["a".into(), "b".into()]);
+        ins.record_unit(
+            KernelId(0),
+            4,
+            Duration::from_micros(8),
+            Duration::from_micros(40),
+        );
+        ins.record_unit(
+            KernelId(0),
+            4,
+            Duration::from_micros(8),
+            Duration::from_micros(40),
+        );
+        let st = ins.kernel("a").unwrap();
+        assert_eq!(st.instances, 8);
+        assert_eq!(st.units, 2);
+        // 16 us dispatch over 8 instances = 2 us mean.
+        assert!((st.dispatch_us() - 2.0).abs() < 0.01);
+        assert!((st.kernel_us() - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn store_volume_tracking() {
+        let ins = Instruments::new(vec!["a".into()]);
+        ins.record_store(KernelId(0), FieldId(2), 64);
+        ins.record_store(KernelId(0), FieldId(2), 64);
+        assert_eq!(ins.store_volumes()[&(KernelId(0), FieldId(2))], 128);
+        assert_eq!(ins.kernel("a").unwrap().stored_elements, 128);
+    }
+
+    #[test]
+    fn unknown_kernel_name() {
+        let ins = Instruments::new(vec!["a".into()]);
+        assert!(ins.kernel("nope").is_none());
+    }
+
+    #[test]
+    fn table_rendering() {
+        let ins = Instruments::new(vec!["yDCT".into()]);
+        ins.record_unit(
+            KernelId(0),
+            1,
+            Duration::from_micros(3),
+            Duration::from_micros(170),
+        );
+        let table = ins.render_table();
+        assert!(table.contains("yDCT"));
+        assert!(table.contains("Instances"));
+        let snap = InstrumentsSnapshot::capture(&ins);
+        assert!(snap.render_table().contains("yDCT"));
+        assert_eq!(snap.kernel("yDCT").unwrap().instances, 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! The P2G execution-node runtime: the low-level scheduler (LLS).
+//!
+//! An [`ExecutionNode`] runs a [`Program`] — a validated
+//! [`p2g_graph::ProgramSpec`] plus Rust kernel bodies — on a pool of worker
+//! threads, with dependency analysis in a dedicated thread exactly as in the
+//! paper's prototype (Section VI-B):
+//!
+//! * Kernel instances produce **events** on store/resize operations.
+//! * The **dependency analyzer** subscribes to those events, finds every
+//!   *new* valid combination of age and index variables whose data
+//!   dependencies are now fulfilled, and pushes them onto per-kernel ready
+//!   queues.
+//! * **Worker threads** pop ready instances (lowest age first, so aging
+//!   cycles are never starved), assemble their fetch buffers, run the kernel
+//!   body, apply its stores, and emit the resulting events.
+//!
+//! Granularity adaptation (paper Figure 4) is exposed through
+//! [`KernelOptions`]: `chunk_size` merges several instances of one kernel
+//! into a single dispatch (less data parallelism, lower overhead) and
+//! `fuse_with` runs a consumer kernel inline after its producer (less task
+//! parallelism, elided intermediate dispatch).
+//!
+//! ```
+//! use p2g_runtime::{Program, ExecutionNode, RunLimits};
+//! use p2g_graph::spec::mul_sum_example;
+//! use p2g_field::{Buffer, Value};
+//!
+//! let spec = mul_sum_example();
+//! let mut program = Program::new(spec).unwrap();
+//! program.body("init", |ctx| {
+//!     ctx.store(0, Buffer::from_vec((0..5).map(|i| i + 10).collect::<Vec<i32>>()));
+//!     Ok(())
+//! });
+//! program.body("mul2", |ctx| {
+//!     let v = ctx.input(0).value(0).as_i64() as i32;
+//!     ctx.store(0, Buffer::from_vec(vec![v * 2]));
+//!     Ok(())
+//! });
+//! program.body("plus5", |ctx| {
+//!     let v = ctx.input(0).value(0).as_i64() as i32;
+//!     ctx.store(0, Buffer::from_vec(vec![v + 5]));
+//!     Ok(())
+//! });
+//! program.body("print", |_ctx| Ok(()));
+//!
+//! let node = ExecutionNode::new(program, 2);
+//! let report = node.run(RunLimits::ages(3)).unwrap();
+//! assert!(report.instruments.kernel("mul2").unwrap().instances > 0);
+//! ```
+
+pub mod analyzer;
+pub mod error;
+pub mod events;
+pub mod instance;
+pub mod instrument;
+pub mod node;
+pub mod options;
+pub mod program;
+pub mod ready;
+pub mod timer;
+
+pub use analyzer::DependencyAnalyzer;
+pub use error::RuntimeError;
+pub use events::{Event, StoreEvent};
+pub use instance::InstanceKey;
+pub use instrument::{Instruments, KernelStats, RunReport};
+pub use node::ExecutionNode;
+pub use options::{KernelOptions, RunLimits};
+pub use program::{BodyResult, KernelCtx, Program};
+pub use timer::TimerTable;
+
+/// Owned copy of an age expression, used internally where borrowing the
+/// program spec across a mutable analyzer call is not possible.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AgeExprCopy {
+    Rel(i64),
+    Const(u64),
+}

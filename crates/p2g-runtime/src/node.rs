@@ -1,0 +1,589 @@
+//! The execution node: worker pool + dedicated dependency-analyzer thread.
+//!
+//! Threading model (paper Section VI-B): kernel instances execute on worker
+//! threads and publish store events; dependencies are analyzed in one
+//! dedicated thread which feeds the age-priority ready queue. Termination
+//! uses an outstanding-work counter: every event and dispatch unit is
+//! counted before it is made visible, so the count can only reach zero when
+//! the program is quiescent.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use p2g_field::{Age, Buffer, Field, FieldId, Region, Value};
+use p2g_graph::{KernelId, ProgramSpec};
+
+use crate::analyzer::{DependencyAnalyzer, SharedFields};
+use crate::error::RuntimeError;
+use crate::events::{Event, StoreEvent};
+use crate::instance::DispatchUnit;
+use crate::instrument::{Instruments, InstrumentsSnapshot, RunReport, Termination};
+use crate::options::RunLimits;
+use crate::program::{FusionPlan, KernelBody, KernelCtx, Program, StagedStore};
+use crate::ready::ReadyQueue;
+use crate::timer::TimerTable;
+
+/// Called after every successful local store (distributed mode forwards
+/// the data to subscriber nodes through this hook).
+pub type StoreTap = Arc<dyn Fn(FieldId, Age, &Region, &Buffer) + Send + Sync>;
+
+struct Shared {
+    spec: Arc<ProgramSpec>,
+    bodies: Vec<Option<KernelBody>>,
+    fusions: Vec<FusionPlan>,
+    fields: SharedFields,
+    ready: ReadyQueue,
+    events_tx: Sender<Event>,
+    /// Events + queued units not yet fully processed. Zero ⇒ quiescent.
+    outstanding: AtomicI64,
+    stop: AtomicBool,
+    failure: Mutex<Option<RuntimeError>>,
+    instruments: Instruments,
+    timers: Arc<TimerTable>,
+    store_tap: Option<StoreTap>,
+    /// Distributed mode: quiescence is decided by the cluster coordinator.
+    hold_open: bool,
+}
+
+impl Shared {
+    /// Release one unit of outstanding work. The counter can reach zero on
+    /// *any* thread (the analyzer may process a unit's completion event
+    /// before the unit releases its own count), so every decrementer must
+    /// perform the quiescence check.
+    fn release_outstanding(&self) {
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 && !self.hold_open {
+            self.stop.store(true, Ordering::SeqCst);
+            self.ready.close();
+        }
+    }
+}
+
+impl Shared {
+    fn fail(&self, err: RuntimeError) {
+        let mut g = self.failure.lock();
+        if g.is_none() {
+            *g = Some(err);
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        self.ready.close();
+    }
+}
+
+/// Read access to a program's fields after a run (results extraction).
+pub struct FieldStore {
+    fields: Vec<Field>,
+    spec: Arc<ProgramSpec>,
+}
+
+impl FieldStore {
+    /// Fetch a region by field name.
+    pub fn fetch(&self, name: &str, age: Age, region: &Region) -> Option<Buffer> {
+        let id = self.spec.fields.iter().position(|f| f.name == name)?;
+        self.fields[id].fetch(age, region).ok()
+    }
+
+    /// Fetch one element by field name.
+    pub fn fetch_element(&self, name: &str, age: Age, index: &[usize]) -> Option<Value> {
+        let id = self.spec.fields.iter().position(|f| f.name == name)?;
+        self.fields[id].fetch_element(age, index).ok()
+    }
+
+    /// Direct access to a field by id.
+    pub fn field(&self, id: FieldId) -> &Field {
+        &self.fields[id.idx()]
+    }
+
+    /// Direct access by name.
+    pub fn field_by_name(&self, name: &str) -> Option<&Field> {
+        let id = self.spec.fields.iter().position(|f| f.name == name)?;
+        Some(&self.fields[id])
+    }
+}
+
+/// A single-machine P2G execution node.
+pub struct ExecutionNode {
+    program: Program,
+    workers: usize,
+    store_tap: Option<StoreTap>,
+    assigned: Option<std::collections::HashSet<KernelId>>,
+}
+
+impl ExecutionNode {
+    /// Create a node that will run `program` on `workers` worker threads
+    /// (plus the dedicated dependency-analyzer thread).
+    pub fn new(program: Program, workers: usize) -> ExecutionNode {
+        ExecutionNode {
+            program,
+            workers: workers.max(1),
+            store_tap: None,
+            assigned: None,
+        }
+    }
+
+    /// Install a store tap: called after every successful local store
+    /// with the stored region and data (used to forward stores to other
+    /// nodes in a cluster).
+    pub fn set_store_tap(&mut self, tap: StoreTap) {
+        self.store_tap = Some(tap);
+    }
+
+    /// Restrict this node to a subset of the program's kernels
+    /// (distributed mode — the HLS decides the assignment).
+    pub fn set_assigned(&mut self, assigned: std::collections::HashSet<KernelId>) {
+        self.assigned = Some(assigned);
+    }
+
+    /// Run to quiescence (or a limit), returning the report.
+    pub fn run(self, limits: RunLimits) -> Result<RunReport, RuntimeError> {
+        self.run_collect(limits).map(|(r, _)| r)
+    }
+
+    /// Run and additionally hand back the final field contents.
+    pub fn run_collect(self, limits: RunLimits) -> Result<(RunReport, FieldStore), RuntimeError> {
+        self.start(limits)?.join()
+    }
+
+    /// Start the node's threads and return a handle for interaction while
+    /// it runs (remote store injection, quiescence queries, stop).
+    pub fn start(self, limits: RunLimits) -> Result<RunningNode, RuntimeError> {
+        self.program.check_bodies()?;
+        let Program {
+            spec,
+            bodies,
+            options,
+            fusions,
+            timers,
+        } = self.program;
+
+        let fields: SharedFields = Arc::new(
+            spec.fields
+                .iter()
+                .enumerate()
+                .map(|(i, d)| RwLock::new(Field::new(FieldId(i as u32), d.clone())))
+                .collect(),
+        );
+        let (events_tx, events_rx) = unbounded::<Event>();
+        let shared = Arc::new(Shared {
+            spec: spec.clone(),
+            bodies,
+            fusions: fusions.clone(),
+            fields: fields.clone(),
+            ready: ReadyQueue::new(),
+            events_tx,
+            outstanding: AtomicI64::new(0),
+            stop: AtomicBool::new(false),
+            failure: Mutex::new(None),
+            instruments: Instruments::new(spec.kernels.iter().map(|k| k.name.clone()).collect()),
+            timers,
+            store_tap: self.store_tap.clone(),
+            hold_open: limits.hold_open,
+        });
+
+        let fused_consumers: HashSet<KernelId> = fusions.iter().map(|f| f.consumer).collect();
+        let mut analyzer = DependencyAnalyzer::new(
+            spec.clone(),
+            options,
+            fused_consumers,
+            fields.clone(),
+            limits.clone(),
+        );
+        if let Some(assigned) = self.assigned {
+            analyzer.set_assigned(assigned);
+        }
+
+        let start = Instant::now();
+
+        // Seed source kernels before any worker can observe an empty queue.
+        for unit in analyzer.seed() {
+            shared.outstanding.fetch_add(1, Ordering::SeqCst);
+            shared.ready.push(unit);
+        }
+        // A program with no sources is quiescent immediately (unless it
+        // waits for remote stores).
+        if shared.outstanding.load(Ordering::SeqCst) == 0 && !limits.hold_open {
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.ready.close();
+        }
+
+        // Analyzer thread.
+        let analyzer_shared = shared.clone();
+        let deadline = limits.wall_deadline.map(|d| start + d);
+        let analyzer_handle = std::thread::Builder::new()
+            .name("p2g-analyzer".into())
+            .spawn(move || analyzer_loop(analyzer, analyzer_shared, events_rx, deadline))
+            .expect("spawn analyzer");
+
+        // Worker threads.
+        let mut worker_handles = Vec::with_capacity(self.workers);
+        for w in 0..self.workers {
+            let ws = shared.clone();
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("p2g-worker-{w}"))
+                    .spawn(move || worker_loop(ws))
+                    .expect("spawn worker"),
+            );
+        }
+
+        Ok(RunningNode {
+            shared,
+            fields,
+            spec,
+            start,
+            analyzer_handle,
+            worker_handles,
+        })
+    }
+}
+
+/// A started execution node: inject remote stores, query quiescence, stop,
+/// and finally join for the report and field contents.
+pub struct RunningNode {
+    shared: Arc<Shared>,
+    fields: SharedFields,
+    spec: Arc<ProgramSpec>,
+    start: Instant,
+    analyzer_handle: std::thread::JoinHandle<Termination>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RunningNode {
+    /// Forward a store produced on another node into this node's field
+    /// replicas; the dependency analyzer applies it and dispatches any
+    /// instances it unblocks.
+    pub fn inject_remote_store(&self, field: FieldId, age: Age, region: Region, buffer: Buffer) {
+        self.shared.outstanding.fetch_add(1, Ordering::SeqCst);
+        let _ = self.shared.events_tx.send(Event::RemoteStore {
+            field,
+            age,
+            region,
+            buffer,
+        });
+    }
+
+    /// Outstanding local work (events + queued + running units). Zero
+    /// means locally quiescent (remote stores may still arrive).
+    pub fn outstanding(&self) -> i64 {
+        self.shared.outstanding.load(Ordering::SeqCst)
+    }
+
+    /// Ask the node to stop: used by the cluster coordinator once global
+    /// quiescence is established, and for external cancellation.
+    pub fn request_stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.ready.close();
+    }
+
+    /// Wait for the node to finish and collect the report and fields.
+    pub fn join(self) -> Result<(RunReport, FieldStore), RuntimeError> {
+        let RunningNode {
+            shared,
+            fields,
+            spec,
+            start,
+            analyzer_handle,
+            worker_handles,
+        } = self;
+        let termination = analyzer_handle
+            .join()
+            .map_err(|_| RuntimeError::WorkerPanic)?;
+        for h in worker_handles {
+            h.join().map_err(|_| RuntimeError::WorkerPanic)?;
+        }
+        let wall_time = start.elapsed();
+
+        if let Some(err) = shared.failure.lock().take() {
+            return Err(err);
+        }
+
+        let report = RunReport {
+            termination,
+            wall_time,
+            instruments: InstrumentsSnapshot::capture(&shared.instruments),
+        };
+        // All threads joined: the Arcs unwrap cleanly.
+        drop(shared);
+        let fields = Arc::try_unwrap(fields)
+            .expect("no outstanding field references after join")
+            .into_iter()
+            .map(|l| l.into_inner())
+            .collect();
+        Ok((report, FieldStore { fields, spec }))
+    }
+}
+
+fn analyzer_loop(
+    mut analyzer: DependencyAnalyzer,
+    shared: Arc<Shared>,
+    events_rx: Receiver<Event>,
+    deadline: Option<Instant>,
+) -> Termination {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            // Either quiescent-stop (set below) or failure-stop.
+            return if shared.failure.lock().is_some() {
+                Termination::Failed
+            } else {
+                Termination::Quiescent
+            };
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                if std::env::var_os("P2G_DEBUG_QUIESCENCE").is_some() {
+                    eprintln!(
+                        "[p2g] deadline with outstanding={} ready_len={}",
+                        shared.outstanding.load(Ordering::SeqCst),
+                        shared.ready.len()
+                    );
+                }
+                shared.stop.store(true, Ordering::SeqCst);
+                shared.ready.close();
+                return Termination::DeadlineExpired;
+            }
+        }
+        let ev = match events_rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(ev) => ev,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                return Termination::Quiescent
+            }
+        };
+        if let Event::Failure(msg) = &ev {
+            shared.fail(RuntimeError::Kernel {
+                kernel: "<unknown>".into(),
+                message: msg.clone(),
+            });
+            return Termination::Failed;
+        }
+        let t_event = Instant::now();
+        let units = match analyzer.on_event(&ev) {
+            Ok(units) => units,
+            Err(e) => {
+                shared.fail(RuntimeError::Field(e));
+                return Termination::Failed;
+            }
+        };
+        shared.instruments.record_analyzer_event(t_event.elapsed());
+        for unit in units {
+            shared.outstanding.fetch_add(1, Ordering::SeqCst);
+            shared.ready.push(unit);
+        }
+        // This event is fully processed; the release may observe
+        // quiescence (stop is then checked at the top of the loop, and
+        // also right here to avoid one extra poll cycle).
+        shared.release_outstanding();
+        if shared.stop.load(Ordering::SeqCst) {
+            return if shared.failure.lock().is_some() {
+                Termination::Failed
+            } else {
+                Termination::Quiescent
+            };
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    while let Some(unit) = shared.ready.pop() {
+        run_unit(&shared, unit);
+    }
+}
+
+/// Execute one dispatch unit: assemble inputs, run bodies, apply stores,
+/// publish events.
+fn run_unit(shared: &Shared, unit: DispatchUnit) {
+    let t_unit = Instant::now();
+    let mut body_time = Duration::ZERO;
+    let mut stored_any = false;
+    let n_instances = unit.len() as u64;
+
+    for indices in &unit.instances {
+        match run_instance(shared, unit.kernel, unit.age, indices, &mut body_time) {
+            Ok(any) => stored_any |= any,
+            Err(err) => {
+                shared.fail(err);
+                // Balance this unit's outstanding count before bailing.
+                shared.release_outstanding();
+                return;
+            }
+        }
+    }
+
+    let dispatch_time = t_unit.elapsed().saturating_sub(body_time);
+    shared
+        .instruments
+        .record_unit(unit.kernel, n_instances, dispatch_time, body_time);
+
+    // The UnitDone event is counted before the unit's own count is
+    // released; the analyzer may nevertheless process it first, in which
+    // case this thread's release is the one that observes quiescence.
+    shared.outstanding.fetch_add(1, Ordering::SeqCst);
+    let _ = shared.events_tx.send(Event::UnitDone {
+        kernel: unit.kernel,
+        age: unit.age,
+        instances: unit.len(),
+        stored_any,
+    });
+    shared.release_outstanding();
+}
+
+/// Execute one kernel instance (and its fused consumer, if any). Returns
+/// whether any store was performed.
+fn run_instance(
+    shared: &Shared,
+    kernel: KernelId,
+    age: Age,
+    indices: &[usize],
+    body_time: &mut Duration,
+) -> Result<bool, RuntimeError> {
+    let kspec = shared.spec.kernel(kernel);
+
+    // Assemble fetch buffers (copies — workers never hold field locks
+    // while running kernel code).
+    let mut inputs = Vec::with_capacity(kspec.fetches.len());
+    for fe in &kspec.fetches {
+        let fa = fe.age.resolve(age);
+        let region = crate::program::resolve_region(&fe.dims, indices);
+        let buf = shared.fields[fe.field.idx()].read().fetch(fa, &region)?;
+        inputs.push(buf);
+    }
+
+    let mut ctx = KernelCtx {
+        spec: kspec,
+        age,
+        indices,
+        inputs,
+        staged: Vec::new(),
+        timers: &shared.timers,
+    };
+    let body = shared.bodies[kernel.idx()]
+        .as_ref()
+        .expect("bodies checked before run");
+    let t_body = Instant::now();
+    body(&mut ctx).map_err(|message| RuntimeError::Kernel {
+        kernel: kspec.name.clone(),
+        message,
+    })?;
+    *body_time += t_body.elapsed();
+
+    let staged = std::mem::take(&mut ctx.staged);
+    let fusion = shared.fusions.iter().find(|f| f.producer == kernel);
+    let mut stored_any = false;
+
+    for st in &staged {
+        let elide = fusion.is_some_and(|f| f.elide_store && f.producer_store == st.store_idx);
+        if !elide {
+            apply_store(shared, kernel, age, indices, st, &mut stored_any)?;
+        } else {
+            stored_any = true;
+        }
+    }
+
+    // Fused consumer: run inline on the producer's staged output.
+    if let Some(plan) = fusion {
+        for st in &staged {
+            if st.store_idx != plan.producer_store {
+                continue;
+            }
+            let cspec = shared.spec.kernel(plan.consumer);
+            // The consumer's index variables take the values selected by
+            // the producer's store pattern at the Var positions.
+            let decl = &kspec.stores[st.store_idx];
+            let fe = &cspec.fetches[0];
+            let mut cidx = vec![0usize; cspec.index_vars as usize];
+            for (sel_p, sel_c) in decl.dims.iter().zip(&fe.dims) {
+                if let (p2g_graph::spec::IndexSel::Var(pv), p2g_graph::spec::IndexSel::Var(cv)) =
+                    (sel_p, sel_c)
+                {
+                    cidx[cv.0 as usize] = indices[pv.0 as usize];
+                }
+            }
+            let mut cctx = KernelCtx {
+                spec: cspec,
+                age,
+                indices: &cidx,
+                inputs: vec![st.buffer.clone()],
+                staged: Vec::new(),
+                timers: &shared.timers,
+            };
+            let cbody = shared.bodies[plan.consumer.idx()]
+                .as_ref()
+                .expect("bodies checked before run");
+            let t_body = Instant::now();
+            cbody(&mut cctx).map_err(|message| RuntimeError::Kernel {
+                kernel: cspec.name.clone(),
+                message,
+            })?;
+            *body_time += t_body.elapsed();
+            let cstaged = std::mem::take(&mut cctx.staged);
+            for cst in &cstaged {
+                apply_store_for(
+                    shared,
+                    plan.consumer,
+                    cspec,
+                    age,
+                    &cidx,
+                    cst,
+                    &mut stored_any,
+                )?;
+            }
+            shared
+                .instruments
+                .record_unit(plan.consumer, 1, Duration::ZERO, Duration::ZERO);
+        }
+    }
+
+    Ok(stored_any)
+}
+
+fn apply_store(
+    shared: &Shared,
+    kernel: KernelId,
+    age: Age,
+    indices: &[usize],
+    st: &StagedStore,
+    stored_any: &mut bool,
+) -> Result<(), RuntimeError> {
+    let kspec = shared.spec.kernel(kernel);
+    apply_store_for(shared, kernel, kspec, age, indices, st, stored_any)
+}
+
+fn apply_store_for(
+    shared: &Shared,
+    kernel: KernelId,
+    kspec: &p2g_graph::spec::KernelSpec,
+    age: Age,
+    indices: &[usize],
+    st: &StagedStore,
+    stored_any: &mut bool,
+) -> Result<(), RuntimeError> {
+    let decl = &kspec.stores[st.store_idx];
+    let target_age = st.age.unwrap_or_else(|| decl.age.resolve(age));
+    let region = match &st.region {
+        Some(r) => r.clone(),
+        None => crate::program::resolve_region(&decl.dims, indices),
+    };
+    let outcome = shared.fields[decl.field.idx()]
+        .write()
+        .store(target_age, &region, &st.buffer)?;
+    *stored_any = true;
+    shared
+        .instruments
+        .record_store(kernel, decl.field, outcome.stored as u64);
+    if let Some(tap) = &shared.store_tap {
+        tap(decl.field, target_age, &region, &st.buffer);
+    }
+    shared.outstanding.fetch_add(1, Ordering::SeqCst);
+    let _ = shared.events_tx.send(Event::Store(StoreEvent {
+        field: decl.field,
+        age: target_age,
+        elements: outcome.stored,
+        age_complete: outcome.age_complete,
+        resized: outcome.resized,
+    }));
+    Ok(())
+}

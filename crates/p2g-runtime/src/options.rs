@@ -1,0 +1,104 @@
+//! Execution-node tuning knobs: per-kernel granularity options and run
+//! limits.
+
+use std::time::Duration;
+
+use p2g_graph::KernelId;
+
+/// Per-kernel low-level-scheduler options — the granularity adaptation of
+/// paper Figure 4.
+#[derive(Debug, Clone)]
+pub struct KernelOptions {
+    /// Maximum number of ready instances of this kernel (same age) merged
+    /// into one dispatch unit. 1 = finest data granularity (the default,
+    /// and what the programmer is encouraged to express); larger values
+    /// trade data parallelism for lower dispatch overhead (Figure 4,
+    /// Age=2).
+    pub chunk_size: usize,
+    /// Run this *consumer* kernel inline after the producer instance that
+    /// satisfies its single fetch, skipping its separate dispatch
+    /// (Figure 4, Age=3 — reduced task parallelism). Set on the producer,
+    /// naming the consumer.
+    pub fuse_consumer: Option<KernelId>,
+    /// Dispatch instances of this kernel strictly in age order, one age at
+    /// a time. Needed by kernels with ordered side effects (the MJPEG
+    /// `VLC/write` kernel appends to the output bitstream).
+    pub ordered: bool,
+}
+
+impl Default for KernelOptions {
+    fn default() -> KernelOptions {
+        KernelOptions {
+            chunk_size: 1,
+            fuse_consumer: None,
+            ordered: false,
+        }
+    }
+}
+
+/// Limits that bound a run of a (possibly infinite) P2G program.
+#[derive(Debug, Clone, Default)]
+pub struct RunLimits {
+    /// Stop creating instances at this age (exclusive). The mul2/plus5
+    /// example runs forever without it.
+    pub max_ages: Option<u64>,
+    /// Abort after this wall-clock duration.
+    pub wall_deadline: Option<Duration>,
+    /// Garbage-collect field ages more than this many ages behind the
+    /// newest stored age of the same field. `None` disables GC.
+    pub gc_window: Option<u64>,
+    /// Distributed mode: do not stop when locally quiescent — remote
+    /// stores may still arrive. The cluster coordinator detects global
+    /// quiescence and calls `request_stop` on every node.
+    pub hold_open: bool,
+}
+
+impl RunLimits {
+    /// Run until quiescent with no limits (for terminating programs).
+    pub fn unbounded() -> RunLimits {
+        RunLimits::default()
+    }
+
+    /// Limit the run to `n` ages.
+    pub fn ages(n: u64) -> RunLimits {
+        RunLimits {
+            max_ages: Some(n),
+            ..RunLimits::default()
+        }
+    }
+
+    /// Add a wall-clock deadline.
+    pub fn with_deadline(mut self, d: Duration) -> RunLimits {
+        self.wall_deadline = Some(d);
+        self
+    }
+
+    /// Add an age GC window.
+    pub fn with_gc_window(mut self, w: u64) -> RunLimits {
+        self.gc_window = Some(w);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let o = KernelOptions::default();
+        assert_eq!(o.chunk_size, 1);
+        assert!(o.fuse_consumer.is_none());
+        assert!(!o.ordered);
+    }
+
+    #[test]
+    fn builders() {
+        let l = RunLimits::ages(5)
+            .with_deadline(Duration::from_secs(1))
+            .with_gc_window(3);
+        assert_eq!(l.max_ages, Some(5));
+        assert_eq!(l.gc_window, Some(3));
+        assert!(l.wall_deadline.is_some());
+    }
+}

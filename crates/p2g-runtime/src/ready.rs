@@ -1,0 +1,188 @@
+//! The shared ready queue between the dependency analyzer and the workers.
+//!
+//! Dispatch units are ordered by (age, kernel, arrival): lower ages first,
+//! as in the paper's prototype — this guarantees that kernels satisfying
+//! their own dependencies through aging cycles (mul2/plus5) never starve
+//! fetch-less kernels or each other.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::instance::DispatchUnit;
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Rank {
+    age: u64,
+    kernel: u32,
+    seq: u64,
+}
+
+struct Inner {
+    heap: BinaryHeap<(Reverse<Rank>, DispatchUnit)>,
+    seq: u64,
+    closed: bool,
+}
+
+/// Age-priority blocking queue of dispatch units.
+pub struct ReadyQueue {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+impl Default for ReadyQueue {
+    fn default() -> ReadyQueue {
+        ReadyQueue::new()
+    }
+}
+
+impl ReadyQueue {
+    /// Empty queue.
+    pub fn new() -> ReadyQueue {
+        ReadyQueue {
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                closed: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Push a unit; wakes one waiting worker.
+    pub fn push(&self, unit: DispatchUnit) {
+        let mut g = self.inner.lock();
+        let rank = Rank {
+            age: unit.age.0,
+            kernel: unit.kernel.0,
+            seq: g.seq,
+        };
+        g.seq += 1;
+        g.heap.push((Reverse(rank), unit));
+        drop(g);
+        self.cond.notify_one();
+    }
+
+    /// Pop the lowest-age unit, blocking until one is available or the
+    /// queue is closed. `None` means shutdown.
+    pub fn pop(&self) -> Option<DispatchUnit> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some((_, unit)) = g.heap.pop() {
+                return Some(unit);
+            }
+            if g.closed {
+                return None;
+            }
+            self.cond.wait(&mut g);
+        }
+    }
+
+    /// Non-blocking pop (used by single-threaded drivers and tests).
+    pub fn try_pop(&self) -> Option<DispatchUnit> {
+        self.inner.lock().heap.pop().map(|(_, u)| u)
+    }
+
+    /// Close the queue; blocked and future pops return `None`.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Number of queued units.
+    pub fn len(&self) -> usize {
+        self.inner.lock().heap.len()
+    }
+
+    /// True when no units are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// DispatchUnit doesn't implement Ord; the heap compares only the Rank.
+// These impls make the tuple orderable while ignoring the payload.
+impl PartialEq for DispatchUnit {
+    fn eq(&self, other: &Self) -> bool {
+        self.kernel == other.kernel && self.age == other.age && self.instances == other.instances
+    }
+}
+impl Eq for DispatchUnit {}
+impl PartialOrd for DispatchUnit {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DispatchUnit {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2g_field::Age;
+    use p2g_graph::KernelId;
+
+    fn unit(kernel: u32, age: u64) -> DispatchUnit {
+        DispatchUnit {
+            kernel: KernelId(kernel),
+            age: Age(age),
+            instances: vec![vec![]],
+        }
+    }
+
+    #[test]
+    fn pops_lowest_age_first() {
+        let q = ReadyQueue::new();
+        q.push(unit(0, 3));
+        q.push(unit(1, 1));
+        q.push(unit(2, 2));
+        assert_eq!(q.try_pop().unwrap().age, Age(1));
+        assert_eq!(q.try_pop().unwrap().age, Age(2));
+        assert_eq!(q.try_pop().unwrap().age, Age(3));
+        assert!(q.try_pop().is_none());
+    }
+
+    #[test]
+    fn fifo_within_same_age_and_kernel() {
+        let q = ReadyQueue::new();
+        let mut a = unit(0, 0);
+        a.instances = vec![vec![1]];
+        let mut b = unit(0, 0);
+        b.instances = vec![vec![2]];
+        q.push(a);
+        q.push(b);
+        assert_eq!(q.try_pop().unwrap().instances, vec![vec![1]]);
+        assert_eq!(q.try_pop().unwrap().instances, vec![vec![2]]);
+    }
+
+    #[test]
+    fn close_unblocks_poppers() {
+        let q = std::sync::Arc::new(ReadyQueue::new());
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn pop_after_close_drains_remaining() {
+        let q = ReadyQueue::new();
+        q.push(unit(0, 0));
+        q.close();
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn len_tracking() {
+        let q = ReadyQueue::new();
+        assert!(q.is_empty());
+        q.push(unit(0, 0));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! End-to-end tests of the paper's Figure-5 example program: the
+//! mul2/plus5/print aging cycle. The paper states the exact sequences the
+//! program produces; these tests assert them.
+
+use p2g_field::{Age, Buffer, Region, Value};
+use p2g_graph::spec::mul_sum_example;
+use p2g_runtime::{ExecutionNode, Program, RunLimits};
+
+fn build_program() -> Program {
+    let mut program = Program::new(mul_sum_example()).unwrap();
+    program.body("init", |ctx| {
+        // for(i in 0..5) put(values, i+10, i); store m_data(0) = values
+        ctx.store(
+            0,
+            Buffer::from_vec((0..5).map(|i| i + 10).collect::<Vec<i32>>()),
+        );
+        Ok(())
+    });
+    program.body("mul2", |ctx| {
+        let v = match ctx.input(0).value(0) {
+            Value::I32(v) => v,
+            other => return Err(format!("unexpected type {other:?}")),
+        };
+        ctx.store(0, Buffer::from_vec(vec![v.wrapping_mul(2)]));
+        Ok(())
+    });
+    program.body("plus5", |ctx| {
+        let v = match ctx.input(0).value(0) {
+            Value::I32(v) => v,
+            other => return Err(format!("unexpected type {other:?}")),
+        };
+        ctx.store(0, Buffer::from_vec(vec![v.wrapping_add(5)]));
+        Ok(())
+    });
+    program.body("print", |_| Ok(()));
+    program
+}
+
+fn run_ages(program: Program, workers: usize, ages: u64) -> p2g_runtime::node::FieldStore {
+    let node = ExecutionNode::new(program, workers);
+    let (report, fields) = node.run_collect(RunLimits::ages(ages)).unwrap();
+    assert_eq!(
+        report.termination,
+        p2g_runtime::instrument::Termination::Quiescent
+    );
+    fields
+}
+
+fn i32s(fields: &p2g_runtime::node::FieldStore, name: &str, age: u64) -> Vec<i32> {
+    fields
+        .fetch(name, Age(age), &Region::all(1))
+        .unwrap_or_else(|| panic!("{name} age {age} missing"))
+        .as_i32()
+        .unwrap()
+        .to_vec()
+}
+
+/// The paper: "The print kernel writes {10,11,12,13,14}, {20,22,24,26,28}
+/// for the first age and {25,27,29,31,33}, {50,54,58,62,66} for the second".
+#[test]
+fn produces_the_papers_sequences() {
+    let fields = run_ages(build_program(), 2, 3);
+    assert_eq!(i32s(&fields, "m_data", 0), vec![10, 11, 12, 13, 14]);
+    assert_eq!(i32s(&fields, "p_data", 0), vec![20, 22, 24, 26, 28]);
+    assert_eq!(i32s(&fields, "m_data", 1), vec![25, 27, 29, 31, 33]);
+    assert_eq!(i32s(&fields, "p_data", 1), vec![50, 54, 58, 62, 66]);
+    assert_eq!(i32s(&fields, "m_data", 2), vec![55, 59, 63, 67, 71]);
+}
+
+/// Deterministic output independent of worker count — the core write-once
+/// guarantee.
+#[test]
+fn deterministic_across_worker_counts() {
+    let reference: Vec<Vec<i32>> = {
+        let fields = run_ages(build_program(), 1, 5);
+        (0..5)
+            .flat_map(|a| vec![i32s(&fields, "m_data", a), i32s(&fields, "p_data", a)])
+            .collect()
+    };
+    for workers in [2, 4, 8] {
+        let fields = run_ages(build_program(), workers, 5);
+        let got: Vec<Vec<i32>> = (0..5)
+            .flat_map(|a| vec![i32s(&fields, "m_data", a), i32s(&fields, "p_data", a)])
+            .collect();
+        assert_eq!(got, reference, "worker count {workers} diverged");
+    }
+}
+
+/// Instance accounting: per age, 5 mul2 + 5 plus5 + 1 print, and init once.
+#[test]
+fn instance_counts_match_model() {
+    let program = build_program();
+    let node = ExecutionNode::new(program, 4);
+    let report = node.run(RunLimits::ages(4)).unwrap();
+    let ins = &report.instruments;
+    assert_eq!(ins.kernel("init").unwrap().instances, 1);
+    assert_eq!(ins.kernel("mul2").unwrap().instances, 4 * 5);
+    // plus5 stores into age a+1; at the age cap its stores are still
+    // performed but the capped age spawns no new instances.
+    assert_eq!(ins.kernel("plus5").unwrap().instances, 4 * 5);
+    assert_eq!(ins.kernel("print").unwrap().instances, 4);
+}
+
+/// Figure 4, Age=2: reduced data parallelism via chunking must not change
+/// results.
+#[test]
+fn chunking_preserves_results() {
+    let mut program = build_program();
+    program.set_chunk_size("mul2", 5).set_chunk_size("plus5", 3);
+    let fields = run_ages(program, 4, 3);
+    assert_eq!(i32s(&fields, "p_data", 1), vec![50, 54, 58, 62, 66]);
+    assert_eq!(i32s(&fields, "m_data", 2), vec![55, 59, 63, 67, 71]);
+}
+
+/// Chunked dispatch shows fewer units than instances in instrumentation.
+#[test]
+fn chunking_reduces_units() {
+    let mut program = build_program();
+    program.set_chunk_size("mul2", 5);
+    let node = ExecutionNode::new(program, 2);
+    let report = node.run(RunLimits::ages(3)).unwrap();
+    let st = report.instruments.kernel("mul2").unwrap();
+    assert_eq!(st.instances, 15);
+    // Chunking is opportunistic: instances that become runnable together
+    // merge into one unit. Age 0 (whole-field init store) always merges to
+    // a single unit; later ages depend on event arrival order, so we only
+    // require strictly fewer units than instances.
+    assert!(
+        st.units < st.instances,
+        "expected merged units, got {} units for {} instances",
+        st.units,
+        st.instances
+    );
+}
+
+/// Figure 4, Age=3: task fusion (mul2+plus5) must not change results and
+/// must suppress separate plus5 dispatch units.
+#[test]
+fn fusion_preserves_results() {
+    let mut program = build_program();
+    program.fuse("mul2", "plus5").unwrap();
+    let node = ExecutionNode::new(program, 4);
+    let (report, fields) = node.run_collect(RunLimits::ages(3)).unwrap();
+    assert_eq!(i32s(&fields, "m_data", 1), vec![25, 27, 29, 31, 33]);
+    assert_eq!(i32s(&fields, "p_data", 1), vec![50, 54, 58, 62, 66]);
+    // plus5 ran (instances recorded) but under mul2's dispatch (0 units of
+    // its own would show as units == 0 is not tracked separately; its
+    // dispatch overhead is folded into mul2's).
+    let plus5 = report.instruments.kernel("plus5").unwrap();
+    assert_eq!(plus5.instances, 15);
+}
+
+/// Figure 4, Age=4: fusion + full chunking — a classical sequential loop.
+#[test]
+fn fusion_plus_chunking() {
+    let mut program = build_program();
+    program.fuse("mul2", "plus5").unwrap();
+    program.set_chunk_size("mul2", 5);
+    let fields = run_ages(program, 1, 3);
+    assert_eq!(i32s(&fields, "m_data", 2), vec![55, 59, 63, 67, 71]);
+}
+
+/// GC window keeps memory bounded without corrupting live ages.
+#[test]
+fn gc_window_bounds_residency() {
+    let program = build_program();
+    let node = ExecutionNode::new(program, 2);
+    let (_, fields) = node
+        .run_collect(RunLimits::ages(20).with_gc_window(4))
+        .unwrap();
+    let m = fields.field_by_name("m_data").unwrap();
+    let resident = m.resident_ages().count();
+    // Consumer-aware GC collects behind the slowest completed consumer at
+    // store time, so residency depends on scheduling; it must stay well
+    // below the 20 ages produced.
+    assert!(resident <= 12, "expected bounded residency, got {resident}");
+    // The newest ages are intact.
+    assert!(m.is_complete(Age(19)));
+}
+
+/// A failing kernel body aborts the run with its message.
+#[test]
+fn kernel_failure_propagates() {
+    let mut program = build_program();
+    program.body("plus5", |_| Err("boom".into()));
+    let node = ExecutionNode::new(program, 2);
+    let err = node.run(RunLimits::ages(3)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("plus5") && msg.contains("boom"), "{msg}");
+}
+
+/// A body that double-stores trips the write-once enforcement.
+#[test]
+fn write_once_violation_detected_at_runtime() {
+    let mut program = build_program();
+    program.body("mul2", |ctx| {
+        let v = ctx.input(0).value(0).as_i64() as i32;
+        ctx.store(0, Buffer::from_vec(vec![v * 2]));
+        ctx.store(0, Buffer::from_vec(vec![v * 2])); // second store: violation
+        Ok(())
+    });
+    let node = ExecutionNode::new(program, 2);
+    let err = node.run(RunLimits::ages(2)).unwrap_err();
+    assert!(err.to_string().contains("write-once"), "{err}");
+}
+
+/// Missing bodies are rejected before any thread spawns.
+#[test]
+fn missing_body_rejected() {
+    let program = Program::new(mul_sum_example()).unwrap();
+    let node = ExecutionNode::new(program, 1);
+    let err = node.run(RunLimits::ages(1)).unwrap_err();
+    assert!(err.to_string().contains("no registered body"));
+}
+
+/// The wall deadline stops an otherwise infinite program.
+#[test]
+fn wall_deadline_stops_unbounded_run() {
+    let program = build_program();
+    let node = ExecutionNode::new(program, 2);
+    let report = node
+        .run(
+            RunLimits::unbounded()
+                .with_deadline(std::time::Duration::from_millis(100))
+                .with_gc_window(4),
+        )
+        .unwrap();
+    assert_eq!(
+        report.termination,
+        p2g_runtime::instrument::Termination::DeadlineExpired
+    );
+    // It made real progress before the deadline.
+    assert!(report.instruments.kernel("mul2").unwrap().instances > 10);
+}

@@ -1,0 +1,59 @@
+//! Regression stress for the distributed-termination race: the outstanding
+//! counter can reach zero on a worker thread (the analyzer may process a
+//! unit's completion event before the unit releases its own count), and
+//! quiescence must still be detected. Before the fix this hung roughly
+//! once per few hundred runs at 3 workers on a loaded machine.
+
+use p2g_field::Buffer;
+use p2g_graph::spec::mul_sum_example;
+use p2g_runtime::instrument::Termination;
+use p2g_runtime::{ExecutionNode, Program, RunLimits};
+
+fn tiny_program() -> Program {
+    let mut program = Program::new(mul_sum_example()).unwrap();
+    program.body("init", |ctx| {
+        ctx.store(0, Buffer::from_vec(vec![1i32, 2, 3]));
+        Ok(())
+    });
+    program.body("mul2", |ctx| {
+        let v = ctx.input(0).value(0).as_i64() as i32;
+        ctx.store(0, Buffer::from_vec(vec![v.wrapping_mul(2)]));
+        Ok(())
+    });
+    program.body("plus5", |ctx| {
+        let v = ctx.input(0).value(0).as_i64() as i32;
+        ctx.store(0, Buffer::from_vec(vec![v.wrapping_add(5)]));
+        Ok(())
+    });
+    program.body("print", |_| Ok(()));
+    program
+}
+
+#[test]
+fn quiescence_always_detected() {
+    // Many short runs across worker counts; the 30 s deadline acts as the
+    // hang detector — a correct run takes milliseconds.
+    for round in 0..60 {
+        let workers = 1 + round % 5;
+        let report = ExecutionNode::new(tiny_program(), workers)
+            .run(RunLimits::ages(3).with_deadline(std::time::Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(
+            report.termination,
+            Termination::Quiescent,
+            "round {round} with {workers} workers did not quiesce"
+        );
+    }
+}
+
+#[test]
+fn quiescence_with_sourceless_completion() {
+    // A program whose last action is a store-less kernel (print): the
+    // final counter release is especially likely to land on a worker.
+    for _ in 0..40 {
+        let report = ExecutionNode::new(tiny_program(), 3)
+            .run(RunLimits::ages(1).with_deadline(std::time::Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(report.termination, Termination::Quiescent);
+    }
+}

@@ -1,0 +1,174 @@
+//! Deadline-driven processing (paper Section V-B / IX): a live transcoder
+//! where each frame has a processing budget. Frames that blow the budget
+//! take the *alternate code path* — the kernel stores to a different field,
+//! which routes them to a concealment kernel instead of the delivery
+//! kernel. "It does not make sense to encode a frame if the playback has
+//! moved past that point in the video-stream."
+//!
+//! Run with: `cargo run -p p2g-examples --bin deadline_transcoder --release`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use p2g_core::prelude::*;
+
+fn build_spec() -> ProgramSpec {
+    let mut spec = ProgramSpec::new();
+    let frames = spec.add_field(FieldDef::with_extents(
+        "frames",
+        ScalarType::I32,
+        Extents::new([64]),
+    ));
+    let encoded = spec.add_field(FieldDef::with_extents(
+        "encoded",
+        ScalarType::I32,
+        Extents::new([64]),
+    ));
+    let skipped = spec.add_field(FieldDef::with_extents(
+        "skipped",
+        ScalarType::I32,
+        Extents::new([1]),
+    ));
+
+    // capture: produces one synthetic frame per age.
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "capture".into(),
+        index_vars: 0,
+        has_age_var: true,
+        fetches: vec![],
+        stores: vec![StoreDecl {
+            field: frames,
+            age: AgeExpr::Rel(0),
+            dims: vec![IndexSel::All],
+        }],
+    });
+
+    // encode: primary path stores `encoded`, alternate path stores
+    // `skipped` — the deadline decides at run time.
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "encode".into(),
+        index_vars: 0,
+        has_age_var: true,
+        fetches: vec![FetchDecl {
+            field: frames,
+            age: AgeExpr::Rel(0),
+            dims: vec![IndexSel::All],
+        }],
+        stores: vec![
+            StoreDecl {
+                field: encoded,
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::All],
+            },
+            StoreDecl {
+                field: skipped,
+                age: AgeExpr::Rel(0),
+                dims: vec![IndexSel::All],
+            },
+        ],
+    });
+
+    // deliver: consumes successfully encoded frames.
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "deliver".into(),
+        index_vars: 0,
+        has_age_var: true,
+        fetches: vec![FetchDecl {
+            field: encoded,
+            age: AgeExpr::Rel(0),
+            dims: vec![IndexSel::All],
+        }],
+        stores: vec![],
+    });
+
+    // conceal: consumes skip markers (would repeat the previous frame).
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "conceal".into(),
+        index_vars: 0,
+        has_age_var: true,
+        fetches: vec![FetchDecl {
+            field: skipped,
+            age: AgeExpr::Rel(0),
+            dims: vec![IndexSel::All],
+        }],
+        stores: vec![],
+    });
+
+    spec
+}
+
+fn main() {
+    let total_frames = 30u64;
+    let budget = Duration::from_millis(3);
+
+    let mut program = Program::new(build_spec()).expect("valid spec");
+    program.timers().declare("frame");
+
+    program.body("capture", move |ctx| {
+        if ctx.age().0 >= total_frames {
+            return Ok(());
+        }
+        // The frame's deadline clock starts at capture.
+        ctx.reset_timer("frame");
+        let base = ctx.age().0 as i32;
+        ctx.store(
+            0,
+            Buffer::from_vec((0..64).map(|i| base + i).collect::<Vec<i32>>()),
+        );
+        Ok(())
+    });
+
+    let budget_for_body = budget;
+    program.body("encode", move |ctx| {
+        // Every third frame simulates a load spike that exceeds the
+        // budget.
+        let slow = ctx.age().0 % 3 == 2;
+        if slow {
+            std::thread::sleep(budget_for_body * 2);
+        }
+        if ctx.deadline_expired("frame", budget_for_body) {
+            // Alternate path: mark the frame skipped.
+            ctx.store(1, Buffer::from_vec(vec![ctx.age().0 as i32]));
+            return Ok(());
+        }
+        // Primary path: "encode" (here: trivial transform).
+        let input = ctx.input(0).as_i32().expect("frames are i32");
+        let out: Vec<i32> = input.iter().map(|&v| v * 2).collect();
+        ctx.store(0, Buffer::from_vec(out));
+        Ok(())
+    });
+
+    let delivered = Arc::new(AtomicU64::new(0));
+    let concealed = Arc::new(AtomicU64::new(0));
+    let d = delivered.clone();
+    program.body("deliver", move |_| {
+        d.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    });
+    let c = concealed.clone();
+    program.body("conceal", move |_| {
+        c.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    });
+
+    // A single worker so the capture->encode latency is realistic.
+    let node = ExecutionNode::new(program, 2);
+    let report = node
+        .run(RunLimits::ages(total_frames).with_gc_window(8))
+        .expect("run succeeds");
+
+    let d = delivered.load(Ordering::Relaxed);
+    let c = concealed.load(Ordering::Relaxed);
+    println!("frames: {total_frames}, budget: {budget:?}");
+    println!("delivered on time: {d}");
+    println!("deadline missed (concealed): {c}");
+    println!("--- instrumentation ---");
+    print!("{}", report.instruments.render_table());
+    assert_eq!(d + c, total_frames, "every frame takes exactly one path");
+    assert!(c > 0, "the simulated load spikes must miss some deadlines");
+}

@@ -1,0 +1,68 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use p2g_core::prelude::*;
+
+/// Build the Figure-5 mul/sum program with Rust closure bodies.
+pub fn mul_sum_program() -> Program {
+    let spec = p2g_core::graph::spec::mul_sum_example();
+    let mut program = Program::new(spec).expect("example spec is valid");
+    program.body("init", |ctx| {
+        ctx.store(
+            0,
+            Buffer::from_vec((0..5).map(|i| i + 10).collect::<Vec<i32>>()),
+        );
+        Ok(())
+    });
+    program.body("mul2", |ctx| {
+        let v = ctx.input(0).value(0).as_i64() as i32;
+        ctx.store(0, Buffer::from_vec(vec![v.wrapping_mul(2)]));
+        Ok(())
+    });
+    program.body("plus5", |ctx| {
+        let v = ctx.input(0).value(0).as_i64() as i32;
+        ctx.store(0, Buffer::from_vec(vec![v.wrapping_add(5)]));
+        Ok(())
+    });
+    program.body("print", |_| Ok(()));
+    program
+}
+
+/// Kernel-language source of the same program (print included).
+pub const MUL_SUM_SOURCE: &str = r#"
+int32[] m_data age;
+int32[] p_data age;
+
+init:
+  local int32[] values;
+  %{
+    int i = 0;
+    for (; i < 5; ++i) put(values, i + 10, i);
+  %}
+  store m_data(0) = values;
+
+mul2:
+  age a; index x;
+  local int32 value;
+  fetch value = m_data(a)[x];
+  %{ value *= 2; %}
+  store p_data(a)[x] = value;
+
+plus5:
+  age a; index x;
+  local int32 value;
+  fetch value = p_data(a)[x];
+  %{ value += 5; %}
+  store m_data(a+1)[x] = value;
+
+print:
+  age a;
+  local int32[] m;
+  local int32[] p;
+  fetch m = m_data(a);
+  fetch p = p_data(a);
+  %{
+    for (int i = 0; i < extent(m, 0); ++i) print(get(m, i));
+    for (int i = 0; i < extent(p, 0); ++i) print(get(p, i));
+    println();
+  %}
+"#;

@@ -1,0 +1,173 @@
+//! Cross-crate integration: the kernel language, the Rust builder API, the
+//! single-node runtime and the simulated cluster must all agree on the same
+//! program.
+
+use p2g_core::prelude::*;
+use p2g_tests::{mul_sum_program, MUL_SUM_SOURCE};
+
+fn i32s(fields: &p2g_core::runtime::node::FieldStore, name: &str, age: u64) -> Vec<i32> {
+    fields
+        .fetch(name, Age(age), &Region::all(1))
+        .unwrap_or_else(|| panic!("{name} age {age} missing"))
+        .as_i32()
+        .unwrap()
+        .to_vec()
+}
+
+/// The kernel-language program and the hand-built Rust program produce
+/// identical fields age for age.
+#[test]
+fn language_and_builder_apis_agree() {
+    let compiled = compile_source(MUL_SUM_SOURCE).unwrap();
+    let (_, lang_fields) = ExecutionNode::new(compiled.program, 2)
+        .run_collect(RunLimits::ages(4))
+        .unwrap();
+    let (_, rust_fields) = ExecutionNode::new(mul_sum_program(), 2)
+        .run_collect(RunLimits::ages(4))
+        .unwrap();
+    for age in 0..4 {
+        for field in ["m_data", "p_data"] {
+            assert_eq!(
+                i32s(&lang_fields, field, age),
+                i32s(&rust_fields, field, age),
+                "{field} age {age}"
+            );
+        }
+    }
+}
+
+/// Single node and simulated cluster produce identical results for the
+/// same program.
+#[test]
+fn cluster_and_single_node_agree() {
+    let (_, single) = ExecutionNode::new(mul_sum_program(), 2)
+        .run_collect(RunLimits::ages(3))
+        .unwrap();
+    let cluster = SimCluster::new(ClusterConfig::nodes(2), mul_sum_program).unwrap();
+    let outcome = cluster.run(RunLimits::ages(3)).unwrap();
+    for age in 0..3 {
+        for field in ["m_data", "p_data"] {
+            let want = i32s(&single, field, age);
+            let got = outcome
+                .fetch(field, Age(age), &Region::all(1))
+                .unwrap()
+                .as_i32()
+                .unwrap()
+                .to_vec();
+            assert_eq!(got, want, "{field} age {age}");
+        }
+    }
+}
+
+/// The static dependency graphs derived from the compiled language program
+/// match the paper's Figures 2-3 shape.
+#[test]
+fn compiled_program_static_graphs() {
+    let compiled = compile_source(MUL_SUM_SOURCE).unwrap();
+    let ig = IntermediateGraph::from_spec(&compiled.spec);
+    assert_eq!(ig.stores.len(), 3); // init→m, mul2→p, plus5→m
+    assert_eq!(ig.fetches.len(), 4); // m→mul2, m→print, p→plus5, p→print
+    let fg = FinalGraph::from_spec(&compiled.spec);
+    assert_eq!(fg.edges.len(), 6);
+    // The DC-DAG unrolls acyclically.
+    let dag = p2g_core::graph::DcDag::unroll(&compiled.spec, 5);
+    assert!(dag.is_acyclic());
+}
+
+/// Instrumentation feedback feeds the HLS repartitioning loop end to end.
+#[test]
+fn instrumentation_drives_repartitioning() {
+    let (report, _) = ExecutionNode::new(mul_sum_program(), 2)
+        .run_collect(RunLimits::ages(10))
+        .unwrap();
+
+    // Build measured weights.
+    let spec = p2g_core::graph::spec::mul_sum_example();
+    let mut kernel_times = std::collections::BTreeMap::new();
+    for (name, stats) in report.instruments.all() {
+        let id = spec.kernel_by_name(name).unwrap();
+        kernel_times.insert(id, stats.kernel_us().max(0.01));
+    }
+
+    let mut master = MasterNode::new();
+    master.report_topology(NodeSpec::multicore(NodeId(0), "a", 4));
+    master.report_topology(NodeSpec::multicore(NodeId(1), "b", 4));
+    let plan = master.replan(&spec, &kernel_times, &std::collections::BTreeMap::new());
+    let assigned: usize = plan.values().map(|s| s.len()).sum();
+    assert_eq!(assigned, spec.kernels.len());
+}
+
+/// MJPEG through the whole stack: language-independent spec → runtime →
+/// byte stream identical to the sequential encoder.
+#[test]
+fn mjpeg_end_to_end() {
+    use p2g_mjpeg::{build_mjpeg_program, encode_standalone, MjpegConfig, SyntheticVideo};
+    use std::sync::Arc;
+
+    let src = SyntheticVideo::new(48, 32, 2, 77);
+    let config = MjpegConfig {
+        quality: 80,
+        max_frames: 2,
+        fast_dct: false,
+        dct_chunk: 4,
+    };
+    let reference = encode_standalone(&src, 80, 2, false);
+    let (program, sink) = build_mjpeg_program(Arc::new(src), config).unwrap();
+    let report = ExecutionNode::new(program, 3)
+        .run(RunLimits::ages(3))
+        .unwrap();
+    assert_eq!(sink.take(), reference);
+    assert_eq!(
+        report.termination,
+        p2g_core::runtime::instrument::Termination::Quiescent
+    );
+}
+
+/// K-means through the simulated cluster matches the sequential baseline.
+#[test]
+fn kmeans_distributed_end_to_end() {
+    use p2g_kmeans::{build_kmeans_program, generate_dataset, kmeans_baseline, KmeansConfig};
+
+    let config = KmeansConfig {
+        n: 80,
+        k: 4,
+        dim: 2,
+        iterations: 3,
+        seed: 5,
+        assign_chunk: 1,
+    };
+    let cfg = config.clone();
+    let cluster = SimCluster::new(ClusterConfig::nodes(2), move || {
+        build_kmeans_program(&cfg).unwrap().0
+    })
+    .unwrap();
+    let outcome = cluster.run(RunLimits::ages(config.iterations)).unwrap();
+
+    let points = generate_dataset(config.n, config.dim, config.k, config.seed);
+    let trace = kmeans_baseline(&points, config.n, config.dim, config.k, config.iterations);
+    let got = outcome
+        .fetch("centroids", Age(config.iterations), &Region::all(2))
+        .expect("final centroids");
+    assert_eq!(
+        got.as_f64().unwrap(),
+        trace.centroids.last().unwrap().as_slice()
+    );
+}
+
+/// The print-capture path is deterministic through the full stack.
+#[test]
+fn print_capture_deterministic() {
+    let runs: Vec<String> = (0..3)
+        .map(|i| {
+            let compiled = compile_source(MUL_SUM_SOURCE).unwrap();
+            let workers = 1 + (i % 3);
+            ExecutionNode::new(compiled.program, workers)
+                .run(RunLimits::ages(3))
+                .unwrap();
+            compiled.print.take()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+    assert!(runs[0].contains("10 11 12 13 14"));
+}

@@ -1,0 +1,184 @@
+//! The paper's K-means workload written *in the kernel language* (not the
+//! Rust builder API): exercises whole-field fetches, per-element fetches,
+//! 2-D locals, the aging cycle and the interpreter's arithmetic on a real
+//! algorithm, verified against an independent Rust reference.
+
+use p2g_core::prelude::*;
+
+const N: usize = 60;
+const K: usize = 4;
+const ITER: u64 = 6;
+
+const KMEANS_SRC: &str = r#"
+float64[][] datapoints age;
+float64[][] centroids age;
+int32[] assignments age;
+
+init:
+  local float64[][] pts;
+  local float64[][] ctr;
+  %{
+    resize(pts, 60, 2);
+    for (int i = 0; i < 60; ++i) {
+      put(pts, (i * 37) % 101, i, 0);
+      put(pts, (i * 53) % 97, i, 1);
+    }
+    resize(ctr, 4, 2);
+    for (int c = 0; c < 4; ++c) {
+      put(ctr, get(pts, c, 0), c, 0);
+      put(ctr, get(pts, c, 1), c, 1);
+    }
+  %}
+  store datapoints(0) = pts;
+  store centroids(0) = ctr;
+
+assign:
+  age a; index x;
+  local float64[] p;
+  local float64[][] ctr;
+  local int32 best;
+  fetch p = datapoints(0)[x][*];
+  fetch ctr = centroids(a);
+  %{
+    float64 bestd = 1e300;
+    best = 0;
+    for (int c = 0; c < extent(ctr, 0); ++c) {
+      float64 dx = get(p, 0) - get(ctr, c, 0);
+      float64 dy = get(p, 1) - get(ctr, c, 1);
+      float64 d = dx * dx + dy * dy;
+      if (d < bestd) {
+        bestd = d;
+        best = c;
+      }
+    }
+  %}
+  store assignments(a)[x] = best;
+
+refine:
+  age a; index c;
+  local float64[] old;
+  local int32[] asg;
+  local float64[][] pts;
+  local float64[] next;
+  fetch old = centroids(a)[c][*];
+  fetch asg = assignments(a);
+  fetch pts = datapoints(0);
+  %{
+    float64 sx = 0;
+    float64 sy = 0;
+    int n = 0;
+    for (int i = 0; i < extent(asg, 0); ++i) {
+      if (get(asg, i) == c) {
+        sx += get(pts, i, 0);
+        sy += get(pts, i, 1);
+        n = n + 1;
+      }
+    }
+    resize(next, 2);
+    if (n > 0) {
+      put(next, sx / n, 0);
+      put(next, sy / n, 1);
+    } else {
+      put(next, get(old, 0), 0);
+      put(next, get(old, 1), 1);
+    }
+  %}
+  store centroids(a+1)[c][*] = next;
+"#;
+
+/// Independent Rust reference of the same algorithm over the same data.
+fn reference() -> (Vec<Vec<f64>>, Vec<Vec<i32>>) {
+    let pts: Vec<[f64; 2]> = (0..N)
+        .map(|i| [((i * 37) % 101) as f64, ((i * 53) % 97) as f64])
+        .collect();
+    let mut centroids: Vec<[f64; 2]> = (0..K).map(|c| pts[c]).collect();
+    let mut cent_hist = vec![centroids.iter().flatten().copied().collect::<Vec<f64>>()];
+    let mut asg_hist = Vec::new();
+
+    for _ in 0..ITER {
+        let assignments: Vec<i32> = pts
+            .iter()
+            .map(|p| {
+                let mut best = 0;
+                let mut bestd = f64::INFINITY;
+                for (c, ctr) in centroids.iter().enumerate() {
+                    let d = (p[0] - ctr[0]).powi(2) + (p[1] - ctr[1]).powi(2);
+                    if d < bestd {
+                        bestd = d;
+                        best = c as i32;
+                    }
+                }
+                best
+            })
+            .collect();
+        let mut next = centroids.clone();
+        for (c, ctr) in next.iter_mut().enumerate() {
+            let members: Vec<&[f64; 2]> = pts
+                .iter()
+                .zip(&assignments)
+                .filter(|&(_, &a)| a as usize == c)
+                .map(|(p, _)| p)
+                .collect();
+            if !members.is_empty() {
+                let n = members.len() as f64;
+                *ctr = [
+                    members.iter().map(|p| p[0]).sum::<f64>() / n,
+                    members.iter().map(|p| p[1]).sum::<f64>() / n,
+                ];
+            }
+        }
+        asg_hist.push(assignments);
+        centroids = next;
+        cent_hist.push(centroids.iter().flatten().copied().collect());
+    }
+    (cent_hist, asg_hist)
+}
+
+#[test]
+fn kernel_language_kmeans_matches_rust_reference() {
+    let compiled = compile_source(KMEANS_SRC).expect("kmeans source compiles");
+    let node = ExecutionNode::new(compiled.program, 4);
+    let (report, fields) = node.run_collect(RunLimits::ages(ITER)).unwrap();
+
+    let (cent_hist, asg_hist) = reference();
+
+    for (a, want) in cent_hist.iter().enumerate().take(ITER as usize + 1) {
+        let got = fields
+            .fetch("centroids", Age(a as u64), &Region::all(2))
+            .unwrap_or_else(|| panic!("centroids age {a} missing"));
+        let got = got.as_f64().unwrap();
+        for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-9,
+                "centroid age {a} element {i}: {g} vs {w}"
+            );
+        }
+    }
+    for (a, want) in asg_hist.iter().enumerate() {
+        let got = fields
+            .fetch("assignments", Age(a as u64), &Region::all(1))
+            .unwrap();
+        assert_eq!(got.as_i32().unwrap(), &want[..], "assignments age {a}");
+    }
+
+    // Instance accounting mirrors Table III's structure.
+    let ins = &report.instruments;
+    assert_eq!(ins.kernel("assign").unwrap().instances, N as u64 * ITER);
+    assert_eq!(ins.kernel("refine").unwrap().instances, K as u64 * ITER);
+}
+
+#[test]
+fn kernel_language_kmeans_deterministic_across_workers() {
+    let run = |workers: usize| {
+        let compiled = compile_source(KMEANS_SRC).unwrap();
+        let node = ExecutionNode::new(compiled.program, workers);
+        let (_, fields) = node.run_collect(RunLimits::ages(ITER)).unwrap();
+        fields
+            .fetch("centroids", Age(ITER), &Region::all(2))
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .to_vec()
+    };
+    assert_eq!(run(1), run(6));
+}

@@ -1,0 +1,64 @@
+//! Full-stack video validation: the MJPEG stream produced by the P2G
+//! pipeline must decode back (with this repo's own baseline JPEG decoder)
+//! to frames close to the source — i.e. the parallel dataflow encode is a
+//! *correct video encoder*, not merely self-consistent.
+
+use std::sync::Arc;
+
+use p2g_core::prelude::*;
+use p2g_mjpeg::{
+    build_mjpeg_program, decode_mjpeg, psnr, FrameSource, MjpegConfig, SyntheticVideo,
+};
+
+#[test]
+fn p2g_encoded_video_decodes_with_high_fidelity() {
+    let frames = 3u64;
+    let src = SyntheticVideo::new(64, 48, frames, 21);
+    let config = MjpegConfig {
+        quality: 90,
+        max_frames: frames,
+        fast_dct: true,
+        dct_chunk: 1,
+    };
+    let (program, sink) = build_mjpeg_program(Arc::new(src.clone()), config).unwrap();
+    ExecutionNode::new(program, 4)
+        .run(RunLimits::ages(frames + 1))
+        .unwrap();
+    let stream = sink.take();
+
+    let decoded = decode_mjpeg(&stream).expect("P2G stream is valid JPEG");
+    assert_eq!(decoded.len(), frames as usize);
+    for (n, frame) in decoded.iter().enumerate() {
+        let original = src.frame(n as u64).unwrap();
+        let y = psnr(&original.y, &frame.y);
+        let u = psnr(&original.u, &frame.u);
+        let v = psnr(&original.v, &frame.v);
+        assert!(y > 33.0, "frame {n}: luma PSNR {y:.1} dB");
+        assert!(u > 33.0, "frame {n}: U PSNR {u:.1} dB");
+        assert!(v > 33.0, "frame {n}: V PSNR {v:.1} dB");
+    }
+}
+
+#[test]
+fn lower_quality_still_decodes_but_smaller() {
+    let frames = 2u64;
+    let src = SyntheticVideo::new(48, 32, frames, 4);
+    let run_at = |quality: u8| {
+        let config = MjpegConfig {
+            quality,
+            max_frames: frames,
+            fast_dct: true,
+            dct_chunk: 2,
+        };
+        let (program, sink) = build_mjpeg_program(Arc::new(src.clone()), config).unwrap();
+        ExecutionNode::new(program, 2)
+            .run(RunLimits::ages(frames + 1))
+            .unwrap();
+        sink.take()
+    };
+    let lo = run_at(15);
+    let hi = run_at(85);
+    assert!(lo.len() < hi.len());
+    assert_eq!(decode_mjpeg(&lo).unwrap().len(), frames as usize);
+    assert_eq!(decode_mjpeg(&hi).unwrap().len(), frames as usize);
+}

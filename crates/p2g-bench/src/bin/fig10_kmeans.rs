@@ -42,9 +42,9 @@ fn main() {
             ..KmeansConfig::default()
         };
         let (program, _) = build_kmeans_program(&config).expect("valid program");
-        let node = ExecutionNode::new(program, threads);
+        let node = NodeBuilder::new(program).workers(threads);
         let t0 = Instant::now();
-        node.run(RunLimits::ages(kmeans_iters))
+        node.launch(RunLimits::ages(kmeans_iters)).and_then(|n| n.wait())
             .expect("run succeeds");
         t0.elapsed()
     });

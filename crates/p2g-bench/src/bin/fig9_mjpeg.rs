@@ -56,9 +56,9 @@ fn main() {
             dct_chunk: 1,
         };
         let (program, sink) = build_mjpeg_program(source, config).expect("valid program");
-        let node = ExecutionNode::new(program, threads);
+        let node = NodeBuilder::new(program).workers(threads);
         let t0 = Instant::now();
-        node.run(RunLimits::ages(frames + 1).with_gc_window(4))
+        node.launch(RunLimits::ages(frames + 1).with_gc_window(4)).and_then(|n| n.wait())
             .expect("run succeeds");
         let dt = t0.elapsed();
         assert!(!sink.take().is_empty());

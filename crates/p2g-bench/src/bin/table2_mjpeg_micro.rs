@@ -23,9 +23,9 @@ fn main() {
         dct_chunk: 1,
     };
     let (program, _) = build_mjpeg_program(source, config).expect("valid program");
-    let node = ExecutionNode::new(program, threads);
+    let node = NodeBuilder::new(program).workers(threads);
     let report = node
-        .run(RunLimits::ages(frames + 1).with_gc_window(4))
+        .launch(RunLimits::ages(frames + 1).with_gc_window(4)).and_then(|n| n.wait())
         .expect("run succeeds");
 
     let mut out = String::new();

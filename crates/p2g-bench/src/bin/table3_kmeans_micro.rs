@@ -21,9 +21,9 @@ fn main() {
         ..KmeansConfig::default()
     };
     let (program, _) = build_kmeans_program(&config).expect("valid program");
-    let node = ExecutionNode::new(program, threads);
+    let node = NodeBuilder::new(program).workers(threads);
     let report = node
-        .run(RunLimits::ages(kmeans_iters))
+        .launch(RunLimits::ages(kmeans_iters)).and_then(|n| n.wait())
         .expect("run succeeds");
 
     let mut out = String::new();

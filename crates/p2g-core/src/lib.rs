@@ -44,8 +44,12 @@
 //!   store m_data(a+1)[x] = value;
 //! "#;
 //! let compiled = compile_source(src).unwrap();
-//! let node = ExecutionNode::new(compiled.program, 4);
-//! let (report, fields) = node.run_collect(RunLimits::ages(2)).unwrap();
+//! let (report, fields) = NodeBuilder::new(compiled.program)
+//!     .workers(4)
+//!     .launch(RunLimits::ages(2))
+//!     .unwrap()
+//!     .collect()
+//!     .unwrap();
 //! assert_eq!(
 //!     fields.fetch("p_data", Age(1), &Region::all(1)).unwrap().as_i32().unwrap(),
 //!     &[50, 54, 58, 62, 66],
@@ -61,7 +65,10 @@ pub use p2g_runtime as runtime;
 
 /// The common imports for building and running P2G programs.
 pub mod prelude {
-    pub use p2g_dist::{ClusterConfig, MasterNode, SimCluster, SimNet};
+    pub use p2g_dist::{
+        ClusterConfig, ClusterOutcome, FaultPlan, FaultyNet, KillTrigger, LinkStats, MasterNode,
+        SimCluster, SimNet, Transport, Workers,
+    };
     pub use p2g_field::{
         Age, Buffer, DimSel, Extents, Field, FieldDef, FieldError, FieldId, Region, ScalarType,
         Value,
@@ -72,7 +79,8 @@ pub mod prelude {
     pub use p2g_graph::{FinalGraph, IntermediateGraph, NodeId, NodeSpec, Topology};
     pub use p2g_lang::{compile_source, CompiledProgram, PrintSink};
     pub use p2g_runtime::{
-        ExecutionNode, KernelCtx, KernelOptions, Program, RunLimits, RuntimeError,
+        KernelCtx, KernelOptions, NodeBuilder, NodeHandle, Program, RunLimits, RunReport,
+        RuntimeError,
     };
 }
 

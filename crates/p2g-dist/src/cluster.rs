@@ -1,26 +1,77 @@
 //! The simulated multi-node cluster: master + execution nodes + network.
 //!
 //! Global termination uses the distributed analogue of the node-local
-//! outstanding-work counter: the cluster is quiescent when every node's
-//! counter is zero *and* no messages are in flight, observed stably across
-//! consecutive checks. (The counters are arranged so no message can be
-//! "invisible": a store forward is sent while its producing unit is still
-//! counted, and delivery increments the destination's counter before the
-//! in-flight count drops.)
+//! outstanding-work counter: the cluster is quiescent when every *live*
+//! node's counter is zero *and* no messages are in flight, observed stably
+//! across consecutive checks. (The counters are arranged so no message can
+//! be "invisible": a store forward is sent while its producing unit is
+//! still counted, and delivery increments the destination's counter before
+//! the in-flight count drops.)
+//!
+//! # Fault tolerance
+//!
+//! Execution nodes send heartbeats to the master; the coordinator declares
+//! a node failed when its heartbeats go stale (or the transport reports it
+//! dead) and runs the recovery protocol:
+//!
+//! 1. fail-stop the node and sever it from the network,
+//! 2. re-plan the kernel assignment over the survivors,
+//! 3. re-target store forwarding (subscription map) to the new owners,
+//! 4. tell each survivor its new kernel set ([`Event::Reassign`] — the
+//!    analyzer seeds inherited sources and rescans resident data),
+//! 5. re-inject every survivor's already-written field regions to the
+//!    current subscribers.
+//!
+//! Write-once fields make all of this idempotent: duplicate deliveries and
+//! re-executed kernels dedup on value equality, so an at-least-once network
+//! and at-least-once execution still produce exactly-once results.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::RwLock;
+
 use p2g_field::{Age, Buffer, FieldId, Region, Value};
-use p2g_graph::{KernelId, NodeId, NodeSpec};
+use p2g_graph::{KernelId, NodeId, NodeSpec, ProgramSpec};
 use p2g_runtime::instrument::RunReport;
-use p2g_runtime::node::{FieldStore, RunningNode};
-use p2g_runtime::{ExecutionNode, Program, RunLimits, RuntimeError};
+use p2g_runtime::node::{FieldStore, NodeBuilder, RunningNode};
+use p2g_runtime::{Program, RunLimits, RuntimeError};
 
 use crate::master::MasterNode;
-use crate::transport::{NetMsg, SimNet};
+use crate::transport::{FaultPlan, FaultyNet, NetMsg, SimNet, Transport, MASTER_NODE};
+
+/// Max send attempts for one store forward. With per-message drop
+/// probability p the forward is lost with probability p^64 — for p < 0.3
+/// that is < 1e-33, which is why bounded-loss links never change results.
+const SEND_ATTEMPTS: u32 = 64;
+
+/// Per-node worker-thread counts: the same number everywhere, or one count
+/// per node (earlier nodes first).
+#[derive(Debug, Clone)]
+pub enum Workers {
+    Uniform(usize),
+    PerNode(Vec<usize>),
+}
+
+impl From<usize> for Workers {
+    fn from(n: usize) -> Workers {
+        Workers::Uniform(n)
+    }
+}
+
+impl From<Vec<usize>> for Workers {
+    fn from(v: Vec<usize>) -> Workers {
+        Workers::PerNode(v)
+    }
+}
+
+impl From<&[usize]> for Workers {
+    fn from(v: &[usize]) -> Workers {
+        Workers::PerNode(v.to_vec())
+    }
+}
 
 /// Cluster deployment parameters.
 #[derive(Debug, Clone)]
@@ -36,22 +87,36 @@ pub struct ClusterConfig {
     pub node_workers: Vec<usize>,
     /// Simulated per-message network latency.
     pub latency: Duration,
+    /// Fault-injection schedule (drops, duplicates, delays, node kills).
+    pub fault_plan: Option<FaultPlan>,
+    /// How often each node heartbeats the master.
+    pub heartbeat_interval: Duration,
+    /// Heartbeat staleness after which the master declares a node failed.
+    /// A false positive is safe (recovery is idempotent), merely wasteful.
+    pub failure_timeout: Duration,
 }
 
 impl ClusterConfig {
-    /// `n` nodes with 2 workers each and zero latency.
+    /// `n` nodes with 2 workers each, zero latency, no faults.
     pub fn nodes(n: usize) -> ClusterConfig {
         ClusterConfig {
             nodes: n.max(1),
             workers_per_node: 2,
             node_workers: Vec::new(),
             latency: Duration::ZERO,
+            fault_plan: None,
+            heartbeat_interval: Duration::from_millis(5),
+            failure_timeout: Duration::from_millis(50),
         }
     }
 
-    /// Heterogeneous worker counts, one per node (earlier nodes first).
-    pub fn with_node_workers(mut self, workers: Vec<usize>) -> ClusterConfig {
-        self.node_workers = workers;
+    /// Set worker threads: a uniform count (`usize`) or one count per node
+    /// (`Vec<usize>`).
+    pub fn workers(mut self, w: impl Into<Workers>) -> ClusterConfig {
+        match w.into() {
+            Workers::Uniform(n) => self.workers_per_node = n.max(1),
+            Workers::PerNode(v) => self.node_workers = v,
+        }
         self
     }
 
@@ -64,16 +129,41 @@ impl ClusterConfig {
             .max(1)
     }
 
-    /// Set worker threads per node.
-    pub fn with_workers(mut self, w: usize) -> ClusterConfig {
-        self.workers_per_node = w.max(1);
-        self
-    }
-
     /// Set simulated network latency.
     pub fn with_latency(mut self, l: Duration) -> ClusterConfig {
         self.latency = l;
         self
+    }
+
+    /// Inject faults per `plan` (message drops/duplicates/delays, node
+    /// kills) during the run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> ClusterConfig {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Override the heartbeat interval.
+    pub fn heartbeat_interval(mut self, d: Duration) -> ClusterConfig {
+        self.heartbeat_interval = d;
+        self
+    }
+
+    /// Override the failure-detection timeout.
+    pub fn failure_timeout(mut self, d: Duration) -> ClusterConfig {
+        self.failure_timeout = d;
+        self
+    }
+
+    /// Heterogeneous worker counts, one per node (earlier nodes first).
+    #[deprecated(since = "0.2.0", note = "use ClusterConfig::workers(vec![...])")]
+    pub fn with_node_workers(self, workers: Vec<usize>) -> ClusterConfig {
+        self.workers(workers)
+    }
+
+    /// Set worker threads per node.
+    #[deprecated(since = "0.2.0", note = "use ClusterConfig::workers(n)")]
+    pub fn with_workers(self, w: usize) -> ClusterConfig {
+        self.workers(w)
     }
 }
 
@@ -88,14 +178,27 @@ pub struct SimCluster {
 
 /// The result of a cluster run.
 pub struct ClusterOutcome {
-    /// Per-node run reports, in node order.
+    /// Per-node run reports, in node order. Failed nodes report whatever
+    /// they completed before the failure (their data is still valid —
+    /// write-once fields cannot hold partial writes of an element).
     pub reports: Vec<(NodeId, RunReport)>,
     /// Per-node field replicas, in node order.
     pub fields: Vec<(NodeId, FieldStore)>,
     /// The network with its final statistics.
     pub net: Arc<SimNet>,
-    /// The kernel assignment that was executed.
+    /// The kernel assignment in effect at the end of the run (differs from
+    /// the initial plan when recovery re-planned).
     pub assignment: HashMap<NodeId, HashSet<KernelId>>,
+    /// Nodes that failed (were killed or declared dead) during the run.
+    pub failed_nodes: Vec<NodeId>,
+    /// Total send retries across all links.
+    pub retries: u64,
+    /// Sends abandoned after exhausting their retry budget. Nonzero means
+    /// the network was lossier than the retry budget covers and field data
+    /// may be incomplete — treat the results as suspect.
+    pub lost_sends: u64,
+    /// Store regions replayed to new owners during recovery.
+    pub redelivered_stores: u64,
 }
 
 impl ClusterOutcome {
@@ -121,6 +224,36 @@ impl ClusterOutcome {
             .map(|s| s.instances)
             .sum()
     }
+
+    /// Total store elements absorbed by write-once dedup across the
+    /// cluster (duplicate deliveries, recovery re-execution).
+    pub fn total_deduped(&self) -> u64 {
+        self.reports
+            .iter()
+            .map(|(_, r)| r.instruments.deduped_elements())
+            .sum()
+    }
+}
+
+/// For each field, the nodes that run at least one consumer of it under
+/// `assignment` — the store-forwarding subscription map.
+fn subscribers_for(
+    spec: &ProgramSpec,
+    assignment: &HashMap<NodeId, HashSet<KernelId>>,
+) -> HashMap<FieldId, Vec<NodeId>> {
+    let mut subscribers: HashMap<FieldId, Vec<NodeId>> = HashMap::new();
+    for k in &spec.kernels {
+        let Some((&node, _)) = assignment.iter().find(|(_, ks)| ks.contains(&k.id)) else {
+            continue;
+        };
+        for fe in &k.fetches {
+            let subs = subscribers.entry(fe.field).or_default();
+            if !subs.contains(&node) {
+                subs.push(node);
+            }
+        }
+    }
+    subscribers
 }
 
 impl SimCluster {
@@ -168,28 +301,21 @@ impl SimCluster {
     pub fn run(self, limits: RunLimits) -> Result<ClusterOutcome, RuntimeError> {
         let SimCluster {
             config,
-            master: _,
-            assignment,
+            mut master,
+            mut assignment,
             programs,
             node_ids,
         } = self;
 
-        let net = SimNet::new(&node_ids, config.latency);
+        let sim = SimNet::new(&node_ids, config.latency);
+        let net: Arc<dyn Transport> = match config.fault_plan.clone() {
+            Some(plan) => FaultyNet::new(sim.clone(), plan),
+            None => sim.clone() as Arc<dyn Transport>,
+        };
         let spec = programs[0].spec().clone();
 
-        // Subscription map: for each field, the nodes running a consumer.
-        let mut subscribers: HashMap<FieldId, Vec<NodeId>> = HashMap::new();
-        for k in &spec.kernels {
-            let Some((&node, _)) = assignment.iter().find(|(_, ks)| ks.contains(&k.id)) else {
-                continue;
-            };
-            for fe in &k.fetches {
-                let subs = subscribers.entry(fe.field).or_default();
-                if !subs.contains(&node) {
-                    subs.push(node);
-                }
-            }
-        }
+        // Subscription map: shared so recovery can re-target forwarding.
+        let subscribers = Arc::new(RwLock::new(subscribers_for(&spec, &assignment)));
 
         // Node limits: hold open for remote stores; the coordinator owns
         // the wall deadline.
@@ -200,34 +326,42 @@ impl SimCluster {
         // Start every node with its assignment and a forwarding tap.
         let mut running: Vec<Arc<RunningNode>> = Vec::with_capacity(programs.len());
         for (program, &node_id) in programs.into_iter().zip(&node_ids) {
-            let mut exec = ExecutionNode::new(program, config.workers_for(node_id.0 as usize));
-            exec.set_assigned(assignment.get(&node_id).cloned().unwrap_or_default());
             let tap_net = net.clone();
             let tap_subs = subscribers.clone();
             let src = node_id;
-            exec.set_store_tap(Arc::new(move |field, age, region, buffer| {
-                if let Some(subs) = tap_subs.get(&field) {
-                    for &dst in subs {
-                        if dst != src {
-                            tap_net.send(
-                                src,
-                                dst,
-                                NetMsg::StoreForward {
-                                    field,
-                                    age,
-                                    region: region.clone(),
-                                    buffer: buffer.clone(),
-                                },
-                            );
-                        }
+            let node = NodeBuilder::new(program)
+                .workers(config.workers_for(node_id.0 as usize))
+                .assigned(assignment.get(&node_id).cloned().unwrap_or_default())
+                .store_tap(Arc::new(move |field, age, region, buffer| {
+                    let dsts: Vec<NodeId> = tap_subs
+                        .read()
+                        .get(&field)
+                        .map(|subs| subs.iter().copied().filter(|&d| d != src).collect())
+                        .unwrap_or_default();
+                    for dst in dsts {
+                        // Failure here means the destination died; the
+                        // recovery replay covers it.
+                        let _ = tap_net.send_with_retry(
+                            src,
+                            dst,
+                            NetMsg::StoreForward {
+                                field,
+                                age,
+                                region: region.clone(),
+                                buffer: buffer.clone(),
+                            },
+                            SEND_ATTEMPTS,
+                        );
                     }
-                }
-            }));
-            running.push(Arc::new(exec.start(node_limits.clone())?));
+                }))
+                .launch(node_limits.clone())?;
+            running.push(Arc::new(node));
         }
 
-        // Delivery threads: apply incoming store forwards to each node.
+        // Delivery threads: apply incoming store forwards to each node and
+        // heartbeat the master. The thread retires when its node dies.
         let deliver_stop = Arc::new(AtomicBool::new(false));
+        let heartbeat_interval = config.heartbeat_interval;
         let mut delivery_handles = Vec::new();
         for (i, &node_id) in node_ids.iter().enumerate() {
             let node = running[i].clone();
@@ -237,41 +371,146 @@ impl SimCluster {
                 std::thread::Builder::new()
                     .name(format!("p2g-deliver-{}", node_id.0))
                     .spawn(move || {
+                        let mut hb_seq = 0u64;
+                        let mut last_hb = Instant::now() - heartbeat_interval;
                         while !stop.load(Ordering::SeqCst) {
-                            let Some((_src, msg)) =
-                                net.recv_timeout(node_id, Duration::from_millis(2))
-                            else {
-                                continue;
-                            };
-                            match msg {
-                                NetMsg::StoreForward {
-                                    field,
-                                    age,
-                                    region,
-                                    buffer,
-                                } => {
-                                    node.inject_remote_store(field, age, region, buffer);
-                                }
+                            if !net.node_alive(node_id) {
+                                return; // dead: no delivery, no heartbeats
                             }
-                            net.delivered();
+                            if last_hb.elapsed() >= heartbeat_interval {
+                                hb_seq += 1;
+                                net.try_send(node_id, MASTER_NODE, NetMsg::Heartbeat { seq: hb_seq });
+                                last_hb = Instant::now();
+                            }
+                            let recv_budget = heartbeat_interval.min(Duration::from_millis(2));
+                            match net.recv_timeout(node_id, recv_budget) {
+                                Some((
+                                    _src,
+                                    NetMsg::StoreForward {
+                                        field,
+                                        age,
+                                        region,
+                                        buffer,
+                                    },
+                                )) => {
+                                    node.inject_remote_store(field, age, region, buffer);
+                                    net.delivered();
+                                }
+                                Some((_, NetMsg::Heartbeat { .. })) | None => {}
+                            }
                         }
                     })
                     .expect("spawn delivery thread"),
             );
         }
 
-        // Coordinator: detect stable global quiescence, then stop.
+        // Coordinator: failure detection + recovery + stable global
+        // quiescence.
         let start = Instant::now();
         let mut stable = 0;
+        let mut alive: Vec<bool> = vec![true; node_ids.len()];
+        let mut failed_nodes: Vec<NodeId> = Vec::new();
+        let mut last_seen: Vec<Instant> = vec![Instant::now(); node_ids.len()];
+        let mut redelivered_stores: u64 = 0;
         loop {
+            net.poll_faults();
+
+            // Drain heartbeats (non-blocking).
+            while let Some((src, msg)) = net.recv_timeout(MASTER_NODE, Duration::ZERO) {
+                if matches!(msg, NetMsg::Heartbeat { .. }) {
+                    if let Some(i) = node_ids.iter().position(|&n| n == src) {
+                        last_seen[i] = Instant::now();
+                    }
+                }
+            }
+
+            // Failure detection: transport says dead, or heartbeats stale.
+            let mut newly_dead: Vec<usize> = Vec::new();
+            for (i, &id) in node_ids.iter().enumerate() {
+                if !alive[i] {
+                    continue;
+                }
+                let dead = !net.node_alive(id)
+                    || last_seen[i].elapsed() > config.failure_timeout;
+                if dead {
+                    newly_dead.push(i);
+                }
+            }
+            for i in newly_dead {
+                let id = node_ids[i];
+                alive[i] = false;
+                failed_nodes.push(id);
+                // 1. Fail-stop the node and sever it from the network.
+                running[i].request_stop();
+                net.disconnect(id);
+                master.node_left(id);
+                let survivors: Vec<usize> =
+                    (0..node_ids.len()).filter(|&j| alive[j]).collect();
+                if survivors.is_empty() {
+                    break;
+                }
+                // 2. Re-plan over the survivors (no fresh instrumentation
+                // yet: structural weights).
+                assignment = master.replan(&spec, &BTreeMap::new(), &BTreeMap::new());
+                // 3. Re-target store forwarding before survivors re-run
+                // anything, so re-executed stores reach the new owners.
+                *subscribers.write() = subscribers_for(&spec, &assignment);
+                // 4. Hand each survivor its new kernel set.
+                for &j in &survivors {
+                    running[j]
+                        .reassign(assignment.get(&node_ids[j]).cloned().unwrap_or_default());
+                }
+                // 5. Replay every survivor's written regions to current
+                // subscribers — data the dead node produced (or consumed
+                // exclusively) reaches the new owners; write-once dedup
+                // absorbs everything already present.
+                let subs_now = subscribers.read().clone();
+                for &j in &survivors {
+                    let src = node_ids[j];
+                    for (field, age, region, buffer) in running[j].snapshot_written() {
+                        let Some(dsts) = subs_now.get(&field) else {
+                            continue;
+                        };
+                        for &dst in dsts {
+                            if dst == src || !net.node_alive(dst) {
+                                continue;
+                            }
+                            let sent = net.send_with_retry(
+                                src,
+                                dst,
+                                NetMsg::StoreForward {
+                                    field,
+                                    age,
+                                    region: region.clone(),
+                                    buffer: buffer.clone(),
+                                },
+                                SEND_ATTEMPTS,
+                            );
+                            if sent {
+                                redelivered_stores += 1;
+                            }
+                        }
+                    }
+                }
+                stable = 0;
+            }
+
             let deadline_hit = limits.wall_deadline.is_some_and(|d| start.elapsed() >= d);
-            let quiescent = running.iter().all(|n| n.outstanding() == 0) && net.in_flight() == 0;
+            let any_alive = alive.iter().any(|&a| a);
+            // Quiescence counts live nodes only; a dead node's counter is
+            // frozen mid-flight and its work was reassigned.
+            let quiescent = alive
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a)
+                .all(|(i, _)| running[i].outstanding() == 0)
+                && net.in_flight() == 0;
             if quiescent {
                 stable += 1;
             } else {
                 stable = 0;
             }
-            if stable >= 3 || deadline_hit {
+            if stable >= 3 || deadline_hit || !any_alive {
                 break;
             }
             std::thread::sleep(Duration::from_millis(1));
@@ -297,8 +536,12 @@ impl SimCluster {
         Ok(ClusterOutcome {
             reports,
             fields,
-            net,
+            retries: sim.total_retries(),
+            lost_sends: sim.total_lost(),
+            net: sim,
             assignment,
+            failed_nodes,
+            redelivered_stores,
         })
     }
 }

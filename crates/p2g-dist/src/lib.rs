@@ -44,6 +44,8 @@ pub mod cluster;
 pub mod master;
 pub mod transport;
 
-pub use cluster::{ClusterConfig, ClusterOutcome, SimCluster};
+pub use cluster::{ClusterConfig, ClusterOutcome, SimCluster, Workers};
 pub use master::MasterNode;
-pub use transport::{LinkStats, NetMsg, SimNet};
+pub use transport::{
+    FaultPlan, FaultyNet, KillSpec, KillTrigger, LinkStats, NetMsg, SimNet, Transport, MASTER_NODE,
+};

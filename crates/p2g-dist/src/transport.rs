@@ -1,24 +1,36 @@
-//! The simulated cluster network: an event-based publish–subscribe
-//! transport with per-link latency injection and byte accounting.
+//! The cluster network layer: a [`Transport`] trait the cluster is generic
+//! over, the in-process [`SimNet`] implementation, and the [`FaultyNet`]
+//! decorator that injects message drops, delays, duplication, and whole-node
+//! kills for fault-tolerance testing.
 //!
 //! Real deployments would serialize messages onto sockets; the simulation
 //! moves owned buffers between threads, which exercises the same
 //! architectural paths (subscription routing, in-flight tracking for
-//! distributed termination, per-link statistics for the HLS) determinis-
-//! tically on one machine.
+//! distributed termination, per-link statistics for the HLS, retry and
+//! failure handling) deterministically on one machine.
+//!
+//! Two message planes share the transport:
+//! - **data** (`StoreForward`): counted in link statistics and the global
+//!   in-flight counter that feeds quiescence detection.
+//! - **control** (`Heartbeat`): excluded from both, so liveness traffic
+//!   neither blocks termination nor skews the byte accounting the HLS
+//!   weighs edges with.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use p2g_field::{Age, Buffer, FieldId, Region};
 use p2g_graph::NodeId;
 
-/// A message on the simulated network.
+/// Pseudo-node id addressing the master's control inbox (heartbeats).
+pub const MASTER_NODE: NodeId = NodeId(u32::MAX);
+
+/// A message on the cluster network.
 #[derive(Debug, Clone)]
 pub enum NetMsg {
     /// A store forwarded from a producer node to a subscriber node.
@@ -28,6 +40,9 @@ pub enum NetMsg {
         region: Region,
         buffer: Buffer,
     },
+    /// Liveness beacon from an execution node to the master (control
+    /// plane: not counted in link statistics or in-flight tracking).
+    Heartbeat { seq: u64 },
 }
 
 impl NetMsg {
@@ -38,28 +53,159 @@ impl NetMsg {
             NetMsg::StoreForward { buffer, .. } => {
                 32 + (buffer.len() * buffer.scalar_type().size_bytes()) as u64
             }
+            NetMsg::Heartbeat { .. } => 16,
         }
+    }
+
+    /// Control messages bypass in-flight accounting and link statistics.
+    pub fn is_control(&self) -> bool {
+        matches!(self, NetMsg::Heartbeat { .. })
     }
 }
 
 /// Statistics for one directed link.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LinkStats {
+    /// Data messages accepted onto the link.
     pub messages: u64,
+    /// Payload bytes accepted onto the link.
     pub bytes: u64,
+    /// Data messages dropped (fault injection or dead destination).
+    pub drops: u64,
+    /// Send retries after a drop.
+    pub retries: u64,
+    /// Duplicate deliveries injected by fault testing.
+    pub duplicates: u64,
+    /// Sends abandoned after exhausting their retry budget. Nonzero means
+    /// data was lost for good — results can no longer be trusted complete.
+    pub lost: u64,
+}
+
+/// Abstraction over the cluster interconnect. [`SimNet`] is the in-process
+/// implementation; [`FaultyNet`] decorates any transport with fault
+/// injection. A future TCP transport implements the same surface.
+///
+/// Delivery contract: a data message accepted by [`Transport::try_send`] is
+/// counted in flight until the receiver calls [`Transport::delivered`]
+/// *after* applying it, so global quiescence detection never races
+/// delivery. Messages to dead nodes are dropped (`try_send` returns
+/// `false`), never queued forever.
+pub trait Transport: Send + Sync {
+    /// Attempt to send `msg` from `src` to `dst`. Returns `false` when the
+    /// message was dropped (dead/unknown destination, or injected fault).
+    fn try_send(&self, src: NodeId, dst: NodeId, msg: NetMsg) -> bool;
+
+    /// Receive the next message for `dst`, waiting up to `timeout`.
+    /// Returns `None` on timeout or when `dst` is disconnected and its
+    /// inbox is empty.
+    fn recv_timeout(&self, dst: NodeId, timeout: Duration) -> Option<(NodeId, NetMsg)>;
+
+    /// Mark one received *data* message as fully applied. Must be called
+    /// after the message's effects are visible in the destination node's
+    /// outstanding-work counter.
+    fn delivered(&self);
+
+    /// Data messages sent but not yet applied (monotonic-safe).
+    fn in_flight(&self) -> u64;
+
+    /// True while `node` is connected (known and not killed).
+    fn node_alive(&self, node: NodeId) -> bool;
+
+    /// Sever `node`: purge its inbox (balancing the in-flight counter),
+    /// fail all future sends to it, and wake any blocked receiver.
+    fn disconnect(&self, node: NodeId);
+
+    /// Advance any scheduled fault events (node kills). Called from the
+    /// cluster coordinator loop; the default transport has none.
+    fn poll_faults(&self) {}
+
+    /// Record a retry on the `src -> dst` link statistics.
+    fn note_retry(&self, src: NodeId, dst: NodeId);
+
+    /// Record a send abandoned after exhausting its retry budget.
+    fn note_lost(&self, _src: NodeId, _dst: NodeId) {}
+
+    /// Send with bounded exponential backoff while the destination is
+    /// alive. Returns `false` once `dst` is dead or `max_attempts` sends
+    /// were dropped. With drop probability `p < 0.3`, the failure odds
+    /// after the default 64 attempts are below `0.3^64` — effectively
+    /// never — which is what makes lossy links invisible to results.
+    fn send_with_retry(&self, src: NodeId, dst: NodeId, msg: NetMsg, max_attempts: u32) -> bool {
+        let mut backoff = Duration::from_micros(50);
+        for attempt in 1..=max_attempts.max(1) {
+            if !self.node_alive(dst) {
+                return false;
+            }
+            if self.try_send(src, dst, msg.clone()) {
+                return true;
+            }
+            if attempt == max_attempts {
+                break;
+            }
+            self.note_retry(src, dst);
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_millis(2));
+        }
+        // The destination is still alive but every attempt was dropped:
+        // genuine data loss, worth surfacing (unlike the dead-node return
+        // above, which recovery makes whole again).
+        self.note_lost(src, dst);
+        false
+    }
+}
+
+/// A queued message, ordered by readiness time then send sequence (FIFO
+/// among same-instant messages).
+#[derive(Debug)]
+struct Pending {
+    ready_at: Instant,
+    seq: u64,
+    src: NodeId,
+    msg: NetMsg,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.ready_at == other.ready_at && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ready_at, self.seq).cmp(&(other.ready_at, other.seq))
+    }
+}
+
+struct InboxState {
+    queue: BinaryHeap<Reverse<Pending>>,
+    alive: bool,
 }
 
 struct Inbox {
-    tx: Sender<(NodeId, NetMsg)>,
-    rx: Receiver<(NodeId, NetMsg)>,
+    state: Mutex<InboxState>,
+    ready: Condvar,
 }
 
 /// The simulated network connecting the cluster's nodes.
+///
+/// `recv_timeout` blocks on a condition variable until a message's
+/// simulated arrival time (send latency is modeled as delayed readiness,
+/// not a receiver-side sleep), and the in-flight count is derived from two
+/// monotonically increasing counters so duplicate `delivered` calls can
+/// never drive it negative.
 pub struct SimNet {
     inboxes: BTreeMap<NodeId, Inbox>,
-    /// Messages sent but not yet fully delivered — part of the global
-    /// quiescence condition.
-    in_flight: AtomicI64,
+    /// Data messages accepted for delivery (monotonic).
+    sent: AtomicU64,
+    /// Data messages fully applied or purged (monotonic).
+    applied: AtomicU64,
+    /// Message sequence for FIFO tie-breaks.
+    seq: AtomicU64,
     /// Added to every delivery, modeling interconnect latency.
     latency: Duration,
     stats: Mutex<BTreeMap<(NodeId, NodeId), LinkStats>>,
@@ -68,18 +214,31 @@ pub struct SimNet {
 }
 
 impl SimNet {
-    /// A network connecting `nodes`, with uniform per-message latency.
+    /// A network connecting `nodes` (plus the master's control inbox),
+    /// with uniform per-message latency.
     pub fn new(nodes: &[NodeId], latency: Duration) -> Arc<SimNet> {
         let inboxes = nodes
             .iter()
-            .map(|&n| {
-                let (tx, rx) = unbounded();
-                (n, Inbox { tx, rx })
+            .copied()
+            .chain(std::iter::once(MASTER_NODE))
+            .map(|n| {
+                (
+                    n,
+                    Inbox {
+                        state: Mutex::new(InboxState {
+                            queue: BinaryHeap::new(),
+                            alive: true,
+                        }),
+                        ready: Condvar::new(),
+                    },
+                )
             })
             .collect();
         Arc::new(SimNet {
             inboxes,
-            in_flight: AtomicI64::new(0),
+            sent: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
             latency,
             stats: Mutex::new(BTreeMap::new()),
             total_msgs: AtomicU64::new(0),
@@ -87,55 +246,65 @@ impl SimNet {
         })
     }
 
-    /// Send a message from `src` to `dst`. Panics on unknown destinations
-    /// (the cluster wires all nodes up front).
-    pub fn send(&self, src: NodeId, dst: NodeId, msg: NetMsg) {
+    /// Queue `msg` for delivery after `latency + extra_delay`. Returns
+    /// `false` (a drop) for unknown or disconnected destinations.
+    fn enqueue(&self, src: NodeId, dst: NodeId, msg: NetMsg, extra_delay: Duration) -> bool {
+        let Some(inbox) = self.inboxes.get(&dst) else {
+            self.note_drop(src, dst);
+            return false;
+        };
+        let control = msg.is_control();
         let bytes = msg.wire_bytes();
         {
-            let mut stats = self.stats.lock();
-            let e = stats.entry((src, dst)).or_default();
-            e.messages += 1;
-            e.bytes += bytes;
+            let mut state = inbox.state.lock();
+            if !state.alive {
+                drop(state);
+                if !control {
+                    self.note_drop(src, dst);
+                }
+                return false;
+            }
+            if !control {
+                let mut stats = self.stats.lock();
+                let e = stats.entry((src, dst)).or_default();
+                e.messages += 1;
+                e.bytes += bytes;
+                drop(stats);
+                self.total_msgs.fetch_add(1, Ordering::Relaxed);
+                self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.sent.fetch_add(1, Ordering::SeqCst);
+            }
+            state.queue.push(Reverse(Pending {
+                ready_at: Instant::now() + self.latency + extra_delay,
+                seq: self.seq.fetch_add(1, Ordering::Relaxed),
+                src,
+                msg,
+            }));
         }
-        self.total_msgs.fetch_add(1, Ordering::Relaxed);
-        self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.in_flight.fetch_add(1, Ordering::SeqCst);
-        self.inboxes[&dst]
-            .tx
-            .send((src, msg))
-            .expect("inbox receiver alive while cluster runs");
+        inbox.ready.notify_one();
+        true
     }
 
-    /// Receive the next message for `dst`, waiting up to `timeout`.
-    /// Returns `None` on timeout. The caller must call
-    /// [`SimNet::delivered`] once the message has been applied.
-    pub fn recv_timeout(&self, dst: NodeId, timeout: Duration) -> Option<(NodeId, NetMsg)> {
-        let msg = self.inboxes[&dst].rx.recv_timeout(timeout).ok()?;
-        if !self.latency.is_zero() {
-            std::thread::sleep(self.latency);
-        }
-        Some(msg)
+    fn note_drop(&self, src: NodeId, dst: NodeId) {
+        self.stats.lock().entry((src, dst)).or_default().drops += 1;
     }
 
-    /// Mark one received message as fully applied. Must be called *after*
-    /// the message's effects are visible in the destination node's
-    /// outstanding-work counter, so global quiescence detection never
-    /// races delivery.
-    pub fn delivered(&self) {
-        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    fn note_duplicate(&self, src: NodeId, dst: NodeId) {
+        self.stats.lock().entry((src, dst)).or_default().duplicates += 1;
     }
 
-    /// Messages sent but not yet applied.
-    pub fn in_flight(&self) -> i64 {
-        self.in_flight.load(Ordering::SeqCst)
+    /// Send a message from `src` to `dst` (legacy strict-delivery entry
+    /// point used by tests; the cluster goes through [`Transport`]).
+    pub fn send(&self, src: NodeId, dst: NodeId, msg: NetMsg) {
+        self.enqueue(src, dst, msg, Duration::ZERO);
     }
 
-    /// Total messages sent.
+    /// Total data messages sent.
     pub fn messages(&self) -> u64 {
         self.total_msgs.load(Ordering::Relaxed)
     }
 
-    /// Total bytes sent.
+    /// Total data bytes sent.
     pub fn bytes(&self) -> u64 {
         self.total_bytes.load(Ordering::Relaxed)
     }
@@ -143,6 +312,342 @@ impl SimNet {
     /// Per-directed-link statistics snapshot.
     pub fn link_stats(&self) -> BTreeMap<(NodeId, NodeId), LinkStats> {
         self.stats.lock().clone()
+    }
+
+    /// Total send retries across all links.
+    pub fn total_retries(&self) -> u64 {
+        self.stats.lock().values().map(|s| s.retries).sum()
+    }
+
+    /// Total dropped data messages across all links.
+    pub fn total_drops(&self) -> u64 {
+        self.stats.lock().values().map(|s| s.drops).sum()
+    }
+
+    /// Total sends abandoned after exhausting their retry budget.
+    pub fn total_lost(&self) -> u64 {
+        self.stats.lock().values().map(|s| s.lost).sum()
+    }
+}
+
+impl Transport for SimNet {
+    fn try_send(&self, src: NodeId, dst: NodeId, msg: NetMsg) -> bool {
+        self.enqueue(src, dst, msg, Duration::ZERO)
+    }
+
+    fn recv_timeout(&self, dst: NodeId, timeout: Duration) -> Option<(NodeId, NetMsg)> {
+        let inbox = self.inboxes.get(&dst)?;
+        let deadline = Instant::now() + timeout;
+        let mut state = inbox.state.lock();
+        loop {
+            let now = Instant::now();
+            // Earliest-ready message first; the heap orders by ready_at.
+            if let Some(Reverse(head)) = state.queue.peek() {
+                if head.ready_at <= now {
+                    let Reverse(p) = state.queue.pop().expect("peeked");
+                    return Some((p.src, p.msg));
+                }
+                // Wait until the head matures or the caller's deadline.
+                let wake = head.ready_at.min(deadline);
+                if now >= deadline {
+                    return None;
+                }
+                inbox.ready.wait_until(&mut state, wake);
+            } else {
+                if !state.alive || now >= deadline {
+                    return None;
+                }
+                inbox.ready.wait_until(&mut state, deadline);
+            }
+        }
+    }
+
+    fn delivered(&self) {
+        self.applied.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn in_flight(&self) -> u64 {
+        // `sent` is incremented before a message becomes receivable and
+        // `applied` only after it is consumed, so sent >= applied at every
+        // quiescence check; saturating keeps transient interleavings (and
+        // erroneous double-`delivered` calls) from wrapping.
+        self.sent
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.applied.load(Ordering::SeqCst))
+    }
+
+    fn node_alive(&self, node: NodeId) -> bool {
+        self.inboxes
+            .get(&node)
+            .is_some_and(|i| i.state.lock().alive)
+    }
+
+    fn disconnect(&self, node: NodeId) {
+        let Some(inbox) = self.inboxes.get(&node) else {
+            return;
+        };
+        let purged_data = {
+            let mut state = inbox.state.lock();
+            state.alive = false;
+            let purged = state
+                .queue
+                .drain()
+                .filter(|Reverse(p)| !p.msg.is_control())
+                .count();
+            purged
+        };
+        // Purged messages will never be applied; balance the in-flight
+        // counter so quiescence detection is not wedged by a dead node.
+        self.applied.fetch_add(purged_data as u64, Ordering::SeqCst);
+        inbox.ready.notify_all();
+    }
+
+    fn note_retry(&self, src: NodeId, dst: NodeId) {
+        self.stats.lock().entry((src, dst)).or_default().retries += 1;
+    }
+
+    fn note_lost(&self, src: NodeId, dst: NodeId) {
+        self.stats.lock().entry((src, dst)).or_default().lost += 1;
+    }
+}
+
+/// When a scheduled node kill fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillTrigger {
+    /// Wall-clock time after the transport first carries traffic (or
+    /// [`FaultyNet::arm`] is called, whichever is earlier).
+    Elapsed(Duration),
+    /// After the n-th data message has been accepted cluster-wide —
+    /// deterministic mid-run kills for tests.
+    AfterMessages(u64),
+}
+
+/// One scheduled whole-node failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    pub node: NodeId,
+    pub trigger: KillTrigger,
+}
+
+/// Fault-injection schedule for [`FaultyNet`]: probabilistic message
+/// drop/duplication/delay on the data plane, plus scheduled whole-node
+/// kills. Control messages (heartbeats) are never dropped — fault testing
+/// targets the data plane; node death is modeled by kills, which silence
+/// heartbeats wholesale.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1)` that a data send is dropped.
+    pub drop_rate: f64,
+    /// Probability in `[0, 1)` that a data send is delivered twice.
+    pub duplicate_rate: f64,
+    /// Upper bound on uniformly random extra delivery delay.
+    pub max_extra_delay: Duration,
+    /// Scheduled whole-node failures.
+    pub kills: Vec<KillSpec>,
+    /// Seed for the deterministic fault RNG.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            max_extra_delay: Duration::ZERO,
+            kills: Vec::new(),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl FaultPlan {
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Drop each data message with probability `rate`.
+    pub fn drop_rate(mut self, rate: f64) -> FaultPlan {
+        assert!((0.0..1.0).contains(&rate), "drop rate must be in [0, 1)");
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Deliver each data message twice with probability `rate`.
+    pub fn duplicate_rate(mut self, rate: f64) -> FaultPlan {
+        assert!((0.0..1.0).contains(&rate), "duplicate rate must be in [0, 1)");
+        self.duplicate_rate = rate;
+        self
+    }
+
+    /// Add up to `max` uniformly random extra delay per delivery.
+    pub fn delay_up_to(mut self, max: Duration) -> FaultPlan {
+        self.max_extra_delay = max;
+        self
+    }
+
+    /// Kill `node` once `n` data messages have crossed the network.
+    pub fn kill_after_messages(mut self, node: NodeId, n: u64) -> FaultPlan {
+        self.kills.push(KillSpec {
+            node,
+            trigger: KillTrigger::AfterMessages(n),
+        });
+        self
+    }
+
+    /// Kill `node` after `elapsed` of wall-clock run time.
+    pub fn kill_after(mut self, node: NodeId, elapsed: Duration) -> FaultPlan {
+        self.kills.push(KillSpec {
+            node,
+            trigger: KillTrigger::Elapsed(elapsed),
+        });
+        self
+    }
+
+    /// Seed the deterministic fault RNG.
+    pub fn seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Deterministic xorshift64* generator — the fault plan must not pull in an
+/// RNG dependency, and reproducibility matters more than quality here.
+struct FaultRng(u64);
+
+impl FaultRng {
+    fn next_unit(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        let x = self.0.wrapping_mul(0x2545F4914F6CDD1D);
+        (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Decorator injecting faults per a [`FaultPlan`] into an inner [`SimNet`].
+/// Statistics (drops, duplicates, retries) land in the inner net's
+/// [`LinkStats`], so outcome reporting is transport-agnostic.
+pub struct FaultyNet {
+    inner: Arc<SimNet>,
+    plan: FaultPlan,
+    rng: Mutex<FaultRng>,
+    data_msgs: AtomicU64,
+    started: Mutex<Option<Instant>>,
+    kill_fired: Mutex<Vec<bool>>,
+}
+
+impl FaultyNet {
+    pub fn new(inner: Arc<SimNet>, plan: FaultPlan) -> Arc<FaultyNet> {
+        let kill_fired = vec![false; plan.kills.len()];
+        Arc::new(FaultyNet {
+            rng: Mutex::new(FaultRng(plan.seed | 1)),
+            plan,
+            inner,
+            data_msgs: AtomicU64::new(0),
+            started: Mutex::new(None),
+            kill_fired: Mutex::new(kill_fired),
+        })
+    }
+
+    /// Start the clock for [`KillTrigger::Elapsed`] schedules. Called by
+    /// the cluster when the run begins; implicit on first traffic.
+    pub fn arm(&self) {
+        self.started.lock().get_or_insert_with(Instant::now);
+    }
+
+    /// The undecorated network (statistics, direct access).
+    pub fn inner(&self) -> &Arc<SimNet> {
+        &self.inner
+    }
+
+    fn check_kills(&self) {
+        if self.plan.kills.is_empty() {
+            return;
+        }
+        let elapsed = self.started.lock().map(|t| t.elapsed());
+        let msgs = self.data_msgs.load(Ordering::SeqCst);
+        let mut fired = self.kill_fired.lock();
+        for (i, kill) in self.plan.kills.iter().enumerate() {
+            if fired[i] {
+                continue;
+            }
+            let due = match kill.trigger {
+                KillTrigger::Elapsed(d) => elapsed.is_some_and(|e| e >= d),
+                KillTrigger::AfterMessages(n) => msgs >= n,
+            };
+            if due {
+                fired[i] = true;
+                self.inner.disconnect(kill.node);
+            }
+        }
+    }
+}
+
+impl Transport for FaultyNet {
+    fn try_send(&self, src: NodeId, dst: NodeId, msg: NetMsg) -> bool {
+        self.arm();
+        if !msg.is_control() {
+            self.data_msgs.fetch_add(1, Ordering::SeqCst);
+        }
+        self.check_kills();
+        if msg.is_control() {
+            return self.inner.try_send(src, dst, msg);
+        }
+        if !self.inner.node_alive(dst) {
+            self.inner.note_drop(src, dst);
+            return false;
+        }
+        let (drop_roll, dup_roll, delay_roll) = {
+            let mut rng = self.rng.lock();
+            (rng.next_unit(), rng.next_unit(), rng.next_unit())
+        };
+        if drop_roll < self.plan.drop_rate {
+            self.inner.note_drop(src, dst);
+            return false;
+        }
+        let extra = self.plan.max_extra_delay.mul_f64(delay_roll);
+        if dup_roll < self.plan.duplicate_rate {
+            // Deliver twice; write-once dedup at the receiver absorbs it.
+            if self.inner.enqueue(src, dst, msg.clone(), extra) {
+                self.inner.note_duplicate(src, dst);
+                self.inner.enqueue(src, dst, msg, extra);
+            }
+            return true;
+        }
+        self.inner.enqueue(src, dst, msg, extra)
+    }
+
+    fn recv_timeout(&self, dst: NodeId, timeout: Duration) -> Option<(NodeId, NetMsg)> {
+        self.inner.recv_timeout(dst, timeout)
+    }
+
+    fn delivered(&self) {
+        self.inner.delivered();
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.inner.in_flight()
+    }
+
+    fn node_alive(&self, node: NodeId) -> bool {
+        self.inner.node_alive(node)
+    }
+
+    fn disconnect(&self, node: NodeId) {
+        self.inner.disconnect(node);
+    }
+
+    fn poll_faults(&self) {
+        self.arm();
+        self.check_kills();
+    }
+
+    fn note_retry(&self, src: NodeId, dst: NodeId) {
+        self.inner.note_retry(src, dst);
+    }
+
+    fn note_lost(&self, src: NodeId, dst: NodeId) {
+        self.inner.note_lost(src, dst);
     }
 }
 
@@ -201,5 +706,136 @@ mod tests {
         net.recv_timeout(NodeId(1), Duration::from_secs(1)).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(20));
         net.delivered();
+    }
+
+    #[test]
+    fn in_flight_is_monotonic_safe() {
+        let net = SimNet::new(&[NodeId(0)], Duration::ZERO);
+        // Erroneous double-delivered must not wrap the counter negative.
+        net.delivered();
+        net.delivered();
+        assert_eq!(net.in_flight(), 0);
+        net.send(NodeId(0), NodeId(0), msg(1));
+        assert!(net.in_flight() <= 1);
+    }
+
+    #[test]
+    fn heartbeats_bypass_stats_and_in_flight() {
+        let net = SimNet::new(&[NodeId(0)], Duration::ZERO);
+        assert!(net.try_send(NodeId(0), MASTER_NODE, NetMsg::Heartbeat { seq: 1 }));
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.messages(), 0);
+        let (src, m) = net
+            .recv_timeout(MASTER_NODE, Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(src, NodeId(0));
+        assert!(m.is_control());
+    }
+
+    #[test]
+    fn disconnect_purges_and_balances() {
+        let net = SimNet::new(&[NodeId(0), NodeId(1)], Duration::from_secs(60));
+        net.send(NodeId(0), NodeId(1), msg(1));
+        net.send(NodeId(0), NodeId(1), msg(1));
+        assert_eq!(net.in_flight(), 2);
+        net.disconnect(NodeId(1));
+        assert_eq!(net.in_flight(), 0, "purged messages balance the counter");
+        assert!(!net.node_alive(NodeId(1)));
+        assert!(net.node_alive(NodeId(0)));
+        // Future sends to the dead node are drops, not hangs.
+        assert!(!net.try_send(NodeId(0), NodeId(1), msg(1)));
+        assert_eq!(net.in_flight(), 0);
+        assert!(net.link_stats()[&(NodeId(0), NodeId(1))].drops >= 1);
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_cross_thread_send() {
+        let net = SimNet::new(&[NodeId(0), NodeId(1)], Duration::ZERO);
+        let net2 = net.clone();
+        let h = std::thread::spawn(move || {
+            net2.recv_timeout(NodeId(1), Duration::from_secs(5))
+                .map(|(src, _)| src)
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        net.send(NodeId(0), NodeId(1), msg(1));
+        assert_eq!(h.join().unwrap(), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn faulty_net_drops_are_counted_and_retry_succeeds() {
+        let inner = SimNet::new(&[NodeId(0), NodeId(1)], Duration::ZERO);
+        let net = FaultyNet::new(inner.clone(), FaultPlan::new().drop_rate(0.5).seed(7));
+        let mut delivered = 0;
+        for _ in 0..200 {
+            if net.send_with_retry(NodeId(0), NodeId(1), msg(1), 64) {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 200, "retry masks a 50% lossy link");
+        let stats = inner.link_stats();
+        let link = &stats[&(NodeId(0), NodeId(1))];
+        assert!(link.drops > 0, "some sends were dropped: {link:?}");
+        assert_eq!(link.retries, link.drops, "every drop was retried");
+        assert_eq!(link.messages, 200);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_counted_as_lost() {
+        let inner = SimNet::new(&[NodeId(0), NodeId(1)], Duration::ZERO);
+        let net = FaultyNet::new(inner.clone(), FaultPlan::new().drop_rate(0.99).seed(1));
+        let mut lost = 0;
+        for _ in 0..20 {
+            if !net.send_with_retry(NodeId(0), NodeId(1), msg(1), 2) {
+                lost += 1;
+            }
+        }
+        assert!(lost > 0, "a 99% lossy link defeats a 2-attempt budget");
+        assert_eq!(inner.total_lost(), lost, "every abandoned send is counted");
+    }
+
+    #[test]
+    fn faulty_net_duplicates_deliver_twice() {
+        let inner = SimNet::new(&[NodeId(0), NodeId(1)], Duration::ZERO);
+        let net = FaultyNet::new(inner.clone(), FaultPlan::new().duplicate_rate(0.999).seed(3));
+        assert!(net.try_send(NodeId(0), NodeId(1), msg(1)));
+        let a = net.recv_timeout(NodeId(1), Duration::from_millis(100));
+        let b = net.recv_timeout(NodeId(1), Duration::from_millis(100));
+        assert!(a.is_some() && b.is_some(), "duplicate delivered twice");
+        net.delivered();
+        net.delivered();
+        assert_eq!(net.in_flight(), 0);
+        assert!(inner.link_stats()[&(NodeId(0), NodeId(1))].duplicates >= 1);
+    }
+
+    #[test]
+    fn kill_after_messages_disconnects_node() {
+        let inner = SimNet::new(&[NodeId(0), NodeId(1), NodeId(2)], Duration::ZERO);
+        let net = FaultyNet::new(
+            inner.clone(),
+            FaultPlan::new().kill_after_messages(NodeId(2), 3),
+        );
+        for _ in 0..2 {
+            assert!(net.try_send(NodeId(0), NodeId(1), msg(1)));
+        }
+        assert!(net.node_alive(NodeId(2)));
+        // The third data message trips the kill before enqueueing.
+        net.try_send(NodeId(0), NodeId(2), msg(1));
+        assert!(!net.node_alive(NodeId(2)));
+        assert!(net.node_alive(NodeId(0)) && net.node_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn kill_after_elapsed_fires_via_poll() {
+        let inner = SimNet::new(&[NodeId(0), NodeId(1)], Duration::ZERO);
+        let net = FaultyNet::new(
+            inner.clone(),
+            FaultPlan::new().kill_after(NodeId(1), Duration::from_millis(10)),
+        );
+        net.arm();
+        net.poll_faults();
+        assert!(net.node_alive(NodeId(1)));
+        std::thread::sleep(Duration::from_millis(15));
+        net.poll_faults();
+        assert!(!net.node_alive(NodeId(1)));
     }
 }

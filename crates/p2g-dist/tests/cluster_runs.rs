@@ -7,7 +7,7 @@ use std::time::Duration;
 use p2g_dist::{ClusterConfig, SimCluster};
 use p2g_field::{Age, Buffer, Region};
 use p2g_graph::spec::mul_sum_example;
-use p2g_runtime::{ExecutionNode, Program, RunLimits};
+use p2g_runtime::{NodeBuilder, Program, RunLimits};
 
 fn build_mul_sum() -> Program {
     let mut p = Program::new(mul_sum_example()).unwrap();
@@ -33,8 +33,8 @@ fn build_mul_sum() -> Program {
 }
 
 fn single_node_reference(ages: u64) -> Vec<Vec<i32>> {
-    let (_, fields) = ExecutionNode::new(build_mul_sum(), 2)
-        .run_collect(RunLimits::ages(ages))
+    let (_, fields) = NodeBuilder::new(build_mul_sum()).workers(2)
+        .launch(RunLimits::ages(ages)).and_then(|n| n.collect())
         .unwrap();
     (0..ages)
         .flat_map(|a| {
@@ -157,7 +157,7 @@ fn heterogeneous_node_workers() {
     // A "big" node (4 workers) and a "small" node (1 worker): the master
     // must see the asymmetric topology and the cluster must still produce
     // the exact single-node results.
-    let config = ClusterConfig::nodes(2).with_node_workers(vec![4, 1]);
+    let config = ClusterConfig::nodes(2).workers(vec![4, 1]);
     let cluster = SimCluster::new(config, build_mul_sum).unwrap();
     let shares = cluster.master().topology().compute_shares();
     let total_cores = cluster.master().topology().total_cores();
@@ -185,4 +185,19 @@ fn heterogeneous_node_workers() {
         })
         .collect();
     assert_eq!(got, reference);
+}
+
+/// The deprecated `ClusterConfig` worker setters delegate to `workers()`.
+#[test]
+#[allow(deprecated)]
+fn deprecated_worker_setters_still_apply() {
+    let a = ClusterConfig::nodes(2).with_workers(3);
+    let b = ClusterConfig::nodes(2).workers(3);
+    assert_eq!(a.workers_for(0), b.workers_for(0));
+    assert_eq!(a.workers_for(1), 3);
+
+    let c = ClusterConfig::nodes(2).with_node_workers(vec![4, 1]);
+    let d = ClusterConfig::nodes(2).workers(vec![4, 1]);
+    assert_eq!((c.workers_for(0), c.workers_for(1)), (4, 1));
+    assert_eq!((d.workers_for(0), d.workers_for(1)), (4, 1));
 }

@@ -1,0 +1,169 @@
+//! Fault-tolerance integration tests: killed nodes, lossy links, duplicate
+//! deliveries — the cluster must produce exactly the fault-free results.
+//!
+//! The underlying argument is the P2G write-once model: every (field, age,
+//! element) has exactly one deterministic value, so at-least-once delivery
+//! and at-least-once (re-)execution dedup into exactly-once results.
+
+use std::time::Duration;
+
+use p2g_dist::{ClusterConfig, FaultPlan, SimCluster};
+use p2g_field::{Age, Buffer, Region};
+use p2g_graph::spec::mul_sum_example;
+use p2g_graph::NodeId;
+use p2g_runtime::{NodeBuilder, Program, RunLimits};
+use proptest::prelude::*;
+
+fn build_mul_sum() -> Program {
+    let mut p = Program::new(mul_sum_example()).unwrap();
+    p.body("init", |ctx| {
+        ctx.store(
+            0,
+            Buffer::from_vec((0..5).map(|i| i + 10).collect::<Vec<i32>>()),
+        );
+        Ok(())
+    });
+    p.body("mul2", |ctx| {
+        let v = ctx.input(0).value(0).as_i64() as i32;
+        ctx.store(0, Buffer::from_vec(vec![v.wrapping_mul(2)]));
+        Ok(())
+    });
+    p.body("plus5", |ctx| {
+        let v = ctx.input(0).value(0).as_i64() as i32;
+        ctx.store(0, Buffer::from_vec(vec![v.wrapping_add(5)]));
+        Ok(())
+    });
+    p.body("print", |_| Ok(()));
+    p
+}
+
+/// Fault-free single-node reference: (m_data, p_data) per age.
+fn reference(ages: u64) -> Vec<Vec<i32>> {
+    let (_, fields) = NodeBuilder::new(build_mul_sum())
+        .workers(2)
+        .launch(RunLimits::ages(ages))
+        .unwrap()
+        .collect()
+        .unwrap();
+    (0..ages)
+        .flat_map(|a| {
+            vec![
+                fields
+                    .fetch("m_data", Age(a), &Region::all(1))
+                    .unwrap()
+                    .as_i32()
+                    .unwrap()
+                    .to_vec(),
+                fields
+                    .fetch("p_data", Age(a), &Region::all(1))
+                    .unwrap()
+                    .as_i32()
+                    .unwrap()
+                    .to_vec(),
+            ]
+        })
+        .collect()
+}
+
+fn outcome_fields(outcome: &p2g_dist::ClusterOutcome, ages: u64) -> Vec<Vec<i32>> {
+    (0..ages)
+        .flat_map(|a| {
+            vec![
+                outcome
+                    .fetch("m_data", Age(a), &Region::all(1))
+                    .unwrap_or_else(|| panic!("m_data age {a} missing"))
+                    .as_i32()
+                    .unwrap()
+                    .to_vec(),
+                outcome
+                    .fetch("p_data", Age(a), &Region::all(1))
+                    .unwrap_or_else(|| panic!("p_data age {a} missing"))
+                    .as_i32()
+                    .unwrap()
+                    .to_vec(),
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn node_killed_mid_run_recovers_to_identical_results() {
+    const AGES: u64 = 6;
+    let want = reference(AGES);
+    // Kill node 1 once cross-node traffic is underway; a lossy link on top
+    // exercises retry alongside recovery.
+    let plan = FaultPlan::new()
+        .kill_after_messages(NodeId(1), 12)
+        .drop_rate(0.2)
+        .seed(42);
+    let config = ClusterConfig::nodes(3).with_faults(plan);
+    let cluster = SimCluster::new(config, build_mul_sum).unwrap();
+    let outcome = cluster
+        .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)))
+        .unwrap();
+
+    assert_eq!(
+        outcome.failed_nodes,
+        vec![NodeId(1)],
+        "the scheduled kill must have been detected"
+    );
+    assert!(
+        !outcome.assignment.contains_key(&NodeId(1)),
+        "recovery re-planned over the survivors"
+    );
+    assert!(
+        outcome.redelivered_stores > 0,
+        "recovery replayed stored regions to new owners"
+    );
+    assert!(
+        outcome.retries > 0,
+        "the lossy link forced send retries (drops={})",
+        outcome.net.total_drops()
+    );
+    assert_eq!(
+        outcome_fields(&outcome, AGES),
+        want,
+        "results after a node failure must match the fault-free run"
+    );
+}
+
+#[test]
+fn duplicate_deliveries_are_absorbed_by_dedup() {
+    const AGES: u64 = 4;
+    let want = reference(AGES);
+    let plan = FaultPlan::new().duplicate_rate(0.5).seed(9);
+    let cluster = SimCluster::new(ClusterConfig::nodes(2).with_faults(plan), build_mul_sum).unwrap();
+    let outcome = cluster
+        .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)))
+        .unwrap();
+    assert_eq!(outcome_fields(&outcome, AGES), want);
+    assert!(
+        outcome.total_deduped() > 0,
+        "duplicated deliveries must have hit the dedup path"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random drop rates below 30% change latency, never results.
+    #[test]
+    fn random_drop_rates_never_change_results(
+        drop_milli in 0usize..300,
+        seed in 0u64..100_000,
+        nodes in 2usize..=3,
+    ) {
+        const AGES: u64 = 3;
+        let want = reference(AGES);
+        let plan = FaultPlan::new()
+            .drop_rate(drop_milli as f64 / 1000.0)
+            .seed(seed | 1);
+        let config = ClusterConfig::nodes(nodes).with_faults(plan);
+        let cluster = SimCluster::new(config, build_mul_sum).unwrap();
+        let outcome = cluster
+            .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)))
+            .unwrap();
+        prop_assert_eq!(outcome_fields(&outcome, AGES), want);
+        prop_assert!(outcome.failed_nodes.is_empty());
+    }
+}

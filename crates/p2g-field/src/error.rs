@@ -38,6 +38,16 @@ pub enum FieldError {
     AgeCollected { field: String, age: Age },
     /// A buffer's length did not match the region it was stored into.
     LengthMismatch { expected: usize, found: usize },
+    /// An idempotent (deduplicating) store saw a different value than the
+    /// one already recorded for an element. Write-once semantics make
+    /// duplicate *identical* stores safe under at-least-once delivery and
+    /// recovery re-execution; a conflicting value means two producers
+    /// computed the same cell differently — a partitioning bug.
+    ConflictingStore {
+        field: String,
+        age: Age,
+        linear_index: usize,
+    },
 }
 
 impl std::fmt::Display for FieldError {
@@ -76,6 +86,15 @@ impl std::fmt::Display for FieldError {
                     "buffer length mismatch: region has {expected} elements, buffer {found}"
                 )
             }
+            FieldError::ConflictingStore {
+                field,
+                age,
+                linear_index,
+            } => write!(
+                f,
+                "conflicting duplicate store: field '{field}' {age} element {linear_index} \
+                 re-stored with a different value"
+            ),
         }
     }
 }

@@ -110,6 +110,9 @@ pub struct StoreOutcome {
     pub stored: usize,
     /// True when this store completed the age (all elements written).
     pub age_complete: bool,
+    /// Elements skipped by an idempotent store because they were already
+    /// written with the same value (always 0 for strict stores).
+    pub deduped: usize,
 }
 
 /// An aged, write-once, implicitly-resizable multi-dimensional field.
@@ -287,6 +290,33 @@ impl Field {
         region: &Region,
         payload: &Buffer,
     ) -> Result<StoreOutcome, FieldError> {
+        self.store_inner(age, region, payload, false)
+    }
+
+    /// Idempotent store: elements already written with the *same* value are
+    /// skipped (counted in [`StoreOutcome::deduped`]); an already-written
+    /// element with a *different* value is a [`FieldError::ConflictingStore`].
+    ///
+    /// This is the distributed-delivery variant of [`Field::store`]: because
+    /// fields are write-once, duplicated message delivery and re-execution
+    /// of kernel instances during failure recovery are safe — replaying a
+    /// store is a no-op.
+    pub fn store_idempotent(
+        &mut self,
+        age: Age,
+        region: &Region,
+        payload: &Buffer,
+    ) -> Result<StoreOutcome, FieldError> {
+        self.store_inner(age, region, payload, true)
+    }
+
+    fn store_inner(
+        &mut self,
+        age: Age,
+        region: &Region,
+        payload: &Buffer,
+        dedup: bool,
+    ) -> Result<StoreOutcome, FieldError> {
         self.check_age_live(age)?;
         if payload.scalar_type() != self.def.ty {
             return Err(FieldError::TypeMismatch {
@@ -343,14 +373,26 @@ impl Field {
         // Copy elements in, enforcing write-once per element.
         let extents = data.extents.clone();
         let mut stored = 0usize;
+        let mut deduped = 0usize;
         let lins: Vec<usize> = region.linear_indices(&extents)?.collect();
         for (src, &dst) in lins.iter().enumerate() {
             if !data.written.set(dst) {
-                return Err(FieldError::WriteOnceViolation {
-                    field: self.def.name.clone(),
-                    age,
-                    linear_index: dst,
-                });
+                if !dedup {
+                    return Err(FieldError::WriteOnceViolation {
+                        field: self.def.name.clone(),
+                        age,
+                        linear_index: dst,
+                    });
+                }
+                if data.buffer.value(dst) != payload.value(src) {
+                    return Err(FieldError::ConflictingStore {
+                        field: self.def.name.clone(),
+                        age,
+                        linear_index: dst,
+                    });
+                }
+                deduped += 1;
+                continue;
             }
             data.buffer
                 .set_value(dst, payload.value(src))
@@ -370,6 +412,7 @@ impl Field {
             resized,
             stored,
             age_complete,
+            deduped,
         })
     }
 
@@ -415,6 +458,61 @@ impl Field {
     /// Fetch a single element's value.
     pub fn fetch_element(&self, age: Age, index: &[usize]) -> Result<Value, FieldError> {
         Ok(self.fetch(age, &Region::point(index))?.value(0))
+    }
+
+    /// Snapshot everything written for `age` as `(region, buffer)` pairs
+    /// suitable for re-injection into another replica: one pair per maximal
+    /// innermost-dimension run of written elements. Used by the cluster's
+    /// failure-recovery path to re-forward a survivor's data to the new
+    /// owners of a failed node's kernels.
+    ///
+    /// Regions are always explicit index/range selectors — never
+    /// [`Region::all`] — because `All` resolves against the *receiver's*
+    /// extents, and an implicitly-sized replica may have resized past this
+    /// one (a "complete" age here can be a transiently-complete prefix).
+    pub fn snapshot_written(&self, age: Age) -> Vec<(Region, Buffer)> {
+        let Some(data) = self.ages.get(&age.0) else {
+            return Vec::new();
+        };
+        // Emit maximal runs of consecutive linear indices. Row-major layout
+        // means a run within one innermost-dimension row is a contiguous
+        // `Range` selector on the last dimension.
+        let extents = &data.extents;
+        let inner = if extents.ndim() == 0 {
+            1
+        } else {
+            extents.dim(extents.ndim() - 1).max(1)
+        };
+        let mut out = Vec::new();
+        let mut run: Option<(usize, usize)> = None; // (start_lin, len)
+        let flush = |run: &mut Option<(usize, usize)>, out: &mut Vec<(Region, Buffer)>| {
+            if let Some((start, len)) = run.take() {
+                let idx = extents.delinearize(start);
+                let mut sels: Vec<DimSel> =
+                    idx.iter().map(|&i| DimSel::Index(i)).collect();
+                if let Some(last) = sels.last_mut() {
+                    let first = idx[idx.len() - 1];
+                    *last = DimSel::Range { start: first, len };
+                }
+                let region = Region(sels);
+                if let Ok(buffer) = self.fetch(age, &region) {
+                    out.push((region, buffer));
+                }
+            }
+        };
+        for lin in data.written.iter_set() {
+            match run {
+                Some((start, len)) if lin == start + len && (start % inner) + len < inner => {
+                    run = Some((start, len + 1));
+                }
+                _ => {
+                    flush(&mut run, &mut out);
+                    run = Some((lin, 1));
+                }
+            }
+        }
+        flush(&mut run, &mut out);
+        out
     }
 
     /// Garbage collect one age, freeing its buffer. Idempotent.
@@ -647,5 +745,112 @@ mod tests {
         assert_eq!(f.fetch_element(Age(0), &[3, 1]).unwrap(), Value::U8(4));
         let back = f.fetch(Age(0), &region).unwrap();
         assert_eq!(back.as_u8().unwrap(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn idempotent_store_dedups_identical_values() {
+        let mut f = Field::new(
+            FieldId(0),
+            FieldDef::with_extents("f", ScalarType::I32, Extents::new([4])),
+        );
+        let payload = Buffer::from_vec(vec![1i32, 2, 3, 4]);
+        let first = f.store_idempotent(Age(0), &Region::all(1), &payload).unwrap();
+        assert_eq!(first.stored, 4);
+        assert_eq!(first.deduped, 0);
+        // Exact replay: everything dedups, nothing stored.
+        let replay = f.store_idempotent(Age(0), &Region::all(1), &payload).unwrap();
+        assert_eq!(replay.stored, 0);
+        assert_eq!(replay.deduped, 4);
+        assert!(replay.age_complete);
+        // The strict path still rejects the duplicate.
+        assert!(matches!(
+            f.store(Age(0), &Region::all(1), &payload),
+            Err(FieldError::WriteOnceViolation { .. })
+        ));
+        // A conflicting value is a partitioning bug, not a dedup.
+        let wrong = Buffer::from_vec(vec![9i32, 2, 3, 4]);
+        assert!(matches!(
+            f.store_idempotent(Age(0), &Region::all(1), &wrong),
+            Err(FieldError::ConflictingStore { .. })
+        ));
+    }
+
+    #[test]
+    fn idempotent_store_partial_overlap() {
+        let mut f = Field::new(
+            FieldId(0),
+            FieldDef::with_extents("f", ScalarType::I32, Extents::new([4])),
+        );
+        f.store_element(Age(0), &[1], Value::I32(11)).unwrap();
+        let payload = Buffer::from_vec(vec![10i32, 11, 12, 13]);
+        let out = f.store_idempotent(Age(0), &Region::all(1), &payload).unwrap();
+        assert_eq!(out.stored, 3);
+        assert_eq!(out.deduped, 1);
+        assert!(out.age_complete);
+        assert_eq!(
+            f.fetch(Age(0), &Region::all(1)).unwrap().as_i32().unwrap(),
+            &[10, 11, 12, 13]
+        );
+    }
+
+    #[test]
+    fn snapshot_written_complete_age_covers_every_element_explicitly() {
+        // Even a complete age snapshots as explicit per-row ranges (never
+        // `Region::all`, which would resolve against the receiver's
+        // extents — wrong when replicas resized at different times).
+        let mut f = Field::new(
+            FieldId(0),
+            FieldDef::with_extents("f", ScalarType::I32, Extents::new([2, 3])),
+        );
+        let payload = Buffer::from_vec((0..6).collect::<Vec<i32>>())
+            .reshape(Extents::new([2, 3]))
+            .unwrap();
+        f.store(Age(0), &Region::all(2), &payload).unwrap();
+        let snap = f.snapshot_written(Age(0));
+        assert_eq!(snap.len(), 2, "one run per row: {snap:?}");
+        assert!(snap.iter().all(|(r, _)| r != &Region::all(2)));
+        let mut replica = Field::new(
+            FieldId(0),
+            FieldDef::with_extents("f", ScalarType::I32, Extents::new([2, 3])),
+        );
+        for (region, buffer) in &snap {
+            replica.store_idempotent(Age(0), region, buffer).unwrap();
+        }
+        assert_eq!(
+            replica.fetch(Age(0), &Region::all(2)).unwrap().as_i32().unwrap(),
+            &[0, 1, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn snapshot_written_partial_age_replays_into_empty_replica() {
+        let mut f = Field::new(
+            FieldId(0),
+            FieldDef::with_extents("f", ScalarType::I32, Extents::new([3, 4])),
+        );
+        // Scattered writes: a run in row 0, a lone element in row 2.
+        f.store_element(Age(0), &[0, 1], Value::I32(1)).unwrap();
+        f.store_element(Age(0), &[0, 2], Value::I32(2)).unwrap();
+        f.store_element(Age(0), &[2, 3], Value::I32(23)).unwrap();
+        let snap = f.snapshot_written(Age(0));
+        assert_eq!(snap.len(), 2, "one run + one point: {snap:?}");
+
+        let mut replica = Field::new(
+            FieldId(0),
+            FieldDef::with_extents("f", ScalarType::I32, Extents::new([3, 4])),
+        );
+        for (region, buffer) in &snap {
+            replica.store_idempotent(Age(0), region, buffer).unwrap();
+        }
+        assert_eq!(replica.written_count(Age(0)), 3);
+        assert_eq!(
+            replica.fetch_element(Age(0), &[0, 2]).unwrap(),
+            Value::I32(2)
+        );
+        assert_eq!(
+            replica.fetch_element(Age(0), &[2, 3]).unwrap(),
+            Value::I32(23)
+        );
+        assert!(f.snapshot_written(Age(1)).is_empty());
     }
 }

@@ -275,7 +275,7 @@ mod tests {
     use super::*;
     use crate::baseline::kmeans_baseline;
     use crate::data::generate_dataset;
-    use p2g_runtime::{ExecutionNode, RunLimits};
+    use p2g_runtime::{NodeBuilder, RunLimits};
 
     fn small_config() -> KmeansConfig {
         KmeansConfig {
@@ -293,9 +293,9 @@ mod tests {
         workers: usize,
     ) -> (Vec<Vec<f64>>, Vec<f64>, p2g_runtime::instrument::RunReport) {
         let (program, result) = build_kmeans_program(config).unwrap();
-        let node = ExecutionNode::new(program, workers);
+        let node = NodeBuilder::new(program).workers(workers);
         let (report, fields) = node
-            .run_collect(RunLimits::ages(config.iterations))
+            .launch(RunLimits::ages(config.iterations)).and_then(|n| n.collect())
             .unwrap();
         let history = centroid_history(&fields, config.k, config.dim, config.iterations);
         (history, result.inertia_log(), report)

@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use p2g_graph::{FinalGraph, IntermediateGraph};
 use p2g_lang::compile_source;
-use p2g_runtime::{ExecutionNode, RunLimits};
+use p2g_runtime::{NodeBuilder, RunLimits};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -84,8 +84,8 @@ fn main() -> ExitCode {
                 limits = limits.with_deadline(Duration::from_millis(ms));
             }
 
-            let node = ExecutionNode::new(compiled.program, workers);
-            match node.run(limits) {
+            let node = NodeBuilder::new(compiled.program).workers(workers);
+            match node.launch(limits).and_then(|n| n.wait()) {
                 Ok(report) => {
                     print!("{}", compiled.print.take());
                     eprintln!(

@@ -102,7 +102,7 @@ pub fn compile_source(src: &str) -> Result<CompiledProgram, LangError> {
 mod tests {
     use super::*;
     use p2g_field::{Age, Region};
-    use p2g_runtime::{ExecutionNode, RunLimits};
+    use p2g_runtime::{NodeBuilder, RunLimits};
 
     const MUL_SUM: &str = r#"
 int32[] m_data age;
@@ -147,8 +147,8 @@ print:
     #[test]
     fn figure5_program_runs_and_matches_paper_output() {
         let compiled = compile_source(MUL_SUM).unwrap();
-        let node = ExecutionNode::new(compiled.program, 4);
-        let (report, fields) = node.run_collect(RunLimits::ages(2)).unwrap();
+        let node = NodeBuilder::new(compiled.program).workers(4);
+        let (report, fields) = node.launch(RunLimits::ages(2)).and_then(|n| n.collect()).unwrap();
         assert_eq!(
             report.termination,
             p2g_runtime::instrument::Termination::Quiescent
@@ -174,15 +174,15 @@ print:
     fn print_output_deterministic_across_workers() {
         let reference = {
             let c = compile_source(MUL_SUM).unwrap();
-            ExecutionNode::new(c.program, 1)
-                .run(RunLimits::ages(3))
+            NodeBuilder::new(c.program).workers(1)
+                .launch(RunLimits::ages(3)).and_then(|n| n.wait())
                 .unwrap();
             c.print.take()
         };
         for workers in [2, 4] {
             let c = compile_source(MUL_SUM).unwrap();
-            ExecutionNode::new(c.program, workers)
-                .run(RunLimits::ages(3))
+            NodeBuilder::new(c.program).workers(workers)
+                .launch(RunLimits::ages(3)).and_then(|n| n.wait())
                 .unwrap();
             assert_eq!(c.print.take(), reference, "workers={workers}");
         }
@@ -205,8 +205,8 @@ init:
   store f(0) = v;
 "#;
         let compiled = compile_source(src).unwrap();
-        let err = ExecutionNode::new(compiled.program, 1)
-            .run(RunLimits::ages(1))
+        let err = NodeBuilder::new(compiled.program).workers(1)
+            .launch(RunLimits::ages(1)).and_then(|n| n.wait())
             .unwrap_err();
         assert!(err.to_string().contains("division by zero"), "{err}");
     }
@@ -231,8 +231,8 @@ reverse:
   store dst(a)[target] = value;
 "#;
         let compiled = compile_source(src).unwrap();
-        let node = ExecutionNode::new(compiled.program, 2);
-        let (_, fields) = node.run_collect(RunLimits::ages(1)).unwrap();
+        let node = NodeBuilder::new(compiled.program).workers(2);
+        let (_, fields) = node.launch(RunLimits::ages(1)).and_then(|n| n.collect()).unwrap();
         let dst = fields.fetch("dst", Age(0), &Region::all(1)).unwrap();
         assert_eq!(dst.as_i32().unwrap(), &[3, 2, 1, 0]);
     }
@@ -248,8 +248,8 @@ init:
 "#;
         let run = || {
             let compiled = compile_source(src).unwrap();
-            let node = ExecutionNode::new(compiled.program, 2);
-            let (_, fields) = node.run_collect(RunLimits::ages(1)).unwrap();
+            let node = NodeBuilder::new(compiled.program).workers(2);
+            let (_, fields) = node.launch(RunLimits::ages(1)).and_then(|n| n.collect()).unwrap();
             fields
                 .fetch("vals", Age(0), &Region::all(1))
                 .unwrap()

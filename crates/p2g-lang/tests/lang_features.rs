@@ -3,12 +3,12 @@
 
 use p2g_field::{Age, Region};
 use p2g_lang::compile_source;
-use p2g_runtime::{ExecutionNode, RunLimits};
+use p2g_runtime::{NodeBuilder, RunLimits};
 
 fn run(src: &str, ages: u64, workers: usize) -> (p2g_runtime::node::FieldStore, String) {
     let compiled = compile_source(src).unwrap_or_else(|e| panic!("compile failed: {e}"));
-    let node = ExecutionNode::new(compiled.program, workers);
-    let (_, fields) = node.run_collect(RunLimits::ages(ages)).unwrap();
+    let node = NodeBuilder::new(compiled.program).workers(workers);
+    let (_, fields) = node.launch(RunLimits::ages(ages)).and_then(|n| n.collect()).unwrap();
     (fields, compiled.print.take())
 }
 

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use p2g_field::{Age, Region};
-use p2g_runtime::{ExecutionNode, RunLimits};
+use p2g_runtime::{NodeBuilder, RunLimits};
 
 /// A tiny random expression language over two variables that maps
 /// directly to both Rust semantics and kernel-language source.
@@ -118,8 +118,8 @@ fn run_expr(expr: &E, inputs: &[(i32, i32)]) -> Vec<i64> {
 
     let compiled = p2g_lang::compile_source(&src)
         .unwrap_or_else(|e| panic!("generated program failed to compile: {e}\n{src}"));
-    let node = ExecutionNode::new(compiled.program, 2);
-    let (_, fields) = node.run_collect(RunLimits::ages(1)).unwrap();
+    let node = NodeBuilder::new(compiled.program).workers(2);
+    let (_, fields) = node.launch(RunLimits::ages(1)).and_then(|n| n.collect()).unwrap();
     fields
         .fetch("out", Age(0), &Region::all(1))
         .expect("out field complete")

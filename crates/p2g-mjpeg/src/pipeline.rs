@@ -304,7 +304,7 @@ mod tests {
     use super::*;
     use crate::encoder::{count_frames, encode_standalone};
     use crate::synthetic::SyntheticVideo;
-    use p2g_runtime::{ExecutionNode, RunLimits};
+    use p2g_runtime::{NodeBuilder, RunLimits};
 
     fn run_pipeline(
         source: SyntheticVideo,
@@ -313,9 +313,9 @@ mod tests {
     ) -> (Vec<u8>, p2g_runtime::instrument::RunReport) {
         let frames = config.max_frames;
         let (program, sink) = build_mjpeg_program(Arc::new(source), config).unwrap();
-        let node = ExecutionNode::new(program, workers);
+        let node = NodeBuilder::new(program).workers(workers);
         let report = node
-            .run(RunLimits::ages(frames + 1).with_gc_window(4))
+            .launch(RunLimits::ages(frames + 1).with_gc_window(4)).and_then(|n| n.wait())
             .unwrap();
         (sink.take(), report)
     }

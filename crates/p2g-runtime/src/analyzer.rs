@@ -70,6 +70,10 @@ pub struct DependencyAnalyzer {
     /// Monotone cache: the smallest age of each kernel that is not yet
     /// fully dispatched + completed.
     gc_floor: HashMap<u32, u64>,
+    /// Store elements absorbed by write-once dedup (duplicate remote
+    /// deliveries, recovery re-injection). Drained by the analyzer loop
+    /// into the node's instruments.
+    deduped: u64,
 }
 
 impl DependencyAnalyzer {
@@ -126,8 +130,14 @@ impl DependencyAnalyzer {
             expected_extents: HashMap::new(),
             completed: HashMap::new(),
             gc_floor: HashMap::new(),
+            deduped: 0,
             spec,
         }
+    }
+
+    /// Drain the dedup tally accumulated since the last call.
+    pub fn take_deduped(&mut self) -> u64 {
+        std::mem::take(&mut self.deduped)
     }
 
     /// Restrict dispatch to an assigned kernel subset (distributed mode).
@@ -193,11 +203,17 @@ impl DependencyAnalyzer {
                 buffer,
             } => {
                 // Apply the forwarded store to the local replica, then
-                // treat it like a local store. A conflicting write means
-                // two nodes produced the same element — a partitioning
-                // bug surfaced deterministically.
-                let outcome = self.fields[field.idx()].write().store(*age, region, buffer);
+                // treat it like a local store. Write-once dedup makes the
+                // apply idempotent, so at-least-once delivery (retries,
+                // duplicates, recovery re-injection) is safe; a
+                // *conflicting* duplicate value means two nodes produced
+                // the same element differently — a partitioning bug
+                // surfaced deterministically.
+                let outcome = self.fields[field.idx()]
+                    .write()
+                    .store_idempotent(*age, region, buffer);
                 let o = outcome?;
+                self.deduped += o.deduped as u64;
                 let se = StoreEvent {
                     field: *field,
                     age: *age,
@@ -206,6 +222,15 @@ impl DependencyAnalyzer {
                     resized: o.resized,
                 };
                 self.on_store(&se, &mut out);
+            }
+            Event::Reassign { kernels } => {
+                self.assigned = Some(kernels.clone());
+                // Seed newly-owned source kernels (the dispatched set
+                // dedups sources this node already ran) and rescan
+                // resident field data for instances that are now ours.
+                let seeded = self.seed();
+                out.extend(seeded);
+                self.rescan(&mut out);
             }
             Event::UnitDone {
                 kernel,
@@ -216,6 +241,32 @@ impl DependencyAnalyzer {
             Event::Failure(_) => {}
         }
         Ok(out)
+    }
+
+    /// Re-derive runnable instances from all resident field data — used
+    /// after a [`Event::Reassign`] so kernels this node just inherited
+    /// catch up on data that arrived while another node owned them. The
+    /// dispatched set makes this idempotent.
+    fn rescan(&mut self, out: &mut Vec<DispatchUnit>) {
+        for fi in 0..self.fields.len() {
+            let field = FieldId(fi as u32);
+            let resident: Vec<u64> = self.fields[fi].read().resident_ages().map(|a| a.0).collect();
+            let consumer_ids = self.consumers[fi].clone();
+            for &kid in &consumer_ids {
+                if self.fused_consumers.contains(&kid) {
+                    continue;
+                }
+                for &ra in &resident {
+                    let ages = self.affected_ages(kid, field, Age(ra));
+                    self.propagate_extents(kid, field, &ages);
+                    if self.runs(kid) {
+                        for a in ages {
+                            self.try_generate(kid, a, out);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn on_store(&mut self, se: &StoreEvent, out: &mut Vec<DispatchUnit>) {

@@ -35,6 +35,13 @@ pub enum Event {
         region: p2g_field::Region,
         buffer: p2g_field::Buffer,
     },
+    /// The cluster reassigned this node's kernel set after a node failure
+    /// (distributed recovery). The analyzer adopts the new assignment,
+    /// seeds any newly-owned source kernels, and rescans resident field
+    /// data for instances that are now this node's responsibility.
+    Reassign {
+        kernels: std::collections::HashSet<KernelId>,
+    },
     /// A dispatch unit finished executing. Drives source-kernel
     /// self-sequencing ("read the next frame only if this one stored
     /// something") and ordered-kernel gating.

@@ -65,6 +65,10 @@ pub struct Instruments {
     /// Elements moved per (producer kernel, field) — aggregated into edge
     /// volumes for repartitioning.
     volumes: parking_lot::Mutex<BTreeMap<(KernelId, FieldId), u64>>,
+    /// Store elements absorbed by write-once deduplication (duplicate
+    /// remote deliveries and recovery re-execution). Nonzero only in
+    /// distributed mode.
+    deduped_elements: AtomicU64,
 }
 
 impl Instruments {
@@ -78,7 +82,18 @@ impl Instruments {
             analyzer_busy_ns: AtomicU64::new(0),
             analyzer_events: AtomicU64::new(0),
             volumes: parking_lot::Mutex::new(BTreeMap::new()),
+            deduped_elements: AtomicU64::new(0),
         }
+    }
+
+    /// Record store elements absorbed by deduplication.
+    pub fn record_deduped(&self, elements: u64) {
+        self.deduped_elements.fetch_add(elements, Ordering::Relaxed);
+    }
+
+    /// Store elements absorbed by deduplication so far.
+    pub fn deduped_elements(&self) -> u64 {
+        self.deduped_elements.load(Ordering::Relaxed)
     }
 
     /// Record one processed analyzer event and its processing time.
@@ -222,6 +237,7 @@ pub struct InstrumentsSnapshot {
     volumes: BTreeMap<(KernelId, FieldId), u64>,
     analyzer_busy: Duration,
     analyzer_events: u64,
+    deduped_elements: u64,
 }
 
 impl InstrumentsSnapshot {
@@ -232,7 +248,14 @@ impl InstrumentsSnapshot {
             volumes: live.store_volumes(),
             analyzer_busy: live.analyzer_busy(),
             analyzer_events: live.analyzer_events(),
+            deduped_elements: live.deduped_elements(),
         }
+    }
+
+    /// Store elements absorbed by write-once deduplication (duplicate
+    /// deliveries and recovery re-execution).
+    pub fn deduped_elements(&self) -> u64 {
+        self.deduped_elements
     }
 
     /// Total time the dependency analyzer spent processing events.

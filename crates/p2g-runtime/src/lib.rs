@@ -1,6 +1,6 @@
 //! The P2G execution-node runtime: the low-level scheduler (LLS).
 //!
-//! An [`ExecutionNode`] runs a [`Program`] — a validated
+//! A node built with [`NodeBuilder`] runs a [`Program`] — a validated
 //! [`p2g_graph::ProgramSpec`] plus Rust kernel bodies — on a pool of worker
 //! threads, with dependency analysis in a dedicated thread exactly as in the
 //! paper's prototype (Section VI-B):
@@ -21,7 +21,7 @@
 //! parallelism, elided intermediate dispatch).
 //!
 //! ```
-//! use p2g_runtime::{Program, ExecutionNode, RunLimits};
+//! use p2g_runtime::{Program, NodeBuilder, RunLimits};
 //! use p2g_graph::spec::mul_sum_example;
 //! use p2g_field::{Buffer, Value};
 //!
@@ -43,8 +43,8 @@
 //! });
 //! program.body("print", |_ctx| Ok(()));
 //!
-//! let node = ExecutionNode::new(program, 2);
-//! let report = node.run(RunLimits::ages(3)).unwrap();
+//! let node = NodeBuilder::new(program).workers(2);
+//! let report = node.launch(RunLimits::ages(3)).unwrap().wait().unwrap();
 //! assert!(report.instruments.kernel("mul2").unwrap().instances > 0);
 //! ```
 
@@ -64,7 +64,7 @@ pub use error::RuntimeError;
 pub use events::{Event, StoreEvent};
 pub use instance::InstanceKey;
 pub use instrument::{Instruments, KernelStats, RunReport};
-pub use node::ExecutionNode;
+pub use node::{ExecutionNode, FieldStore, NodeBuilder, NodeHandle, RunningNode, StoreTap};
 pub use options::{KernelOptions, RunLimits};
 pub use program::{BodyResult, KernelCtx, Program};
 pub use timer::TimerTable;

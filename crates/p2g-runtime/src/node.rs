@@ -48,6 +48,9 @@ struct Shared {
     store_tap: Option<StoreTap>,
     /// Distributed mode: quiescence is decided by the cluster coordinator.
     hold_open: bool,
+    /// Distributed mode: local stores go through write-once dedup so
+    /// kernel re-execution after a node failure is idempotent.
+    dedup_stores: bool,
 }
 
 impl Shared {
@@ -105,12 +108,28 @@ impl FieldStore {
     }
 }
 
-/// A single-machine P2G execution node.
-pub struct ExecutionNode {
+/// Builder for launching an execution node — the single entry point that
+/// replaced `ExecutionNode::{run, run_collect, start}`.
+///
+/// ```ignore
+/// let report = NodeBuilder::new(program)
+///     .workers(4)
+///     .launch(RunLimits::ages(10))?
+///     .wait()?;
+/// ```
+pub struct NodeBuilder {
     program: Program,
     workers: usize,
     store_tap: Option<StoreTap>,
     assigned: Option<std::collections::HashSet<KernelId>>,
+}
+
+/// A single-machine P2G execution node.
+///
+/// Deprecated construction surface — use [`NodeBuilder`], which merges the
+/// old `run`/`run_collect`/`start` trio into `launch()` + handle methods.
+pub struct ExecutionNode {
+    builder: NodeBuilder,
 }
 
 impl ExecutionNode {
@@ -118,40 +137,84 @@ impl ExecutionNode {
     /// (plus the dedicated dependency-analyzer thread).
     pub fn new(program: Program, workers: usize) -> ExecutionNode {
         ExecutionNode {
-            program,
-            workers: workers.max(1),
-            store_tap: None,
-            assigned: None,
+            builder: NodeBuilder::new(program).workers(workers),
         }
     }
 
     /// Install a store tap: called after every successful local store
     /// with the stored region and data (used to forward stores to other
     /// nodes in a cluster).
+    #[deprecated(since = "0.2.0", note = "use NodeBuilder::store_tap")]
     pub fn set_store_tap(&mut self, tap: StoreTap) {
-        self.store_tap = Some(tap);
+        self.builder.store_tap = Some(tap);
     }
 
     /// Restrict this node to a subset of the program's kernels
     /// (distributed mode — the HLS decides the assignment).
+    #[deprecated(since = "0.2.0", note = "use NodeBuilder::assigned")]
     pub fn set_assigned(&mut self, assigned: std::collections::HashSet<KernelId>) {
-        self.assigned = Some(assigned);
+        self.builder.assigned = Some(assigned);
     }
 
     /// Run to quiescence (or a limit), returning the report.
+    #[deprecated(since = "0.2.0", note = "use NodeBuilder::launch(..)?.wait()")]
     pub fn run(self, limits: RunLimits) -> Result<RunReport, RuntimeError> {
-        self.run_collect(limits).map(|(r, _)| r)
+        self.builder.launch(limits)?.wait()
     }
 
     /// Run and additionally hand back the final field contents.
+    #[deprecated(since = "0.2.0", note = "use NodeBuilder::launch(..)?.collect()")]
     pub fn run_collect(self, limits: RunLimits) -> Result<(RunReport, FieldStore), RuntimeError> {
-        self.start(limits)?.join()
+        self.builder.launch(limits)?.collect()
     }
 
     /// Start the node's threads and return a handle for interaction while
     /// it runs (remote store injection, quiescence queries, stop).
+    #[deprecated(since = "0.2.0", note = "use NodeBuilder::launch")]
     pub fn start(self, limits: RunLimits) -> Result<RunningNode, RuntimeError> {
+        self.builder.launch(limits)
+    }
+}
+
+impl NodeBuilder {
+    /// Build a node for `program` (one worker unless overridden).
+    pub fn new(program: Program) -> NodeBuilder {
+        NodeBuilder {
+            program,
+            workers: 1,
+            store_tap: None,
+            assigned: None,
+        }
+    }
+
+    /// Number of worker threads (the analyzer thread is extra).
+    pub fn workers(mut self, workers: usize) -> NodeBuilder {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Install a store tap: called after every successful local store with
+    /// the stored region and data (cluster store forwarding).
+    pub fn store_tap(mut self, tap: StoreTap) -> NodeBuilder {
+        self.store_tap = Some(tap);
+        self
+    }
+
+    /// Restrict this node to a subset of the program's kernels
+    /// (distributed mode — the HLS decides the assignment).
+    pub fn assigned(mut self, assigned: std::collections::HashSet<KernelId>) -> NodeBuilder {
+        self.assigned = Some(assigned);
+        self
+    }
+
+    /// Start the node's threads and return the interaction handle
+    /// ([`NodeHandle::wait`], [`NodeHandle::collect`], [`NodeHandle::stop`],
+    /// remote-store injection, reassignment).
+    pub fn launch(self, limits: RunLimits) -> Result<NodeHandle, RuntimeError> {
         self.program.check_bodies()?;
+        // Kernel assignment implies cluster mode: local stores may be
+        // legitimately repeated (recovery re-execution), so they dedup.
+        let dedup_stores = self.assigned.is_some();
         let Program {
             spec,
             bodies,
@@ -182,6 +245,7 @@ impl ExecutionNode {
             timers,
             store_tap: self.store_tap.clone(),
             hold_open: limits.hold_open,
+            dedup_stores,
         });
 
         let fused_consumers: HashSet<KernelId> = fusions.iter().map(|f| f.consumer).collect();
@@ -241,6 +305,10 @@ impl ExecutionNode {
     }
 }
 
+/// Handle to a launched node — the name the builder API uses for
+/// [`RunningNode`].
+pub type NodeHandle = RunningNode;
+
 /// A started execution node: inject remote stores, query quiescence, stop,
 /// and finally join for the report and field contents.
 pub struct RunningNode {
@@ -277,6 +345,46 @@ impl RunningNode {
     pub fn request_stop(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.ready.close();
+    }
+
+    /// Builder-API alias of [`RunningNode::request_stop`].
+    pub fn stop(&self) {
+        self.request_stop();
+    }
+
+    /// Replace this node's kernel assignment (cluster recovery): the
+    /// analyzer seeds newly-owned sources and rescans resident field data
+    /// for instances that became this node's responsibility.
+    pub fn reassign(&self, kernels: std::collections::HashSet<KernelId>) {
+        self.shared.outstanding.fetch_add(1, Ordering::SeqCst);
+        let _ = self.shared.events_tx.send(Event::Reassign { kernels });
+    }
+
+    /// Snapshot every written region of every resident field age. Cluster
+    /// recovery replays these to the failed node's replacement subscribers;
+    /// write-once dedup makes the replay idempotent.
+    pub fn snapshot_written(&self) -> Vec<(FieldId, Age, Region, Buffer)> {
+        let mut out = Vec::new();
+        for (i, lock) in self.fields.iter().enumerate() {
+            let field = lock.read();
+            let ages: Vec<Age> = field.resident_ages().collect();
+            for age in ages {
+                for (region, buffer) in field.snapshot_written(age) {
+                    out.push((FieldId(i as u32), age, region, buffer));
+                }
+            }
+        }
+        out
+    }
+
+    /// Wait for the node to finish; report only.
+    pub fn wait(self) -> Result<RunReport, RuntimeError> {
+        self.join().map(|(r, _)| r)
+    }
+
+    /// Wait for the node to finish; report plus final field contents.
+    pub fn collect(self) -> Result<(RunReport, FieldStore), RuntimeError> {
+        self.join()
     }
 
     /// Wait for the node to finish and collect the report and fields.
@@ -369,6 +477,10 @@ fn analyzer_loop(
             }
         };
         shared.instruments.record_analyzer_event(t_event.elapsed());
+        let deduped = analyzer.take_deduped();
+        if deduped > 0 {
+            shared.instruments.record_deduped(deduped);
+        }
         for unit in units {
             shared.outstanding.fetch_add(1, Ordering::SeqCst);
             shared.ready.push(unit);
@@ -567,13 +679,30 @@ fn apply_store_for(
         Some(r) => r.clone(),
         None => crate::program::resolve_region(&decl.dims, indices),
     };
-    let outcome = shared.fields[decl.field.idx()]
-        .write()
-        .store(target_age, &region, &st.buffer)?;
+    // Cluster mode stores dedup: recovery re-executes kernels whose data
+    // already (partially) exists, and write-once equality makes that a
+    // no-op instead of a violation. Single-node mode keeps the strict
+    // write-once error, which is a program bug there.
+    let outcome = if shared.dedup_stores {
+        shared.fields[decl.field.idx()]
+            .write()
+            .store_idempotent(target_age, &region, &st.buffer)?
+    } else {
+        shared.fields[decl.field.idx()]
+            .write()
+            .store(target_age, &region, &st.buffer)?
+    };
+    // An attempted store counts for source sequencing even when fully
+    // deduped — the re-executed source must keep advancing its ages.
     *stored_any = true;
     shared
         .instruments
         .record_store(kernel, decl.field, outcome.stored as u64);
+    if outcome.deduped > 0 {
+        shared.instruments.record_deduped(outcome.deduped as u64);
+    }
+    // Forward even fully-deduped stores: subscribers may have missed the
+    // original producer's forward, and their replicas dedup in turn.
     if let Some(tap) = &shared.store_tap {
         tap(decl.field, target_age, &region, &st.buffer);
     }

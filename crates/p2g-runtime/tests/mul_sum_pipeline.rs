@@ -4,7 +4,7 @@
 
 use p2g_field::{Age, Buffer, Region, Value};
 use p2g_graph::spec::mul_sum_example;
-use p2g_runtime::{ExecutionNode, Program, RunLimits};
+use p2g_runtime::{NodeBuilder, Program, RunLimits};
 
 fn build_program() -> Program {
     let mut program = Program::new(mul_sum_example()).unwrap();
@@ -37,8 +37,8 @@ fn build_program() -> Program {
 }
 
 fn run_ages(program: Program, workers: usize, ages: u64) -> p2g_runtime::node::FieldStore {
-    let node = ExecutionNode::new(program, workers);
-    let (report, fields) = node.run_collect(RunLimits::ages(ages)).unwrap();
+    let node = NodeBuilder::new(program).workers(workers);
+    let (report, fields) = node.launch(RunLimits::ages(ages)).and_then(|n| n.collect()).unwrap();
     assert_eq!(
         report.termination,
         p2g_runtime::instrument::Termination::Quiescent
@@ -90,8 +90,8 @@ fn deterministic_across_worker_counts() {
 #[test]
 fn instance_counts_match_model() {
     let program = build_program();
-    let node = ExecutionNode::new(program, 4);
-    let report = node.run(RunLimits::ages(4)).unwrap();
+    let node = NodeBuilder::new(program).workers(4);
+    let report = node.launch(RunLimits::ages(4)).and_then(|n| n.wait()).unwrap();
     let ins = &report.instruments;
     assert_eq!(ins.kernel("init").unwrap().instances, 1);
     assert_eq!(ins.kernel("mul2").unwrap().instances, 4 * 5);
@@ -117,8 +117,8 @@ fn chunking_preserves_results() {
 fn chunking_reduces_units() {
     let mut program = build_program();
     program.set_chunk_size("mul2", 5);
-    let node = ExecutionNode::new(program, 2);
-    let report = node.run(RunLimits::ages(3)).unwrap();
+    let node = NodeBuilder::new(program).workers(2);
+    let report = node.launch(RunLimits::ages(3)).and_then(|n| n.wait()).unwrap();
     let st = report.instruments.kernel("mul2").unwrap();
     assert_eq!(st.instances, 15);
     // Chunking is opportunistic: instances that become runnable together
@@ -139,8 +139,8 @@ fn chunking_reduces_units() {
 fn fusion_preserves_results() {
     let mut program = build_program();
     program.fuse("mul2", "plus5").unwrap();
-    let node = ExecutionNode::new(program, 4);
-    let (report, fields) = node.run_collect(RunLimits::ages(3)).unwrap();
+    let node = NodeBuilder::new(program).workers(4);
+    let (report, fields) = node.launch(RunLimits::ages(3)).and_then(|n| n.collect()).unwrap();
     assert_eq!(i32s(&fields, "m_data", 1), vec![25, 27, 29, 31, 33]);
     assert_eq!(i32s(&fields, "p_data", 1), vec![50, 54, 58, 62, 66]);
     // plus5 ran (instances recorded) but under mul2's dispatch (0 units of
@@ -164,9 +164,9 @@ fn fusion_plus_chunking() {
 #[test]
 fn gc_window_bounds_residency() {
     let program = build_program();
-    let node = ExecutionNode::new(program, 2);
+    let node = NodeBuilder::new(program).workers(2);
     let (_, fields) = node
-        .run_collect(RunLimits::ages(20).with_gc_window(4))
+        .launch(RunLimits::ages(20).with_gc_window(4)).and_then(|n| n.collect())
         .unwrap();
     let m = fields.field_by_name("m_data").unwrap();
     let resident = m.resident_ages().count();
@@ -183,8 +183,8 @@ fn gc_window_bounds_residency() {
 fn kernel_failure_propagates() {
     let mut program = build_program();
     program.body("plus5", |_| Err("boom".into()));
-    let node = ExecutionNode::new(program, 2);
-    let err = node.run(RunLimits::ages(3)).unwrap_err();
+    let node = NodeBuilder::new(program).workers(2);
+    let err = node.launch(RunLimits::ages(3)).and_then(|n| n.wait()).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("plus5") && msg.contains("boom"), "{msg}");
 }
@@ -199,8 +199,8 @@ fn write_once_violation_detected_at_runtime() {
         ctx.store(0, Buffer::from_vec(vec![v * 2])); // second store: violation
         Ok(())
     });
-    let node = ExecutionNode::new(program, 2);
-    let err = node.run(RunLimits::ages(2)).unwrap_err();
+    let node = NodeBuilder::new(program).workers(2);
+    let err = node.launch(RunLimits::ages(2)).and_then(|n| n.wait()).unwrap_err();
     assert!(err.to_string().contains("write-once"), "{err}");
 }
 
@@ -208,8 +208,8 @@ fn write_once_violation_detected_at_runtime() {
 #[test]
 fn missing_body_rejected() {
     let program = Program::new(mul_sum_example()).unwrap();
-    let node = ExecutionNode::new(program, 1);
-    let err = node.run(RunLimits::ages(1)).unwrap_err();
+    let node = NodeBuilder::new(program).workers(1);
+    let err = node.launch(RunLimits::ages(1)).and_then(|n| n.wait()).unwrap_err();
     assert!(err.to_string().contains("no registered body"));
 }
 
@@ -217,13 +217,13 @@ fn missing_body_rejected() {
 #[test]
 fn wall_deadline_stops_unbounded_run() {
     let program = build_program();
-    let node = ExecutionNode::new(program, 2);
+    let node = NodeBuilder::new(program).workers(2);
     let report = node
-        .run(
+        .launch(
             RunLimits::unbounded()
                 .with_deadline(std::time::Duration::from_millis(100))
                 .with_gc_window(4),
-        )
+        ).and_then(|n| n.wait())
         .unwrap();
     assert_eq!(
         report.termination,

@@ -7,7 +7,7 @@ use std::time::Duration;
 use p2g_field::{Age, Buffer, DimSel, Extents, FieldDef, Region, ScalarType, Value};
 use p2g_graph::spec::{AgeExpr, FetchDecl, IndexSel, KernelId, KernelSpec, ProgramSpec, StoreDecl};
 use p2g_runtime::instrument::Termination;
-use p2g_runtime::{ExecutionNode, Program, RunLimits};
+use p2g_runtime::{NodeBuilder, Program, RunLimits};
 
 /// A consumer-only program: one kernel waits for `input`, doubles it into
 /// `output`. Nothing local produces `input` — only remote stores can.
@@ -58,8 +58,8 @@ fn consumer_program() -> Program {
 fn hold_open_node_processes_injected_stores() {
     let mut limits = RunLimits::ages(3);
     limits.hold_open = true;
-    let running = ExecutionNode::new(consumer_program(), 2)
-        .start(limits)
+    let running = NodeBuilder::new(consumer_program()).workers(2)
+        .launch(limits)
         .unwrap();
 
     // Inject two ages of remote data.
@@ -102,8 +102,8 @@ fn hold_open_node_processes_injected_stores() {
 
 #[test]
 fn node_without_sources_quiesces_immediately_when_not_held_open() {
-    let report = ExecutionNode::new(consumer_program(), 1)
-        .run(RunLimits::ages(3))
+    let report = NodeBuilder::new(consumer_program()).workers(1)
+        .launch(RunLimits::ages(3)).and_then(|n| n.wait())
         .unwrap();
     assert_eq!(report.termination, Termination::Quiescent);
     assert_eq!(report.instruments.kernel("double").unwrap().instances, 0);
@@ -113,8 +113,8 @@ fn node_without_sources_quiesces_immediately_when_not_held_open() {
 fn request_stop_interrupts_held_open_node() {
     let mut limits = RunLimits::unbounded();
     limits.hold_open = true;
-    let running = ExecutionNode::new(consumer_program(), 1)
-        .start(limits)
+    let running = NodeBuilder::new(consumer_program()).workers(1)
+        .launch(limits)
         .unwrap();
     std::thread::sleep(Duration::from_millis(20));
     running.request_stop();
@@ -152,8 +152,8 @@ fn field_store_accessors() {
         );
         Ok(())
     });
-    let (_, fields) = ExecutionNode::new(program, 1)
-        .run_collect(RunLimits::unbounded())
+    let (_, fields) = NodeBuilder::new(program).workers(1)
+        .launch(RunLimits::unbounded()).and_then(|n| n.collect())
         .unwrap();
 
     assert_eq!(
@@ -204,11 +204,27 @@ fn timers_reachable_from_bodies() {
         ctx.store_value(0, Value::I32(all as i32));
         Ok(())
     });
-    let (_, fields) = ExecutionNode::new(program, 1)
-        .run_collect(RunLimits::unbounded())
+    let (_, fields) = NodeBuilder::new(program).workers(1)
+        .launch(RunLimits::unbounded()).and_then(|n| n.collect())
         .unwrap();
     assert_eq!(
         fields.fetch_element("out", Age(0), &[0]),
         Some(Value::I32(1))
     );
+}
+
+/// The deprecated `ExecutionNode` shims must keep working (they delegate to
+/// `NodeBuilder`) until the next breaking release removes them.
+#[test]
+#[allow(deprecated)]
+fn deprecated_execution_node_shims_still_run() {
+    use p2g_runtime::ExecutionNode;
+
+    let node = ExecutionNode::new(consumer_program(), 1);
+    let report = node.run(RunLimits::ages(0)).unwrap();
+    assert_eq!(report.instruments.kernel("double").unwrap().instances, 0);
+
+    let node = ExecutionNode::new(consumer_program(), 2);
+    let (_, fields) = node.run_collect(RunLimits::ages(0)).unwrap();
+    assert!(fields.fetch("output", Age(5), &Region::all(1)).is_none());
 }

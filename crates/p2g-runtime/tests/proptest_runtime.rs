@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use p2g_field::{Age, Buffer, Region};
 use p2g_graph::spec::mul_sum_example;
-use p2g_runtime::{ExecutionNode, Program, RunLimits};
+use p2g_runtime::{NodeBuilder, Program, RunLimits};
 
 fn build_program(init_values: Vec<i32>, mul: i32, add: i32) -> Program {
     let mut program = Program::new(mul_sum_example()).unwrap();
@@ -29,8 +29,8 @@ fn build_program(init_values: Vec<i32>, mul: i32, add: i32) -> Program {
 }
 
 fn run_fields(program: Program, workers: usize, ages: u64) -> Vec<(u64, Vec<i32>, Vec<i32>)> {
-    let (_, fields) = ExecutionNode::new(program, workers)
-        .run_collect(RunLimits::ages(ages))
+    let (_, fields) = NodeBuilder::new(program).workers(workers)
+        .launch(RunLimits::ages(ages)).and_then(|n| n.collect())
         .unwrap();
     (0..ages)
         .map(|a| {

@@ -7,7 +7,7 @@
 use p2g_field::Buffer;
 use p2g_graph::spec::mul_sum_example;
 use p2g_runtime::instrument::Termination;
-use p2g_runtime::{ExecutionNode, Program, RunLimits};
+use p2g_runtime::{NodeBuilder, Program, RunLimits};
 
 fn tiny_program() -> Program {
     let mut program = Program::new(mul_sum_example()).unwrap();
@@ -35,8 +35,8 @@ fn quiescence_always_detected() {
     // hang detector — a correct run takes milliseconds.
     for round in 0..60 {
         let workers = 1 + round % 5;
-        let report = ExecutionNode::new(tiny_program(), workers)
-            .run(RunLimits::ages(3).with_deadline(std::time::Duration::from_secs(30)))
+        let report = NodeBuilder::new(tiny_program()).workers(workers)
+            .launch(RunLimits::ages(3).with_deadline(std::time::Duration::from_secs(30))).and_then(|n| n.wait())
             .unwrap();
         assert_eq!(
             report.termination,
@@ -51,8 +51,8 @@ fn quiescence_with_sourceless_completion() {
     // A program whose last action is a store-less kernel (print): the
     // final counter release is especially likely to land on a worker.
     for _ in 0..40 {
-        let report = ExecutionNode::new(tiny_program(), 3)
-            .run(RunLimits::ages(1).with_deadline(std::time::Duration::from_secs(30)))
+        let report = NodeBuilder::new(tiny_program()).workers(3)
+            .launch(RunLimits::ages(1).with_deadline(std::time::Duration::from_secs(30))).and_then(|n| n.wait())
             .unwrap();
         assert_eq!(report.termination, Termination::Quiescent);
     }

@@ -157,9 +157,9 @@ fn main() {
     });
 
     // A single worker so the capture->encode latency is realistic.
-    let node = ExecutionNode::new(program, 2);
+    let node = NodeBuilder::new(program).workers(2);
     let report = node
-        .run(RunLimits::ages(total_frames).with_gc_window(8))
+        .launch(RunLimits::ages(total_frames).with_gc_window(8)).and_then(|n| n.wait())
         .expect("run succeeds");
 
     let d = delivered.load(Ordering::Relaxed);

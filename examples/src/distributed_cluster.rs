@@ -27,7 +27,7 @@ fn main() {
 
     let cfg = config.clone();
     let cluster = SimCluster::new(
-        ClusterConfig::nodes(nodes).with_workers(workers),
+        ClusterConfig::nodes(nodes).workers(workers),
         move || {
             let (program, _) = build_kmeans_program(&cfg).expect("valid program");
             program

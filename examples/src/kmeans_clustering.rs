@@ -41,9 +41,9 @@ fn main() {
 
     // The P2G pipeline.
     let (program, result) = build_kmeans_program(&config).expect("valid program");
-    let node = ExecutionNode::new(program, workers);
+    let node = NodeBuilder::new(program).workers(workers);
     let (report, fields) = node
-        .run_collect(RunLimits::ages(config.iterations))
+        .launch(RunLimits::ages(config.iterations)).and_then(|n| n.collect())
         .expect("run succeeds");
     println!("P2G ({workers} workers): {:?}", report.wall_time);
 

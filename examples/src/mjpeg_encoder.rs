@@ -56,9 +56,9 @@ fn main() {
 
     // P2G pipeline.
     let (program, sink) = build_mjpeg_program(source, config).expect("valid program");
-    let node = ExecutionNode::new(program, workers);
+    let node = NodeBuilder::new(program).workers(workers);
     let report = node
-        .run(RunLimits::ages(frames + 1).with_gc_window(4))
+        .launch(RunLimits::ages(frames + 1).with_gc_window(4)).and_then(|n| n.wait())
         .expect("run succeeds");
     let stream = sink.take();
     println!(

@@ -71,9 +71,9 @@ fn main() {
     println!("{}", fg.to_dot(&compiled.spec));
 
     println!("Running {ages} ages on {workers} workers...");
-    let node = ExecutionNode::new(compiled.program, workers);
+    let node = NodeBuilder::new(compiled.program).workers(workers);
     let report = node
-        .run(RunLimits::ages(ages).with_gc_window(4))
+        .launch(RunLimits::ages(ages).with_gc_window(4)).and_then(|n| n.wait())
         .expect("run succeeds");
 
     println!("--- print kernel output ---");

@@ -19,11 +19,11 @@ fn i32s(fields: &p2g_core::runtime::node::FieldStore, name: &str, age: u64) -> V
 #[test]
 fn language_and_builder_apis_agree() {
     let compiled = compile_source(MUL_SUM_SOURCE).unwrap();
-    let (_, lang_fields) = ExecutionNode::new(compiled.program, 2)
-        .run_collect(RunLimits::ages(4))
+    let (_, lang_fields) = NodeBuilder::new(compiled.program).workers(2)
+        .launch(RunLimits::ages(4)).and_then(|n| n.collect())
         .unwrap();
-    let (_, rust_fields) = ExecutionNode::new(mul_sum_program(), 2)
-        .run_collect(RunLimits::ages(4))
+    let (_, rust_fields) = NodeBuilder::new(mul_sum_program()).workers(2)
+        .launch(RunLimits::ages(4)).and_then(|n| n.collect())
         .unwrap();
     for age in 0..4 {
         for field in ["m_data", "p_data"] {
@@ -40,8 +40,8 @@ fn language_and_builder_apis_agree() {
 /// same program.
 #[test]
 fn cluster_and_single_node_agree() {
-    let (_, single) = ExecutionNode::new(mul_sum_program(), 2)
-        .run_collect(RunLimits::ages(3))
+    let (_, single) = NodeBuilder::new(mul_sum_program()).workers(2)
+        .launch(RunLimits::ages(3)).and_then(|n| n.collect())
         .unwrap();
     let cluster = SimCluster::new(ClusterConfig::nodes(2), mul_sum_program).unwrap();
     let outcome = cluster.run(RunLimits::ages(3)).unwrap();
@@ -77,8 +77,8 @@ fn compiled_program_static_graphs() {
 /// Instrumentation feedback feeds the HLS repartitioning loop end to end.
 #[test]
 fn instrumentation_drives_repartitioning() {
-    let (report, _) = ExecutionNode::new(mul_sum_program(), 2)
-        .run_collect(RunLimits::ages(10))
+    let (report, _) = NodeBuilder::new(mul_sum_program()).workers(2)
+        .launch(RunLimits::ages(10)).and_then(|n| n.collect())
         .unwrap();
 
     // Build measured weights.
@@ -113,8 +113,8 @@ fn mjpeg_end_to_end() {
     };
     let reference = encode_standalone(&src, 80, 2, false);
     let (program, sink) = build_mjpeg_program(Arc::new(src), config).unwrap();
-    let report = ExecutionNode::new(program, 3)
-        .run(RunLimits::ages(3))
+    let report = NodeBuilder::new(program).workers(3)
+        .launch(RunLimits::ages(3)).and_then(|n| n.wait())
         .unwrap();
     assert_eq!(sink.take(), reference);
     assert_eq!(
@@ -161,8 +161,8 @@ fn print_capture_deterministic() {
         .map(|i| {
             let compiled = compile_source(MUL_SUM_SOURCE).unwrap();
             let workers = 1 + (i % 3);
-            ExecutionNode::new(compiled.program, workers)
-                .run(RunLimits::ages(3))
+            NodeBuilder::new(compiled.program).workers(workers)
+                .launch(RunLimits::ages(3)).and_then(|n| n.wait())
                 .unwrap();
             compiled.print.take()
         })

@@ -137,8 +137,8 @@ fn reference() -> (Vec<Vec<f64>>, Vec<Vec<i32>>) {
 #[test]
 fn kernel_language_kmeans_matches_rust_reference() {
     let compiled = compile_source(KMEANS_SRC).expect("kmeans source compiles");
-    let node = ExecutionNode::new(compiled.program, 4);
-    let (report, fields) = node.run_collect(RunLimits::ages(ITER)).unwrap();
+    let node = NodeBuilder::new(compiled.program).workers(4);
+    let (report, fields) = node.launch(RunLimits::ages(ITER)).and_then(|n| n.collect()).unwrap();
 
     let (cent_hist, asg_hist) = reference();
 
@@ -171,8 +171,8 @@ fn kernel_language_kmeans_matches_rust_reference() {
 fn kernel_language_kmeans_deterministic_across_workers() {
     let run = |workers: usize| {
         let compiled = compile_source(KMEANS_SRC).unwrap();
-        let node = ExecutionNode::new(compiled.program, workers);
-        let (_, fields) = node.run_collect(RunLimits::ages(ITER)).unwrap();
+        let node = NodeBuilder::new(compiled.program).workers(workers);
+        let (_, fields) = node.launch(RunLimits::ages(ITER)).and_then(|n| n.collect()).unwrap();
         fields
             .fetch("centroids", Age(ITER), &Region::all(2))
             .unwrap()

@@ -23,8 +23,8 @@ fn table2_instance_formulas_hold() {
         dct_chunk: 1,
     };
     let (program, _) = build_mjpeg_program(Arc::new(src), config).unwrap();
-    let report = ExecutionNode::new(program, 2)
-        .run(RunLimits::ages(frames + 1))
+    let report = NodeBuilder::new(program).workers(2)
+        .launch(RunLimits::ages(frames + 1)).and_then(|n| n.wait())
         .unwrap();
     let ins = &report.instruments;
 
@@ -51,8 +51,8 @@ fn table2_dct_kernel_time_dominates_dispatch() {
         dct_chunk: 1,
     };
     let (program, _) = build_mjpeg_program(Arc::new(src), config).unwrap();
-    let report = ExecutionNode::new(program, 2)
-        .run(RunLimits::ages(3))
+    let report = NodeBuilder::new(program).workers(2)
+        .launch(RunLimits::ages(3)).and_then(|n| n.wait())
         .unwrap();
     let ydct = report.instruments.kernel("yDCT").unwrap();
     assert!(
@@ -78,8 +78,8 @@ fn table3_instance_formulas_hold() {
         assign_chunk: 1,
     };
     let (program, _) = build_kmeans_program(&config).unwrap();
-    let report = ExecutionNode::new(program, 2)
-        .run(RunLimits::ages(config.iterations))
+    let report = NodeBuilder::new(program).workers(2)
+        .launch(RunLimits::ages(config.iterations)).and_then(|n| n.wait())
         .unwrap();
     let ins = &report.instruments;
     assert_eq!(ins.kernel("init").unwrap().instances, 1);
@@ -106,8 +106,8 @@ fn table3_assign_granularity_vs_dct() {
         assign_chunk: 1,
     };
     let (kprogram, _) = build_kmeans_program(&kconfig).unwrap();
-    let kreport = ExecutionNode::new(kprogram, 2)
-        .run(RunLimits::ages(kconfig.iterations))
+    let kreport = NodeBuilder::new(kprogram).workers(2)
+        .launch(RunLimits::ages(kconfig.iterations)).and_then(|n| n.wait())
         .unwrap();
     let assign = kreport.instruments.kernel("assign").unwrap();
 
@@ -119,8 +119,8 @@ fn table3_assign_granularity_vs_dct() {
         dct_chunk: 1,
     };
     let (mprogram, _) = build_mjpeg_program(Arc::new(src), mconfig).unwrap();
-    let mreport = ExecutionNode::new(mprogram, 2)
-        .run(RunLimits::ages(3))
+    let mreport = NodeBuilder::new(mprogram).workers(2)
+        .launch(RunLimits::ages(3)).and_then(|n| n.wait())
         .unwrap();
     let ydct = mreport.instruments.kernel("yDCT").unwrap();
 
@@ -147,8 +147,8 @@ fn kmeans_converges_under_p2g() {
         assign_chunk: 1,
     };
     let (program, result) = build_kmeans_program(&config).unwrap();
-    ExecutionNode::new(program, 4)
-        .run(RunLimits::ages(config.iterations))
+    NodeBuilder::new(program).workers(4)
+        .launch(RunLimits::ages(config.iterations)).and_then(|n| n.wait())
         .unwrap();
     let log = result.inertia_log();
     assert_eq!(log.len(), 8);

@@ -21,8 +21,8 @@ fn p2g_encoded_video_decodes_with_high_fidelity() {
         dct_chunk: 1,
     };
     let (program, sink) = build_mjpeg_program(Arc::new(src.clone()), config).unwrap();
-    ExecutionNode::new(program, 4)
-        .run(RunLimits::ages(frames + 1))
+    NodeBuilder::new(program).workers(4)
+        .launch(RunLimits::ages(frames + 1)).and_then(|n| n.wait())
         .unwrap();
     let stream = sink.take();
 
@@ -51,8 +51,8 @@ fn lower_quality_still_decodes_but_smaller() {
             dct_chunk: 2,
         };
         let (program, sink) = build_mjpeg_program(Arc::new(src.clone()), config).unwrap();
-        ExecutionNode::new(program, 2)
-            .run(RunLimits::ages(frames + 1))
+        NodeBuilder::new(program).workers(2)
+            .launch(RunLimits::ages(frames + 1)).and_then(|n| n.wait())
             .unwrap();
         sink.take()
     };

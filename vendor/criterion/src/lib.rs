@@ -1,0 +1,168 @@
+//! Stand-in for `criterion`, vendored so the workspace builds without
+//! registry access. Runs each benchmark for a short, bounded budget and
+//! prints mean per-iteration time — no statistics, HTML reports, or
+//! baseline comparison. API mirrors the subset the workspace's benches use
+//! (`benchmark_group`, `sample_size`, `bench_function`, `Bencher::iter`,
+//! `Bencher::iter_with_setup`, `criterion_group!`, `criterion_main!`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring each `bench_function`.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<I: AsRef<str>, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id.as_ref(), f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is time-budgeted, not
+    /// sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: AsRef<str>, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.as_ref()), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut b = Bencher {
+        iterations: 0,
+        measured: Duration::ZERO,
+        deadline: Instant::now() + MEASURE_BUDGET,
+    };
+    f(&mut b);
+    if b.iterations > 0 {
+        let per_iter = b.measured / (b.iterations as u32).max(1);
+        println!("bench: {id:<40} {per_iter:>12.2?}/iter ({} iters)", b.iterations);
+    } else {
+        println!("bench: {id:<40} (no iterations)");
+    }
+}
+
+pub struct Bencher {
+    iterations: u64,
+    measured: Duration,
+    deadline: Instant,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up iteration, then measure until the budget expires.
+        black_box(routine());
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.measured += t0.elapsed();
+            self.iterations += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_with_setup<S, O, FS, F>(&mut self, mut setup: FS, mut routine: F)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        let input = setup();
+        black_box(routine(input));
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.measured += t0.elapsed();
+            self.iterations += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_batched<S, O, FS, F>(&mut self, setup: FS, routine: F, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        self.iter_with_setup(setup, routine);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1u8; 16], |v| v.len())
+        });
+        g.finish();
+    }
+}

@@ -42,6 +42,40 @@ fn parking_lot_rwlock<T>(v: T) -> parking_lot::RwLock<T> {
     parking_lot::RwLock::new(v)
 }
 
+/// Apply a store and build its event the way the worker loop does: region
+/// and extents captured inside the write lock.
+fn store_event(fields: &SharedFields, fid: u32, age: u64, region: &Region, buf: &Buffer) -> Event {
+    let mut field = fields[fid as usize].write();
+    let o = field.store(Age(age), region, buf).unwrap();
+    let extents = field.extents(Age(age)).cloned().unwrap();
+    Event::Store(StoreEvent {
+        field: FieldId(fid),
+        age: Age(age),
+        region: region.resolved_against(&extents),
+        extents,
+        elements: o.stored,
+        age_complete: o.age_complete,
+        resized: o.resized,
+    })
+}
+
+/// Same for a one-element store.
+fn element_event(fields: &SharedFields, fid: u32, age: u64, idx: &[usize], v: Value) -> Event {
+    let mut field = fields[fid as usize].write();
+    let o = field.store_element(Age(age), idx, v).unwrap();
+    let extents = field.extents(Age(age)).cloned().unwrap();
+    let region = Region(idx.iter().map(|&i| DimSel::Index(i)).collect());
+    Event::Store(StoreEvent {
+        field: FieldId(fid),
+        age: Age(age),
+        region,
+        extents,
+        elements: o.stored,
+        age_complete: o.age_complete,
+        resized: o.resized,
+    })
+}
+
 fn bench_analyzer(c: &mut Criterion) {
     let mut g = c.benchmark_group("analyzer");
     g.sample_size(20);
@@ -57,24 +91,10 @@ fn bench_analyzer(c: &mut Criterion) {
                 // init stores both fields.
                 let pts = Buffer::zeroed(ScalarType::F64, Extents::new([2000, 2]));
                 let cts = Buffer::zeroed(ScalarType::F64, Extents::new([100, 2]));
-                let o1 = fields[0]
-                    .write()
-                    .store(Age(0), &Region::all(2), &pts)
-                    .unwrap();
-                let o2 = fields[1]
-                    .write()
-                    .store(Age(0), &Region::all(2), &cts)
-                    .unwrap();
-                for (fid, o) in [(0u32, o1), (1, o2)] {
-                    an.on_event(&Event::Store(StoreEvent {
-                        field: FieldId(fid),
-                        age: Age(0),
-                        elements: o.stored,
-                        age_complete: o.age_complete,
-                        resized: o.resized,
-                    }))
-                    .unwrap();
-                }
+                let e1 = store_event(&fields, 0, 0, &Region::all(2), &pts);
+                let e2 = store_event(&fields, 1, 0, &Region::all(2), &cts);
+                an.on_event(&e1).unwrap();
+                an.on_event(&e2).unwrap();
                 let _ = spec;
                 (an, fields)
             },
@@ -82,20 +102,8 @@ fn bench_analyzer(c: &mut Criterion) {
                 // 2000 element stores into assignments(0), one event each.
                 let mut units = 0usize;
                 for x in 0..2000usize {
-                    let o = fields[2]
-                        .write()
-                        .store_element(Age(0), &[x], Value::I32((x % 100) as i32))
-                        .unwrap();
-                    units += an
-                        .on_event(&Event::Store(StoreEvent {
-                            field: FieldId(2),
-                            age: Age(0),
-                            elements: o.stored,
-                            age_complete: o.age_complete,
-                            resized: o.resized,
-                        }))
-                        .unwrap()
-                        .len();
+                    let ev = element_event(&fields, 2, 0, &[x], Value::I32((x % 100) as i32));
+                    units += an.on_event(&ev).unwrap().len();
                 }
                 black_box(units)
             },
@@ -110,35 +118,14 @@ fn bench_analyzer(c: &mut Criterion) {
                 let (mut an, fields, _) = setup(spec, RunLimits::ages(1));
                 an.seed();
                 let params = Buffer::from_vec(vec![75i32]);
-                let o = fields[0]
-                    .write()
-                    .store(Age(0), &Region::all(1), &params)
-                    .unwrap();
-                an.on_event(&Event::Store(StoreEvent {
-                    field: FieldId(0),
-                    age: Age(0),
-                    elements: o.stored,
-                    age_complete: o.age_complete,
-                    resized: o.resized,
-                }))
-                .unwrap();
+                let ev = store_event(&fields, 0, 0, &Region::all(1), &params);
+                an.on_event(&ev).unwrap();
                 (an, fields)
             },
             |(mut an, fields)| {
                 let frame = Buffer::zeroed(ScalarType::U8, Extents::new([1584, 64]));
-                let o = fields[1]
-                    .write()
-                    .store(Age(0), &Region::all(2), &frame)
-                    .unwrap();
-                let units = an
-                    .on_event(&Event::Store(StoreEvent {
-                        field: FieldId(1),
-                        age: Age(0),
-                        elements: o.stored,
-                        age_complete: o.age_complete,
-                        resized: o.resized,
-                    }))
-                    .unwrap();
+                let ev = store_event(&fields, 1, 0, &Region::all(2), &frame);
+                let units = an.on_event(&ev).unwrap();
                 black_box(units.len())
             },
         )

@@ -111,6 +111,103 @@ impl Iterator for BitIter {
     }
 }
 
+/// A bitmap shaped by [`Extents`]: one bit per element of a dense
+/// N-dimensional rectangle, addressable by multi-index.
+///
+/// The dependency analyzer uses this for its dispatched-instance sets:
+/// kernel instance spaces are dense rectangles (the cross product of the
+/// index-variable ranges), so a bitset replaces the previous
+/// hash-set-of-packed-indices representation — no hashing, no per-instance
+/// allocation, O(1) membership, and O(words) counting.
+///
+/// Like field extents, the shape only ever grows; [`ShapedBitmap::grow`]
+/// remaps set bits because row-major linearization shifts when an inner
+/// dimension grows. The empty shape `Extents::new([])` addresses exactly
+/// one element (the instance of a kernel with no index variables).
+#[derive(Debug, Clone)]
+pub struct ShapedBitmap {
+    extents: crate::Extents,
+    bits: Bitmap,
+}
+
+impl ShapedBitmap {
+    /// An all-zero bitmap over the given shape.
+    pub fn new(extents: crate::Extents) -> ShapedBitmap {
+        let len = extents.len();
+        ShapedBitmap {
+            extents,
+            bits: Bitmap::new(len),
+        }
+    }
+
+    /// The current shape.
+    #[inline]
+    pub fn extents(&self) -> &crate::Extents {
+        &self.extents
+    }
+
+    /// Number of addressable elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when no elements are addressable (some dimension is zero).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.len() == 0
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.bits.count()
+    }
+
+    /// Get the bit for a multi-index; out-of-shape indices read as unset.
+    #[inline]
+    pub fn get(&self, index: &[usize]) -> bool {
+        self.extents
+            .linearize(index)
+            .is_some_and(|lin| self.bits.get(lin))
+    }
+
+    /// Set the bit for a multi-index, returning `false` when it was already
+    /// set. Panics if the index is outside the shape (grow first).
+    #[inline]
+    pub fn set(&mut self, index: &[usize]) -> bool {
+        let lin = self
+            .extents
+            .linearize(index)
+            .expect("index within ShapedBitmap extents");
+        self.bits.set(lin)
+    }
+
+    /// Get a bit by row-major linear index under the current shape.
+    #[inline]
+    pub fn get_linear(&self, lin: usize) -> bool {
+        self.bits.get(lin)
+    }
+
+    /// Set a bit by row-major linear index under the current shape,
+    /// returning `false` when it was already set.
+    #[inline]
+    pub fn set_linear(&mut self, lin: usize) -> bool {
+        self.bits.set(lin)
+    }
+
+    /// Grow to `new_extents` (component-wise union with the current shape),
+    /// remapping set bits into the new row-major layout.
+    pub fn grow(&mut self, new_extents: &crate::Extents) {
+        let target = self.extents.union(new_extents);
+        if target == self.extents {
+            return;
+        }
+        self.bits = remap_for_resize(&self.bits, &self.extents, &target);
+        self.extents = target;
+    }
+}
+
 /// Remap a bitmap when its underlying extents grow: old linear indices are
 /// recomputed against the new shape. The field calls this after an implicit
 /// resize, because row-major linearization changes when inner dimensions
@@ -202,6 +299,44 @@ mod tests {
         }
         assert!(b.all_set_in(4..8));
         assert!(!b.all_set_in(3..8));
+    }
+
+    #[test]
+    fn shaped_bitmap_set_get_grow() {
+        let mut b = ShapedBitmap::new(Extents::new([2, 2]));
+        assert!(b.set(&[1, 1]));
+        assert!(!b.set(&[1, 1]));
+        assert!(b.get(&[1, 1]) && !b.get(&[0, 1]));
+        // Out-of-shape reads are unset, not panics.
+        assert!(!b.get(&[5, 0]));
+        // Growing the inner dimension shifts linearization but keeps bits.
+        b.grow(&Extents::new([2, 4]));
+        assert!(b.get(&[1, 1]));
+        assert_eq!(b.count(), 1);
+        assert_eq!(b.len(), 8);
+        assert!(b.set(&[1, 3]));
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn shaped_bitmap_scalar_shape() {
+        // The empty shape addresses exactly one element — the instance of
+        // a kernel with no index variables.
+        let mut b = ShapedBitmap::new(Extents::new([]));
+        assert_eq!(b.len(), 1);
+        assert!(b.set(&[]));
+        assert!(!b.set(&[]));
+        assert!(b.get(&[]));
+    }
+
+    #[test]
+    fn shaped_bitmap_grow_is_union() {
+        let mut b = ShapedBitmap::new(Extents::new([4, 1]));
+        b.set(&[3, 0]);
+        // Growth never shrinks a dimension: union with [2, 3] is [4, 3].
+        b.grow(&Extents::new([2, 3]));
+        assert_eq!(b.extents(), &Extents::new([4, 3]));
+        assert!(b.get(&[3, 0]));
     }
 
     #[test]

@@ -230,6 +230,33 @@ impl Region {
         Ok(RegionIter::new(spans, extents))
     }
 
+    /// Resolve every selector against `extents` into an explicit
+    /// `Index`/`Range` selector — in particular `All` becomes the concrete
+    /// `Range` it denotes *right now*.
+    ///
+    /// Store events carry regions in this form: an `All` selector is only
+    /// meaningful relative to the extents at the moment the store was
+    /// applied, and events may be observed after later stores have grown
+    /// the field (the dependency analyzer processes them asynchronously).
+    pub fn resolved_against(&self, extents: &Extents) -> Region {
+        Region(
+            self.0
+                .iter()
+                .zip(&extents.0)
+                .map(|(sel, &ext)| match *sel {
+                    DimSel::Index(i) => DimSel::Index(i),
+                    DimSel::Range { start, len } => DimSel::Range { start, len },
+                    DimSel::All => DimSel::Range { start: 0, len: ext },
+                })
+                .collect(),
+        )
+    }
+
+    /// True when any dimension uses the extent-relative `All` selector.
+    pub fn has_all(&self) -> bool {
+        self.0.iter().any(|s| matches!(s, DimSel::All))
+    }
+
     /// Number of elements this region selects under `extents`.
     pub fn len(&self, extents: &Extents) -> Result<usize, FieldError> {
         Ok(self.shape(extents)?.len())

@@ -79,6 +79,13 @@ impl AgeData {
         self.written.all_set()
     }
 
+    /// The written-element bitmap (linearized against [`AgeData::extents`]).
+    /// The dependency analyzer's rescan path uses this to resynchronize its
+    /// event-derived accounting views with field ground truth.
+    pub fn written(&self) -> &Bitmap {
+        &self.written
+    }
+
     fn grow(&mut self, ty: ScalarType, new_extents: Extents) {
         debug_assert!(self.extents.fits_within(&new_extents));
         let mut new_buffer = Buffer::zeroed(ty, new_extents.clone());

@@ -30,7 +30,7 @@ pub mod extent;
 pub mod field;
 pub mod types;
 
-pub use bitmap::Bitmap;
+pub use bitmap::{Bitmap, ShapedBitmap};
 pub use buffer::Buffer;
 pub use error::FieldError;
 pub use extent::{DimSel, Extents, Region};

@@ -7,6 +7,37 @@
 //! stops scaling past a handful of workers, an effect the Figure-10 bench
 //! reproduces.
 //!
+//! # Incremental dependency analysis
+//!
+//! The analyzer is *delta-driven*: its per-event cost is proportional to the
+//! stored region, not to the kernel instance spaces. Three pieces make this
+//! work:
+//!
+//! * **Views** — a per-(field, age) record of extents and accounted
+//!   elements, built purely from store events. The hot path never takes a
+//!   field lock; the event itself carries the resolved region and post-store
+//!   extents (captured inside the store's write lock), so views converge on
+//!   field ground truth as events drain.
+//! * **Pending tables** — per-(kernel, age) remaining-dependency counters,
+//!   one per instance, created lazily when the binding fetches' views first
+//!   exist. A store decrements exactly the counters of instances whose fetch
+//!   regions contain the stored elements, found by *inverting* the fetch
+//!   patterns (stored coordinate → instance rectangle) instead of
+//!   enumerating the instance space. An instance whose counter hits zero is
+//!   dispatched (if its gates are open).
+//! * **Gates** — whole-field and whole-dimension fetches don't count
+//!   elements; they wait for view completeness and settled extents. Gate
+//!   state is cached per table and recomputed only for tables the event
+//!   could have affected; a closed→open transition sweeps the table for
+//!   ready instances.
+//!
+//! Kernels whose fetch shapes the inversion doesn't cover (a fixed index
+//! mixed with a whole dimension) fall back to the original
+//! enumerate-and-check path ([`DependencyAnalyzer::try_generate`]), which
+//! also serves as the correctness oracle: [`Event::Reassign`] triggers
+//! [`DependencyAnalyzer::rescan`], a full resynchronization of views and
+//! tables from field ground truth followed by oracle-path dispatch.
+//!
 //! The analyzer also implements:
 //! * **source-kernel sequencing** — a fetch-less kernel with an age
 //!   variable (the MJPEG reader) gets its next age dispatched only after the
@@ -17,21 +48,58 @@
 //! * **age garbage collection** — with a configured window, field ages far
 //!   enough behind the field's newest age are reclaimed.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use p2g_field::{Age, Field, FieldId};
+use p2g_field::bitmap::remap_for_resize;
+use p2g_field::{Age, Bitmap, Extents, Field, FieldId, ShapedBitmap};
 use p2g_graph::spec::{AgeExpr, IndexSel, KernelSpec};
 use p2g_graph::{KernelId, ProgramSpec};
 
 use crate::events::{Event, StoreEvent};
-use crate::instance::{DispatchUnit, PackedIndices};
+use crate::instance::DispatchUnit;
 use crate::options::{KernelOptions, RunLimits};
 
 /// Shared handle to the node's fields.
 pub type SharedFields = Arc<Vec<RwLock<Field>>>;
+
+/// How the incremental path accounts one fetch declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchKind {
+    /// Every dimension is `All`: no counters; the fetch is satisfied when
+    /// the view is complete and its extents settled (a gate).
+    WholeField,
+    /// No `All` dimension: the fetch selects exactly one element per
+    /// instance; one counter unit.
+    Pointwise,
+    /// `Var` and `All` dimensions only: a row/slab per instance. Counters
+    /// track the slab's unaccounted elements; the `All` extents must also
+    /// be settled (a gate), and extent growth bumps every counter by the
+    /// slab growth.
+    RowLike,
+}
+
+/// Event-derived knowledge of one (field, age): the extents seen so far and
+/// which elements have been accounted into pending tables.
+struct FieldView {
+    extents: Extents,
+    accounted: Bitmap,
+}
+
+/// Remaining-dependency counters for one (kernel, age): one slot per
+/// instance of the (current) instance space.
+struct PendingTable {
+    /// Index-variable ranges the counters are laid out against (row-major).
+    ranges: Extents,
+    /// Unaccounted fetch elements per instance; zero ⇒ dispatchable once
+    /// the gates open.
+    remaining: Vec<u32>,
+    /// Cached conjunction of the kernel's whole-field/settledness gates at
+    /// this age.
+    gates_open: bool,
+}
 
 /// See module docs.
 pub struct DependencyAnalyzer {
@@ -41,11 +109,25 @@ pub struct DependencyAnalyzer {
     fields: SharedFields,
     limits: RunLimits,
     /// Instances already dispatched (or held), per (kernel, age).
-    dispatched: HashMap<(u32, u64), HashSet<PackedIndices>>,
+    dispatched: HashMap<(u32, u64), ShapedBitmap>,
     /// Kernels consuming each field (deduplicated), indexed by field.
     consumers: Vec<Vec<KernelId>>,
     /// For each kernel, the (fetch, dim) binding each index var's range.
     bindings: Vec<Vec<(usize, usize)>>,
+    /// Per kernel, per fetch: how the incremental path accounts it.
+    fetch_kinds: Vec<Vec<FetchKind>>,
+    /// Kernels the incremental path covers; the rest use the
+    /// enumerate-and-check oracle path.
+    eligible: Vec<bool>,
+    /// Event-derived (field, age) views — extents + accounted elements.
+    views: HashMap<(u32, u64), FieldView>,
+    /// Ages with a view, per field (replaces resident-age field reads on
+    /// the hot path).
+    view_ages: Vec<BTreeSet<u64>>,
+    /// Pending-instance tables, per (kernel, age).
+    tables: HashMap<(u32, u64), PendingTable>,
+    /// Ages with a pending table, per kernel (constant-age fetch fan-out).
+    table_ages: Vec<BTreeSet<u64>>,
     /// Ordered kernels: the age currently allowed to dispatch.
     ordered_next: HashMap<u32, u64>,
     /// Ordered kernels: units dispatched but not completed at the current
@@ -86,11 +168,15 @@ impl DependencyAnalyzer {
         limits: RunLimits,
     ) -> DependencyAnalyzer {
         let nf = spec.fields.len();
+        let nk = spec.kernels.len();
         let mut consumers: Vec<Vec<KernelId>> = vec![Vec::new(); nf];
-        for k in &spec.kernels {
-            for fe in &k.fetches {
-                if !consumers[fe.field.idx()].contains(&k.id) {
-                    consumers[fe.field.idx()].push(k.id);
+        {
+            let mut seen: Vec<HashSet<u32>> = vec![HashSet::new(); nf];
+            for k in &spec.kernels {
+                for fe in &k.fetches {
+                    if seen[fe.field.idx()].insert(k.id.0) {
+                        consumers[fe.field.idx()].push(k.id);
+                    }
                 }
             }
         }
@@ -114,6 +200,29 @@ impl DependencyAnalyzer {
                         .collect()
                 })
                 .collect();
+        let mut eligible = vec![true; nk];
+        let mut fetch_kinds: Vec<Vec<FetchKind>> = Vec::with_capacity(nk);
+        for k in &spec.kernels {
+            let mut kinds = Vec::with_capacity(k.fetches.len());
+            for fe in &k.fetches {
+                let has_all = fe.dims.iter().any(|d| matches!(d, IndexSel::All));
+                let has_const = fe.dims.iter().any(|d| matches!(d, IndexSel::Const(_)));
+                let kind = if !has_all {
+                    FetchKind::Pointwise
+                } else if fe.dims.iter().all(|d| matches!(d, IndexSel::All)) {
+                    FetchKind::WholeField
+                } else if !has_const {
+                    FetchKind::RowLike
+                } else {
+                    // Fixed index mixed with a whole dimension: the stored
+                    // coordinate → instance inversion doesn't cover it.
+                    eligible[k.id.idx()] = false;
+                    FetchKind::Pointwise
+                };
+                kinds.push(kind);
+            }
+            fetch_kinds.push(kinds);
+        }
         DependencyAnalyzer {
             options,
             fused_consumers,
@@ -122,6 +231,12 @@ impl DependencyAnalyzer {
             dispatched: HashMap::new(),
             consumers,
             bindings,
+            fetch_kinds,
+            eligible,
+            views: HashMap::new(),
+            view_ages: vec![BTreeSet::new(); nf],
+            tables: HashMap::new(),
+            table_ages: vec![BTreeSet::new(); nk],
             ordered_next: HashMap::new(),
             ordered_outstanding: HashMap::new(),
             held: HashMap::new(),
@@ -209,14 +324,22 @@ impl DependencyAnalyzer {
                 // *conflicting* duplicate value means two nodes produced
                 // the same element differently — a partitioning bug
                 // surfaced deterministically.
-                let outcome = self.fields[field.idx()]
-                    .write()
-                    .store_idempotent(*age, region, buffer);
-                let o = outcome?;
+                let (o, resolved, extents) = {
+                    let mut f = self.fields[field.idx()].write();
+                    let o = f.store_idempotent(*age, region, buffer)?;
+                    let extents = f
+                        .extents(*age)
+                        .cloned()
+                        .expect("age resident after store");
+                    let resolved = region.resolved_against(&extents);
+                    (o, resolved, extents)
+                };
                 self.deduped += o.deduped as u64;
                 let se = StoreEvent {
                     field: *field,
                     age: *age,
+                    region: resolved,
+                    extents,
                     elements: o.stored,
                     age_complete: o.age_complete,
                     resized: o.resized,
@@ -245,12 +368,44 @@ impl DependencyAnalyzer {
 
     /// Re-derive runnable instances from all resident field data — used
     /// after a [`Event::Reassign`] so kernels this node just inherited
-    /// catch up on data that arrived while another node owned them. The
-    /// dispatched set makes this idempotent.
+    /// catch up on data that arrived while another node owned them, and as
+    /// the recovery/correctness oracle for the incremental path. Views are
+    /// resynchronized from field ground truth (events this analyzer never
+    /// saw may have been replayed into the fields), pending tables are
+    /// dropped — future store events recreate them from the synced views —
+    /// and the enumerate-and-check path dispatches everything currently
+    /// runnable. The dispatched set makes this idempotent.
     fn rescan(&mut self, out: &mut Vec<DispatchUnit>) {
+        // Resync views with the fields.
+        self.views.clear();
+        for va in &mut self.view_ages {
+            va.clear();
+        }
+        for fi in 0..self.fields.len() {
+            let field = self.fields[fi].read();
+            for age in field.resident_ages().collect::<Vec<_>>() {
+                let Some(ad) = field.age_data(age) else { continue };
+                self.views.insert(
+                    (fi as u32, age.0),
+                    FieldView {
+                        extents: ad.extents().clone(),
+                        accounted: ad.written().clone(),
+                    },
+                );
+                self.view_ages[fi].insert(age.0);
+            }
+        }
+        // Drop stale pending tables. Anything runnable *now* is dispatched
+        // below; anything that becomes runnable later necessarily gets a
+        // store event, which recreates its table from the synced views.
+        self.tables.clear();
+        for ta in &mut self.table_ages {
+            ta.clear();
+        }
+
         for fi in 0..self.fields.len() {
             let field = FieldId(fi as u32);
-            let resident: Vec<u64> = self.fields[fi].read().resident_ages().map(|a| a.0).collect();
+            let resident: Vec<u64> = self.view_ages[fi].iter().copied().collect();
             let consumer_ids = self.consumers[fi].clone();
             for &kid in &consumer_ids {
                 if self.fused_consumers.contains(&kid) {
@@ -258,7 +413,8 @@ impl DependencyAnalyzer {
                 }
                 for &ra in &resident {
                     let ages = self.affected_ages(kid, field, Age(ra));
-                    self.propagate_extents(kid, field, &ages);
+                    let mut changed = Vec::new();
+                    self.propagate_extents(kid, &ages, &mut changed);
                     if self.runs(kid) {
                         for a in ages {
                             self.try_generate(kid, a, out);
@@ -281,47 +437,572 @@ impl DependencyAnalyzer {
                 let limit = self.gc_limit(se.field, fmax - w);
                 if limit > 0 {
                     self.fields[se.field.idx()].write().collect_below(Age(limit));
+                    let f = se.field.0;
+                    self.views.retain(|&(vf, va), _| vf != f || va >= limit);
+                    self.view_ages[se.field.idx()].retain(|&a| a >= limit);
                 }
             }
         }
 
-        // Propagate extents downstream, then attempt dispatch. Extent
-        // propagation is cluster-global knowledge, so it ignores the
-        // node-local kernel assignment.
+        // Update this (field, age)'s view: union-grow the extents (worker
+        // events can arrive out of store order) and remap the accounted
+        // bitmap. Fresh elements are accounted *after* the pending tables
+        // are brought up to date (step order prevents double-counting).
+        let vkey = (se.field.0, se.age.0);
+        let old_view_extents: Option<Extents> = match self.views.get_mut(&vkey) {
+            Some(view) => {
+                let old = view.extents.clone();
+                let target = view.extents.union(&se.extents);
+                if target != view.extents {
+                    view.accounted = remap_for_resize(&view.accounted, &view.extents, &target);
+                    view.extents = target;
+                }
+                Some(old)
+            }
+            None => {
+                self.views.insert(
+                    vkey,
+                    FieldView {
+                        extents: se.extents.clone(),
+                        accounted: Bitmap::new(se.extents.len()),
+                    },
+                );
+                self.view_ages[se.field.idx()].insert(se.age.0);
+                None
+            }
+        };
+
+        // The kernel ages this store may affect, per consumer.
         let consumer_ids = self.consumers[se.field.idx()].clone();
+        let mut affected: Vec<(KernelId, Vec<u64>)> = Vec::with_capacity(consumer_ids.len());
         for &kid in &consumer_ids {
             if self.fused_consumers.contains(&kid) {
                 continue;
             }
-            let ages = self.affected_ages(kid, se.field, se.age);
-            self.propagate_extents(kid, se.field, &ages);
+            affected.push((kid, self.affected_ages(kid, se.field, se.age)));
         }
-        for kid in consumer_ids {
-            if self.fused_consumers.contains(&kid) || !self.runs(kid) {
+
+        // Propagate expected extents downstream (cluster-global knowledge,
+        // so it ignores the node-local kernel assignment). Growth of an
+        // expectation can only *close* settledness gates, so the gates of
+        // the changed fields' consumers are rechecked below.
+        let mut expected_changed: Vec<(u32, u64)> = Vec::new();
+        for (kid, ages) in &affected {
+            self.propagate_extents(*kid, ages, &mut expected_changed);
+        }
+        let mut gate_check: HashSet<(u32, u64)> = HashSet::new();
+        expected_changed.sort_unstable();
+        expected_changed.dedup();
+        for (f, ta) in expected_changed {
+            for kid2 in self.consumers[f as usize].clone() {
+                if self.fused_consumers.contains(&kid2) {
+                    continue;
+                }
+                for a2 in self.affected_ages(kid2, FieldId(f), Age(ta)) {
+                    gate_check.insert((kid2.0, a2));
+                }
+            }
+        }
+
+        // Bring consumer pending tables up to date: create lazily, bump
+        // row-like counters for slab growth, grow the instance space for
+        // binding-extent growth. Ineligible kernels use the oracle path.
+        for (kid, ages) in &affected {
+            if !self.eligible[kid.idx()] {
+                if self.runs(*kid) {
+                    for &a in ages {
+                        self.try_generate(*kid, a, out);
+                    }
+                }
                 continue;
             }
-            let ages = self.affected_ages(kid, se.field, se.age);
-            for a in ages {
-                self.try_generate(kid, a, out);
+            for &a in ages {
+                if !self.age_allowed(self.spec.kernel(*kid), a) {
+                    continue;
+                }
+                self.ensure_table(*kid, a, se, old_view_extents.as_ref());
+                gate_check.insert((kid.0, a));
+            }
+        }
+
+        // Decrement phase: account each fresh element and decrement the
+        // counters of every instance whose fetch regions contain it, via
+        // the inverted fetch patterns. Collect counters that hit zero.
+        let mut zeros: HashMap<(u32, u64), Vec<usize>> = HashMap::new();
+        self.account_and_decrement(se, &mut zeros);
+
+        // Gate recompute + dispatch. A closed→open gate transition sweeps
+        // the whole table (zeros accumulated while closed, initial zeros);
+        // an open gate dispatches this event's transitions; a closed gate
+        // drops them (a future sweep picks them up).
+        let mut keys: Vec<(u32, u64)> = gate_check.into_iter().chain(zeros.keys().copied()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for key in keys {
+            if !self.tables.contains_key(&key) {
+                continue;
+            }
+            let open = self.table_gate(KernelId(key.0), key.1);
+            let table = self.tables.get_mut(&key).expect("checked above");
+            let was_open = table.gates_open;
+            table.gates_open = open;
+            if !open {
+                continue;
+            }
+            if !was_open {
+                self.sweep_table(KernelId(key.0), key.1, out);
+            } else if let Some(lins) = zeros.remove(&key) {
+                self.dispatch_ready(KernelId(key.0), key.1, lins, out);
             }
         }
     }
 
-    /// For kernel `kid` consuming `field`, carry the index-variable ranges
-    /// observed on `field` over to the extents expected of the kernel's
-    /// store targets at the affected ages.
-    fn propagate_extents(&mut self, kid: KernelId, field: FieldId, ages: &[u64]) {
+    /// Create or update the pending table of (kid, a) for a store on
+    /// `se.field`: bump row-like counters for slab growth of the stored
+    /// view, then grow the instance space if a binding extent grew. Tables
+    /// are created once every binding fetch has a view; counters are
+    /// initialized from the views *before* this event's elements are
+    /// accounted, so the decrement phase sees them as pending.
+    fn ensure_table(&mut self, kid: KernelId, a: u64, se: &StoreEvent, old_ext: Option<&Extents>) {
+        let k = self.spec.kernel(kid);
+        if k.is_source() {
+            return;
+        }
+        let key = (kid.0, a);
+        if !self.tables.contains_key(&key) {
+            let Some(ranges) = self.table_ranges(kid, a) else {
+                return; // a binding view is still missing
+            };
+            let len = ranges.len();
+            let mut remaining = vec![0u32; len];
+            for (lin, slot) in remaining.iter_mut().enumerate() {
+                let idx = ranges.delinearize(lin);
+                *slot = self.instance_missing(kid, a, &idx);
+            }
+            self.tables.insert(
+                key,
+                PendingTable {
+                    ranges,
+                    remaining,
+                    // Always start closed; the caller's gate recompute
+                    // performs the initial sweep if the gates are open.
+                    gates_open: false,
+                },
+            );
+            self.table_ages[kid.idx()].insert(a);
+            return;
+        }
+
+        // Slab growth: the stored view's extents grew, so every row-like
+        // fetch of it now spans more elements — all of them unaccounted.
+        // The bump applies uniformly to every instance (the slab shape
+        // does not depend on the instance's fixed coordinates).
+        let view_ext = self
+            .views
+            .get(&(se.field.0, se.age.0))
+            .map(|v| v.extents.clone())
+            .expect("view exists for the stored field");
+        let grew = old_ext.is_none_or(|o| *o != view_ext);
+        if grew {
+            let mut bump = 0u64;
+            for (fi, fe) in k.fetches.iter().enumerate() {
+                if fe.field != se.field
+                    || fe.age.resolve(Age(a)) != se.age
+                    || self.fetch_kinds[kid.idx()][fi] != FetchKind::RowLike
+                {
+                    continue;
+                }
+                let new_slab: usize = fe
+                    .dims
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| matches!(s, IndexSel::All))
+                    .map(|(d, _)| view_ext.dim(d))
+                    .product();
+                let old_slab: usize = match old_ext {
+                    None => 0,
+                    Some(o) => fe
+                        .dims
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| matches!(s, IndexSel::All))
+                        .map(|(d, _)| o.dim(d))
+                        .product(),
+                };
+                bump += (new_slab - old_slab) as u64;
+            }
+            if bump > 0 {
+                let table = self.tables.get_mut(&key).expect("checked above");
+                for slot in &mut table.remaining {
+                    *slot += bump as u32;
+                }
+            }
+        }
+
+        // Instance-space growth: a binding extent grew. Old instances keep
+        // their counters (remapped into the new row-major layout); new
+        // instances are initialized from the views.
+        if let Some(new_ranges) = self.table_ranges(kid, a) {
+            let old_ranges = self.tables[&key].ranges.clone();
+            if new_ranges != old_ranges {
+                let target = old_ranges.union(&new_ranges);
+                let mut remaining = vec![0u32; target.len()];
+                for (lin, slot) in remaining.iter_mut().enumerate() {
+                    let idx = target.delinearize(lin);
+                    *slot = match old_ranges.linearize(&idx) {
+                        Some(old_lin) => self.tables[&key].remaining[old_lin],
+                        None => self.instance_missing(kid, a, &idx),
+                    };
+                }
+                let table = self.tables.get_mut(&key).expect("checked above");
+                table.ranges = target.clone();
+                table.remaining = remaining;
+                if let Some(bm) = self.dispatched.get_mut(&key) {
+                    bm.grow(&target);
+                }
+            }
+        }
+    }
+
+    /// The instance-space shape of (kid, a) from the binding fetches'
+    /// views; `None` while some binding view is missing.
+    fn table_ranges(&self, kid: KernelId, a: u64) -> Option<Extents> {
+        let k = self.spec.kernel(kid);
+        let mut dims = Vec::with_capacity(k.index_vars as usize);
+        for &(fi, dim) in &self.bindings[kid.idx()] {
+            let fe = &k.fetches[fi];
+            let fa = fe.age.resolve(Age(a));
+            let view = self.views.get(&(fe.field.0, fa.0))?;
+            dims.push(view.extents.dim(dim));
+        }
+        Some(Extents(dims))
+    }
+
+    /// Count the unaccounted fetch elements of instance `idx` of (kid, a)
+    /// against the current views — the initial value of its pending
+    /// counter. Whole-field fetches contribute nothing (gates); a missing
+    /// view contributes the full pointwise element, and nothing for a
+    /// row-like slab (its extent is zero until the view exists, and its
+    /// settledness gate is closed until then).
+    fn instance_missing(&self, kid: KernelId, a: u64, idx: &[usize]) -> u32 {
+        let k = self.spec.kernel(kid);
+        let kinds = &self.fetch_kinds[kid.idx()];
+        let mut missing = 0u32;
+        let mut coord: Vec<usize> = Vec::new();
+        for (fi, fe) in k.fetches.iter().enumerate() {
+            let fa = fe.age.resolve(Age(a));
+            match kinds[fi] {
+                FetchKind::WholeField => {}
+                FetchKind::Pointwise => {
+                    coord.clear();
+                    coord.extend(fe.dims.iter().map(|s| match s {
+                        IndexSel::Var(v) => idx[v.0 as usize],
+                        IndexSel::Const(c) => *c,
+                        IndexSel::All => unreachable!("pointwise has no All dim"),
+                    }));
+                    let accounted = self
+                        .views
+                        .get(&(fe.field.0, fa.0))
+                        .is_some_and(|view| {
+                            view.extents
+                                .linearize(&coord)
+                                .is_some_and(|lin| view.accounted.get(lin))
+                        });
+                    if !accounted {
+                        missing += 1;
+                    }
+                }
+                FetchKind::RowLike => {
+                    let Some(view) = self.views.get(&(fe.field.0, fa.0)) else {
+                        continue;
+                    };
+                    // The slab: Var dims fixed by the instance, All dims
+                    // spanning the view extents. A fixed coordinate out of
+                    // the view's extents leaves the whole slab unaccounted.
+                    let mut in_bounds = true;
+                    let spans: Vec<(usize, usize)> = fe
+                        .dims
+                        .iter()
+                        .enumerate()
+                        .map(|(d, s)| match s {
+                            IndexSel::Var(v) => {
+                                let c = idx[v.0 as usize];
+                                if c >= view.extents.dim(d) {
+                                    in_bounds = false;
+                                }
+                                (c, 1)
+                            }
+                            IndexSel::All => (0, view.extents.dim(d)),
+                            IndexSel::Const(_) => unreachable!("row-like has no Const dim"),
+                        })
+                        .collect();
+                    let slab: usize = spans.iter().map(|&(_, l)| l).product();
+                    if !in_bounds {
+                        missing += slab as u32;
+                        continue;
+                    }
+                    missing += count_unaccounted(&spans, &view.extents, &view.accounted);
+                }
+            }
+        }
+        missing
+    }
+
+    /// Account every fresh element of the store into its view, and for
+    /// each one decrement the pending counters of every instance whose
+    /// inverted fetch pattern contains it. Counters hitting zero are
+    /// collected into `zeros` by table linear index.
+    fn account_and_decrement(
+        &mut self,
+        se: &StoreEvent,
+        zeros: &mut HashMap<(u32, u64), Vec<usize>>,
+    ) {
+        // The inversion plan: each eligible consumer fetch of this field
+        // whose resolved age matches, with the kernel ages it feeds.
+        struct Plan {
+            kid: KernelId,
+            fetch: usize,
+            ages: Vec<u64>,
+        }
+        let mut plans: Vec<Plan> = Vec::new();
+        for &kid in &self.consumers[se.field.idx()] {
+            if self.fused_consumers.contains(&kid) || !self.eligible[kid.idx()] {
+                continue;
+            }
+            let k = self.spec.kernel(kid);
+            for (fi, fe) in k.fetches.iter().enumerate() {
+                if fe.field != se.field || self.fetch_kinds[kid.idx()][fi] == FetchKind::WholeField
+                {
+                    continue;
+                }
+                let ages: Vec<u64> = match fe.age {
+                    AgeExpr::Rel(t) => {
+                        if !k.has_age_var {
+                            if se.age.0 as i64 == t {
+                                vec![0]
+                            } else {
+                                continue;
+                            }
+                        } else if se.age.0 as i64 >= t {
+                            vec![(se.age.0 as i64 - t) as u64]
+                        } else {
+                            continue;
+                        }
+                    }
+                    AgeExpr::Const(c) => {
+                        if se.age.0 != c {
+                            continue;
+                        }
+                        // A constant-age store feeds every existing table.
+                        self.table_ages[kid.idx()].iter().copied().collect()
+                    }
+                };
+                let ages: Vec<u64> = ages
+                    .into_iter()
+                    .filter(|&a| self.tables.contains_key(&(kid.0, a)))
+                    .collect();
+                if !ages.is_empty() {
+                    plans.push(Plan {
+                        kid,
+                        fetch: fi,
+                        ages,
+                    });
+                }
+            }
+        }
+
+        // Walk the stored region's coordinates against the (union-grown)
+        // view extents; the event's region is pre-resolved so it stays
+        // valid under the larger extents.
+        let view = self.views.get_mut(&vkey_of(se)).expect("view created above");
+        let view_extents = view.extents.clone();
+        let Ok(spans) = se.region.resolve(&view_extents) else {
+            return; // malformed event; rescan recovers
+        };
+        let ndim = spans.len();
+        let mut coord: Vec<usize> = spans.iter().map(|&(s, _)| s).collect();
+        if spans.iter().any(|&(_, l)| l == 0) {
+            return;
+        }
+        let mut fixed: Vec<Option<usize>> = Vec::new();
+        loop {
+            // Mark accounted; skip elements already accounted (idempotent
+            // replays, deduped remote stores).
+            let lin = view_extents
+                .linearize(&coord)
+                .expect("region coordinate within view extents");
+            let view = self.views.get_mut(&vkey_of(se)).expect("view exists");
+            if view.accounted.set(lin) {
+                for plan in &plans {
+                    let k = self.spec.kernel(plan.kid);
+                    let fe = &k.fetches[plan.fetch];
+                    // Invert the fetch pattern at this coordinate: Var
+                    // dims pin the instance rectangle, Const dims filter,
+                    // All dims leave it free.
+                    fixed.clear();
+                    fixed.resize(k.index_vars as usize, None);
+                    let mut applies = true;
+                    for (d, s) in fe.dims.iter().enumerate() {
+                        match s {
+                            IndexSel::Var(v) => {
+                                let vi = v.0 as usize;
+                                match fixed[vi] {
+                                    None => fixed[vi] = Some(coord[d]),
+                                    Some(prev) if prev == coord[d] => {}
+                                    Some(_) => {
+                                        applies = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            IndexSel::Const(c) => {
+                                if coord[d] != *c {
+                                    applies = false;
+                                    break;
+                                }
+                            }
+                            IndexSel::All => {}
+                        }
+                    }
+                    if !applies {
+                        continue;
+                    }
+                    for &a in &plan.ages {
+                        let key = (plan.kid.0, a);
+                        let Some(table) = self.tables.get_mut(&key) else {
+                            continue;
+                        };
+                        decrement_rectangle(table, &fixed, |table_lin| {
+                            zeros.entry(key).or_default().push(table_lin);
+                        });
+                    }
+                }
+            }
+            // Advance the region odometer.
+            let mut d = ndim;
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                coord[d] += 1;
+                if coord[d] < spans[d].0 + spans[d].1 {
+                    break;
+                }
+                coord[d] = spans[d].0;
+                if d == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The conjunction of (kid, a)'s whole-field and settledness gates
+    /// against the current views.
+    fn table_gate(&self, kid: KernelId, a: u64) -> bool {
+        let k = self.spec.kernel(kid);
+        let kinds = &self.fetch_kinds[kid.idx()];
+        for (fi, fe) in k.fetches.iter().enumerate() {
+            let fa = fe.age.resolve(Age(a));
+            match kinds[fi] {
+                FetchKind::Pointwise => {}
+                FetchKind::WholeField => {
+                    let Some(view) = self.views.get(&(fe.field.0, fa.0)) else {
+                        return false;
+                    };
+                    if view.accounted.count() != view.extents.len()
+                        || !self.extents_settled(fe.field, fa, &view.extents)
+                    {
+                        return false;
+                    }
+                }
+                FetchKind::RowLike => {
+                    let Some(view) = self.views.get(&(fe.field.0, fa.0)) else {
+                        return false;
+                    };
+                    if !self.extents_settled(fe.field, fa, &view.extents) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Dispatch every instance of (kid, a) with a zero counter that has
+    /// not been dispatched yet — the closed→open gate transition.
+    fn sweep_table(&mut self, kid: KernelId, a: u64, out: &mut Vec<DispatchUnit>) {
+        let table = &self.tables[&(kid.0, a)];
+        let ready: Vec<usize> = (0..table.remaining.len())
+            .filter(|&lin| table.remaining[lin] == 0)
+            .collect();
+        self.dispatch_ready(kid, a, ready, out);
+    }
+
+    /// Dispatch the given table linear indices of (kid, a), skipping
+    /// already-dispatched instances, in row-major order, chunked.
+    fn dispatch_ready(
+        &mut self,
+        kid: KernelId,
+        a: u64,
+        mut lins: Vec<usize>,
+        out: &mut Vec<DispatchUnit>,
+    ) {
+        if lins.is_empty() || !self.runs(kid) {
+            return;
+        }
+        lins.sort_unstable();
+        lins.dedup();
+        let ranges = self.tables[&(kid.0, a)].ranges.clone();
+        // Pre-grow the dispatched bitmap to the full instance space once —
+        // growing it per instance would remap the bitmap O(instances)
+        // times.
+        let bm = self
+            .dispatched
+            .entry((kid.0, a))
+            .or_insert_with(|| ShapedBitmap::new(ranges.clone()));
+        bm.grow(&ranges);
+        let mut runnable: Vec<Vec<usize>> = Vec::new();
+        for lin in lins {
+            let idx = ranges.delinearize(lin);
+            if bm.set(&idx) {
+                runnable.push(idx);
+            }
+        }
+        let chunk = self.options[kid.idx()].chunk_size.max(1);
+        for group in runnable.chunks(chunk) {
+            self.emit(
+                DispatchUnit {
+                    kernel: kid,
+                    age: Age(a),
+                    instances: group.to_vec(),
+                },
+                out,
+            );
+        }
+    }
+
+    /// For kernel `kid`, carry the index-variable ranges observed on its
+    /// fetched fields' views over to the extents expected of the kernel's
+    /// store targets at the given instance ages. Expectations that grew are
+    /// appended to `changed` as (field, age) so settledness gates can be
+    /// rechecked.
+    ///
+    /// Every fetch participates, not just those of the field that
+    /// triggered the event: a kernel whose store extent is derived from a
+    /// constant-age fetch (k-means `assign`: `datapoints(0)[x]` sizing
+    /// `assignments(a)`) must have the expectation propagated at *every*
+    /// age, including ages the constant-age field never stores at again.
+    fn propagate_extents(&mut self, kid: KernelId, ages: &[u64], changed: &mut Vec<(u32, u64)>) {
         let k = self.spec.kernel(kid);
         let mut updates: Vec<(u32, u64, usize, usize)> = Vec::new();
         for fe in &k.fetches {
-            if fe.field != field {
-                continue;
-            }
             for a in ages {
                 let fa = fe.age.resolve(Age(*a));
-                let Some(ext) = self.fields[field.idx()].read().extents(fa).cloned() else {
+                let Some(view) = self.views.get(&(fe.field.0, fa.0)) else {
                     continue;
                 };
+                let ext = &view.extents;
                 for (d, sel) in fe.dims.iter().enumerate() {
                     let IndexSel::Var(v) = sel else { continue };
                     let range = ext.dim(d);
@@ -343,7 +1024,11 @@ impl DependencyAnalyzer {
                 .entry((f, a))
                 .or_insert_with(|| vec![None; ndim]);
             let slot = &mut entry[d];
+            let before = *slot;
             *slot = Some(slot.map_or(range, |cur| cur.max(range)));
+            if *slot != before {
+                changed.push((f, a));
+            }
         }
     }
 
@@ -390,18 +1075,12 @@ impl DependencyAnalyzer {
                     } else {
                         // A constant-age fetch can unblock any age whose
                         // *other* (relative) fetches already have data;
-                        // derive candidates from those fields' resident
-                        // ages.
+                        // derive candidates from those fields' view ages.
                         let mut any_rel = false;
                         for other in &k.fetches {
                             if let AgeExpr::Rel(t) = other.age {
                                 any_rel = true;
-                                let resident: Vec<u64> = self.fields[other.field.idx()]
-                                    .read()
-                                    .resident_ages()
-                                    .map(|a| a.0)
-                                    .collect();
-                                for ra in resident {
+                                for &ra in &self.view_ages[other.field.idx()] {
                                     if ra as i64 >= t {
                                         ages.push((ra as i64 - t) as u64);
                                     }
@@ -469,11 +1148,13 @@ impl DependencyAnalyzer {
 
     /// Record an instance as dispatched; false when already dispatched.
     fn mark_dispatched(&mut self, kernel: KernelId, age: u64, indices: &[usize]) -> bool {
-        let packed = PackedIndices::pack(indices).expect("index values fit 16 bits");
-        self.dispatched
+        let shape = Extents(indices.iter().map(|&i| i + 1).collect());
+        let bm = self
+            .dispatched
             .entry((kernel.0, age))
-            .or_default()
-            .insert(packed)
+            .or_insert_with(|| ShapedBitmap::new(shape.clone()));
+        bm.grow(&shape);
+        bm.set(indices)
     }
 
     /// Route a unit to the output, respecting ordered gating.
@@ -529,7 +1210,7 @@ impl DependencyAnalyzer {
                 break;
             }
             let Some(space) = self.instance_space(kid, a) else { break };
-            let d = self.dispatched.get(&(kid.0, a)).map_or(0, |s| s.len());
+            let d = self.dispatched.get(&(kid.0, a)).map_or(0, |s| s.count());
             let c = *self.completed.get(&(kid.0, a)).unwrap_or(&0);
             if d < space || c < d {
                 break;
@@ -583,8 +1264,12 @@ impl DependencyAnalyzer {
 
     /// Enumerate kernel `kid`'s instance space at age `a`, dispatching
     /// every not-yet-dispatched instance whose fetches are all satisfied.
+    /// This is the slow enumerate-and-check path, kept for kernels the
+    /// incremental inversion doesn't cover and as the rescan/recovery
+    /// oracle. It reads field ground truth (locks), not views.
     fn try_generate(&mut self, kid: KernelId, a: u64, out: &mut Vec<DispatchUnit>) {
-        let k = self.spec.kernel(kid);
+        let spec = self.spec.clone();
+        let k = spec.kernel(kid);
         if !self.age_allowed(k, a) || k.is_source() {
             return;
         }
@@ -606,25 +1291,29 @@ impl DependencyAnalyzer {
         }
         let space: usize = ranges.iter().product::<usize>().max(1);
         if let Some(set) = self.dispatched.get(&(kid.0, a)) {
-            if set.len() >= space {
+            if set.count() >= space {
                 return; // everything already dispatched at this extent
             }
         }
+        // Pre-grow the dispatched bitmap to the full instance space so the
+        // per-instance marks below never trigger a remap.
+        let full = Extents(ranges.clone());
+        let bm = self
+            .dispatched
+            .entry((kid.0, a))
+            .or_insert_with(|| ShapedBitmap::new(full.clone()));
+        bm.grow(&full);
 
         // Enumerate the instance space (mixed radix odometer).
         let mut runnable: Vec<Vec<usize>> = Vec::new();
         let mut idx = vec![0usize; nvars];
         loop {
-            let packed = PackedIndices::pack(&idx).expect("index values fit 16 bits");
             let seen = self
                 .dispatched
                 .get(&(kid.0, a))
-                .is_some_and(|s| s.contains(&packed));
+                .is_some_and(|s| s.get(&idx));
             if !seen && self.instance_runnable(k, a, &idx) {
-                self.dispatched
-                    .entry((kid.0, a))
-                    .or_default()
-                    .insert(packed);
+                self.mark_dispatched(kid, a, &idx);
                 runnable.push(idx.clone());
             }
             // Advance odometer.
@@ -700,8 +1389,106 @@ impl DependencyAnalyzer {
         self.dispatched
             .iter()
             .filter(|&(&(k, _), _)| k == kid.0)
-            .map(|(_, s)| s.len())
+            .map(|(_, s)| s.count())
             .sum()
+    }
+}
+
+#[inline]
+fn vkey_of(se: &StoreEvent) -> (u32, u64) {
+    (se.field.0, se.age.0)
+}
+
+/// Count unaccounted elements of the rectangle `spans` (start, len per
+/// dimension) under `extents`.
+fn count_unaccounted(spans: &[(usize, usize)], extents: &Extents, accounted: &Bitmap) -> u32 {
+    let total: usize = spans.iter().map(|&(_, l)| l).product();
+    if total == 0 {
+        return 0;
+    }
+    let mut coord: Vec<usize> = spans.iter().map(|&(s, _)| s).collect();
+    let mut missing = 0u32;
+    loop {
+        let lin = extents
+            .linearize(&coord)
+            .expect("slab coordinate within extents");
+        if !accounted.get(lin) {
+            missing += 1;
+        }
+        let mut d = spans.len();
+        loop {
+            if d == 0 {
+                return missing;
+            }
+            d -= 1;
+            coord[d] += 1;
+            if coord[d] < spans[d].0 + spans[d].1 {
+                break;
+            }
+            coord[d] = spans[d].0;
+            if d == 0 {
+                return missing;
+            }
+        }
+    }
+}
+
+/// Decrement every counter in the instance rectangle given by `fixed`
+/// (Some pins a variable, None leaves it free), invoking `on_zero` with
+/// the table linear index of each counter that transitions to zero.
+/// Rectangles with a pinned value outside the table's ranges are skipped
+/// entirely — those instances don't exist yet, and when the table grows
+/// they are initialized from the views (which already account the
+/// element).
+fn decrement_rectangle(
+    table: &mut PendingTable,
+    fixed: &[Option<usize>],
+    mut on_zero: impl FnMut(usize),
+) {
+    let nvars = fixed.len();
+    debug_assert_eq!(nvars, table.ranges.ndim());
+    let mut coord = vec![0usize; nvars];
+    for (v, f) in fixed.iter().enumerate() {
+        if let Some(c) = *f {
+            if c >= table.ranges.dim(v) {
+                return;
+            }
+            coord[v] = c;
+        }
+    }
+    loop {
+        let lin = table
+            .ranges
+            .linearize(&coord)
+            .expect("rectangle coordinate within table ranges");
+        let slot = &mut table.remaining[lin];
+        debug_assert!(*slot > 0, "counter underflow: element decremented twice");
+        *slot = slot.saturating_sub(1);
+        if *slot == 0 {
+            on_zero(lin);
+        }
+        // Advance over the free variables only.
+        let mut d = nvars;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            if fixed[d].is_some() {
+                if d == 0 {
+                    return;
+                }
+                continue;
+            }
+            coord[d] += 1;
+            if coord[d] < table.ranges.dim(d) {
+                break;
+            }
+            coord[d] = 0;
+            if d == 0 {
+                return;
+            }
+        }
     }
 }
 
@@ -733,13 +1520,17 @@ mod tests {
     }
 
     fn store_whole(fields: &SharedFields, fid: usize, age: u64, data: Vec<i32>) -> StoreEvent {
-        let out = fields[fid]
-            .write()
+        let mut field = fields[fid].write();
+        let out = field
             .store(Age(age), &Region::all(1), &Buffer::from_vec(data))
             .unwrap();
+        let extents = field.extents(Age(age)).cloned().unwrap();
+        let region = Region::all(extents.ndim()).resolved_against(&extents);
         StoreEvent {
             field: p2g_field::FieldId(fid as u32),
             age: Age(age),
+            region,
+            extents,
             elements: out.stored,
             age_complete: out.age_complete,
             resized: out.resized,
@@ -927,6 +1718,47 @@ mod tests {
             .collect();
         assert_eq!(units.len(), 1);
         assert_eq!(units[0].len(), 5);
+    }
+
+    #[test]
+    fn element_stores_dispatch_incrementally() {
+        // One-element stores unlock exactly the matching instance, without
+        // rescanning the space — the delta path the K-means storm relies
+        // on.
+        let (mut an, fields, spec) = setup();
+        an.seed();
+        let mul2 = spec.kernel_by_name("mul2").unwrap();
+        // Pre-size the age with a first element so extents are known.
+        for x in 0..4usize {
+            let ev = {
+                let mut field = fields[0].write();
+                let region = Region(vec![p2g_field::DimSel::Range { start: x, len: 1 }]);
+                let out = field
+                    .store(Age(0), &region, &Buffer::from_vec(vec![x as i32]))
+                    .unwrap();
+                let extents = field.extents(Age(0)).cloned().unwrap();
+                StoreEvent {
+                    field: p2g_field::FieldId(0),
+                    age: Age(0),
+                    region: region.resolved_against(&extents),
+                    extents,
+                    elements: out.stored,
+                    age_complete: out.age_complete,
+                    resized: out.resized,
+                }
+            };
+            let units: Vec<_> = an
+                .on_event(&Event::Store(ev))
+                .unwrap()
+                .into_iter()
+                .filter(|u| u.kernel == mul2)
+                .collect();
+            // Implicit sizing grows the field one element at a time; every
+            // store unlocks exactly the new instance.
+            assert_eq!(units.len(), 1, "store {x} should unlock one instance");
+            assert_eq!(units[0].instances, vec![vec![x]]);
+        }
+        assert_eq!(an.dispatched_count(mul2), 4);
     }
 
     #[test]

@@ -5,14 +5,26 @@
 //! analyzer subscribes to events for the fields each kernel fetches and
 //! derives newly-runnable instances.
 
-use p2g_field::{Age, Extents, FieldId};
+use p2g_field::{Age, Extents, FieldId, Region};
 use p2g_graph::KernelId;
 
 /// A store applied to a field by a kernel instance.
+///
+/// `region` and `extents` are captured *inside* the field write lock at
+/// store time, so the event fully describes the store even though the
+/// analyzer observes events asynchronously (possibly after later stores
+/// have grown the field). `region` is pre-resolved to explicit
+/// `Index`/`Range` selectors — never `All` — so its coordinates stay valid
+/// under any extents that are a superset of `extents`.
 #[derive(Debug, Clone)]
 pub struct StoreEvent {
     pub field: FieldId,
     pub age: Age,
+    /// The stored region, resolved against the extents at store time
+    /// (no `All` selectors).
+    pub region: Region,
+    /// Field extents for this age immediately after the store applied.
+    pub extents: Extents,
     /// Elements written by this store.
     pub elements: usize,
     /// True when this store completed the age (every element written).

@@ -62,6 +62,9 @@ pub struct Instruments {
     analyzer_busy_ns: AtomicU64,
     /// Events the analyzer processed.
     analyzer_events: AtomicU64,
+    /// Channel drains by the analyzer loop. events / batches is the mean
+    /// batch size — a gauge of how bursty the store-event load is.
+    analyzer_batches: AtomicU64,
     /// Elements moved per (producer kernel, field) — aggregated into edge
     /// volumes for repartitioning.
     volumes: parking_lot::Mutex<BTreeMap<(KernelId, FieldId), u64>>,
@@ -81,6 +84,7 @@ impl Instruments {
                 .collect(),
             analyzer_busy_ns: AtomicU64::new(0),
             analyzer_events: AtomicU64::new(0),
+            analyzer_batches: AtomicU64::new(0),
             volumes: parking_lot::Mutex::new(BTreeMap::new()),
             deduped_elements: AtomicU64::new(0),
         }
@@ -111,6 +115,16 @@ impl Instruments {
     /// Number of events the analyzer processed.
     pub fn analyzer_events(&self) -> u64 {
         self.analyzer_events.load(Ordering::Relaxed)
+    }
+
+    /// Record one greedy channel drain (a batch of one or more events).
+    pub fn record_analyzer_batch(&self) {
+        self.analyzer_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of channel drains by the analyzer loop.
+    pub fn analyzer_batches(&self) -> u64 {
+        self.analyzer_batches.load(Ordering::Relaxed)
     }
 
     /// Record one executed dispatch unit.
@@ -237,6 +251,7 @@ pub struct InstrumentsSnapshot {
     volumes: BTreeMap<(KernelId, FieldId), u64>,
     analyzer_busy: Duration,
     analyzer_events: u64,
+    analyzer_batches: u64,
     deduped_elements: u64,
 }
 
@@ -248,6 +263,7 @@ impl InstrumentsSnapshot {
             volumes: live.store_volumes(),
             analyzer_busy: live.analyzer_busy(),
             analyzer_events: live.analyzer_events(),
+            analyzer_batches: live.analyzer_batches(),
             deduped_elements: live.deduped_elements(),
         }
     }
@@ -266,6 +282,12 @@ impl InstrumentsSnapshot {
     /// Events the analyzer processed.
     pub fn analyzer_events(&self) -> u64 {
         self.analyzer_events
+    }
+
+    /// Channel drains by the analyzer loop (events / batches = mean batch
+    /// size).
+    pub fn analyzer_batches(&self) -> u64 {
+        self.analyzer_batches
     }
 
     /// Stats for a kernel by name.

@@ -7,7 +7,7 @@
 //! counted before it is made visible, so the count can only reach zero when
 //! the program is quiescent.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -80,19 +80,29 @@ impl Shared {
 /// Read access to a program's fields after a run (results extraction).
 pub struct FieldStore {
     fields: Vec<Field>,
-    spec: Arc<ProgramSpec>,
+    by_name: HashMap<String, usize>,
 }
 
 impl FieldStore {
+    fn new(fields: Vec<Field>, spec: &ProgramSpec) -> FieldStore {
+        let by_name = spec
+            .fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i))
+            .collect();
+        FieldStore { fields, by_name }
+    }
+
     /// Fetch a region by field name.
     pub fn fetch(&self, name: &str, age: Age, region: &Region) -> Option<Buffer> {
-        let id = self.spec.fields.iter().position(|f| f.name == name)?;
+        let id = *self.by_name.get(name)?;
         self.fields[id].fetch(age, region).ok()
     }
 
     /// Fetch one element by field name.
     pub fn fetch_element(&self, name: &str, age: Age, index: &[usize]) -> Option<Value> {
-        let id = self.spec.fields.iter().position(|f| f.name == name)?;
+        let id = *self.by_name.get(name)?;
         self.fields[id].fetch_element(age, index).ok()
     }
 
@@ -103,7 +113,7 @@ impl FieldStore {
 
     /// Direct access by name.
     pub fn field_by_name(&self, name: &str) -> Option<&Field> {
-        let id = self.spec.fields.iter().position(|f| f.name == name)?;
+        let id = *self.by_name.get(name)?;
         Some(&self.fields[id])
     }
 }
@@ -421,7 +431,7 @@ impl RunningNode {
             .into_iter()
             .map(|l| l.into_inner())
             .collect();
-        Ok((report, FieldStore { fields, spec }))
+        Ok((report, FieldStore::new(fields, &spec)))
     }
 }
 
@@ -454,48 +464,63 @@ fn analyzer_loop(
                 return Termination::DeadlineExpired;
             }
         }
-        let ev = match events_rx.recv_timeout(Duration::from_millis(5)) {
-            Ok(ev) => ev,
+        let mut next = match events_rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(ev) => Some(ev),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
                 return Termination::Quiescent
             }
         };
-        if let Event::Failure(msg) = &ev {
-            shared.fail(RuntimeError::Kernel {
-                kernel: "<unknown>".into(),
-                message: msg.clone(),
-            });
-            return Termination::Failed;
-        }
-        let t_event = Instant::now();
-        let units = match analyzer.on_event(&ev) {
-            Ok(units) => units,
-            Err(e) => {
-                shared.fail(RuntimeError::Field(e));
+        // Greedy batch drain: under a store storm the channel is never
+        // empty, and handling a burst back-to-back keeps the analyzer's
+        // accounting state cache-hot and skips the blocking-receive path.
+        // MAX_BATCH bounds the time between deadline checks. Outstanding
+        // work is still released per event so the quiescence protocol is
+        // unchanged.
+        const MAX_BATCH: usize = 256;
+        let mut handled = 0usize;
+        while let Some(ev) = next.take() {
+            if let Event::Failure(msg) = &ev {
+                shared.fail(RuntimeError::Kernel {
+                    kernel: "<unknown>".into(),
+                    message: msg.clone(),
+                });
                 return Termination::Failed;
             }
-        };
-        shared.instruments.record_analyzer_event(t_event.elapsed());
-        let deduped = analyzer.take_deduped();
-        if deduped > 0 {
-            shared.instruments.record_deduped(deduped);
-        }
-        for unit in units {
-            shared.outstanding.fetch_add(1, Ordering::SeqCst);
-            shared.ready.push(unit);
-        }
-        // This event is fully processed; the release may observe
-        // quiescence (stop is then checked at the top of the loop, and
-        // also right here to avoid one extra poll cycle).
-        shared.release_outstanding();
-        if shared.stop.load(Ordering::SeqCst) {
-            return if shared.failure.lock().is_some() {
-                Termination::Failed
-            } else {
-                Termination::Quiescent
+            let t_event = Instant::now();
+            let units = match analyzer.on_event(&ev) {
+                Ok(units) => units,
+                Err(e) => {
+                    shared.fail(RuntimeError::Field(e));
+                    return Termination::Failed;
+                }
             };
+            shared.instruments.record_analyzer_event(t_event.elapsed());
+            let deduped = analyzer.take_deduped();
+            if deduped > 0 {
+                shared.instruments.record_deduped(deduped);
+            }
+            for unit in units {
+                shared.outstanding.fetch_add(1, Ordering::SeqCst);
+                shared.ready.push(unit);
+            }
+            // This event is fully processed; the release may observe
+            // quiescence (stop is then checked right here to avoid one
+            // extra poll cycle).
+            shared.release_outstanding();
+            if shared.stop.load(Ordering::SeqCst) {
+                return if shared.failure.lock().is_some() {
+                    Termination::Failed
+                } else {
+                    Termination::Quiescent
+                };
+            }
+            handled += 1;
+            if handled < MAX_BATCH {
+                next = events_rx.try_recv().ok();
+            }
         }
+        shared.instruments.record_analyzer_batch();
     }
 }
 
@@ -683,14 +708,24 @@ fn apply_store_for(
     // already (partially) exists, and write-once equality makes that a
     // no-op instead of a violation. Single-node mode keeps the strict
     // write-once error, which is a program bug there.
-    let outcome = if shared.dedup_stores {
-        shared.fields[decl.field.idx()]
-            .write()
-            .store_idempotent(target_age, &region, &st.buffer)?
-    } else {
-        shared.fields[decl.field.idx()]
-            .write()
-            .store(target_age, &region, &st.buffer)?
+    //
+    // The store event must describe the store relative to the extents at
+    // store time (later stores may grow the field before the analyzer
+    // observes this event), so the resolved region and post-store extents
+    // are captured inside the write lock.
+    let (outcome, region, extents) = {
+        let mut field = shared.fields[decl.field.idx()].write();
+        let outcome = if shared.dedup_stores {
+            field.store_idempotent(target_age, &region, &st.buffer)?
+        } else {
+            field.store(target_age, &region, &st.buffer)?
+        };
+        let extents = field
+            .extents(target_age)
+            .cloned()
+            .expect("age resident after store");
+        let resolved = region.resolved_against(&extents);
+        (outcome, resolved, extents)
     };
     // An attempted store counts for source sequencing even when fully
     // deduped — the re-executed source must keep advancing its ages.
@@ -710,6 +745,8 @@ fn apply_store_for(
     let _ = shared.events_tx.send(Event::Store(StoreEvent {
         field: decl.field,
         age: target_age,
+        region,
+        extents,
         elements: outcome.stored,
         age_complete: outcome.age_complete,
         resized: outcome.resized,

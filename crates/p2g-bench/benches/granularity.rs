@@ -46,8 +46,10 @@ fn mul_sum_program() -> Program {
 }
 
 fn run(program: Program, workers: usize, ages: u64) {
-    NodeBuilder::new(program).workers(workers)
-        .launch(RunLimits::ages(ages).with_gc_window(4)).and_then(|n| n.wait())
+    NodeBuilder::new(program)
+        .workers(workers)
+        .launch(RunLimits::ages(ages).with_gc_window(4))
+        .and_then(|n| n.wait())
         .expect("run succeeds");
 }
 

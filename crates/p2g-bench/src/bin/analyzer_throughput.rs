@@ -185,8 +185,7 @@ fn main() {
     }
     let mut s = best.expect("at least one rep");
     if std::env::var("LAT_DUMP").is_ok() {
-        let mut worst: Vec<(u64, usize)> =
-            s.lat_ns.iter().copied().zip(0..).collect();
+        let mut worst: Vec<(u64, usize)> = s.lat_ns.iter().copied().zip(0..).collect();
         worst.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
         for (ns, i) in worst.iter().take(25) {
             eprintln!("  slow event #{i}: {ns} ns");

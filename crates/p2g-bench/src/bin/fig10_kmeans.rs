@@ -44,7 +44,8 @@ fn main() {
         let (program, _) = build_kmeans_program(&config).expect("valid program");
         let node = NodeBuilder::new(program).workers(threads);
         let t0 = Instant::now();
-        node.launch(RunLimits::ages(kmeans_iters)).and_then(|n| n.wait())
+        node.launch(RunLimits::ages(kmeans_iters))
+            .and_then(|n| n.wait())
             .expect("run succeeds");
         t0.elapsed()
     });

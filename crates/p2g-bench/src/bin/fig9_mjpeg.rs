@@ -54,11 +54,13 @@ fn main() {
             max_frames: frames,
             fast_dct: false,
             dct_chunk: 1,
+            ..MjpegConfig::default()
         };
         let (program, sink) = build_mjpeg_program(source, config).expect("valid program");
         let node = NodeBuilder::new(program).workers(threads);
         let t0 = Instant::now();
-        node.launch(RunLimits::ages(frames + 1).with_gc_window(4)).and_then(|n| n.wait())
+        node.launch(RunLimits::ages(frames + 1).with_gc_window(4))
+            .and_then(|n| n.wait())
             .expect("run succeeds");
         let dt = t0.elapsed();
         assert!(!sink.take().is_empty());

@@ -21,11 +21,13 @@ fn main() {
         max_frames: frames,
         fast_dct: false,
         dct_chunk: 1,
+        ..MjpegConfig::default()
     };
     let (program, _) = build_mjpeg_program(source, config).expect("valid program");
     let node = NodeBuilder::new(program).workers(threads);
     let report = node
-        .launch(RunLimits::ages(frames + 1).with_gc_window(4)).and_then(|n| n.wait())
+        .launch(RunLimits::ages(frames + 1).with_gc_window(4))
+        .and_then(|n| n.wait())
         .expect("run succeeds");
 
     let mut out = String::new();

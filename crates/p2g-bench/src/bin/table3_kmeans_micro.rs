@@ -23,7 +23,8 @@ fn main() {
     let (program, _) = build_kmeans_program(&config).expect("valid program");
     let node = NodeBuilder::new(program).workers(threads);
     let report = node
-        .launch(RunLimits::ages(kmeans_iters)).and_then(|n| n.wait())
+        .launch(RunLimits::ages(kmeans_iters))
+        .and_then(|n| n.wait())
         .expect("run succeeds");
 
     let mut out = String::new();

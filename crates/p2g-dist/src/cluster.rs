@@ -89,8 +89,12 @@ pub struct ClusterConfig {
     pub latency: Duration,
     /// Fault-injection schedule (drops, duplicates, delays, node kills).
     pub fault_plan: Option<FaultPlan>,
-    /// How often each node heartbeats the master.
-    pub heartbeat_interval: Duration,
+    /// How often each node heartbeats the master. `None` (the default)
+    /// derives the interval from `failure_timeout` (one tenth, floored at
+    /// 1ms), so the detector always sees several heartbeats per timeout
+    /// window regardless of how the timeout is tuned — a hardcoded
+    /// interval near the timeout made failure detection flaky.
+    pub heartbeat_interval: Option<Duration>,
     /// Heartbeat staleness after which the master declares a node failed.
     /// A false positive is safe (recovery is idempotent), merely wasteful.
     pub failure_timeout: Duration,
@@ -105,7 +109,7 @@ impl ClusterConfig {
             node_workers: Vec::new(),
             latency: Duration::ZERO,
             fault_plan: None,
-            heartbeat_interval: Duration::from_millis(5),
+            heartbeat_interval: None,
             failure_timeout: Duration::from_millis(50),
         }
     }
@@ -142,16 +146,26 @@ impl ClusterConfig {
         self
     }
 
-    /// Override the heartbeat interval.
+    /// Override the heartbeat interval (default: derived from
+    /// `failure_timeout`, see [`ClusterConfig::heartbeat_every`]).
     pub fn heartbeat_interval(mut self, d: Duration) -> ClusterConfig {
-        self.heartbeat_interval = d;
+        self.heartbeat_interval = Some(d);
         self
     }
 
-    /// Override the failure-detection timeout.
+    /// Override the failure-detection timeout. Unless
+    /// [`ClusterConfig::heartbeat_interval`] was set explicitly, the
+    /// heartbeat interval scales along with it.
     pub fn failure_timeout(mut self, d: Duration) -> ClusterConfig {
         self.failure_timeout = d;
         self
+    }
+
+    /// The effective heartbeat interval: the explicit override if set,
+    /// otherwise a tenth of `failure_timeout` (floored at 1ms).
+    pub fn heartbeat_every(&self) -> Duration {
+        self.heartbeat_interval
+            .unwrap_or_else(|| (self.failure_timeout / 10).max(Duration::from_millis(1)))
     }
 
     /// Heterogeneous worker counts, one per node (earlier nodes first).
@@ -361,7 +375,7 @@ impl SimCluster {
         // Delivery threads: apply incoming store forwards to each node and
         // heartbeat the master. The thread retires when its node dies.
         let deliver_stop = Arc::new(AtomicBool::new(false));
-        let heartbeat_interval = config.heartbeat_interval;
+        let heartbeat_interval = config.heartbeat_every();
         let mut delivery_handles = Vec::new();
         for (i, &node_id) in node_ids.iter().enumerate() {
             let node = running[i].clone();
@@ -377,9 +391,19 @@ impl SimCluster {
                             if !net.node_alive(node_id) {
                                 return; // dead: no delivery, no heartbeats
                             }
-                            if last_hb.elapsed() >= heartbeat_interval {
+                            // A node whose runtime died (fatal kernel
+                            // failure, worker panic) stops advertising
+                            // itself: silence escalates to the master's
+                            // staleness detector. Locally-degraded nodes
+                            // (Poison policy) keep heartbeating — kernel
+                            // faults stay local, only node death replans.
+                            if !node.has_failed() && last_hb.elapsed() >= heartbeat_interval {
                                 hb_seq += 1;
-                                net.try_send(node_id, MASTER_NODE, NetMsg::Heartbeat { seq: hb_seq });
+                                net.try_send(
+                                    node_id,
+                                    MASTER_NODE,
+                                    NetMsg::Heartbeat { seq: hb_seq },
+                                );
                                 last_hb = Instant::now();
                             }
                             let recv_budget = heartbeat_interval.min(Duration::from_millis(2));
@@ -431,6 +455,7 @@ impl SimCluster {
                     continue;
                 }
                 let dead = !net.node_alive(id)
+                    || running[i].has_failed()
                     || last_seen[i].elapsed() > config.failure_timeout;
                 if dead {
                     newly_dead.push(i);
@@ -444,8 +469,7 @@ impl SimCluster {
                 running[i].request_stop();
                 net.disconnect(id);
                 master.node_left(id);
-                let survivors: Vec<usize> =
-                    (0..node_ids.len()).filter(|&j| alive[j]).collect();
+                let survivors: Vec<usize> = (0..node_ids.len()).filter(|&j| alive[j]).collect();
                 if survivors.is_empty() {
                     break;
                 }
@@ -457,8 +481,7 @@ impl SimCluster {
                 *subscribers.write() = subscribers_for(&spec, &assignment);
                 // 4. Hand each survivor its new kernel set.
                 for &j in &survivors {
-                    running[j]
-                        .reassign(assignment.get(&node_ids[j]).cloned().unwrap_or_default());
+                    running[j].reassign(assignment.get(&node_ids[j]).cloned().unwrap_or_default());
                 }
                 // 5. Replay every survivor's written regions to current
                 // subscribers — data the dead node produced (or consumed
@@ -528,7 +551,13 @@ impl SimCluster {
         for (node, &id) in running.into_iter().zip(&node_ids) {
             let node = Arc::try_unwrap(node)
                 .unwrap_or_else(|_| panic!("delivery threads joined; sole owner"));
-            let (report, store) = node.join()?;
+            // `finish` tolerates dead nodes: their partial report and field
+            // replica are still valid (write-once fields cannot hold partial
+            // writes), and recovery already moved their kernels elsewhere.
+            let (report, store, err) = node.finish();
+            if err.is_some() && !failed_nodes.contains(&id) {
+                failed_nodes.push(id);
+            }
             reports.push((id, report));
             fields.push((id, store));
         }

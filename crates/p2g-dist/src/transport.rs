@@ -474,7 +474,10 @@ impl FaultPlan {
 
     /// Deliver each data message twice with probability `rate`.
     pub fn duplicate_rate(mut self, rate: f64) -> FaultPlan {
-        assert!((0.0..1.0).contains(&rate), "duplicate rate must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "duplicate rate must be in [0, 1)"
+        );
         self.duplicate_rate = rate;
         self
     }
@@ -796,7 +799,10 @@ mod tests {
     #[test]
     fn faulty_net_duplicates_deliver_twice() {
         let inner = SimNet::new(&[NodeId(0), NodeId(1)], Duration::ZERO);
-        let net = FaultyNet::new(inner.clone(), FaultPlan::new().duplicate_rate(0.999).seed(3));
+        let net = FaultyNet::new(
+            inner.clone(),
+            FaultPlan::new().duplicate_rate(0.999).seed(3),
+        );
         assert!(net.try_send(NodeId(0), NodeId(1), msg(1)));
         let a = net.recv_timeout(NodeId(1), Duration::from_millis(100));
         let b = net.recv_timeout(NodeId(1), Duration::from_millis(100));

@@ -33,8 +33,10 @@ fn build_mul_sum() -> Program {
 }
 
 fn single_node_reference(ages: u64) -> Vec<Vec<i32>> {
-    let (_, fields) = NodeBuilder::new(build_mul_sum()).workers(2)
-        .launch(RunLimits::ages(ages)).and_then(|n| n.collect())
+    let (_, fields) = NodeBuilder::new(build_mul_sum())
+        .workers(2)
+        .launch(RunLimits::ages(ages))
+        .and_then(|n| n.collect())
         .unwrap();
     (0..ages)
         .flat_map(|a| {

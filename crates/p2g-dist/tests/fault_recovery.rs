@@ -132,7 +132,8 @@ fn duplicate_deliveries_are_absorbed_by_dedup() {
     const AGES: u64 = 4;
     let want = reference(AGES);
     let plan = FaultPlan::new().duplicate_rate(0.5).seed(9);
-    let cluster = SimCluster::new(ClusterConfig::nodes(2).with_faults(plan), build_mul_sum).unwrap();
+    let cluster =
+        SimCluster::new(ClusterConfig::nodes(2).with_faults(plan), build_mul_sum).unwrap();
     let outcome = cluster
         .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)))
         .unwrap();
@@ -140,6 +141,158 @@ fn duplicate_deliveries_are_absorbed_by_dedup() {
     assert!(
         outcome.total_deduped() > 0,
         "duplicated deliveries must have hit the dedup path"
+    );
+}
+
+#[test]
+fn heartbeat_interval_derives_from_failure_timeout() {
+    // Default: no hardcoded interval — a tenth of the timeout.
+    let c = ClusterConfig::nodes(2);
+    assert_eq!(c.heartbeat_every(), c.failure_timeout / 10);
+    // Scaling the timeout scales the interval with it.
+    let c = ClusterConfig::nodes(2).failure_timeout(Duration::from_millis(300));
+    assert_eq!(c.heartbeat_every(), Duration::from_millis(30));
+    // Floored so a tiny timeout cannot demand sub-millisecond heartbeats.
+    let c = ClusterConfig::nodes(2).failure_timeout(Duration::from_millis(3));
+    assert_eq!(c.heartbeat_every(), Duration::from_millis(1));
+    // An explicit override wins regardless of the timeout.
+    let c = ClusterConfig::nodes(2)
+        .failure_timeout(Duration::from_millis(300))
+        .heartbeat_interval(Duration::from_millis(7));
+    assert_eq!(c.heartbeat_every(), Duration::from_millis(7));
+}
+
+#[test]
+fn recovery_works_with_overridden_detection_timings() {
+    const AGES: u64 = 4;
+    let want = reference(AGES);
+    let plan = FaultPlan::new().kill_after_messages(NodeId(1), 8).seed(7);
+    let config = ClusterConfig::nodes(3)
+        .with_faults(plan)
+        .failure_timeout(Duration::from_millis(120))
+        .heartbeat_interval(Duration::from_millis(3));
+    let cluster = SimCluster::new(config, build_mul_sum).unwrap();
+    let outcome = cluster
+        .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)))
+        .unwrap();
+    assert_eq!(outcome.failed_nodes, vec![NodeId(1)]);
+    assert_eq!(outcome_fields(&outcome, AGES), want);
+}
+
+/// A fatal kernel failure (Abort policy) is genuine node death: the node
+/// stops heartbeating, the master declares it dead, re-plans over the
+/// survivors, and a survivor re-executes the failed work to the exact
+/// fault-free results.
+#[test]
+fn fatal_kernel_failure_escalates_to_node_replan() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const AGES: u64 = 5;
+    let want = reference(AGES);
+    // One fatal failure, globally: whichever node runs mul2@2[1] first
+    // dies; the survivor's re-execution consumes nothing and succeeds.
+    let fail_once = Arc::new(AtomicBool::new(true));
+    let build = move || {
+        let mut p = build_mul_sum();
+        let flag = fail_once.clone();
+        p.body("mul2", move |ctx| {
+            if ctx.age().0 == 2 && ctx.index(0) == 1 && flag.swap(false, Ordering::SeqCst) {
+                return Err("injected fatal kernel failure".into());
+            }
+            let v = ctx.input(0).value(0).as_i64() as i32;
+            ctx.store(0, Buffer::from_vec(vec![v.wrapping_mul(2)]));
+            Ok(())
+        });
+        p
+    };
+    let cluster = SimCluster::new(ClusterConfig::nodes(3), build).unwrap();
+    let outcome = cluster
+        .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)))
+        .unwrap();
+    assert_eq!(
+        outcome.failed_nodes.len(),
+        1,
+        "exactly the node that hit the fatal failure must be declared dead"
+    );
+    let dead = outcome.failed_nodes[0];
+    assert!(
+        !outcome.assignment.contains_key(&dead),
+        "the dead node must be planned out"
+    );
+    assert_eq!(
+        outcome_fields(&outcome, AGES),
+        want,
+        "a survivor must re-execute the lost work to identical results"
+    );
+}
+
+/// Under a Poison fault policy the same kernel failure stays local:
+/// dependents are skipped, nothing escalates, no node is declared dead and
+/// no re-plan happens.
+#[test]
+fn poisoned_kernel_failure_stays_local_no_replan() {
+    use p2g_runtime::FaultPolicy;
+
+    const AGES: u64 = 3;
+    let build = || {
+        let mut p = build_mul_sum();
+        p.body("mul2", |ctx| {
+            if ctx.age().0 == 1 && ctx.index(0) == 0 {
+                return Err("injected permanent kernel failure".into());
+            }
+            let v = ctx.input(0).value(0).as_i64() as i32;
+            ctx.store(0, Buffer::from_vec(vec![v.wrapping_mul(2)]));
+            Ok(())
+        });
+        p.set_fault_policy_all(FaultPolicy::retries(0).poison());
+        p
+    };
+    let cluster = SimCluster::new(ClusterConfig::nodes(2), build).unwrap();
+    let initial_assignment = cluster.assignment().clone();
+    let outcome = cluster
+        .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)))
+        .unwrap();
+    assert!(
+        outcome.failed_nodes.is_empty(),
+        "a poisoned kernel failure must not be treated as node death"
+    );
+    assert_eq!(
+        outcome.assignment, initial_assignment,
+        "no re-plan under local degradation"
+    );
+    let total_poisoned: u64 = outcome
+        .reports
+        .iter()
+        .map(|(_, r)| r.instruments.total_poisoned())
+        .sum();
+    assert!(
+        total_poisoned >= 1,
+        "the failure must be recorded as poison"
+    );
+    let total_failures: u64 = outcome
+        .reports
+        .iter()
+        .map(|(_, r)| r.instruments.total_failures())
+        .sum();
+    assert!(total_failures >= 1);
+    // Everything up to the failure is intact...
+    assert_eq!(
+        outcome
+            .fetch("m_data", Age(1), &Region::all(1))
+            .unwrap()
+            .as_i32()
+            .unwrap()
+            .to_vec(),
+        vec![25, 27, 29, 31, 33]
+    );
+    // ...the failed element is dropped, its lane-mates keep flowing.
+    assert!(outcome.fetch_element("p_data", Age(1), &[0]).is_none());
+    assert_eq!(
+        outcome
+            .fetch_element("p_data", Age(1), &[1])
+            .map(|v| v.as_i64()),
+        Some(54)
     );
 }
 

@@ -495,8 +495,7 @@ impl Field {
         let flush = |run: &mut Option<(usize, usize)>, out: &mut Vec<(Region, Buffer)>| {
             if let Some((start, len)) = run.take() {
                 let idx = extents.delinearize(start);
-                let mut sels: Vec<DimSel> =
-                    idx.iter().map(|&i| DimSel::Index(i)).collect();
+                let mut sels: Vec<DimSel> = idx.iter().map(|&i| DimSel::Index(i)).collect();
                 if let Some(last) = sels.last_mut() {
                     let first = idx[idx.len() - 1];
                     *last = DimSel::Range { start: first, len };
@@ -761,11 +760,15 @@ mod tests {
             FieldDef::with_extents("f", ScalarType::I32, Extents::new([4])),
         );
         let payload = Buffer::from_vec(vec![1i32, 2, 3, 4]);
-        let first = f.store_idempotent(Age(0), &Region::all(1), &payload).unwrap();
+        let first = f
+            .store_idempotent(Age(0), &Region::all(1), &payload)
+            .unwrap();
         assert_eq!(first.stored, 4);
         assert_eq!(first.deduped, 0);
         // Exact replay: everything dedups, nothing stored.
-        let replay = f.store_idempotent(Age(0), &Region::all(1), &payload).unwrap();
+        let replay = f
+            .store_idempotent(Age(0), &Region::all(1), &payload)
+            .unwrap();
         assert_eq!(replay.stored, 0);
         assert_eq!(replay.deduped, 4);
         assert!(replay.age_complete);
@@ -790,7 +793,9 @@ mod tests {
         );
         f.store_element(Age(0), &[1], Value::I32(11)).unwrap();
         let payload = Buffer::from_vec(vec![10i32, 11, 12, 13]);
-        let out = f.store_idempotent(Age(0), &Region::all(1), &payload).unwrap();
+        let out = f
+            .store_idempotent(Age(0), &Region::all(1), &payload)
+            .unwrap();
         assert_eq!(out.stored, 3);
         assert_eq!(out.deduped, 1);
         assert!(out.age_complete);
@@ -824,7 +829,11 @@ mod tests {
             replica.store_idempotent(Age(0), region, buffer).unwrap();
         }
         assert_eq!(
-            replica.fetch(Age(0), &Region::all(2)).unwrap().as_i32().unwrap(),
+            replica
+                .fetch(Age(0), &Region::all(2))
+                .unwrap()
+                .as_i32()
+                .unwrap(),
             &[0, 1, 2, 3, 4, 5]
         );
     }

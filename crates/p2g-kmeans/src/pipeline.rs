@@ -295,7 +295,8 @@ mod tests {
         let (program, result) = build_kmeans_program(config).unwrap();
         let node = NodeBuilder::new(program).workers(workers);
         let (report, fields) = node
-            .launch(RunLimits::ages(config.iterations)).and_then(|n| n.collect())
+            .launch(RunLimits::ages(config.iterations))
+            .and_then(|n| n.collect())
             .unwrap();
         let history = centroid_history(&fields, config.k, config.dim, config.iterations);
         (history, result.inertia_log(), report)

@@ -16,11 +16,11 @@ use std::time::Duration;
 
 use p2g_graph::{FinalGraph, IntermediateGraph};
 use p2g_lang::compile_source;
-use p2g_runtime::{NodeBuilder, RunLimits};
+use p2g_runtime::{FaultPolicy, NodeBuilder, RunLimits};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--gc-window W] [--deadline-ms D]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>"
+        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--gc-window W] [--deadline-ms D]\n                      [--retries R] [--kernel-deadline-ms D]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>\n\nfault isolation (applies to every kernel, degrade instead of abort):\n  --retries R             retry failed kernel instances up to R times\n  --kernel-deadline-ms D  flag instances overrunning D ms for cancellation"
     );
     ExitCode::from(2)
 }
@@ -46,7 +46,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let compiled = match compile_source(&source) {
+    let mut compiled = match compile_source(&source) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("p2gc: {path}: {e}");
@@ -82,6 +82,18 @@ fn main() -> ExitCode {
             }
             if let Some(ms) = flag::<u64>(&args, "--deadline-ms") {
                 limits = limits.with_deadline(Duration::from_millis(ms));
+            }
+            // Fault isolation: with either flag set, kernel failures are
+            // retried and then degrade (poison dependents) instead of
+            // aborting the whole run.
+            let retries = flag::<u32>(&args, "--retries");
+            let kernel_deadline = flag::<u64>(&args, "--kernel-deadline-ms");
+            if retries.is_some() || kernel_deadline.is_some() {
+                let mut policy = FaultPolicy::retries(retries.unwrap_or(0)).poison();
+                if let Some(ms) = kernel_deadline {
+                    policy = policy.with_deadline(Duration::from_millis(ms));
+                }
+                compiled.program.set_fault_policy_all(policy);
             }
 
             let node = NodeBuilder::new(compiled.program).workers(workers);

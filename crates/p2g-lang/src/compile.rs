@@ -148,7 +148,10 @@ print:
     fn figure5_program_runs_and_matches_paper_output() {
         let compiled = compile_source(MUL_SUM).unwrap();
         let node = NodeBuilder::new(compiled.program).workers(4);
-        let (report, fields) = node.launch(RunLimits::ages(2)).and_then(|n| n.collect()).unwrap();
+        let (report, fields) = node
+            .launch(RunLimits::ages(2))
+            .and_then(|n| n.collect())
+            .unwrap();
         assert_eq!(
             report.termination,
             p2g_runtime::instrument::Termination::Quiescent
@@ -174,15 +177,19 @@ print:
     fn print_output_deterministic_across_workers() {
         let reference = {
             let c = compile_source(MUL_SUM).unwrap();
-            NodeBuilder::new(c.program).workers(1)
-                .launch(RunLimits::ages(3)).and_then(|n| n.wait())
+            NodeBuilder::new(c.program)
+                .workers(1)
+                .launch(RunLimits::ages(3))
+                .and_then(|n| n.wait())
                 .unwrap();
             c.print.take()
         };
         for workers in [2, 4] {
             let c = compile_source(MUL_SUM).unwrap();
-            NodeBuilder::new(c.program).workers(workers)
-                .launch(RunLimits::ages(3)).and_then(|n| n.wait())
+            NodeBuilder::new(c.program)
+                .workers(workers)
+                .launch(RunLimits::ages(3))
+                .and_then(|n| n.wait())
                 .unwrap();
             assert_eq!(c.print.take(), reference, "workers={workers}");
         }
@@ -205,8 +212,10 @@ init:
   store f(0) = v;
 "#;
         let compiled = compile_source(src).unwrap();
-        let err = NodeBuilder::new(compiled.program).workers(1)
-            .launch(RunLimits::ages(1)).and_then(|n| n.wait())
+        let err = NodeBuilder::new(compiled.program)
+            .workers(1)
+            .launch(RunLimits::ages(1))
+            .and_then(|n| n.wait())
             .unwrap_err();
         assert!(err.to_string().contains("division by zero"), "{err}");
     }
@@ -232,7 +241,10 @@ reverse:
 "#;
         let compiled = compile_source(src).unwrap();
         let node = NodeBuilder::new(compiled.program).workers(2);
-        let (_, fields) = node.launch(RunLimits::ages(1)).and_then(|n| n.collect()).unwrap();
+        let (_, fields) = node
+            .launch(RunLimits::ages(1))
+            .and_then(|n| n.collect())
+            .unwrap();
         let dst = fields.fetch("dst", Age(0), &Region::all(1)).unwrap();
         assert_eq!(dst.as_i32().unwrap(), &[3, 2, 1, 0]);
     }
@@ -249,7 +261,10 @@ init:
         let run = || {
             let compiled = compile_source(src).unwrap();
             let node = NodeBuilder::new(compiled.program).workers(2);
-            let (_, fields) = node.launch(RunLimits::ages(1)).and_then(|n| n.collect()).unwrap();
+            let (_, fields) = node
+                .launch(RunLimits::ages(1))
+                .and_then(|n| n.collect())
+                .unwrap();
             fields
                 .fetch("vals", Age(0), &Region::all(1))
                 .unwrap()

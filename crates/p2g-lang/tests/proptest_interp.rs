@@ -119,7 +119,10 @@ fn run_expr(expr: &E, inputs: &[(i32, i32)]) -> Vec<i64> {
     let compiled = p2g_lang::compile_source(&src)
         .unwrap_or_else(|e| panic!("generated program failed to compile: {e}\n{src}"));
     let node = NodeBuilder::new(compiled.program).workers(2);
-    let (_, fields) = node.launch(RunLimits::ages(1)).and_then(|n| n.collect()).unwrap();
+    let (_, fields) = node
+        .launch(RunLimits::ages(1))
+        .and_then(|n| n.collect())
+        .unwrap();
     fields
         .fetch("out", Age(0), &Region::all(1))
         .expect("out field complete")

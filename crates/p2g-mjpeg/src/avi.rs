@@ -5,7 +5,6 @@
 //! single-stream `RIFF AVI ` file (hdrl/avih/strl/strh/strf + movi chunks
 //! + idx1 index) that mainstream players and ffmpeg accept.
 
-
 fn fourcc(s: &[u8; 4]) -> [u8; 4] {
     *s
 }
@@ -233,7 +232,12 @@ mod tests {
         let stream = sample_stream(2);
         let avi = wrap_avi(&stream, 32, 32, 30);
         let movi = avi.windows(4).position(|w| w == b"movi").unwrap();
-        let first = avi.windows(4).skip(movi).position(|w| w == b"00dc").unwrap() + movi;
+        let first = avi
+            .windows(4)
+            .skip(movi)
+            .position(|w| w == b"00dc")
+            .unwrap()
+            + movi;
         let len = u32::from_le_bytes(avi[first + 4..first + 8].try_into().unwrap()) as usize;
         let payload = &avi[first + 8..first + 8 + len];
         let decoded = crate::decode::decode_frame(payload).unwrap();
@@ -246,8 +250,7 @@ mod tests {
         // and can contain 0xD9-adjacent byte pairs; the marker-structure
         // walk must not mistake them for EOI.
         for q in [1u8, 2, 5, 10] {
-            let stream =
-                encode_standalone(&SyntheticVideo::new(32, 32, 2, 1), q, 2, true);
+            let stream = encode_standalone(&SyntheticVideo::new(32, 32, 2, 1), q, 2, true);
             let frames = split_frames(&stream);
             assert_eq!(frames.len(), 2, "quality {q}");
             let total: usize = frames.iter().map(|f| f.len()).sum();

@@ -39,6 +39,17 @@ pub struct MjpegConfig {
     pub fast_dct: bool,
     /// Data-granularity chunk size for the DCT kernels (Figure 4, Age=2).
     pub dct_chunk: usize,
+    /// Soft per-instance deadline for the DCT kernels. When set, they run
+    /// under a `Poison` fault policy: a block that overruns is flagged by
+    /// the watchdog, bails out cooperatively, and its *frame* is dropped
+    /// from the stream (the poison reaches the frame's `vlc/write`
+    /// instance) — a real-time encoder skips a late frame rather than
+    /// stalling the whole pipeline behind it.
+    pub frame_deadline: Option<std::time::Duration>,
+    /// Chaos knob for tests: stall luma block 0 of this frame — the body
+    /// spins until its cancellation token is flagged. Only meaningful
+    /// together with `frame_deadline`.
+    pub stall_frame: Option<u64>,
 }
 
 impl Default for MjpegConfig {
@@ -48,6 +59,8 @@ impl Default for MjpegConfig {
             max_frames: 50,
             fast_dct: false,
             dct_chunk: 1,
+            frame_deadline: None,
+            stall_frame: None,
         }
     }
 }
@@ -257,7 +270,20 @@ pub fn build_mjpeg_program(
         ("vDCT", &QUANT_CHROMA),
     ] {
         let base = *base;
+        let stall = if name == "yDCT" {
+            config.stall_frame
+        } else {
+            None
+        };
         program.body(name, move |ctx| {
+            if stall == Some(ctx.age().0) && ctx.index(0) == 0 {
+                // Injected stall: overrun the frame deadline, bail out
+                // when the watchdog flags us.
+                while !ctx.cancelled() {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                return Err("stalled block cancelled past frame deadline".into());
+            }
             let q = match ctx.input(1).value(0) {
                 Value::I32(q) => q as u8,
                 other => return Err(format!("bad params value {other:?}")),
@@ -296,6 +322,17 @@ pub fn build_mjpeg_program(
     // Frames must land in the stream in display order.
     program.set_ordered("vlc/write");
 
+    if let Some(deadline) = config.frame_deadline {
+        // Deadline-aware degradation: an overrunning DCT block poisons its
+        // frame (the stream drops it) instead of aborting or stalling.
+        let policy = p2g_runtime::FaultPolicy::retries(0)
+            .poison()
+            .with_deadline(deadline);
+        for name in ["yDCT", "uDCT", "vDCT"] {
+            program.set_fault_policy(name, policy.clone());
+        }
+    }
+
     Ok((program, sink))
 }
 
@@ -315,7 +352,8 @@ mod tests {
         let (program, sink) = build_mjpeg_program(Arc::new(source), config).unwrap();
         let node = NodeBuilder::new(program).workers(workers);
         let report = node
-            .launch(RunLimits::ages(frames + 1).with_gc_window(4)).and_then(|n| n.wait())
+            .launch(RunLimits::ages(frames + 1).with_gc_window(4))
+            .and_then(|n| n.wait())
             .unwrap();
         (sink.take(), report)
     }
@@ -336,6 +374,7 @@ mod tests {
             max_frames: 3,
             fast_dct: false,
             dct_chunk: 1,
+            ..MjpegConfig::default()
         };
         let (p2g_stream, _) = run_pipeline(src.clone(), config, 4);
         let reference = encode_standalone(&src, 75, 3, false);
@@ -350,6 +389,7 @@ mod tests {
             max_frames: 2,
             fast_dct: true,
             dct_chunk: 1,
+            ..MjpegConfig::default()
         };
         let (a, _) = run_pipeline(SyntheticVideo::new(32, 32, 2, 3), config.clone(), 1);
         let (b, _) = run_pipeline(SyntheticVideo::new(32, 32, 2, 3), config, 8);
@@ -364,6 +404,7 @@ mod tests {
             max_frames: 2,
             fast_dct: true,
             dct_chunk: 1,
+            ..MjpegConfig::default()
         };
         let (_, report) = run_pipeline(SyntheticVideo::new(32, 32, 5, 1), config, 2);
         let ins = &report.instruments;
@@ -383,6 +424,7 @@ mod tests {
             max_frames: 10,
             fast_dct: true,
             dct_chunk: 1,
+            ..MjpegConfig::default()
         };
         let (stream, report) = run_pipeline(SyntheticVideo::new(32, 32, 2, 1), config, 2);
         assert_eq!(count_frames(&stream), 2);
@@ -398,9 +440,41 @@ mod tests {
             max_frames: 2,
             fast_dct: false,
             dct_chunk: 8,
+            ..MjpegConfig::default()
         };
         let (stream, _) = run_pipeline(src, config, 4);
         assert_eq!(stream, reference);
+    }
+
+    #[test]
+    fn frame_deadline_drops_stalled_frame_keeps_rest() {
+        use p2g_runtime::Termination;
+        use std::time::Duration;
+
+        let src = SyntheticVideo::new(32, 32, 3, 11);
+        let config = MjpegConfig {
+            quality: 75,
+            max_frames: 3,
+            fast_dct: false,
+            dct_chunk: 1,
+            frame_deadline: Some(Duration::from_millis(40)),
+            stall_frame: Some(1),
+        };
+        let (stream, report) = run_pipeline(src.clone(), config, 4);
+
+        // Frame 1 stalled past its deadline and was dropped; frames 0 and
+        // 2 still encode, and frame 0 is bit-exact with the baseline.
+        assert_eq!(count_frames(&stream), 2, "exactly the late frame drops");
+        let frame0 = encode_standalone(&src, 75, 1, false);
+        assert_eq!(&stream[..frame0.len()], &frame0[..]);
+
+        assert_eq!(report.termination, Termination::Degraded);
+        assert!(report.instruments.total_deadline_misses() >= 1);
+        // The poison reached the frame's vlc/write instance.
+        assert!(report
+            .instruments
+            .poisoned_instances()
+            .contains_key(&("vlc/write".to_string(), 1)));
     }
 
     #[test]
@@ -412,6 +486,7 @@ mod tests {
             max_frames: 1,
             fast_dct: true, // keep the test fast
             dct_chunk: 1,
+            ..MjpegConfig::default()
         };
         let (stream, report) = run_pipeline(SyntheticVideo::foreman_like(1), config, 8);
         let ins = &report.instruments;

@@ -156,6 +156,23 @@ pub struct DependencyAnalyzer {
     /// deliveries, recovery re-injection). Drained by the analyzer loop
     /// into the node's instruments.
     deduped: u64,
+    /// Poisoned store regions per (field, age): the would-have-been stores
+    /// of instances that exhausted their retry budget under
+    /// [`crate::options::ExhaustPolicy::Poison`]. Regions may contain
+    /// `All` selectors (intersection tests are `All`-aware), so they need
+    /// no extents to be meaningful.
+    poison: HashMap<(u32, u64), Vec<p2g_field::Region>>,
+    /// Instances poisoned per (kernel, age) — the dedupe set and the
+    /// oracle-checkable record of exactly which instances were skipped.
+    poisoned_instances: HashMap<(u32, u64), HashSet<Vec<usize>>>,
+    /// Worklist of instances awaiting poisoning (transitive propagation).
+    pending_poison: Vec<(KernelId, u64, Vec<usize>)>,
+    /// Newly poisoned instances since the last drain, for the node's
+    /// instruments.
+    poisoned_drain: Vec<(KernelId, u64, Vec<usize>)>,
+    /// True once anything was poisoned: the run terminates
+    /// [`crate::instrument::Termination::Degraded`] instead of `Quiescent`.
+    degraded: bool,
 }
 
 impl DependencyAnalyzer {
@@ -246,6 +263,11 @@ impl DependencyAnalyzer {
             completed: HashMap::new(),
             gc_floor: HashMap::new(),
             deduped: 0,
+            poison: HashMap::new(),
+            poisoned_instances: HashMap::new(),
+            pending_poison: Vec::new(),
+            poisoned_drain: Vec::new(),
+            degraded: false,
             spec,
         }
     }
@@ -253,6 +275,16 @@ impl DependencyAnalyzer {
     /// Drain the dedup tally accumulated since the last call.
     pub fn take_deduped(&mut self) -> u64 {
         std::mem::take(&mut self.deduped)
+    }
+
+    /// Drain the instances poisoned since the last call.
+    pub fn take_poisoned(&mut self) -> Vec<(KernelId, u64, Vec<usize>)> {
+        std::mem::take(&mut self.poisoned_drain)
+    }
+
+    /// True once any instance was poisoned — the run is degraded.
+    pub fn degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Restrict dispatch to an assigned kernel subset (distributed mode).
@@ -292,14 +324,7 @@ impl DependencyAnalyzer {
                 continue;
             }
             if self.mark_dispatched(id, 0, &[]) {
-                self.emit(
-                    DispatchUnit {
-                        kernel: id,
-                        age: Age(0),
-                        instances: vec![vec![]],
-                    },
-                    &mut out,
-                );
+                self.emit(DispatchUnit::new(id, Age(0), vec![vec![]]), &mut out);
             }
         }
         out
@@ -327,10 +352,7 @@ impl DependencyAnalyzer {
                 let (o, resolved, extents) = {
                     let mut f = self.fields[field.idx()].write();
                     let o = f.store_idempotent(*age, region, buffer)?;
-                    let extents = f
-                        .extents(*age)
-                        .cloned()
-                        .expect("age resident after store");
+                    let extents = f.extents(*age).cloned().expect("age resident after store");
                     let resolved = region.resolved_against(&extents);
                     (o, resolved, extents)
                 };
@@ -360,10 +382,210 @@ impl DependencyAnalyzer {
                 age,
                 instances,
                 stored_any,
-            } => self.on_unit_done(*kernel, *age, *instances, *stored_any, &mut out),
+                retried,
+            } => self.on_unit_done(*kernel, *age, *instances, *stored_any, *retried, &mut out),
+            Event::KernelFailure {
+                kernel,
+                age,
+                indices,
+                ..
+            } => self.pending_poison.push((*kernel, age.0, indices.clone())),
             Event::Failure(_) => {}
         }
+        self.process_poison(&mut out);
         Ok(out)
+    }
+
+    /// Drain the poison worklist: each entry poisons one instance, which
+    /// may queue its transitive dependents back onto the worklist.
+    fn process_poison(&mut self, out: &mut Vec<DispatchUnit>) {
+        while let Some((kid, a, idx)) = self.pending_poison.pop() {
+            self.poison_one(kid, a, idx, out);
+        }
+    }
+
+    /// Poison one instance: record it, mark it dispatched + completed (it
+    /// will never run, but quiescence and ordered/GC accounting must see it
+    /// as finished), poison its would-have-been store regions, and queue
+    /// every dependent instance those regions feed.
+    fn poison_one(&mut self, kid: KernelId, a: u64, idx: Vec<usize>, out: &mut Vec<DispatchUnit>) {
+        if !self
+            .poisoned_instances
+            .entry((kid.0, a))
+            .or_default()
+            .insert(idx.clone())
+        {
+            return;
+        }
+        self.degraded = true;
+        self.poisoned_drain.push((kid, a, idx.clone()));
+        // A transitively poisoned instance was never dispatched; a directly
+        // failed one already was (mark_dispatched dedups). Either way it
+        // counts as completed — its UnitDone (if any) reported successes
+        // only.
+        self.mark_dispatched(kid, a, &idx);
+        *self.completed.entry((kid.0, a)).or_insert(0) += 1;
+
+        let k = self.spec.kernel(kid).clone();
+        let fused = self.options[kid.idx()].fuse_consumer;
+        for st in &k.stores {
+            let ta = st.age.resolve(Age(a));
+            let region = crate::program::resolve_region(&st.dims, &idx);
+            self.poison
+                .entry((st.field.0, ta.0))
+                .or_default()
+                .push(region.clone());
+            // Non-fused consumers: invert the poisoned region into their
+            // instance spaces.
+            for cid in self.consumers[st.field.idx()].clone() {
+                if self.fused_consumers.contains(&cid) {
+                    continue;
+                }
+                for ca in self.affected_ages(cid, st.field, ta) {
+                    self.queue_poison_dependents(cid, ca, st.field, ta, &region);
+                }
+            }
+            // A fused consumer never dispatches separately: derive its
+            // instance directly from the producer's store pattern (the
+            // same Var mapping the worker uses to run it inline).
+            if let Some(cid) = fused {
+                let cspec = self.spec.kernel(cid);
+                if let Some(fe) = cspec.fetches.first() {
+                    if fe.field == st.field {
+                        for ca in self.affected_ages(cid, st.field, ta) {
+                            let mut cidx = vec![0usize; cspec.index_vars as usize];
+                            for (sel_p, sel_c) in st.dims.iter().zip(&fe.dims) {
+                                if let (IndexSel::Var(pv), IndexSel::Var(cv)) = (sel_p, sel_c) {
+                                    cidx[cv.0 as usize] = idx[pv.0 as usize];
+                                }
+                            }
+                            self.pending_poison.push((cid, ca, cidx));
+                        }
+                    }
+                }
+            }
+        }
+
+        // A poisoned source instance must not end the stream: later ages
+        // are independent reads (frame dropping, not stream truncation).
+        if k.is_source() && k.has_age_var {
+            let next = a + 1;
+            if self.age_allowed(&k, next) && self.mark_dispatched(kid, next, &[]) {
+                self.emit(DispatchUnit::new(kid, Age(next), vec![vec![]]), out);
+            }
+        }
+        // The poisoned instance may have been the one gating an ordered
+        // kernel's age advancement.
+        if self.options[kid.idx()].ordered {
+            self.advance_ordered(kid, out);
+        }
+    }
+
+    /// Queue for poisoning every instance of `cid` at age `ca` whose fetch
+    /// of (`field`, `fa`) intersects the poisoned `region`. Instance ranges
+    /// come from [`DependencyAnalyzer::known_extent`]; when a binding range
+    /// is still unknown the scan is skipped — [`DependencyAnalyzer::
+    /// ensure_table`] re-scans when the space becomes known.
+    fn queue_poison_dependents(
+        &mut self,
+        cid: KernelId,
+        ca: u64,
+        field: FieldId,
+        fa: Age,
+        region: &p2g_field::Region,
+    ) {
+        let k = self.spec.kernel(cid);
+        if k.is_source() || !self.age_allowed(k, ca) {
+            return;
+        }
+        let nvars = k.index_vars as usize;
+        let mut ranges = Vec::with_capacity(nvars);
+        for &(fi, dim) in &self.bindings[cid.idx()] {
+            let fe = &k.fetches[fi];
+            let bfa = fe.age.resolve(Age(ca));
+            match self.known_extent(fe.field, bfa, dim) {
+                Some(r) => ranges.push(r),
+                None => return,
+            }
+        }
+        if ranges.contains(&0) {
+            return;
+        }
+        // Which fetches of cid read the poisoned (field, age)?
+        let hit_fetches: Vec<Vec<IndexSel>> = k
+            .fetches
+            .iter()
+            .filter(|fe| fe.field == field && fe.age.resolve(Age(ca)) == fa)
+            .map(|fe| fe.dims.clone())
+            .collect();
+        if hit_fetches.is_empty() {
+            return;
+        }
+        let mut idx = vec![0usize; nvars];
+        loop {
+            let hits = hit_fetches
+                .iter()
+                .any(|dims| fetch_hits_region(dims, &idx, region));
+            if hits
+                && !self
+                    .poisoned_instances
+                    .get(&(cid.0, ca))
+                    .is_some_and(|s| s.contains(&idx))
+            {
+                self.pending_poison.push((cid, ca, idx.clone()));
+            }
+            // Advance odometer.
+            let mut d = nvars;
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < ranges[d] {
+                    break;
+                }
+                idx[d] = 0;
+                if d == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Re-scan the poison map against (kid, a)'s fetches — called when the
+    /// kernel's instance space first becomes (or grows) known, catching
+    /// dependents [`DependencyAnalyzer::queue_poison_dependents`] could not
+    /// enumerate earlier.
+    fn poison_scan_kernel(&mut self, kid: KernelId, a: u64) {
+        if self.poison.is_empty() {
+            return;
+        }
+        let k = self.spec.kernel(kid).clone();
+        for fe in &k.fetches {
+            let fa = fe.age.resolve(Age(a));
+            let Some(regions) = self.poison.get(&(fe.field.0, fa.0)).cloned() else {
+                continue;
+            };
+            for region in regions {
+                self.queue_poison_dependents(kid, a, fe.field, fa, &region);
+            }
+        }
+    }
+
+    /// The best-known extent of (field, age) along dimension `d`:
+    /// statically declared extents, then propagated expectations, then the
+    /// event-derived view. `None` while genuinely unknown.
+    fn known_extent(&self, field: FieldId, age: Age, d: usize) -> Option<usize> {
+        if let Some(ext) = &self.spec.fields[field.idx()].initial_extents {
+            return Some(ext.dim(d));
+        }
+        if let Some(exp) = self.expected_extents.get(&(field.0, age.0)) {
+            if let Some(n) = exp[d] {
+                return Some(n);
+            }
+        }
+        self.views.get(&(field.0, age.0)).map(|v| v.extents.dim(d))
     }
 
     /// Re-derive runnable instances from all resident field data — used
@@ -384,7 +606,9 @@ impl DependencyAnalyzer {
         for fi in 0..self.fields.len() {
             let field = self.fields[fi].read();
             for age in field.resident_ages().collect::<Vec<_>>() {
-                let Some(ad) = field.age_data(age) else { continue };
+                let Some(ad) = field.age_data(age) else {
+                    continue;
+                };
                 self.views.insert(
                     (fi as u32, age.0),
                     FieldView {
@@ -436,10 +660,13 @@ impl DependencyAnalyzer {
             if fmax > w {
                 let limit = self.gc_limit(se.field, fmax - w);
                 if limit > 0 {
-                    self.fields[se.field.idx()].write().collect_below(Age(limit));
+                    self.fields[se.field.idx()]
+                        .write()
+                        .collect_below(Age(limit));
                     let f = se.field.0;
                     self.views.retain(|&(vf, va), _| vf != f || va >= limit);
                     self.view_ages[se.field.idx()].retain(|&a| a >= limit);
+                    self.poison.retain(|&(pf, pa), _| pf != f || pa >= limit);
                 }
             }
         }
@@ -535,7 +762,10 @@ impl DependencyAnalyzer {
         // the whole table (zeros accumulated while closed, initial zeros);
         // an open gate dispatches this event's transitions; a closed gate
         // drops them (a future sweep picks them up).
-        let mut keys: Vec<(u32, u64)> = gate_check.into_iter().chain(zeros.keys().copied()).collect();
+        let mut keys: Vec<(u32, u64)> = gate_check
+            .into_iter()
+            .chain(zeros.keys().copied())
+            .collect();
         keys.sort_unstable();
         keys.dedup();
         for key in keys {
@@ -590,6 +820,9 @@ impl DependencyAnalyzer {
                 },
             );
             self.table_ages[kid.idx()].insert(a);
+            // The instance space just became enumerable: dependents of any
+            // earlier poison can now be found.
+            self.poison_scan_kernel(kid, a);
             return;
         }
 
@@ -660,6 +893,9 @@ impl DependencyAnalyzer {
                 if let Some(bm) = self.dispatched.get_mut(&key) {
                     bm.grow(&target);
                 }
+                // New instances appeared: re-check them against the poison
+                // map.
+                self.poison_scan_kernel(kid, a);
             }
         }
     }
@@ -700,14 +936,11 @@ impl DependencyAnalyzer {
                         IndexSel::Const(c) => *c,
                         IndexSel::All => unreachable!("pointwise has no All dim"),
                     }));
-                    let accounted = self
-                        .views
-                        .get(&(fe.field.0, fa.0))
-                        .is_some_and(|view| {
-                            view.extents
-                                .linearize(&coord)
-                                .is_some_and(|lin| view.accounted.get(lin))
-                        });
+                    let accounted = self.views.get(&(fe.field.0, fa.0)).is_some_and(|view| {
+                        view.extents
+                            .linearize(&coord)
+                            .is_some_and(|lin| view.accounted.get(lin))
+                    });
                     if !accounted {
                         missing += 1;
                     }
@@ -814,7 +1047,10 @@ impl DependencyAnalyzer {
         // Walk the stored region's coordinates against the (union-grown)
         // view extents; the event's region is pre-resolved so it stays
         // valid under the larger extents.
-        let view = self.views.get_mut(&vkey_of(se)).expect("view created above");
+        let view = self
+            .views
+            .get_mut(&vkey_of(se))
+            .expect("view created above");
         let view_extents = view.extents.clone();
         let Ok(spans) = se.region.resolve(&view_extents) else {
             return; // malformed event; rescan recovers
@@ -971,14 +1207,7 @@ impl DependencyAnalyzer {
         }
         let chunk = self.options[kid.idx()].chunk_size.max(1);
         for group in runnable.chunks(chunk) {
-            self.emit(
-                DispatchUnit {
-                    kernel: kid,
-                    age: Age(a),
-                    instances: group.to_vec(),
-                },
-                out,
-            );
+            self.emit(DispatchUnit::new(kid, Age(a), group.to_vec()), out);
         }
     }
 
@@ -1105,9 +1334,19 @@ impl DependencyAnalyzer {
         age: Age,
         instances: usize,
         stored_any: bool,
+        retried: bool,
         out: &mut Vec<DispatchUnit>,
     ) {
+        // `instances` counts the *successes* of this execution; failed
+        // instances complete either through their retry unit's UnitDone or
+        // through poisoning.
         *self.completed.entry((kernel.0, age.0)).or_insert(0) += instances;
+        // A unit with a pending retry is not finished: its retry unit
+        // reports the final UnitDone, which drives sequencing and ordered
+        // gating then.
+        if retried {
+            return;
+        }
         let k = self.spec.kernel(kernel);
         // Source sequencing: schedule the next age after this one finished
         // and actually produced data ("the read loop ends when the kernel
@@ -1115,14 +1354,7 @@ impl DependencyAnalyzer {
         if k.is_source() && k.has_age_var && stored_any {
             let next = age.0 + 1;
             if self.age_allowed(k, next) && self.mark_dispatched(kernel, next, &[]) {
-                self.emit(
-                    DispatchUnit {
-                        kernel,
-                        age: Age(next),
-                        instances: vec![vec![]],
-                    },
-                    out,
-                );
+                self.emit(DispatchUnit::new(kernel, Age(next), vec![vec![]]), out);
             }
         }
         // Ordered gating: when the current age drains, advance and release
@@ -1133,16 +1365,68 @@ impl DependencyAnalyzer {
             if *outst == 0 {
                 let next = self.ordered_next.entry(kernel.0).or_insert(0);
                 *next = (*next).max(age.0 + 1);
-                let release_age = *next;
-                if let Some(per_age) = self.held.get_mut(&kernel.0) {
-                    if let Some(units) = per_age.remove(&release_age) {
-                        for u in units {
-                            *self.ordered_outstanding.entry(kernel.0).or_insert(0) += 1;
-                            out.push(u);
-                        }
+            }
+            self.advance_ordered(kernel, out);
+        }
+    }
+
+    /// Release ordered-kernel work for the currently allowed age, and skip
+    /// over finished ages (in particular ages whose instances were all
+    /// poisoned — they are marked dispatched + completed without a unit
+    /// ever running, so nothing else would advance the gate past them).
+    fn advance_ordered(&mut self, kid: KernelId, out: &mut Vec<DispatchUnit>) {
+        loop {
+            if self.ordered_outstanding.get(&kid.0).copied().unwrap_or(0) > 0 {
+                return;
+            }
+            let next = *self.ordered_next.entry(kid.0).or_insert(0);
+            if let Some(units) = self
+                .held
+                .get_mut(&kid.0)
+                .and_then(|per_age| per_age.remove(&next))
+            {
+                if !units.is_empty() {
+                    for u in units {
+                        *self.ordered_outstanding.entry(kid.0).or_insert(0) += 1;
+                        out.push(u);
                     }
+                    return;
                 }
             }
+            // Nothing held at the allowed age: advance past it only when
+            // it is demonstrably finished (fully dispatched + completed).
+            // Field ground truth may be missing for a poisoned age (its
+            // inputs were never stored); fall back to known extents.
+            let space = match self.instance_space(kid, next) {
+                Some(s) => s,
+                None => {
+                    let k = self.spec.kernel(kid);
+                    let mut s = 1usize;
+                    let mut known = true;
+                    for &(fi, dim) in &self.bindings[kid.idx()] {
+                        let fe = &k.fetches[fi];
+                        let fa = fe.age.resolve(Age(next));
+                        match self.known_extent(fe.field, fa, dim) {
+                            Some(r) => s *= r,
+                            None => {
+                                known = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !known {
+                        return;
+                    }
+                    s
+                }
+            };
+            let d = self.dispatched.get(&(kid.0, next)).map_or(0, |s| s.count());
+            let c = *self.completed.get(&(kid.0, next)).unwrap_or(&0);
+            if d >= space && c >= d {
+                self.ordered_next.insert(kid.0, next + 1);
+                continue;
+            }
+            return;
         }
     }
 
@@ -1209,7 +1493,9 @@ impl DependencyAnalyzer {
                 a = u64::MAX;
                 break;
             }
-            let Some(space) = self.instance_space(kid, a) else { break };
+            let Some(space) = self.instance_space(kid, a) else {
+                break;
+            };
             let d = self.dispatched.get(&(kid.0, a)).map_or(0, |s| s.count());
             let c = *self.completed.get(&(kid.0, a)).unwrap_or(&0);
             if d < space || c < d {
@@ -1341,14 +1627,7 @@ impl DependencyAnalyzer {
         // Chunk runnable instances into dispatch units (data granularity).
         let chunk = self.options[kid.idx()].chunk_size.max(1);
         for group in runnable.chunks(chunk) {
-            self.emit(
-                DispatchUnit {
-                    kernel: kid,
-                    age: Age(a),
-                    instances: group.to_vec(),
-                },
-                out,
-            );
+            self.emit(DispatchUnit::new(kid, Age(a), group.to_vec()), out);
         }
     }
 
@@ -1397,6 +1676,24 @@ impl DependencyAnalyzer {
 #[inline]
 fn vkey_of(se: &StoreEvent) -> (u32, u64) {
     (se.field.0, se.age.0)
+}
+
+/// Does the fetch `dims` of an instance with index values `idx` intersect
+/// the poisoned `region`? `All` on either side matches the whole dimension,
+/// so no extents are needed.
+fn fetch_hits_region(dims: &[IndexSel], idx: &[usize], region: &p2g_field::Region) -> bool {
+    dims.iter().zip(&region.0).all(|(sel, rsel)| {
+        let v = match sel {
+            IndexSel::Var(iv) => idx[iv.0 as usize],
+            IndexSel::Const(c) => *c,
+            IndexSel::All => return !matches!(rsel, p2g_field::DimSel::Range { len: 0, .. }),
+        };
+        match *rsel {
+            p2g_field::DimSel::Index(i) => v == i,
+            p2g_field::DimSel::Range { start, len } => v >= start && v < start + len,
+            p2g_field::DimSel::All => true,
+        }
+    })
 }
 
 /// Count unaccounted elements of the rectangle `spans` (start, len per
@@ -1648,6 +1945,7 @@ mod tests {
                 age: Age(0),
                 instances: 1,
                 stored_any: true,
+                retried: false,
             })
             .unwrap();
         assert_eq!(units.len(), 1);
@@ -1659,6 +1957,7 @@ mod tests {
                 age: Age(1),
                 instances: 1,
                 stored_any: false,
+                retried: false,
             })
             .unwrap();
         assert!(units.is_empty());
@@ -1697,6 +1996,7 @@ mod tests {
                 age: Age(0),
                 instances: 1,
                 stored_any: false,
+                retried: false,
             })
             .unwrap();
         assert_eq!(released.len(), 1);
@@ -1840,6 +2140,7 @@ mod tests {
                     age: u.age,
                     instances: u.len(),
                     stored_any: false,
+                    retried: false,
                 })
                 .unwrap();
             }
@@ -1914,6 +2215,7 @@ mod tests {
                     age: a,
                     instances: n,
                     stored_any: false,
+                    retried: false,
                 })
                 .unwrap();
             }

@@ -64,6 +64,21 @@ pub enum Event {
         instances: usize,
         /// True when the unit's bodies performed at least one store.
         stored_any: bool,
+        /// True when some instances of the unit failed and were re-queued
+        /// for a delayed retry: the unit is not yet finished, so ordered
+        /// gating and source sequencing must keep waiting for it.
+        retried: bool,
+    },
+    /// A kernel instance failed for good (its retry budget, if any, is
+    /// exhausted) under [`crate::options::ExhaustPolicy::Poison`]. The
+    /// analyzer marks the instance's would-have-been stores poisoned and
+    /// propagates poison to the transitively dependent instances, skipping
+    /// them instead of aborting the run.
+    KernelFailure {
+        kernel: KernelId,
+        age: Age,
+        indices: Vec<usize>,
+        message: String,
     },
     /// A kernel body failed; the node aborts the run.
     Failure(String),

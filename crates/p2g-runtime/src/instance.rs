@@ -75,9 +75,28 @@ pub struct DispatchUnit {
     pub age: Age,
     /// Index combinations covered by this dispatch.
     pub instances: Vec<Vec<usize>>,
+    /// Execution attempt: 0 for the first dispatch, incremented on each
+    /// fault-policy retry. Retry attempts apply their stores idempotently
+    /// (a fused consumer may have failed after the producer stores landed).
+    pub attempt: u32,
+    /// Carried across retries: whether an earlier attempt of this unit
+    /// already stored something (feeds the final `UnitDone::stored_any`,
+    /// which drives source sequencing).
+    pub prior_stored: bool,
 }
 
 impl DispatchUnit {
+    /// A first-attempt unit.
+    pub fn new(kernel: KernelId, age: Age, instances: Vec<Vec<usize>>) -> DispatchUnit {
+        DispatchUnit {
+            kernel,
+            age,
+            instances,
+            attempt: 0,
+            prior_stored: false,
+        }
+    }
+
     /// Number of kernel instances in this unit.
     pub fn len(&self) -> usize {
         self.instances.len()

@@ -25,6 +25,16 @@ pub struct KernelCounters {
     /// Elements stored by this kernel, per target field — the edge volume
     /// feedback for the HLS.
     pub stored_elements: AtomicU64,
+    /// Instance executions that failed (body `Err` or contained panic),
+    /// counting every attempt.
+    pub failures: AtomicU64,
+    /// Retry re-dispatches scheduled by the fault policy.
+    pub retries: AtomicU64,
+    /// Instances the watchdog flagged past their soft deadline.
+    pub deadline_misses: AtomicU64,
+    /// Instances skipped by poison propagation: this kernel's own
+    /// exhausted-retry instances plus transitively dependent ones.
+    pub poisoned: AtomicU64,
 }
 
 /// A snapshot of one kernel's counters, averaged per instance.
@@ -38,6 +48,14 @@ pub struct KernelStats {
     pub kernel_time: Duration,
     /// Total elements stored.
     pub stored_elements: u64,
+    /// Failed instance executions (every attempt counts).
+    pub failures: u64,
+    /// Retry re-dispatches scheduled by the fault policy.
+    pub retries: u64,
+    /// Soft-deadline overruns flagged by the watchdog.
+    pub deadline_misses: u64,
+    /// Instances skipped by poison propagation.
+    pub poisoned: u64,
 }
 
 impl KernelStats {
@@ -72,7 +90,13 @@ pub struct Instruments {
     /// remote deliveries and recovery re-execution). Nonzero only in
     /// distributed mode.
     deduped_elements: AtomicU64,
+    /// Final poisoned-instance sets per (kernel name, age), recorded by the
+    /// analyzer before it exits. Index values of every skipped instance.
+    poisoned_instances: parking_lot::Mutex<PoisonedInstances>,
 }
+
+/// Poisoned-instance index vectors keyed by (kernel name, age).
+pub type PoisonedInstances = BTreeMap<(String, u64), Vec<Vec<usize>>>;
 
 impl Instruments {
     /// Create counters for `names` kernels (indexed by `KernelId::idx`).
@@ -87,7 +111,52 @@ impl Instruments {
             analyzer_batches: AtomicU64::new(0),
             volumes: parking_lot::Mutex::new(BTreeMap::new()),
             deduped_elements: AtomicU64::new(0),
+            poisoned_instances: parking_lot::Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Record one failed instance execution (body `Err` or panic).
+    pub fn record_failure(&self, kernel: KernelId) {
+        self.kernels[kernel.idx()]
+            .1
+            .failures
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record retry re-dispatches scheduled by the fault policy.
+    pub fn record_retries(&self, kernel: KernelId, n: u64) {
+        self.kernels[kernel.idx()]
+            .1
+            .retries
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a watchdog-flagged soft-deadline overrun.
+    pub fn record_deadline_miss(&self, kernel: KernelId) {
+        self.kernels[kernel.idx()]
+            .1
+            .deadline_misses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an instance skipped by poison propagation, with its identity
+    /// for the final report.
+    pub fn record_poisoned(&self, kernel: KernelId, age: u64, indices: &[usize]) {
+        self.kernels[kernel.idx()]
+            .1
+            .poisoned
+            .fetch_add(1, Ordering::Relaxed);
+        let name = self.kernels[kernel.idx()].0.clone();
+        self.poisoned_instances
+            .lock()
+            .entry((name, age))
+            .or_default()
+            .push(indices.to_vec());
+    }
+
+    /// Final poisoned-instance sets per (kernel name, age).
+    pub fn poisoned_instances(&self) -> PoisonedInstances {
+        self.poisoned_instances.lock().clone()
     }
 
     /// Record store elements absorbed by deduplication.
@@ -164,6 +233,10 @@ impl Instruments {
             dispatch_time: Duration::from_nanos(c.dispatch_ns.load(Ordering::Relaxed) / div),
             kernel_time: Duration::from_nanos(c.kernel_ns.load(Ordering::Relaxed) / div),
             stored_elements: c.stored_elements.load(Ordering::Relaxed),
+            failures: c.failures.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
+            poisoned: c.poisoned.load(Ordering::Relaxed),
         }
     }
 
@@ -228,10 +301,22 @@ impl Instruments {
 pub enum Termination {
     /// No more runnable instances (program finished or hit `max_ages`).
     Quiescent,
+    /// The run completed but some instances were poisoned (exhausted their
+    /// retry budget under [`crate::options::ExhaustPolicy::Poison`]) and
+    /// their transitive dependents were skipped. Partial results.
+    Degraded,
     /// The wall-clock deadline fired.
     DeadlineExpired,
     /// A kernel body or field operation failed.
     Failed,
+}
+
+impl Termination {
+    /// True for the two "the program ran to the end of its instance space"
+    /// outcomes: [`Termination::Quiescent`] and [`Termination::Degraded`].
+    pub fn finished(&self) -> bool {
+        matches!(self, Termination::Quiescent | Termination::Degraded)
+    }
 }
 
 /// The result of running a program on an execution node.
@@ -253,6 +338,7 @@ pub struct InstrumentsSnapshot {
     analyzer_events: u64,
     analyzer_batches: u64,
     deduped_elements: u64,
+    poisoned_instances: BTreeMap<(String, u64), Vec<Vec<usize>>>,
 }
 
 impl InstrumentsSnapshot {
@@ -265,7 +351,34 @@ impl InstrumentsSnapshot {
             analyzer_events: live.analyzer_events(),
             analyzer_batches: live.analyzer_batches(),
             deduped_elements: live.deduped_elements(),
+            poisoned_instances: live.poisoned_instances(),
         }
+    }
+
+    /// Final poisoned-instance sets per (kernel name, age) — exactly the
+    /// instances skipped by poison propagation.
+    pub fn poisoned_instances(&self) -> &BTreeMap<(String, u64), Vec<Vec<usize>>> {
+        &self.poisoned_instances
+    }
+
+    /// Sum of failed instance executions across kernels.
+    pub fn total_failures(&self) -> u64 {
+        self.entries.iter().map(|(_, s)| s.failures).sum()
+    }
+
+    /// Sum of retry re-dispatches across kernels.
+    pub fn total_retries(&self) -> u64 {
+        self.entries.iter().map(|(_, s)| s.retries).sum()
+    }
+
+    /// Sum of watchdog deadline misses across kernels.
+    pub fn total_deadline_misses(&self) -> u64 {
+        self.entries.iter().map(|(_, s)| s.deadline_misses).sum()
+    }
+
+    /// Sum of poison-skipped instances across kernels.
+    pub fn total_poisoned(&self) -> u64 {
+        self.entries.iter().map(|(_, s)| s.poisoned).sum()
     }
 
     /// Store elements absorbed by write-once deduplication (duplicate

@@ -58,14 +58,15 @@ pub mod options;
 pub mod program;
 pub mod ready;
 pub mod timer;
+mod watchdog;
 
 pub use analyzer::DependencyAnalyzer;
 pub use error::RuntimeError;
 pub use events::{Event, StoreEvent};
 pub use instance::InstanceKey;
-pub use instrument::{Instruments, KernelStats, RunReport};
+pub use instrument::{Instruments, KernelStats, RunReport, Termination};
 pub use node::{ExecutionNode, FieldStore, NodeBuilder, NodeHandle, RunningNode, StoreTap};
-pub use options::{KernelOptions, RunLimits};
+pub use options::{ExhaustPolicy, FaultPolicy, KernelOptions, RunLimits};
 pub use program::{BodyResult, KernelCtx, Program};
 pub use timer::TimerTable;
 

@@ -7,9 +7,11 @@
 //! counted before it is made visible, so the count can only reach zero when
 //! the program is quiescent.
 
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -23,10 +25,66 @@ use crate::error::RuntimeError;
 use crate::events::{Event, StoreEvent};
 use crate::instance::DispatchUnit;
 use crate::instrument::{Instruments, InstrumentsSnapshot, RunReport, Termination};
-use crate::options::RunLimits;
+use crate::options::{ExhaustPolicy, FaultPolicy, RunLimits};
 use crate::program::{FusionPlan, KernelBody, KernelCtx, Program, StagedStore};
 use crate::ready::ReadyQueue;
 use crate::timer::TimerTable;
+use crate::watchdog::Watchdog;
+
+thread_local! {
+    /// True while this worker thread is inside a (contained) kernel body.
+    static IN_KERNEL: Cell<bool> = const { Cell::new(false) };
+}
+
+static PANIC_HOOK: Once = Once::new();
+
+/// Chain a process-wide panic hook that suppresses the default backtrace
+/// noise for panics contained by the kernel-body `catch_unwind` — those
+/// become structured failures, not crashes. Panics anywhere else keep the
+/// previous hook's behaviour.
+fn install_contained_panic_hook() {
+    PANIC_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_KERNEL.with(|c| c.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Human-readable message out of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "kernel body panicked".to_string()
+    }
+}
+
+/// How one instance execution failed.
+enum InstanceError {
+    /// Runtime malfunction (field/spec error): aborts the run regardless of
+    /// fault policy.
+    Fatal(RuntimeError),
+    /// The kernel body returned `Err` or panicked: goes through the
+    /// kernel's fault policy (retry / poison / abort).
+    Body(String),
+}
+
+impl From<RuntimeError> for InstanceError {
+    fn from(e: RuntimeError) -> InstanceError {
+        InstanceError::Fatal(e)
+    }
+}
+
+impl From<p2g_field::FieldError> for InstanceError {
+    fn from(e: p2g_field::FieldError) -> InstanceError {
+        InstanceError::Fatal(RuntimeError::Field(e))
+    }
+}
 
 /// Called after every successful local store (distributed mode forwards
 /// the data to subscriber nodes through this hook).
@@ -51,6 +109,11 @@ struct Shared {
     /// Distributed mode: local stores go through write-once dedup so
     /// kernel re-execution after a node failure is idempotent.
     dedup_stores: bool,
+    /// Per-kernel fault policies (indexed by `KernelId::idx`).
+    fault: Vec<FaultPolicy>,
+    /// Present when some kernel's fault policy needs delayed retries or
+    /// deadline flagging.
+    watchdog: Option<Arc<Watchdog>>,
 }
 
 impl Shared {
@@ -60,20 +123,34 @@ impl Shared {
     /// perform the quiescence check.
     fn release_outstanding(&self) {
         if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 && !self.hold_open {
-            self.stop.store(true, Ordering::SeqCst);
-            self.ready.close();
+            self.shutdown();
         }
     }
-}
 
-impl Shared {
+    /// Stop every thread of the node: flag stop, close the ready queue,
+    /// and stop the watchdog — releasing the outstanding count of retries
+    /// that will never run.
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.ready.close();
+        if let Some(wd) = &self.watchdog {
+            for _unit in wd.stop() {
+                self.outstanding.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
     fn fail(&self, err: RuntimeError) {
         let mut g = self.failure.lock();
         if g.is_none() {
             *g = Some(err);
         }
-        self.stop.store(true, Ordering::SeqCst);
-        self.ready.close();
+        drop(g);
+        self.shutdown();
+    }
+
+    fn has_failed(&self) -> bool {
+        self.failure.lock().is_some()
     }
 }
 
@@ -241,6 +318,13 @@ impl NodeBuilder {
                 .collect(),
         );
         let (events_tx, events_rx) = unbounded::<Event>();
+        let fault: Vec<FaultPolicy> = options.iter().map(|o| o.fault.clone()).collect();
+        let watchdog = if fault.iter().any(|p| p.needs_watchdog()) {
+            Some(Arc::new(Watchdog::new()))
+        } else {
+            None
+        };
+        install_contained_panic_hook();
         let shared = Arc::new(Shared {
             spec: spec.clone(),
             bodies,
@@ -256,6 +340,8 @@ impl NodeBuilder {
             store_tap: self.store_tap.clone(),
             hold_open: limits.hold_open,
             dedup_stores,
+            fault,
+            watchdog,
         });
 
         let fused_consumers: HashSet<KernelId> = fusions.iter().map(|f| f.consumer).collect();
@@ -304,6 +390,16 @@ impl NodeBuilder {
             );
         }
 
+        // Watchdog thread: releases due retries to the ready queue and
+        // flags soft-deadline overruns.
+        let watchdog_handle = shared.watchdog.clone().map(|wd| {
+            let ws = shared.clone();
+            std::thread::Builder::new()
+                .name("p2g-watchdog".into())
+                .spawn(move || watchdog_loop(wd, ws))
+                .expect("spawn watchdog")
+        });
+
         Ok(RunningNode {
             shared,
             fields,
@@ -311,6 +407,7 @@ impl NodeBuilder {
             start,
             analyzer_handle,
             worker_handles,
+            watchdog_handle,
         })
     }
 }
@@ -328,6 +425,7 @@ pub struct RunningNode {
     start: Instant,
     analyzer_handle: std::thread::JoinHandle<Termination>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
+    watchdog_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl RunningNode {
@@ -353,8 +451,15 @@ impl RunningNode {
     /// Ask the node to stop: used by the cluster coordinator once global
     /// quiescence is established, and for external cancellation.
     pub fn request_stop(&self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        self.shared.ready.close();
+        self.shared.shutdown();
+    }
+
+    /// True once the node has recorded a fatal failure (a kernel abort or
+    /// runtime malfunction) — it is shutting down and will stop
+    /// heartbeating in distributed mode. Kernel failures contained by a
+    /// `Poison` fault policy do *not* set this; they only degrade.
+    pub fn has_failed(&self) -> bool {
+        self.shared.has_failed()
     }
 
     /// Builder-API alias of [`RunningNode::request_stop`].
@@ -399,6 +504,18 @@ impl RunningNode {
 
     /// Wait for the node to finish and collect the report and fields.
     pub fn join(self) -> Result<(RunReport, FieldStore), RuntimeError> {
+        let (report, fields, err) = self.finish();
+        match err {
+            Some(e) => Err(e),
+            None => Ok((report, fields)),
+        }
+    }
+
+    /// Non-failing join: wait for the node to finish and hand back the
+    /// report, the field contents, and the failure (if any) side by side.
+    /// A cluster coordinator uses this to salvage whatever a failed node
+    /// produced instead of losing the report to the error path.
+    pub fn finish(self) -> (RunReport, FieldStore, Option<RuntimeError>) {
         let RunningNode {
             shared,
             fields,
@@ -406,18 +523,34 @@ impl RunningNode {
             start,
             analyzer_handle,
             worker_handles,
+            watchdog_handle,
         } = self;
-        let termination = analyzer_handle
-            .join()
-            .map_err(|_| RuntimeError::WorkerPanic)?;
+        let termination = match analyzer_handle.join() {
+            Ok(t) => t,
+            Err(_) => {
+                shared.fail(RuntimeError::WorkerPanic);
+                Termination::Failed
+            }
+        };
+        // The analyzer has returned, so stop is set; make sure the
+        // watchdog and workers wind down before collecting.
+        shared.shutdown();
         for h in worker_handles {
-            h.join().map_err(|_| RuntimeError::WorkerPanic)?;
+            if h.join().is_err() {
+                shared.fail(RuntimeError::WorkerPanic);
+            }
+        }
+        if let Some(h) = watchdog_handle {
+            let _ = h.join();
         }
         let wall_time = start.elapsed();
 
-        if let Some(err) = shared.failure.lock().take() {
-            return Err(err);
-        }
+        let err = shared.failure.lock().take();
+        let termination = if err.is_some() {
+            Termination::Failed
+        } else {
+            termination
+        };
 
         let report = RunReport {
             termination,
@@ -431,7 +564,17 @@ impl RunningNode {
             .into_iter()
             .map(|l| l.into_inner())
             .collect();
-        Ok((report, FieldStore::new(fields, &spec)))
+        (report, FieldStore::new(fields, &spec), err)
+    }
+}
+
+/// Watchdog thread: push due retry units to the ready queue (their
+/// outstanding counts were taken at schedule time) until stopped.
+fn watchdog_loop(wd: Arc<Watchdog>, shared: Arc<Shared>) {
+    while let Some(due) = wd.next_due() {
+        for unit in due {
+            shared.ready.push(unit);
+        }
     }
 }
 
@@ -441,13 +584,22 @@ fn analyzer_loop(
     events_rx: Receiver<Event>,
     deadline: Option<Instant>,
 ) -> Termination {
+    // The non-failure exit status: quiescent, or degraded once any
+    // instance was poisoned.
+    let finished = |analyzer: &DependencyAnalyzer| {
+        if analyzer.degraded() {
+            Termination::Degraded
+        } else {
+            Termination::Quiescent
+        }
+    };
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             // Either quiescent-stop (set below) or failure-stop.
-            return if shared.failure.lock().is_some() {
+            return if shared.has_failed() {
                 Termination::Failed
             } else {
-                Termination::Quiescent
+                finished(&analyzer)
             };
         }
         if let Some(d) = deadline {
@@ -459,17 +611,14 @@ fn analyzer_loop(
                         shared.ready.len()
                     );
                 }
-                shared.stop.store(true, Ordering::SeqCst);
-                shared.ready.close();
+                shared.shutdown();
                 return Termination::DeadlineExpired;
             }
         }
         let mut next = match events_rx.recv_timeout(Duration::from_millis(5)) {
             Ok(ev) => Some(ev),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                return Termination::Quiescent
-            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return finished(&analyzer),
         };
         // Greedy batch drain: under a store storm the channel is never
         // empty, and handling a burst back-to-back keeps the analyzer's
@@ -500,6 +649,9 @@ fn analyzer_loop(
             if deduped > 0 {
                 shared.instruments.record_deduped(deduped);
             }
+            for (kid, age, indices) in analyzer.take_poisoned() {
+                shared.instruments.record_poisoned(kid, age, &indices);
+            }
             for unit in units {
                 shared.outstanding.fetch_add(1, Ordering::SeqCst);
                 shared.ready.push(unit);
@@ -509,10 +661,10 @@ fn analyzer_loop(
             // extra poll cycle).
             shared.release_outstanding();
             if shared.stop.load(Ordering::SeqCst) {
-                return if shared.failure.lock().is_some() {
+                return if shared.has_failed() {
                     Termination::Failed
                 } else {
-                    Termination::Quiescent
+                    finished(&analyzer)
                 };
             }
             handled += 1;
@@ -530,22 +682,97 @@ fn worker_loop(shared: Arc<Shared>) {
     }
 }
 
-/// Execute one dispatch unit: assemble inputs, run bodies, apply stores,
-/// publish events.
+/// Deterministic jitter salt for a retry: hashes the unit identity so
+/// repeated runs back off identically.
+fn retry_salt(unit: &DispatchUnit, failed: &[Vec<usize>]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    unit.kernel.0.hash(&mut h);
+    unit.age.0.hash(&mut h);
+    unit.attempt.hash(&mut h);
+    failed.hash(&mut h);
+    h.finish()
+}
+
+/// Execute one dispatch unit: assemble inputs, run bodies (panic-contained),
+/// apply stores, publish events. Body failures go through the kernel's
+/// fault policy: batched into one delayed retry unit while the budget
+/// lasts, then aborted or poisoned per [`ExhaustPolicy`].
 fn run_unit(shared: &Shared, unit: DispatchUnit) {
+    // A failure-stop drains the queue without running stale units.
+    if shared.stop.load(Ordering::SeqCst) && shared.has_failed() {
+        shared.release_outstanding();
+        return;
+    }
+    let policy = &shared.fault[unit.kernel.idx()];
     let t_unit = Instant::now();
     let mut body_time = Duration::ZERO;
-    let mut stored_any = false;
-    let n_instances = unit.len() as u64;
+    let mut stored_any = unit.prior_stored;
+    let mut ok_instances = 0usize;
+    let mut failed: Vec<Vec<usize>> = Vec::new();
 
     for indices in &unit.instances {
-        match run_instance(shared, unit.kernel, unit.age, indices, &mut body_time) {
-            Ok(any) => stored_any |= any,
-            Err(err) => {
+        // Soft-deadline registration: the watchdog flags the token when
+        // the instance overruns; the body polls `ctx.cancelled()`.
+        let cancel = policy.deadline.map(|_| Arc::new(AtomicBool::new(false)));
+        let registration = match (&shared.watchdog, policy.deadline, &cancel) {
+            (Some(wd), Some(dl), Some(token)) => {
+                Some((wd, wd.register(Instant::now() + dl, token.clone())))
+            }
+            _ => None,
+        };
+        let result = run_instance(
+            shared,
+            unit.kernel,
+            unit.age,
+            indices,
+            unit.attempt,
+            cancel.as_deref(),
+            &mut body_time,
+        );
+        if let Some((wd, id)) = registration {
+            if wd.deregister(id) {
+                shared.instruments.record_deadline_miss(unit.kernel);
+            }
+        }
+        match result {
+            Ok(any) => {
+                stored_any |= any;
+                ok_instances += 1;
+            }
+            Err(InstanceError::Fatal(err)) => {
                 shared.fail(err);
                 // Balance this unit's outstanding count before bailing.
                 shared.release_outstanding();
                 return;
+            }
+            Err(InstanceError::Body(message)) => {
+                shared.instruments.record_failure(unit.kernel);
+                if unit.attempt < policy.retries {
+                    failed.push(indices.clone());
+                } else {
+                    match policy.on_exhaust {
+                        ExhaustPolicy::Abort => {
+                            shared.fail(RuntimeError::Kernel {
+                                kernel: shared.spec.kernel(unit.kernel).name.clone(),
+                                message,
+                            });
+                            shared.release_outstanding();
+                            return;
+                        }
+                        ExhaustPolicy::Poison => {
+                            // Counted event: the analyzer quarantines the
+                            // instance and propagates poison.
+                            shared.outstanding.fetch_add(1, Ordering::SeqCst);
+                            let _ = shared.events_tx.send(Event::KernelFailure {
+                                kernel: unit.kernel,
+                                age: unit.age,
+                                indices: indices.clone(),
+                                message,
+                            });
+                        }
+                    }
+                }
             }
         }
     }
@@ -553,19 +780,63 @@ fn run_unit(shared: &Shared, unit: DispatchUnit) {
     let dispatch_time = t_unit.elapsed().saturating_sub(body_time);
     shared
         .instruments
-        .record_unit(unit.kernel, n_instances, dispatch_time, body_time);
+        .record_unit(unit.kernel, unit.len() as u64, dispatch_time, body_time);
+
+    // Failed-but-retryable instances become ONE retry unit, re-dispatched
+    // by the watchdog after the backoff delay. Its outstanding count is
+    // taken here and held until the retry finishes, so quiescence cannot
+    // be observed with a retry pending.
+    let retried = !failed.is_empty();
+    if retried {
+        shared
+            .instruments
+            .record_retries(unit.kernel, failed.len() as u64);
+        let salt = retry_salt(&unit, &failed);
+        let due = Instant::now() + policy.backoff_for(unit.attempt, salt);
+        let retry = DispatchUnit {
+            kernel: unit.kernel,
+            age: unit.age,
+            instances: failed,
+            attempt: unit.attempt + 1,
+            prior_stored: stored_any,
+        };
+        shared.outstanding.fetch_add(1, Ordering::SeqCst);
+        shared
+            .watchdog
+            .as_ref()
+            .expect("watchdog runs whenever retries are configured")
+            .schedule_retry(retry, due);
+    }
 
     // The UnitDone event is counted before the unit's own count is
     // released; the analyzer may nevertheless process it first, in which
     // case this thread's release is the one that observes quiescence.
+    // `instances` reports only this execution's successes — poisoned
+    // instances are accounted by the analyzer, retried ones by the retry
+    // unit's own UnitDone.
     shared.outstanding.fetch_add(1, Ordering::SeqCst);
     let _ = shared.events_tx.send(Event::UnitDone {
         kernel: unit.kernel,
         age: unit.age,
-        instances: unit.len(),
+        instances: ok_instances,
         stored_any,
+        retried,
     });
     shared.release_outstanding();
+}
+
+/// Invoke a kernel body inside `catch_unwind`: a panic is contained to
+/// this instance and reported as a body failure. The staged stores of a
+/// failed body are discarded by the caller (the `KernelCtx` holds them),
+/// so a panicking instance leaves no partial writes behind.
+fn invoke_body(body: &KernelBody, ctx: &mut KernelCtx) -> Result<(), String> {
+    IN_KERNEL.with(|c| c.set(true));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(ctx)));
+    IN_KERNEL.with(|c| c.set(false));
+    match result {
+        Ok(r) => r,
+        Err(payload) => Err(format!("panic: {}", panic_message(payload.as_ref()))),
+    }
 }
 
 /// Execute one kernel instance (and its fused consumer, if any). Returns
@@ -575,9 +846,15 @@ fn run_instance(
     kernel: KernelId,
     age: Age,
     indices: &[usize],
+    attempt: u32,
+    cancel: Option<&AtomicBool>,
     body_time: &mut Duration,
-) -> Result<bool, RuntimeError> {
+) -> Result<bool, InstanceError> {
     let kspec = shared.spec.kernel(kernel);
+    // A retry may re-apply stores an earlier attempt already landed (a
+    // fused consumer can fail after the producer stores applied), so
+    // attempts > 0 store idempotently.
+    let idempotent = attempt > 0;
 
     // Assemble fetch buffers (copies — workers never hold field locks
     // while running kernel code).
@@ -596,16 +873,17 @@ fn run_instance(
         inputs,
         staged: Vec::new(),
         timers: &shared.timers,
+        cancel,
     };
     let body = shared.bodies[kernel.idx()]
         .as_ref()
         .expect("bodies checked before run");
     let t_body = Instant::now();
-    body(&mut ctx).map_err(|message| RuntimeError::Kernel {
-        kernel: kspec.name.clone(),
-        message,
-    })?;
+    let body_result = invoke_body(body, &mut ctx);
     *body_time += t_body.elapsed();
+    // Body failure (Err or contained panic): the staged stores die with
+    // the ctx — nothing was applied to any field.
+    body_result.map_err(InstanceError::Body)?;
 
     let staged = std::mem::take(&mut ctx.staged);
     let fusion = shared.fusions.iter().find(|f| f.producer == kernel);
@@ -614,7 +892,15 @@ fn run_instance(
     for st in &staged {
         let elide = fusion.is_some_and(|f| f.elide_store && f.producer_store == st.store_idx);
         if !elide {
-            apply_store(shared, kernel, age, indices, st, &mut stored_any)?;
+            apply_store(
+                shared,
+                kernel,
+                age,
+                indices,
+                st,
+                idempotent,
+                &mut stored_any,
+            )?;
         } else {
             stored_any = true;
         }
@@ -646,16 +932,15 @@ fn run_instance(
                 inputs: vec![st.buffer.clone()],
                 staged: Vec::new(),
                 timers: &shared.timers,
+                cancel,
             };
             let cbody = shared.bodies[plan.consumer.idx()]
                 .as_ref()
                 .expect("bodies checked before run");
             let t_body = Instant::now();
-            cbody(&mut cctx).map_err(|message| RuntimeError::Kernel {
-                kernel: cspec.name.clone(),
-                message,
-            })?;
+            let cresult = invoke_body(cbody, &mut cctx);
             *body_time += t_body.elapsed();
+            cresult.map_err(InstanceError::Body)?;
             let cstaged = std::mem::take(&mut cctx.staged);
             for cst in &cstaged {
                 apply_store_for(
@@ -665,6 +950,7 @@ fn run_instance(
                     age,
                     &cidx,
                     cst,
+                    idempotent,
                     &mut stored_any,
                 )?;
             }
@@ -677,18 +963,23 @@ fn run_instance(
     Ok(stored_any)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_store(
     shared: &Shared,
     kernel: KernelId,
     age: Age,
     indices: &[usize],
     st: &StagedStore,
+    idempotent: bool,
     stored_any: &mut bool,
 ) -> Result<(), RuntimeError> {
     let kspec = shared.spec.kernel(kernel);
-    apply_store_for(shared, kernel, kspec, age, indices, st, stored_any)
+    apply_store_for(
+        shared, kernel, kspec, age, indices, st, idempotent, stored_any,
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_store_for(
     shared: &Shared,
     kernel: KernelId,
@@ -696,6 +987,7 @@ fn apply_store_for(
     age: Age,
     indices: &[usize],
     st: &StagedStore,
+    idempotent: bool,
     stored_any: &mut bool,
 ) -> Result<(), RuntimeError> {
     let decl = &kspec.stores[st.store_idx];
@@ -707,7 +999,9 @@ fn apply_store_for(
     // Cluster mode stores dedup: recovery re-executes kernels whose data
     // already (partially) exists, and write-once equality makes that a
     // no-op instead of a violation. Single-node mode keeps the strict
-    // write-once error, which is a program bug there.
+    // write-once error, which is a program bug there — except on fault
+    // retries, which may legitimately replay stores an earlier attempt
+    // already landed.
     //
     // The store event must describe the store relative to the extents at
     // store time (later stores may grow the field before the analyzer
@@ -715,7 +1009,7 @@ fn apply_store_for(
     // are captured inside the write lock.
     let (outcome, region, extents) = {
         let mut field = shared.fields[decl.field.idx()].write();
-        let outcome = if shared.dedup_stores {
+        let outcome = if shared.dedup_stores || idempotent {
             field.store_idempotent(target_age, &region, &st.buffer)?
         } else {
             field.store(target_age, &region, &st.buffer)?

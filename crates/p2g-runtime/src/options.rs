@@ -1,9 +1,113 @@
-//! Execution-node tuning knobs: per-kernel granularity options and run
-//! limits.
+//! Execution-node tuning knobs: per-kernel granularity options, fault
+//! policies and run limits.
 
 use std::time::Duration;
 
 use p2g_graph::KernelId;
+
+/// What happens when a kernel instance has exhausted its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustPolicy {
+    /// Abort the whole run with a kernel failure (the pre-fault-isolation
+    /// behaviour, and the default).
+    Abort,
+    /// Poison the instance's would-have-been stores: the dependency
+    /// analyzer skips exactly the transitively dependent instances and the
+    /// run degrades ([`crate::instrument::Termination::Degraded`]) instead
+    /// of dying.
+    Poison,
+}
+
+/// Per-kernel fault-isolation policy: retry budget, exponential backoff
+/// with deterministic jitter, per-instance soft deadline, and the
+/// exhaustion action. The default (`retries: 0`, `Abort`, no deadline)
+/// reproduces strict fail-fast semantics — a body error or panic aborts
+/// the run, but never hangs it.
+#[derive(Debug, Clone)]
+pub struct FaultPolicy {
+    /// Re-execution attempts after the first failure. Failed instances are
+    /// re-dispatched as fresh units after the backoff delay.
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub backoff: Duration,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is stretched by up to this
+    /// fraction, derived deterministically from the instance identity so
+    /// runs stay reproducible.
+    pub jitter: f64,
+    /// Per-instance soft deadline. The watchdog thread flags an instance
+    /// that overruns it through the cooperative cancellation token
+    /// ([`crate::KernelCtx::cancelled`]); the body is expected to poll the
+    /// token and bail out (`Err`), which then goes through the normal
+    /// retry/exhaustion path. A body that never polls is merely recorded
+    /// as a deadline miss — threads are never killed.
+    pub deadline: Option<Duration>,
+    /// Action once `retries` is exhausted.
+    pub on_exhaust: ExhaustPolicy,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> FaultPolicy {
+        FaultPolicy {
+            retries: 0,
+            backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+            jitter: 0.2,
+            deadline: None,
+            on_exhaust: ExhaustPolicy::Abort,
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// Policy with a retry budget (other knobs at their defaults).
+    pub fn retries(n: u32) -> FaultPolicy {
+        FaultPolicy {
+            retries: n,
+            ..FaultPolicy::default()
+        }
+    }
+
+    /// Degrade (poison dependents) instead of aborting on exhaustion.
+    pub fn poison(mut self) -> FaultPolicy {
+        self.on_exhaust = ExhaustPolicy::Poison;
+        self
+    }
+
+    /// Set the per-instance soft deadline.
+    pub fn with_deadline(mut self, d: Duration) -> FaultPolicy {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set the base backoff (doubles per attempt, capped).
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> FaultPolicy {
+        self.backoff = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// True when this policy ever needs the watchdog thread (delayed
+    /// retries or deadline flagging).
+    pub fn needs_watchdog(&self) -> bool {
+        self.retries > 0 || self.deadline.is_some()
+    }
+
+    /// The backoff delay before re-dispatching `attempt + 1`, with the
+    /// deterministic jitter derived from `salt` (an instance-identity
+    /// hash).
+    pub fn backoff_for(&self, attempt: u32, salt: u64) -> Duration {
+        let base = self.backoff.saturating_mul(1u32 << attempt.min(20));
+        let base = base.min(self.backoff_cap);
+        // splitmix64 finalizer: a well-mixed fraction in [0, 1).
+        let mut z = salt.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        let frac = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+        base.mul_f64(1.0 + self.jitter.clamp(0.0, 1.0) * frac)
+    }
+}
 
 /// Per-kernel low-level-scheduler options — the granularity adaptation of
 /// paper Figure 4.
@@ -24,6 +128,8 @@ pub struct KernelOptions {
     /// a time. Needed by kernels with ordered side effects (the MJPEG
     /// `VLC/write` kernel appends to the output bitstream).
     pub ordered: bool,
+    /// Fault-isolation policy for this kernel's instances.
+    pub fault: FaultPolicy,
 }
 
 impl Default for KernelOptions {
@@ -32,6 +138,7 @@ impl Default for KernelOptions {
             chunk_size: 1,
             fuse_consumer: None,
             ordered: false,
+            fault: FaultPolicy::default(),
         }
     }
 }

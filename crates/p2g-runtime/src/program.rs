@@ -15,7 +15,7 @@ use p2g_graph::spec::{AgeExpr, IndexSel, KernelSpec};
 use p2g_graph::{KernelId, ProgramSpec};
 
 use crate::error::RuntimeError;
-use crate::options::KernelOptions;
+use crate::options::{FaultPolicy, KernelOptions};
 use crate::timer::TimerTable;
 
 /// What a kernel body returns: `Err` aborts the run with a kernel failure.
@@ -49,6 +49,10 @@ pub struct KernelCtx<'a> {
     pub(crate) inputs: Vec<Buffer>,
     pub(crate) staged: Vec<StagedStore>,
     pub(crate) timers: &'a TimerTable,
+    /// Cooperative cancellation token, set by the watchdog thread when the
+    /// instance overruns its fault-policy soft deadline. `None` when the
+    /// kernel has no deadline configured.
+    pub(crate) cancel: Option<&'a std::sync::atomic::AtomicBool>,
 }
 
 impl KernelCtx<'_> {
@@ -125,6 +129,17 @@ impl KernelCtx<'_> {
     /// Elapsed time since a timer was reset.
     pub fn timer_elapsed(&self, name: &str) -> Option<Duration> {
         self.timers.elapsed(name)
+    }
+
+    /// Cooperative cancellation poll: true once the watchdog has flagged
+    /// this instance past its [`crate::options::FaultPolicy`] soft
+    /// deadline. Long-running bodies should poll this and return `Err` to
+    /// yield the worker; the failure then follows the kernel's normal
+    /// retry/exhaustion path. Always false for kernels without a deadline.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+            .unwrap_or(false)
     }
 }
 
@@ -228,6 +243,20 @@ impl Program {
     /// with ordered side effects like bitstream writers).
     pub fn set_ordered(&mut self, kernel: &str) -> &mut Program {
         self.options_mut(kernel).ordered = true;
+        self
+    }
+
+    /// Set the fault-isolation policy for one kernel.
+    pub fn set_fault_policy(&mut self, kernel: &str, policy: FaultPolicy) -> &mut Program {
+        self.options_mut(kernel).fault = policy;
+        self
+    }
+
+    /// Set the same fault-isolation policy on every kernel.
+    pub fn set_fault_policy_all(&mut self, policy: FaultPolicy) -> &mut Program {
+        for o in &mut self.options {
+            o.fault = policy.clone();
+        }
         self
     }
 

@@ -127,11 +127,7 @@ mod tests {
     use p2g_graph::KernelId;
 
     fn unit(kernel: u32, age: u64) -> DispatchUnit {
-        DispatchUnit {
-            kernel: KernelId(kernel),
-            age: Age(age),
-            instances: vec![vec![]],
-        }
+        DispatchUnit::new(KernelId(kernel), Age(age), vec![vec![]])
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! The fault-policy watchdog: one thread per node (spawned only when some
+//! kernel's [`crate::options::FaultPolicy`] needs it) that owns two pieces
+//! of deferred fault-isolation state:
+//!
+//! * **Delayed retries** — failed instances re-dispatched after their
+//!   exponential-backoff delay. The worker schedules the retry unit here
+//!   (keeping its outstanding-work count), and the watchdog pushes it onto
+//!   the ready queue when due — quiescence cannot be observed while a
+//!   retry is pending, because the unit's count is held the whole time.
+//! * **Soft deadlines** — active instances registered with a deadline and
+//!   a cooperative cancellation token. An instance that overruns gets its
+//!   token flagged (the body polls [`crate::KernelCtx::cancelled`] and
+//!   bails out); the miss is reported back to the worker at deregister
+//!   time. Threads are never killed.
+
+use std::cmp::Reverse;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::instance::DispatchUnit;
+
+struct ActiveEntry {
+    deadline: Instant,
+    cancel: Arc<AtomicBool>,
+    missed: bool,
+}
+
+struct RetryEntry {
+    due: Instant,
+    seq: u64,
+    unit: DispatchUnit,
+}
+
+impl PartialEq for RetryEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for RetryEntry {}
+impl PartialOrd for RetryEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RetryEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+struct Inner {
+    stopped: bool,
+    next_id: u64,
+    seq: u64,
+    active: HashMap<u64, ActiveEntry>,
+    retries: std::collections::BinaryHeap<Reverse<RetryEntry>>,
+}
+
+/// Deadline-flagging and delayed-retry state shared between workers and
+/// the watchdog thread (see module docs).
+pub(crate) struct Watchdog {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+impl Watchdog {
+    pub(crate) fn new() -> Watchdog {
+        Watchdog {
+            inner: Mutex::new(Inner {
+                stopped: false,
+                next_id: 0,
+                seq: 0,
+                active: HashMap::new(),
+                retries: std::collections::BinaryHeap::new(),
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Register a running instance with its soft deadline and cancellation
+    /// token; returns a registration id for [`Watchdog::deregister`].
+    pub(crate) fn register(&self, deadline: Instant, cancel: Arc<AtomicBool>) -> u64 {
+        let mut g = self.inner.lock();
+        let id = g.next_id;
+        g.next_id += 1;
+        g.active.insert(
+            id,
+            ActiveEntry {
+                deadline,
+                cancel,
+                missed: false,
+            },
+        );
+        drop(g);
+        // The new deadline may be earlier than whatever the thread sleeps
+        // towards.
+        self.cond.notify_all();
+        id
+    }
+
+    /// Remove a finished instance; true when the watchdog had flagged it
+    /// past its deadline (a deadline miss to record).
+    pub(crate) fn deregister(&self, id: u64) -> bool {
+        self.inner
+            .lock()
+            .active
+            .remove(&id)
+            .map(|e| e.missed)
+            .unwrap_or(false)
+    }
+
+    /// Schedule a retry unit to be released to the ready queue at `due`.
+    /// The unit's outstanding-work count stays held while it waits here.
+    pub(crate) fn schedule_retry(&self, unit: DispatchUnit, due: Instant) {
+        let mut g = self.inner.lock();
+        let seq = g.seq;
+        g.seq += 1;
+        g.retries.push(Reverse(RetryEntry { due, seq, unit }));
+        drop(g);
+        self.cond.notify_all();
+    }
+
+    /// Stop the watchdog and drain retries that never became due. The
+    /// caller must release each drained unit's outstanding-work count.
+    pub(crate) fn stop(&self) -> Vec<DispatchUnit> {
+        let mut g = self.inner.lock();
+        g.stopped = true;
+        let drained = std::mem::take(&mut g.retries)
+            .into_sorted_vec()
+            .into_iter()
+            .map(|Reverse(e)| e.unit)
+            .collect();
+        drop(g);
+        self.cond.notify_all();
+        drained
+    }
+
+    /// Thread body: block until some retry is due (flagging overdue active
+    /// instances along the way) and return the due units. `None` means the
+    /// watchdog was stopped.
+    pub(crate) fn next_due(&self) -> Option<Vec<DispatchUnit>> {
+        let mut g = self.inner.lock();
+        loop {
+            if g.stopped {
+                return None;
+            }
+            let now = Instant::now();
+            for e in g.active.values_mut() {
+                if !e.missed && now >= e.deadline {
+                    e.missed = true;
+                    e.cancel.store(true, Ordering::Relaxed);
+                }
+            }
+            let mut due = Vec::new();
+            while g.retries.peek().is_some_and(|Reverse(top)| top.due <= now) {
+                let Reverse(e) = g.retries.pop().expect("peeked");
+                due.push(e.unit);
+            }
+            if !due.is_empty() {
+                return Some(due);
+            }
+            let next_deadline = g
+                .active
+                .values()
+                .filter(|e| !e.missed)
+                .map(|e| e.deadline)
+                .min();
+            let next_retry = g.retries.peek().map(|Reverse(e)| e.due);
+            let wake = match (next_deadline, next_retry) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (Some(a), None) => Some(a),
+                (None, Some(b)) => Some(b),
+                (None, None) => None,
+            };
+            match wake {
+                Some(t) => {
+                    self.cond.wait_until(&mut g, t);
+                }
+                None => {
+                    self.cond.wait(&mut g);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2g_field::Age;
+    use p2g_graph::KernelId;
+    use std::time::Duration;
+
+    fn unit() -> DispatchUnit {
+        DispatchUnit::new(KernelId(0), Age(0), vec![vec![]])
+    }
+
+    #[test]
+    fn deadline_flags_token() {
+        let wd = Arc::new(Watchdog::new());
+        let token = Arc::new(AtomicBool::new(false));
+        let id = wd.register(Instant::now() + Duration::from_millis(5), token.clone());
+        let wd2 = wd.clone();
+        let h = std::thread::spawn(move || while wd2.next_due().is_some() {});
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(token.load(Ordering::Relaxed));
+        assert!(wd.deregister(id));
+        wd.stop();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn fast_instance_not_flagged() {
+        let wd = Watchdog::new();
+        let token = Arc::new(AtomicBool::new(false));
+        let id = wd.register(Instant::now() + Duration::from_secs(60), token.clone());
+        assert!(!wd.deregister(id));
+        assert!(!token.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn retry_released_when_due() {
+        let wd = Watchdog::new();
+        wd.schedule_retry(unit(), Instant::now() + Duration::from_millis(5));
+        let due = wd.next_due().expect("not stopped");
+        assert_eq!(due.len(), 1);
+    }
+
+    #[test]
+    fn stop_drains_pending_retries() {
+        let wd = Watchdog::new();
+        wd.schedule_retry(unit(), Instant::now() + Duration::from_secs(60));
+        wd.schedule_retry(unit(), Instant::now() + Duration::from_secs(60));
+        let drained = wd.stop();
+        assert_eq!(drained.len(), 2);
+        assert!(wd.next_due().is_none());
+    }
+}

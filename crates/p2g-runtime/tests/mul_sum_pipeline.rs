@@ -38,7 +38,10 @@ fn build_program() -> Program {
 
 fn run_ages(program: Program, workers: usize, ages: u64) -> p2g_runtime::node::FieldStore {
     let node = NodeBuilder::new(program).workers(workers);
-    let (report, fields) = node.launch(RunLimits::ages(ages)).and_then(|n| n.collect()).unwrap();
+    let (report, fields) = node
+        .launch(RunLimits::ages(ages))
+        .and_then(|n| n.collect())
+        .unwrap();
     assert_eq!(
         report.termination,
         p2g_runtime::instrument::Termination::Quiescent
@@ -91,7 +94,10 @@ fn deterministic_across_worker_counts() {
 fn instance_counts_match_model() {
     let program = build_program();
     let node = NodeBuilder::new(program).workers(4);
-    let report = node.launch(RunLimits::ages(4)).and_then(|n| n.wait()).unwrap();
+    let report = node
+        .launch(RunLimits::ages(4))
+        .and_then(|n| n.wait())
+        .unwrap();
     let ins = &report.instruments;
     assert_eq!(ins.kernel("init").unwrap().instances, 1);
     assert_eq!(ins.kernel("mul2").unwrap().instances, 4 * 5);
@@ -118,7 +124,10 @@ fn chunking_reduces_units() {
     let mut program = build_program();
     program.set_chunk_size("mul2", 5);
     let node = NodeBuilder::new(program).workers(2);
-    let report = node.launch(RunLimits::ages(3)).and_then(|n| n.wait()).unwrap();
+    let report = node
+        .launch(RunLimits::ages(3))
+        .and_then(|n| n.wait())
+        .unwrap();
     let st = report.instruments.kernel("mul2").unwrap();
     assert_eq!(st.instances, 15);
     // Chunking is opportunistic: instances that become runnable together
@@ -140,7 +149,10 @@ fn fusion_preserves_results() {
     let mut program = build_program();
     program.fuse("mul2", "plus5").unwrap();
     let node = NodeBuilder::new(program).workers(4);
-    let (report, fields) = node.launch(RunLimits::ages(3)).and_then(|n| n.collect()).unwrap();
+    let (report, fields) = node
+        .launch(RunLimits::ages(3))
+        .and_then(|n| n.collect())
+        .unwrap();
     assert_eq!(i32s(&fields, "m_data", 1), vec![25, 27, 29, 31, 33]);
     assert_eq!(i32s(&fields, "p_data", 1), vec![50, 54, 58, 62, 66]);
     // plus5 ran (instances recorded) but under mul2's dispatch (0 units of
@@ -166,7 +178,8 @@ fn gc_window_bounds_residency() {
     let program = build_program();
     let node = NodeBuilder::new(program).workers(2);
     let (_, fields) = node
-        .launch(RunLimits::ages(20).with_gc_window(4)).and_then(|n| n.collect())
+        .launch(RunLimits::ages(20).with_gc_window(4))
+        .and_then(|n| n.collect())
         .unwrap();
     let m = fields.field_by_name("m_data").unwrap();
     let resident = m.resident_ages().count();
@@ -184,7 +197,10 @@ fn kernel_failure_propagates() {
     let mut program = build_program();
     program.body("plus5", |_| Err("boom".into()));
     let node = NodeBuilder::new(program).workers(2);
-    let err = node.launch(RunLimits::ages(3)).and_then(|n| n.wait()).unwrap_err();
+    let err = node
+        .launch(RunLimits::ages(3))
+        .and_then(|n| n.wait())
+        .unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("plus5") && msg.contains("boom"), "{msg}");
 }
@@ -200,7 +216,10 @@ fn write_once_violation_detected_at_runtime() {
         Ok(())
     });
     let node = NodeBuilder::new(program).workers(2);
-    let err = node.launch(RunLimits::ages(2)).and_then(|n| n.wait()).unwrap_err();
+    let err = node
+        .launch(RunLimits::ages(2))
+        .and_then(|n| n.wait())
+        .unwrap_err();
     assert!(err.to_string().contains("write-once"), "{err}");
 }
 
@@ -209,7 +228,10 @@ fn write_once_violation_detected_at_runtime() {
 fn missing_body_rejected() {
     let program = Program::new(mul_sum_example()).unwrap();
     let node = NodeBuilder::new(program).workers(1);
-    let err = node.launch(RunLimits::ages(1)).and_then(|n| n.wait()).unwrap_err();
+    let err = node
+        .launch(RunLimits::ages(1))
+        .and_then(|n| n.wait())
+        .unwrap_err();
     assert!(err.to_string().contains("no registered body"));
 }
 
@@ -223,7 +245,8 @@ fn wall_deadline_stops_unbounded_run() {
             RunLimits::unbounded()
                 .with_deadline(std::time::Duration::from_millis(100))
                 .with_gc_window(4),
-        ).and_then(|n| n.wait())
+        )
+        .and_then(|n| n.wait())
         .unwrap();
     assert_eq!(
         report.termination,

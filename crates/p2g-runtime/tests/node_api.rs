@@ -58,7 +58,8 @@ fn consumer_program() -> Program {
 fn hold_open_node_processes_injected_stores() {
     let mut limits = RunLimits::ages(3);
     limits.hold_open = true;
-    let running = NodeBuilder::new(consumer_program()).workers(2)
+    let running = NodeBuilder::new(consumer_program())
+        .workers(2)
         .launch(limits)
         .unwrap();
 
@@ -102,8 +103,10 @@ fn hold_open_node_processes_injected_stores() {
 
 #[test]
 fn node_without_sources_quiesces_immediately_when_not_held_open() {
-    let report = NodeBuilder::new(consumer_program()).workers(1)
-        .launch(RunLimits::ages(3)).and_then(|n| n.wait())
+    let report = NodeBuilder::new(consumer_program())
+        .workers(1)
+        .launch(RunLimits::ages(3))
+        .and_then(|n| n.wait())
         .unwrap();
     assert_eq!(report.termination, Termination::Quiescent);
     assert_eq!(report.instruments.kernel("double").unwrap().instances, 0);
@@ -113,7 +116,8 @@ fn node_without_sources_quiesces_immediately_when_not_held_open() {
 fn request_stop_interrupts_held_open_node() {
     let mut limits = RunLimits::unbounded();
     limits.hold_open = true;
-    let running = NodeBuilder::new(consumer_program()).workers(1)
+    let running = NodeBuilder::new(consumer_program())
+        .workers(1)
         .launch(limits)
         .unwrap();
     std::thread::sleep(Duration::from_millis(20));
@@ -152,8 +156,10 @@ fn field_store_accessors() {
         );
         Ok(())
     });
-    let (_, fields) = NodeBuilder::new(program).workers(1)
-        .launch(RunLimits::unbounded()).and_then(|n| n.collect())
+    let (_, fields) = NodeBuilder::new(program)
+        .workers(1)
+        .launch(RunLimits::unbounded())
+        .and_then(|n| n.collect())
         .unwrap();
 
     assert_eq!(
@@ -204,8 +210,10 @@ fn timers_reachable_from_bodies() {
         ctx.store_value(0, Value::I32(all as i32));
         Ok(())
     });
-    let (_, fields) = NodeBuilder::new(program).workers(1)
-        .launch(RunLimits::unbounded()).and_then(|n| n.collect())
+    let (_, fields) = NodeBuilder::new(program)
+        .workers(1)
+        .launch(RunLimits::unbounded())
+        .and_then(|n| n.collect())
         .unwrap();
     assert_eq!(
         fields.fetch_element("out", Age(0), &[0]),

@@ -29,8 +29,10 @@ fn build_program(init_values: Vec<i32>, mul: i32, add: i32) -> Program {
 }
 
 fn run_fields(program: Program, workers: usize, ages: u64) -> Vec<(u64, Vec<i32>, Vec<i32>)> {
-    let (_, fields) = NodeBuilder::new(program).workers(workers)
-        .launch(RunLimits::ages(ages)).and_then(|n| n.collect())
+    let (_, fields) = NodeBuilder::new(program)
+        .workers(workers)
+        .launch(RunLimits::ages(ages))
+        .and_then(|n| n.collect())
         .unwrap();
     (0..ages)
         .map(|a| {

@@ -35,8 +35,10 @@ fn quiescence_always_detected() {
     // hang detector — a correct run takes milliseconds.
     for round in 0..60 {
         let workers = 1 + round % 5;
-        let report = NodeBuilder::new(tiny_program()).workers(workers)
-            .launch(RunLimits::ages(3).with_deadline(std::time::Duration::from_secs(30))).and_then(|n| n.wait())
+        let report = NodeBuilder::new(tiny_program())
+            .workers(workers)
+            .launch(RunLimits::ages(3).with_deadline(std::time::Duration::from_secs(30)))
+            .and_then(|n| n.wait())
             .unwrap();
         assert_eq!(
             report.termination,
@@ -51,8 +53,10 @@ fn quiescence_with_sourceless_completion() {
     // A program whose last action is a store-less kernel (print): the
     // final counter release is especially likely to land on a worker.
     for _ in 0..40 {
-        let report = NodeBuilder::new(tiny_program()).workers(3)
-            .launch(RunLimits::ages(1).with_deadline(std::time::Duration::from_secs(30))).and_then(|n| n.wait())
+        let report = NodeBuilder::new(tiny_program())
+            .workers(3)
+            .launch(RunLimits::ages(1).with_deadline(std::time::Duration::from_secs(30)))
+            .and_then(|n| n.wait())
             .unwrap();
         assert_eq!(report.termination, Termination::Quiescent);
     }

@@ -159,7 +159,8 @@ fn main() {
     // A single worker so the capture->encode latency is realistic.
     let node = NodeBuilder::new(program).workers(2);
     let report = node
-        .launch(RunLimits::ages(total_frames).with_gc_window(8)).and_then(|n| n.wait())
+        .launch(RunLimits::ages(total_frames).with_gc_window(8))
+        .and_then(|n| n.wait())
         .expect("run succeeds");
 
     let d = delivered.load(Ordering::Relaxed);

@@ -26,13 +26,10 @@ fn main() {
     );
 
     let cfg = config.clone();
-    let cluster = SimCluster::new(
-        ClusterConfig::nodes(nodes).workers(workers),
-        move || {
-            let (program, _) = build_kmeans_program(&cfg).expect("valid program");
-            program
-        },
-    )
+    let cluster = SimCluster::new(ClusterConfig::nodes(nodes).workers(workers), move || {
+        let (program, _) = build_kmeans_program(&cfg).expect("valid program");
+        program
+    })
     .expect("cluster builds");
 
     println!("HLS kernel assignment:");

@@ -9,8 +9,8 @@
 
 use std::time::Duration;
 
-use p2g_core::prelude::*;
 use p2g_core::graph::spec::mul_sum_example;
+use p2g_core::prelude::*;
 
 fn build() -> Program {
     let mut p = Program::new(mul_sum_example()).expect("valid spec");
@@ -67,8 +67,8 @@ fn main() {
         drop_rate * 100.0
     );
 
-    let cluster = SimCluster::new(ClusterConfig::nodes(3).with_faults(plan), build)
-        .expect("cluster builds");
+    let cluster =
+        SimCluster::new(ClusterConfig::nodes(3).with_faults(plan), build).expect("cluster builds");
     let outcome = cluster
         .run(RunLimits::ages(ages).with_deadline(Duration::from_secs(30)))
         .expect("cluster survives the faults");

@@ -43,7 +43,8 @@ fn main() {
     let (program, result) = build_kmeans_program(&config).expect("valid program");
     let node = NodeBuilder::new(program).workers(workers);
     let (report, fields) = node
-        .launch(RunLimits::ages(config.iterations)).and_then(|n| n.collect())
+        .launch(RunLimits::ages(config.iterations))
+        .and_then(|n| n.collect())
         .expect("run succeeds");
     println!("P2G ({workers} workers): {:?}", report.wall_time);
 

@@ -43,6 +43,7 @@ fn main() {
         max_frames: frames,
         fast_dct: false, // the paper's naive DCT
         dct_chunk: 1,
+        ..MjpegConfig::default()
     };
 
     // Baseline: the standalone single-threaded encoder.
@@ -58,7 +59,8 @@ fn main() {
     let (program, sink) = build_mjpeg_program(source, config).expect("valid program");
     let node = NodeBuilder::new(program).workers(workers);
     let report = node
-        .launch(RunLimits::ages(frames + 1).with_gc_window(4)).and_then(|n| n.wait())
+        .launch(RunLimits::ages(frames + 1).with_gc_window(4))
+        .and_then(|n| n.wait())
         .expect("run succeeds");
     let stream = sink.take();
     println!(
@@ -79,12 +81,7 @@ fn main() {
     print!("{}", report.instruments.render_table());
 
     std::fs::write("out.mjpeg", &stream).expect("writable out.mjpeg");
-    let avi = p2g_mjpeg::wrap_avi(
-        &stream,
-        source_dims.0 as u32,
-        source_dims.1 as u32,
-        25,
-    );
+    let avi = p2g_mjpeg::wrap_avi(&stream, source_dims.0 as u32, source_dims.1 as u32, 25);
     std::fs::write("out.avi", &avi).expect("writable out.avi");
     println!("wrote out.mjpeg and out.avi ({frames} frames, playable in standard players)");
     assert_eq!(stream, reference, "P2G output diverged from the baseline");

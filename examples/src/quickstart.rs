@@ -73,7 +73,8 @@ fn main() {
     println!("Running {ages} ages on {workers} workers...");
     let node = NodeBuilder::new(compiled.program).workers(workers);
     let report = node
-        .launch(RunLimits::ages(ages).with_gc_window(4)).and_then(|n| n.wait())
+        .launch(RunLimits::ages(ages).with_gc_window(4))
+        .and_then(|n| n.wait())
         .expect("run succeeds");
 
     println!("--- print kernel output ---");

@@ -19,11 +19,15 @@ fn i32s(fields: &p2g_core::runtime::node::FieldStore, name: &str, age: u64) -> V
 #[test]
 fn language_and_builder_apis_agree() {
     let compiled = compile_source(MUL_SUM_SOURCE).unwrap();
-    let (_, lang_fields) = NodeBuilder::new(compiled.program).workers(2)
-        .launch(RunLimits::ages(4)).and_then(|n| n.collect())
+    let (_, lang_fields) = NodeBuilder::new(compiled.program)
+        .workers(2)
+        .launch(RunLimits::ages(4))
+        .and_then(|n| n.collect())
         .unwrap();
-    let (_, rust_fields) = NodeBuilder::new(mul_sum_program()).workers(2)
-        .launch(RunLimits::ages(4)).and_then(|n| n.collect())
+    let (_, rust_fields) = NodeBuilder::new(mul_sum_program())
+        .workers(2)
+        .launch(RunLimits::ages(4))
+        .and_then(|n| n.collect())
         .unwrap();
     for age in 0..4 {
         for field in ["m_data", "p_data"] {
@@ -40,8 +44,10 @@ fn language_and_builder_apis_agree() {
 /// same program.
 #[test]
 fn cluster_and_single_node_agree() {
-    let (_, single) = NodeBuilder::new(mul_sum_program()).workers(2)
-        .launch(RunLimits::ages(3)).and_then(|n| n.collect())
+    let (_, single) = NodeBuilder::new(mul_sum_program())
+        .workers(2)
+        .launch(RunLimits::ages(3))
+        .and_then(|n| n.collect())
         .unwrap();
     let cluster = SimCluster::new(ClusterConfig::nodes(2), mul_sum_program).unwrap();
     let outcome = cluster.run(RunLimits::ages(3)).unwrap();
@@ -77,8 +83,10 @@ fn compiled_program_static_graphs() {
 /// Instrumentation feedback feeds the HLS repartitioning loop end to end.
 #[test]
 fn instrumentation_drives_repartitioning() {
-    let (report, _) = NodeBuilder::new(mul_sum_program()).workers(2)
-        .launch(RunLimits::ages(10)).and_then(|n| n.collect())
+    let (report, _) = NodeBuilder::new(mul_sum_program())
+        .workers(2)
+        .launch(RunLimits::ages(10))
+        .and_then(|n| n.collect())
         .unwrap();
 
     // Build measured weights.
@@ -110,11 +118,14 @@ fn mjpeg_end_to_end() {
         max_frames: 2,
         fast_dct: false,
         dct_chunk: 4,
+        ..MjpegConfig::default()
     };
     let reference = encode_standalone(&src, 80, 2, false);
     let (program, sink) = build_mjpeg_program(Arc::new(src), config).unwrap();
-    let report = NodeBuilder::new(program).workers(3)
-        .launch(RunLimits::ages(3)).and_then(|n| n.wait())
+    let report = NodeBuilder::new(program)
+        .workers(3)
+        .launch(RunLimits::ages(3))
+        .and_then(|n| n.wait())
         .unwrap();
     assert_eq!(sink.take(), reference);
     assert_eq!(
@@ -161,8 +172,10 @@ fn print_capture_deterministic() {
         .map(|i| {
             let compiled = compile_source(MUL_SUM_SOURCE).unwrap();
             let workers = 1 + (i % 3);
-            NodeBuilder::new(compiled.program).workers(workers)
-                .launch(RunLimits::ages(3)).and_then(|n| n.wait())
+            NodeBuilder::new(compiled.program)
+                .workers(workers)
+                .launch(RunLimits::ages(3))
+                .and_then(|n| n.wait())
                 .unwrap();
             compiled.print.take()
         })

@@ -138,7 +138,10 @@ fn reference() -> (Vec<Vec<f64>>, Vec<Vec<i32>>) {
 fn kernel_language_kmeans_matches_rust_reference() {
     let compiled = compile_source(KMEANS_SRC).expect("kmeans source compiles");
     let node = NodeBuilder::new(compiled.program).workers(4);
-    let (report, fields) = node.launch(RunLimits::ages(ITER)).and_then(|n| n.collect()).unwrap();
+    let (report, fields) = node
+        .launch(RunLimits::ages(ITER))
+        .and_then(|n| n.collect())
+        .unwrap();
 
     let (cent_hist, asg_hist) = reference();
 
@@ -172,7 +175,10 @@ fn kernel_language_kmeans_deterministic_across_workers() {
     let run = |workers: usize| {
         let compiled = compile_source(KMEANS_SRC).unwrap();
         let node = NodeBuilder::new(compiled.program).workers(workers);
-        let (_, fields) = node.launch(RunLimits::ages(ITER)).and_then(|n| n.collect()).unwrap();
+        let (_, fields) = node
+            .launch(RunLimits::ages(ITER))
+            .and_then(|n| n.collect())
+            .unwrap();
         fields
             .fetch("centroids", Age(ITER), &Region::all(2))
             .unwrap()

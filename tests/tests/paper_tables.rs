@@ -21,10 +21,13 @@ fn table2_instance_formulas_hold() {
         max_frames: frames,
         fast_dct: true,
         dct_chunk: 1,
+        ..MjpegConfig::default()
     };
     let (program, _) = build_mjpeg_program(Arc::new(src), config).unwrap();
-    let report = NodeBuilder::new(program).workers(2)
-        .launch(RunLimits::ages(frames + 1)).and_then(|n| n.wait())
+    let report = NodeBuilder::new(program)
+        .workers(2)
+        .launch(RunLimits::ages(frames + 1))
+        .and_then(|n| n.wait())
         .unwrap();
     let ins = &report.instruments;
 
@@ -49,10 +52,13 @@ fn table2_dct_kernel_time_dominates_dispatch() {
         max_frames: 2,
         fast_dct: false, // naive DCT, as the paper measures
         dct_chunk: 1,
+        ..MjpegConfig::default()
     };
     let (program, _) = build_mjpeg_program(Arc::new(src), config).unwrap();
-    let report = NodeBuilder::new(program).workers(2)
-        .launch(RunLimits::ages(3)).and_then(|n| n.wait())
+    let report = NodeBuilder::new(program)
+        .workers(2)
+        .launch(RunLimits::ages(3))
+        .and_then(|n| n.wait())
         .unwrap();
     let ydct = report.instruments.kernel("yDCT").unwrap();
     assert!(
@@ -78,8 +84,10 @@ fn table3_instance_formulas_hold() {
         assign_chunk: 1,
     };
     let (program, _) = build_kmeans_program(&config).unwrap();
-    let report = NodeBuilder::new(program).workers(2)
-        .launch(RunLimits::ages(config.iterations)).and_then(|n| n.wait())
+    let report = NodeBuilder::new(program)
+        .workers(2)
+        .launch(RunLimits::ages(config.iterations))
+        .and_then(|n| n.wait())
         .unwrap();
     let ins = &report.instruments;
     assert_eq!(ins.kernel("init").unwrap().instances, 1);
@@ -106,8 +114,10 @@ fn table3_assign_granularity_vs_dct() {
         assign_chunk: 1,
     };
     let (kprogram, _) = build_kmeans_program(&kconfig).unwrap();
-    let kreport = NodeBuilder::new(kprogram).workers(2)
-        .launch(RunLimits::ages(kconfig.iterations)).and_then(|n| n.wait())
+    let kreport = NodeBuilder::new(kprogram)
+        .workers(2)
+        .launch(RunLimits::ages(kconfig.iterations))
+        .and_then(|n| n.wait())
         .unwrap();
     let assign = kreport.instruments.kernel("assign").unwrap();
 
@@ -117,10 +127,13 @@ fn table3_assign_granularity_vs_dct() {
         max_frames: 2,
         fast_dct: false,
         dct_chunk: 1,
+        ..MjpegConfig::default()
     };
     let (mprogram, _) = build_mjpeg_program(Arc::new(src), mconfig).unwrap();
-    let mreport = NodeBuilder::new(mprogram).workers(2)
-        .launch(RunLimits::ages(3)).and_then(|n| n.wait())
+    let mreport = NodeBuilder::new(mprogram)
+        .workers(2)
+        .launch(RunLimits::ages(3))
+        .and_then(|n| n.wait())
         .unwrap();
     let ydct = mreport.instruments.kernel("yDCT").unwrap();
 
@@ -147,8 +160,10 @@ fn kmeans_converges_under_p2g() {
         assign_chunk: 1,
     };
     let (program, result) = build_kmeans_program(&config).unwrap();
-    NodeBuilder::new(program).workers(4)
-        .launch(RunLimits::ages(config.iterations)).and_then(|n| n.wait())
+    NodeBuilder::new(program)
+        .workers(4)
+        .launch(RunLimits::ages(config.iterations))
+        .and_then(|n| n.wait())
         .unwrap();
     let log = result.inertia_log();
     assert_eq!(log.len(), 8);

@@ -19,10 +19,13 @@ fn p2g_encoded_video_decodes_with_high_fidelity() {
         max_frames: frames,
         fast_dct: true,
         dct_chunk: 1,
+        ..MjpegConfig::default()
     };
     let (program, sink) = build_mjpeg_program(Arc::new(src.clone()), config).unwrap();
-    NodeBuilder::new(program).workers(4)
-        .launch(RunLimits::ages(frames + 1)).and_then(|n| n.wait())
+    NodeBuilder::new(program)
+        .workers(4)
+        .launch(RunLimits::ages(frames + 1))
+        .and_then(|n| n.wait())
         .unwrap();
     let stream = sink.take();
 
@@ -49,10 +52,13 @@ fn lower_quality_still_decodes_but_smaller() {
             max_frames: frames,
             fast_dct: true,
             dct_chunk: 2,
+            ..MjpegConfig::default()
         };
         let (program, sink) = build_mjpeg_program(Arc::new(src.clone()), config).unwrap();
-        NodeBuilder::new(program).workers(2)
-            .launch(RunLimits::ages(frames + 1)).and_then(|n| n.wait())
+        NodeBuilder::new(program)
+            .workers(2)
+            .launch(RunLimits::ages(frames + 1))
+            .and_then(|n| n.wait())
             .unwrap();
         sink.take()
     };

@@ -10,18 +10,23 @@
 //!
 //! Usage:
 //! `cargo run -p p2g-bench --bin analyzer_throughput --release -- \
-//!    [--n 2000] [--k 100] [--ages 10] [--reps 3] [--quick] \
+//!    [--n 2000] [--k 100] [--ages 10] [--reps 3] [--quick] [--trace] \
 //!    [--label after] [--out BENCH_analyzer.json]`
+//!
+//! `--trace` records a structured trace event per fed store (the same
+//! per-store record a tracing-enabled worker performs), measuring the
+//! tracing hot-path overhead against an untraced run of the same storm.
 
 use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use p2g_bench::{arg, write_result};
+use p2g_bench::{arg, has_flag, write_result};
 use p2g_core::prelude::*;
 use p2g_core::runtime::analyzer::{DependencyAnalyzer, SharedFields};
 use p2g_core::runtime::events::Event;
+use p2g_core::runtime::trace::{TraceEvent, Tracer};
 
 mod event_shim {
     //! Builds a [`StoreEvent`] from a just-applied store the way the node's
@@ -68,7 +73,7 @@ struct StormStats {
 /// One full storm: seed, init stores, then per age `n` one-element
 /// assignment stores and `k` centroid row stores, synchronously through the
 /// analyzer. Returns per-event latencies and dispatch totals.
-fn run_storm(n: usize, k: usize, ages: u64) -> StormStats {
+fn run_storm(n: usize, k: usize, ages: u64, tracer: Option<&Tracer>) -> StormStats {
     let spec = Arc::new(p2g_kmeans::pipeline::kmeans_spec(n, k, 2));
     let fields: SharedFields = Arc::new(
         spec.fields
@@ -94,6 +99,24 @@ fn run_storm(n: usize, k: usize, ages: u64) -> StormStats {
 
     let mut feed = |an: &mut DependencyAnalyzer, ev: Event| {
         let t = Instant::now();
+        // With --trace, pay the same per-store record a tracing-enabled
+        // worker pays before publishing the event.
+        if let Some(tr) = tracer {
+            if let Event::Store(se) = &ev {
+                tr.record(
+                    0,
+                    TraceEvent::StoreApplied {
+                        kernel: None,
+                        field: se.field,
+                        age: se.age.0,
+                        region: se.region.clone(),
+                        elements: se.elements,
+                        deduped: 0,
+                        age_complete: se.age_complete,
+                    },
+                );
+            }
+        }
         let out = an.on_event(&ev).expect("analyzer accepts event");
         lat_ns.push(t.elapsed().as_nanos() as u64);
         events += 1;
@@ -165,12 +188,16 @@ fn main() {
     let reps: usize = arg("--reps", if quick { 1 } else { 3 });
     let label: String = arg("--label", "current".to_string());
     let out_name: String = arg("--out", "BENCH_analyzer.json".to_string());
+    let traced = has_flag("--trace");
+    let tracer = traced.then(|| Tracer::new(vec!["bench".into()], 1 << 16));
 
-    eprintln!("analyzer_throughput: n={n} k={k} ages={ages} reps={reps} label={label}");
+    eprintln!(
+        "analyzer_throughput: n={n} k={k} ages={ages} reps={reps} label={label} trace={traced}"
+    );
 
     let mut best: Option<StormStats> = None;
     for rep in 0..reps.max(1) {
-        let s = run_storm(n, k, ages);
+        let s = run_storm(n, k, ages, tracer.as_ref());
         eprintln!(
             "  rep {rep}: {} events in {:.4}s  ({:.0} events/s, {} units, {} instances)",
             s.events,

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use p2g_bench::{arg, hwinfo, logical_cpus, sweep_workers, write_result};
+use p2g_bench::{arg, has_flag, hwinfo, logical_cpus, sweep_workers, write_result};
 use p2g_core::prelude::*;
 use p2g_kmeans::{build_kmeans_program, KmeansConfig};
 
@@ -43,10 +43,13 @@ fn main() {
         };
         let (program, _) = build_kmeans_program(&config).expect("valid program");
         let node = NodeBuilder::new(program).workers(threads);
+        // --trace measures the sweep with structured tracing enabled.
+        let mut limits = RunLimits::ages(kmeans_iters);
+        if has_flag("--trace") {
+            limits = limits.with_trace();
+        }
         let t0 = Instant::now();
-        node.launch(RunLimits::ages(kmeans_iters))
-            .and_then(|n| n.wait())
-            .expect("run succeeds");
+        node.launch(limits).and_then(|n| n.wait()).expect("run succeeds");
         t0.elapsed()
     });
 

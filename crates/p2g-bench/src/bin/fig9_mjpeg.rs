@@ -13,7 +13,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use p2g_bench::{arg, hwinfo, logical_cpus, sweep_workers, write_result};
+use p2g_bench::{arg, has_flag, hwinfo, logical_cpus, sweep_workers, write_result};
 use p2g_core::prelude::*;
 use p2g_mjpeg::{build_mjpeg_program, encode_standalone, MjpegConfig, SyntheticVideo};
 
@@ -58,10 +58,13 @@ fn main() {
         };
         let (program, sink) = build_mjpeg_program(source, config).expect("valid program");
         let node = NodeBuilder::new(program).workers(threads);
+        // --trace measures the sweep with structured tracing enabled.
+        let mut limits = RunLimits::ages(frames + 1).with_gc_window(4);
+        if has_flag("--trace") {
+            limits = limits.with_trace();
+        }
         let t0 = Instant::now();
-        node.launch(RunLimits::ages(frames + 1).with_gc_window(4))
-            .and_then(|n| n.wait())
-            .expect("run succeeds");
+        node.launch(limits).and_then(|n| n.wait()).expect("run succeeds");
         let dt = t0.elapsed();
         assert!(!sink.take().is_empty());
         dt

@@ -109,10 +109,15 @@ pub fn logical_cpus() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Write a result artifact under `results/`, creating the directory.
+/// Write a result artifact under `results/` (creating the directory), or
+/// verbatim when `name` is an absolute path.
 pub fn write_result(name: &str, contents: &str) {
-    std::fs::create_dir_all("results").ok();
-    let path = format!("results/{name}");
+    let path = if std::path::Path::new(name).is_absolute() {
+        name.to_string()
+    } else {
+        std::fs::create_dir_all("results").ok();
+        format!("results/{name}")
+    };
     std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {path}: {e}"));
     eprintln!("wrote {path}");
 }
@@ -125,6 +130,11 @@ pub fn arg<T: std::str::FromStr>(flag: &str, default: T) -> T {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// True when a bare `--flag` is present.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
 }
 
 #[cfg(test)]

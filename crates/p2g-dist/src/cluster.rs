@@ -37,6 +37,7 @@ use p2g_field::{Age, Buffer, FieldId, Region, Value};
 use p2g_graph::{KernelId, NodeId, NodeSpec, ProgramSpec};
 use p2g_runtime::instrument::RunReport;
 use p2g_runtime::node::{FieldStore, NodeBuilder, RunningNode};
+use p2g_runtime::trace::{RunTrace, TraceEvent, Tracer};
 use p2g_runtime::{Program, RunLimits, RuntimeError};
 
 use crate::master::MasterNode;
@@ -213,6 +214,10 @@ pub struct ClusterOutcome {
     pub lost_sends: u64,
     /// Store regions replayed to new owners during recovery.
     pub redelivered_stores: u64,
+    /// Cluster-level trace (store forwards, deliveries, node deaths,
+    /// replans) when the run limits enabled tracing. Per-node execution
+    /// traces live on the individual [`RunReport`]s.
+    pub dist_trace: Option<RunTrace>,
 }
 
 impl ClusterOutcome {
@@ -331,6 +336,18 @@ impl SimCluster {
         // Subscription map: shared so recovery can re-target forwarding.
         let subscribers = Arc::new(RwLock::new(subscribers_for(&spec, &assignment)));
 
+        // Cluster-level tracer: one buffer per node (taps + delivery
+        // threads) plus one for the coordinator. Node-internal execution
+        // traces are recorded by the nodes themselves, since the trace
+        // option rides along on the node limits.
+        let coord_tid = node_ids.len() as u32;
+        let dist_tracer = limits.trace.as_ref().map(|opts| {
+            let mut labels: Vec<String> =
+                node_ids.iter().map(|id| format!("node-{}", id.0)).collect();
+            labels.push("coordinator".into());
+            Arc::new(Tracer::new(labels, opts.capacity))
+        });
+
         // Node limits: hold open for remote stores; the coordinator owns
         // the wall deadline.
         let mut node_limits = limits.clone();
@@ -342,6 +359,7 @@ impl SimCluster {
         for (program, &node_id) in programs.into_iter().zip(&node_ids) {
             let tap_net = net.clone();
             let tap_subs = subscribers.clone();
+            let tap_tracer = dist_tracer.clone();
             let src = node_id;
             let node = NodeBuilder::new(program)
                 .workers(config.workers_for(node_id.0 as usize))
@@ -353,6 +371,17 @@ impl SimCluster {
                         .map(|subs| subs.iter().copied().filter(|&d| d != src).collect())
                         .unwrap_or_default();
                     for dst in dsts {
+                        if let Some(t) = &tap_tracer {
+                            t.record(
+                                src.0,
+                                TraceEvent::Send {
+                                    from: src,
+                                    to: dst,
+                                    field,
+                                    age: age.0,
+                                },
+                            );
+                        }
                         // Failure here means the destination died; the
                         // recovery replay covers it.
                         let _ = tap_net.send_with_retry(
@@ -381,6 +410,7 @@ impl SimCluster {
             let node = running[i].clone();
             let net = net.clone();
             let stop = deliver_stop.clone();
+            let tracer = dist_tracer.clone();
             delivery_handles.push(
                 std::thread::Builder::new()
                     .name(format!("p2g-deliver-{}", node_id.0))
@@ -417,6 +447,16 @@ impl SimCluster {
                                         buffer,
                                     },
                                 )) => {
+                                    if let Some(t) = &tracer {
+                                        t.record(
+                                            node_id.0,
+                                            TraceEvent::Recv {
+                                                node: node_id,
+                                                field,
+                                                age: age.0,
+                                            },
+                                        );
+                                    }
                                     node.inject_remote_store(field, age, region, buffer);
                                     net.delivered();
                                 }
@@ -465,6 +505,9 @@ impl SimCluster {
                 let id = node_ids[i];
                 alive[i] = false;
                 failed_nodes.push(id);
+                if let Some(t) = &dist_tracer {
+                    t.record(coord_tid, TraceEvent::NodeDeath { node: id });
+                }
                 // 1. Fail-stop the node and sever it from the network.
                 running[i].request_stop();
                 net.disconnect(id);
@@ -476,6 +519,14 @@ impl SimCluster {
                 // 2. Re-plan over the survivors (no fresh instrumentation
                 // yet: structural weights).
                 assignment = master.replan(&spec, &BTreeMap::new(), &BTreeMap::new());
+                if let Some(t) = &dist_tracer {
+                    t.record(
+                        coord_tid,
+                        TraceEvent::Replan {
+                            survivors: survivors.iter().map(|&j| node_ids[j]).collect(),
+                        },
+                    );
+                }
                 // 3. Re-target store forwarding before survivors re-run
                 // anything, so re-executed stores reach the new owners.
                 *subscribers.write() = subscribers_for(&spec, &assignment);
@@ -562,6 +613,8 @@ impl SimCluster {
             fields.push((id, store));
         }
 
+        let dist_trace = dist_tracer.map(|t| t.capture(Arc::new(spec.clone())));
+
         Ok(ClusterOutcome {
             reports,
             fields,
@@ -571,6 +624,7 @@ impl SimCluster {
             assignment,
             failed_nodes,
             redelivered_stores,
+            dist_trace,
         })
     }
 }

@@ -99,7 +99,7 @@ fn node_killed_mid_run_recovers_to_identical_results() {
     let config = ClusterConfig::nodes(3).with_faults(plan);
     let cluster = SimCluster::new(config, build_mul_sum).unwrap();
     let outcome = cluster
-        .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)))
+        .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)).with_trace())
         .unwrap();
 
     assert_eq!(
@@ -107,6 +107,16 @@ fn node_killed_mid_run_recovers_to_identical_results() {
         vec![NodeId(1)],
         "the scheduled kill must have been detected"
     );
+    // Trace invariants hold on every node, including the killed one, and
+    // the cluster trace records the death and the recovery re-plan.
+    for (_, report) in &outcome.reports {
+        p2g_runtime::trace_check::all(report);
+    }
+    let dist = outcome.dist_trace.as_ref().expect("cluster trace enabled");
+    assert!(dist.of_kind("NodeDeath").count() >= 1);
+    assert!(dist.of_kind("Replan").count() >= 1);
+    assert!(dist.of_kind("Send").count() >= 1);
+    assert!(dist.of_kind("Recv").count() >= 1);
     assert!(
         !outcome.assignment.contains_key(&NodeId(1)),
         "recovery re-planned over the survivors"
@@ -135,13 +145,17 @@ fn duplicate_deliveries_are_absorbed_by_dedup() {
     let cluster =
         SimCluster::new(ClusterConfig::nodes(2).with_faults(plan), build_mul_sum).unwrap();
     let outcome = cluster
-        .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)))
+        .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)).with_trace())
         .unwrap();
     assert_eq!(outcome_fields(&outcome, AGES), want);
     assert!(
         outcome.total_deduped() > 0,
         "duplicated deliveries must have hit the dedup path"
     );
+    // Write-once must hold per node even under duplicate deliveries.
+    for (_, report) in &outcome.reports {
+        p2g_runtime::trace_check::all(report);
+    }
 }
 
 #[test]
@@ -251,12 +265,15 @@ fn poisoned_kernel_failure_stays_local_no_replan() {
     let cluster = SimCluster::new(ClusterConfig::nodes(2), build).unwrap();
     let initial_assignment = cluster.assignment().clone();
     let outcome = cluster
-        .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)))
+        .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)).with_trace())
         .unwrap();
     assert!(
         outcome.failed_nodes.is_empty(),
         "a poisoned kernel failure must not be treated as node death"
     );
+    for (_, report) in &outcome.reports {
+        p2g_runtime::trace_check::all(report);
+    }
     assert_eq!(
         outcome.assignment, initial_assignment,
         "no re-plan under local degradation"

@@ -1,0 +1,115 @@
+//! Property-based tests for [`ShapedBitmap`] against a
+//! `HashSet<Vec<usize>>` oracle: membership, duplicate detection, counts
+//! and — crucially — bit remapping across grows, including indices set
+//! *before* a grow that shifts the row-major layout.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use p2g_field::{Extents, ShapedBitmap};
+
+/// 1–3 dimensions, each 1..6 — small enough to enumerate exhaustively.
+fn dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..6, 1..4)
+}
+
+/// A ceiling shape plus a sequence of multi-indices inside it. The
+/// vendored proptest has no flat-map, so indices are drawn as raw seeds
+/// and folded into the shape with a modulo per dimension.
+fn shape_and_indices() -> impl Strategy<Value = (Vec<usize>, Vec<Vec<usize>>)> {
+    let seeds = prop::collection::vec(prop::collection::vec(0usize..1024, 3..=3), 0..40);
+    (dims(), seeds).prop_map(|(max, seeds)| {
+        let indices = seeds
+            .into_iter()
+            .map(|raw| {
+                max.iter()
+                    .zip(raw)
+                    .map(|(&d, r)| r % d)
+                    .collect::<Vec<usize>>()
+            })
+            .collect();
+        (max, indices)
+    })
+}
+
+/// Every index of `extents`, row-major.
+fn all_indices(extents: &Extents) -> Vec<Vec<usize>> {
+    (0..extents.len()).map(|lin| extents.delinearize(lin)).collect()
+}
+
+proptest! {
+    /// Interleaved set/grow against the oracle: the bitmap must agree with
+    /// the set of inserted indices at every step, no matter how many grows
+    /// (and bit remaps) happen in between. Indices outside the current
+    /// shape grow it first — the pre-grow path: bits set under the old
+    /// layout must survive the remap.
+    #[test]
+    fn round_trip_vs_hashset_oracle((max, indices) in shape_and_indices()) {
+        // Start from the smallest shape that addresses the first index (or
+        // a unit shape), so most runs begin *smaller* than the ceiling and
+        // grow on demand.
+        let start = Extents::new(vec![1usize; max.len()]);
+        let mut bitmap = ShapedBitmap::new(start);
+        let mut oracle: HashSet<Vec<usize>> = HashSet::new();
+
+        for idx in &indices {
+            // Grow-on-demand, as the runtime does before out-of-shape sets.
+            let needed = Extents::new(idx.iter().map(|&i| i + 1).collect::<Vec<_>>());
+            bitmap.grow(&needed);
+            prop_assert!(needed.fits_within(bitmap.extents()));
+
+            let fresh = bitmap.set(idx);
+            prop_assert_eq!(fresh, oracle.insert(idx.clone()), "set({:?})", idx);
+            prop_assert_eq!(bitmap.count(), oracle.len());
+        }
+
+        // Final full sweep: membership agrees everywhere, including
+        // indices the oracle never saw.
+        for idx in all_indices(bitmap.extents()) {
+            prop_assert_eq!(bitmap.get(&idx), oracle.contains(&idx), "get({:?})", idx);
+        }
+        // Out-of-shape reads are unset, never a panic.
+        let outside: Vec<usize> = bitmap.extents().0.clone();
+        prop_assert!(!bitmap.get(&outside));
+    }
+
+    /// A single big grow after seeding bits: every seeded bit survives at
+    /// its multi-index even though its linear position changed.
+    #[test]
+    fn grow_remaps_seeded_bits((small, big) in (dims(), dims())) {
+        let n = small.len().min(big.len());
+        let small = Extents::new(small[..n].to_vec());
+        let big_req = Extents::new(big[..n].to_vec());
+
+        let mut bitmap = ShapedBitmap::new(small.clone());
+        let mut oracle = HashSet::new();
+        // Seed a deterministic pattern: every other linear index.
+        for lin in (0..small.len()).step_by(2) {
+            let idx = small.delinearize(lin);
+            bitmap.set(&idx);
+            oracle.insert(idx);
+        }
+
+        bitmap.grow(&big_req);
+        // Grow is a union: the old shape always still fits.
+        prop_assert!(small.fits_within(bitmap.extents()));
+        prop_assert_eq!(bitmap.count(), oracle.len());
+        for idx in all_indices(bitmap.extents()) {
+            prop_assert_eq!(bitmap.get(&idx), oracle.contains(&idx), "get({:?})", idx);
+        }
+    }
+
+    /// Linear and multi-index addressing agree under the current shape.
+    #[test]
+    fn linear_and_multi_index_agree((max, indices) in shape_and_indices()) {
+        let extents = Extents::new(max);
+        let mut bitmap = ShapedBitmap::new(extents.clone());
+        for idx in &indices {
+            bitmap.set(idx);
+        }
+        for lin in 0..extents.len() {
+            prop_assert_eq!(bitmap.get_linear(lin), bitmap.get(&extents.delinearize(lin)));
+        }
+    }
+}

@@ -7,9 +7,14 @@
 //! per-kernel instrumentation table.
 //!
 //! Usage:
-//!   p2gc run <file.p2g> [--ages N] [--workers W] [--gc-window W]
+//!   p2gc run <file.p2g> [--ages N] [--workers W] [--gc-window W] [--trace-out PATH]
 //!   p2gc check <file.p2g>
 //!   p2gc graph <file.p2g>        # dump Figures 2/3 style dot graphs
+//!
+//! `--trace-out` enables structured run tracing and writes the merged
+//! trace after the run: Chrome trace-viewer JSON (`chrome://tracing`,
+//! Perfetto) when the path ends in `.json`, JSONL (one event object per
+//! line) otherwise.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -20,7 +25,7 @@ use p2g_runtime::{FaultPolicy, NodeBuilder, RunLimits};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--gc-window W] [--deadline-ms D]\n                      [--retries R] [--kernel-deadline-ms D]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>\n\nfault isolation (applies to every kernel, degrade instead of abort):\n  --retries R             retry failed kernel instances up to R times\n  --kernel-deadline-ms D  flag instances overrunning D ms for cancellation"
+        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--gc-window W] [--deadline-ms D]\n                      [--retries R] [--kernel-deadline-ms D] [--trace-out PATH]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>\n\nfault isolation (applies to every kernel, degrade instead of abort):\n  --retries R             retry failed kernel instances up to R times\n  --kernel-deadline-ms D  flag instances overrunning D ms for cancellation\n\ntracing:\n  --trace-out PATH        record a structured run trace; write Chrome\n                          trace-viewer JSON if PATH ends in .json, else JSONL"
     );
     ExitCode::from(2)
 }
@@ -86,6 +91,10 @@ fn main() -> ExitCode {
             // Fault isolation: with either flag set, kernel failures are
             // retried and then degrade (poison dependents) instead of
             // aborting the whole run.
+            let trace_out = flag::<String>(&args, "--trace-out");
+            if trace_out.is_some() {
+                limits = limits.with_trace();
+            }
             let retries = flag::<u32>(&args, "--retries");
             let kernel_deadline = flag::<u64>(&args, "--kernel-deadline-ms");
             if retries.is_some() || kernel_deadline.is_some() {
@@ -105,6 +114,19 @@ fn main() -> ExitCode {
                         report.termination, report.wall_time
                     );
                     eprint!("{}", report.instruments.render_table());
+                    if let Some(out) = trace_out {
+                        let trace = report.trace.as_ref().expect("tracing was enabled");
+                        let body = if out.ends_with(".json") {
+                            trace.to_chrome_json()
+                        } else {
+                            trace.to_jsonl()
+                        };
+                        if let Err(e) = std::fs::write(&out, body) {
+                            eprintln!("p2gc: cannot write trace to {out}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("trace: {} events -> {out}", trace.len());
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

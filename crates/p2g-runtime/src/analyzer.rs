@@ -173,6 +173,10 @@ pub struct DependencyAnalyzer {
     /// True once anything was poisoned: the run terminates
     /// [`crate::instrument::Termination::Degraded`] instead of `Quiescent`.
     degraded: bool,
+    /// Tracer handle + the analyzer thread's buffer id: remote stores are
+    /// applied here (not on a worker), so their `StoreApplied` events are
+    /// recorded here too.
+    tracer: Option<(Arc<crate::trace::Tracer>, u32)>,
 }
 
 impl DependencyAnalyzer {
@@ -268,6 +272,7 @@ impl DependencyAnalyzer {
             pending_poison: Vec::new(),
             poisoned_drain: Vec::new(),
             degraded: false,
+            tracer: None,
             spec,
         }
     }
@@ -290,6 +295,12 @@ impl DependencyAnalyzer {
     /// Restrict dispatch to an assigned kernel subset (distributed mode).
     pub fn set_assigned(&mut self, assigned: HashSet<KernelId>) {
         self.assigned = Some(assigned);
+    }
+
+    /// Attach the node's tracer (with the analyzer thread's buffer id) so
+    /// remote-store applications are traced.
+    pub fn set_tracer(&mut self, tracer: Arc<crate::trace::Tracer>, tid: u32) {
+        self.tracer = Some((tracer, tid));
     }
 
     /// True when this node runs the given kernel.
@@ -357,6 +368,20 @@ impl DependencyAnalyzer {
                     (o, resolved, extents)
                 };
                 self.deduped += o.deduped as u64;
+                if let Some((t, tid)) = &self.tracer {
+                    t.record(
+                        *tid,
+                        crate::trace::store_event(
+                            None,
+                            *field,
+                            *age,
+                            resolved.clone(),
+                            o.stored,
+                            o.deduped,
+                            o.age_complete,
+                        ),
+                    );
+                }
                 let se = StoreEvent {
                     field: *field,
                     age: *age,

@@ -9,6 +9,110 @@ use std::time::Duration;
 use p2g_field::FieldId;
 use p2g_graph::KernelId;
 
+use crate::trace::RunTrace;
+
+/// Number of log₂ latency buckets: bucket `i` covers `[2^i, 2^(i+1))`
+/// nanoseconds, so the histogram spans 1 ns to ~9 minutes.
+pub const LATENCY_BUCKETS: usize = 40;
+
+const fn latency_bucket(ns: u64) -> usize {
+    let ns = if ns == 0 { 1 } else { ns };
+    let b = (63 - ns.leading_zeros()) as usize;
+    if b >= LATENCY_BUCKETS {
+        LATENCY_BUCKETS - 1
+    } else {
+        b
+    }
+}
+
+/// Lock-free log-bucketed latency accumulator (one per kernel).
+#[derive(Debug)]
+pub struct LatencyCounters {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyCounters {
+    fn default() -> LatencyCounters {
+        LatencyCounters {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyCounters {
+    fn record(&self, d: Duration) {
+        let b = latency_bucket(d.as_nanos() as u64);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An owned log₂-bucketed latency histogram: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` nanoseconds. Quantiles report the upper bound of the
+/// bucket containing the requested rank (conservative: never understates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Raw bucket counts (bucket `i` = `[2^i, 2^(i+1))` ns).
+    pub fn buckets(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`, as the upper bound of the
+    /// bucket holding that rank. Zero when no samples were recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Duration::from_nanos(1u64 << (i + 1));
+            }
+        }
+        Duration::from_nanos(1u64 << LATENCY_BUCKETS)
+    }
+
+    /// Median latency (upper bucket bound).
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency (upper bucket bound).
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency (upper bucket bound).
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
 /// Lock-free accumulator for one kernel definition.
 #[derive(Debug, Default)]
 pub struct KernelCounters {
@@ -35,17 +139,33 @@ pub struct KernelCounters {
     /// Instances skipped by poison propagation: this kernel's own
     /// exhausted-retry instances plus transitively dependent ones.
     pub poisoned: AtomicU64,
+    /// Log-bucketed per-instance body-latency histogram.
+    pub latency: LatencyCounters,
 }
 
-/// A snapshot of one kernel's counters, averaged per instance.
+/// A snapshot of one kernel's counters.
+///
+/// The timing means come in two denominators. `dispatch_time` and
+/// `kernel_time` are **per-instance** means — the convention of the
+/// paper's Tables II/III, where one instance is one dispatch. Under
+/// chunking (`KernelOptions::chunk_size > 1`) a single dispatch unit
+/// covers many instances, so the per-instance dispatch mean understates
+/// the cost of one scheduler round trip; use
+/// [`KernelStats::dispatch_time_per_unit`] for that reading.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelStats {
     pub instances: u64,
+    /// Dispatch units executed (equals `instances` unless chunking merged
+    /// several instances per unit).
     pub units: u64,
-    /// Mean dispatch overhead per instance.
+    /// Mean dispatch overhead **per instance** (Tables II/III convention).
     pub dispatch_time: Duration,
-    /// Mean time in kernel code per instance.
+    /// Mean time in kernel code **per instance**.
     pub kernel_time: Duration,
+    /// Total dispatch overhead across all units of this kernel.
+    pub dispatch_total: Duration,
+    /// Total time in kernel code across all instances.
+    pub kernel_total: Duration,
     /// Total elements stored.
     pub stored_elements: u64,
     /// Failed instance executions (every attempt counts).
@@ -56,17 +176,38 @@ pub struct KernelStats {
     pub deadline_misses: u64,
     /// Instances skipped by poison propagation.
     pub poisoned: u64,
+    /// Per-instance body-latency histogram (p50/p95/p99).
+    pub latency: LatencyHistogram,
 }
 
 impl KernelStats {
-    /// Mean dispatch time in microseconds (the unit of the paper's tables).
+    /// Mean dispatch time per instance in microseconds (the unit of the
+    /// paper's tables).
     pub fn dispatch_us(&self) -> f64 {
         self.dispatch_time.as_nanos() as f64 / 1000.0
     }
 
-    /// Mean kernel time in microseconds.
+    /// Mean kernel time per instance in microseconds.
     pub fn kernel_us(&self) -> f64 {
         self.kernel_time.as_nanos() as f64 / 1000.0
+    }
+
+    /// Mean dispatch overhead per **dispatch unit** — the cost of one
+    /// scheduler round trip. Equal to `dispatch_time` when `chunk_size`
+    /// is 1; larger under chunking (one unit amortizes over many
+    /// instances).
+    pub fn dispatch_time_per_unit(&self) -> Duration {
+        self.dispatch_total / self.units.max(1) as u32
+    }
+
+    /// Mean kernel time per dispatch unit.
+    pub fn kernel_time_per_unit(&self) -> Duration {
+        self.kernel_total / self.units.max(1) as u32
+    }
+
+    /// Mean dispatch time per unit in microseconds.
+    pub fn dispatch_us_per_unit(&self) -> f64 {
+        self.dispatch_time_per_unit().as_nanos() as f64 / 1000.0
     }
 }
 
@@ -213,6 +354,11 @@ impl Instruments {
             .fetch_add(body.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Record one body execution's latency into the kernel's histogram.
+    pub fn record_latency(&self, kernel: KernelId, elapsed: Duration) {
+        self.kernels[kernel.idx()].1.latency.record(elapsed);
+    }
+
     /// Record elements stored by a kernel into a field.
     pub fn record_store(&self, kernel: KernelId, field: FieldId, elements: u64) {
         self.kernels[kernel.idx()]
@@ -227,16 +373,21 @@ impl Instruments {
         let c = &self.kernels[kernel.idx()].1;
         let instances = c.instances.load(Ordering::Relaxed);
         let div = instances.max(1);
+        let dispatch_ns = c.dispatch_ns.load(Ordering::Relaxed);
+        let kernel_ns = c.kernel_ns.load(Ordering::Relaxed);
         KernelStats {
             instances,
             units: c.units.load(Ordering::Relaxed),
-            dispatch_time: Duration::from_nanos(c.dispatch_ns.load(Ordering::Relaxed) / div),
-            kernel_time: Duration::from_nanos(c.kernel_ns.load(Ordering::Relaxed) / div),
+            dispatch_time: Duration::from_nanos(dispatch_ns / div),
+            kernel_time: Duration::from_nanos(kernel_ns / div),
+            dispatch_total: Duration::from_nanos(dispatch_ns),
+            kernel_total: Duration::from_nanos(kernel_ns),
             stored_elements: c.stored_elements.load(Ordering::Relaxed),
             failures: c.failures.load(Ordering::Relaxed),
             retries: c.retries.load(Ordering::Relaxed),
             deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
             poisoned: c.poisoned.load(Ordering::Relaxed),
+            latency: c.latency.snapshot(),
         }
     }
 
@@ -327,6 +478,9 @@ pub struct RunReport {
     pub wall_time: Duration,
     /// Final instrumentation snapshot.
     pub instruments: InstrumentsSnapshot,
+    /// The merged structured event trace, when tracing was enabled
+    /// ([`crate::RunLimits::with_trace`] or the `trace` cargo feature).
+    pub trace: Option<RunTrace>,
 }
 
 /// An owned snapshot of [`Instruments`] usable after the node is dropped.
@@ -406,6 +560,12 @@ impl InstrumentsSnapshot {
     /// Stats for a kernel by name.
     pub fn kernel(&self, name: &str) -> Option<&KernelStats> {
         self.entries.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Body-latency percentiles `(p50, p95, p99)` for a kernel by name.
+    pub fn latency_quantiles(&self, name: &str) -> Option<(Duration, Duration, Duration)> {
+        self.kernel(name)
+            .map(|s| (s.latency.p50(), s.latency.p95(), s.latency.p99()))
     }
 
     /// All kernel stats in definition order.

@@ -58,17 +58,20 @@ pub mod options;
 pub mod program;
 pub mod ready;
 pub mod timer;
+pub mod trace;
+pub mod trace_check;
 mod watchdog;
 
 pub use analyzer::DependencyAnalyzer;
 pub use error::RuntimeError;
 pub use events::{Event, StoreEvent};
 pub use instance::InstanceKey;
-pub use instrument::{Instruments, KernelStats, RunReport, Termination};
+pub use instrument::{Instruments, KernelStats, LatencyHistogram, RunReport, Termination};
 pub use node::{ExecutionNode, FieldStore, NodeBuilder, NodeHandle, RunningNode, StoreTap};
 pub use options::{ExhaustPolicy, FaultPolicy, KernelOptions, RunLimits};
 pub use program::{BodyResult, KernelCtx, Program};
 pub use timer::TimerTable;
+pub use trace::{RunTrace, TraceEvent, TraceOptions, TraceRecord, Tracer};
 
 /// Owned copy of an age expression, used internally where borrowing the
 /// program spec across a mutable analyzer call is not possible.

@@ -29,11 +29,15 @@ use crate::options::{ExhaustPolicy, FaultPolicy, RunLimits};
 use crate::program::{FusionPlan, KernelBody, KernelCtx, Program, StagedStore};
 use crate::ready::ReadyQueue;
 use crate::timer::TimerTable;
+use crate::trace::{store_event, RunTrace, TraceEvent, Tracer};
 use crate::watchdog::Watchdog;
 
 thread_local! {
     /// True while this worker thread is inside a (contained) kernel body.
     static IN_KERNEL: Cell<bool> = const { Cell::new(false) };
+    /// This thread's trace-buffer id (workers `0..n`, then analyzer,
+    /// watchdog, and the launching thread). Set once at thread start.
+    static TRACE_TID: Cell<u32> = const { Cell::new(0) };
 }
 
 static PANIC_HOOK: Once = Once::new();
@@ -114,9 +118,20 @@ struct Shared {
     /// Present when some kernel's fault policy needs delayed retries or
     /// deadline flagging.
     watchdog: Option<Arc<Watchdog>>,
+    /// Structured event tracing; `None` keeps the hot path at one branch
+    /// per would-be event.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Shared {
+    /// Record a trace event into the calling thread's buffer. The closure
+    /// is only evaluated when tracing is enabled.
+    #[inline]
+    fn trace(&self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.record(TRACE_TID.with(|c| c.get()), event());
+        }
+    }
     /// Release one unit of outstanding work. The counter can reach zero on
     /// *any* thread (the analyzer may process a unit's completion event
     /// before the unit releases its own count), so every decrementer must
@@ -319,8 +334,21 @@ impl NodeBuilder {
         );
         let (events_tx, events_rx) = unbounded::<Event>();
         let fault: Vec<FaultPolicy> = options.iter().map(|o| o.fault.clone()).collect();
+        // Trace buffer ids: workers 0..n, then analyzer, watchdog, main.
+        let analyzer_tid = self.workers as u32;
+        let watchdog_tid = analyzer_tid + 1;
+        let main_tid = analyzer_tid + 2;
+        let tracer = limits.trace.as_ref().map(|opts| {
+            let mut labels: Vec<String> = (0..self.workers).map(|w| format!("worker-{w}")).collect();
+            labels.push("analyzer".into());
+            labels.push("watchdog".into());
+            labels.push("main".into());
+            Arc::new(Tracer::new(labels, opts.capacity))
+        });
         let watchdog = if fault.iter().any(|p| p.needs_watchdog()) {
-            Some(Arc::new(Watchdog::new()))
+            Some(Arc::new(Watchdog::new(
+                tracer.clone().map(|t| (t, watchdog_tid)),
+            )))
         } else {
             None
         };
@@ -342,6 +370,7 @@ impl NodeBuilder {
             dedup_stores,
             fault,
             watchdog,
+            tracer: tracer.clone(),
         });
 
         let fused_consumers: HashSet<KernelId> = fusions.iter().map(|f| f.consumer).collect();
@@ -355,11 +384,22 @@ impl NodeBuilder {
         if let Some(assigned) = self.assigned {
             analyzer.set_assigned(assigned);
         }
+        if let Some(t) = &tracer {
+            analyzer.set_tracer(t.clone(), analyzer_tid);
+        }
 
         let start = Instant::now();
 
         // Seed source kernels before any worker can observe an empty queue.
+        TRACE_TID.with(|c| c.set(main_tid));
         for unit in analyzer.seed() {
+            for indices in &unit.instances {
+                shared.trace(|| TraceEvent::InstanceDispatched {
+                    kernel: unit.kernel,
+                    age: unit.age.0,
+                    indices: indices.clone(),
+                });
+            }
             shared.outstanding.fetch_add(1, Ordering::SeqCst);
             shared.ready.push(unit);
         }
@@ -375,7 +415,10 @@ impl NodeBuilder {
         let deadline = limits.wall_deadline.map(|d| start + d);
         let analyzer_handle = std::thread::Builder::new()
             .name("p2g-analyzer".into())
-            .spawn(move || analyzer_loop(analyzer, analyzer_shared, events_rx, deadline))
+            .spawn(move || {
+                TRACE_TID.with(|c| c.set(analyzer_tid));
+                analyzer_loop(analyzer, analyzer_shared, events_rx, deadline)
+            })
             .expect("spawn analyzer");
 
         // Worker threads.
@@ -385,7 +428,10 @@ impl NodeBuilder {
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("p2g-worker-{w}"))
-                    .spawn(move || worker_loop(ws))
+                    .spawn(move || {
+                        TRACE_TID.with(|c| c.set(w as u32));
+                        worker_loop(ws)
+                    })
                     .expect("spawn worker"),
             );
         }
@@ -552,10 +598,15 @@ impl RunningNode {
             termination
         };
 
+        let trace: Option<RunTrace> = shared
+            .tracer
+            .as_ref()
+            .map(|t| t.capture(shared.spec.clone()));
         let report = RunReport {
             termination,
             wall_time,
             instruments: InstrumentsSnapshot::capture(&shared.instruments),
+            trace,
         };
         // All threads joined: the Arcs unwrap cleanly.
         drop(shared);
@@ -650,9 +701,24 @@ fn analyzer_loop(
                 shared.instruments.record_deduped(deduped);
             }
             for (kid, age, indices) in analyzer.take_poisoned() {
+                shared.trace(|| TraceEvent::Poisoned {
+                    kernel: kid,
+                    age,
+                    indices: indices.clone(),
+                });
                 shared.instruments.record_poisoned(kid, age, &indices);
             }
             for unit in units {
+                // Retry units are re-dispatches, not fresh analyzer
+                // decisions (they come back through the watchdog, not
+                // here), so every unit seen at this point is attempt 0.
+                for indices in &unit.instances {
+                    shared.trace(|| TraceEvent::InstanceDispatched {
+                        kernel: unit.kernel,
+                        age: unit.age.0,
+                        indices: indices.clone(),
+                    });
+                }
                 shared.outstanding.fetch_add(1, Ordering::SeqCst);
                 shared.ready.push(unit);
             }
@@ -672,6 +738,7 @@ fn analyzer_loop(
                 next = events_rx.try_recv().ok();
             }
         }
+        shared.trace(|| TraceEvent::AnalyzerBatch { events: handled });
         shared.instruments.record_analyzer_batch();
     }
 }
@@ -716,9 +783,16 @@ fn run_unit(shared: &Shared, unit: DispatchUnit) {
         // the instance overruns; the body polls `ctx.cancelled()`.
         let cancel = policy.deadline.map(|_| Arc::new(AtomicBool::new(false)));
         let registration = match (&shared.watchdog, policy.deadline, &cancel) {
-            (Some(wd), Some(dl), Some(token)) => {
-                Some((wd, wd.register(Instant::now() + dl, token.clone())))
-            }
+            (Some(wd), Some(dl), Some(token)) => Some((
+                wd,
+                wd.register(
+                    Instant::now() + dl,
+                    token.clone(),
+                    unit.kernel,
+                    unit.age,
+                    indices.clone(),
+                ),
+            )),
             _ => None,
         };
         let result = run_instance(
@@ -788,6 +862,13 @@ fn run_unit(shared: &Shared, unit: DispatchUnit) {
     // be observed with a retry pending.
     let retried = !failed.is_empty();
     if retried {
+        shared.trace(|| TraceEvent::RetryScheduled {
+            kernel: unit.kernel,
+            age: unit.age.0,
+            instances: failed.len(),
+            attempt: unit.attempt + 1,
+            budget: policy.retries,
+        });
         shared
             .instruments
             .record_retries(unit.kernel, failed.len() as u64);
@@ -878,9 +959,24 @@ fn run_instance(
     let body = shared.bodies[kernel.idx()]
         .as_ref()
         .expect("bodies checked before run");
+    shared.trace(|| TraceEvent::BodyStart {
+        kernel,
+        age: age.0,
+        indices: indices.to_vec(),
+        attempt,
+    });
     let t_body = Instant::now();
     let body_result = invoke_body(body, &mut ctx);
-    *body_time += t_body.elapsed();
+    let body_elapsed = t_body.elapsed();
+    *body_time += body_elapsed;
+    shared.instruments.record_latency(kernel, body_elapsed);
+    shared.trace(|| TraceEvent::BodyEnd {
+        kernel,
+        age: age.0,
+        indices: indices.to_vec(),
+        attempt,
+        ok: body_result.is_ok(),
+    });
     // Body failure (Err or contained panic): the staged stores die with
     // the ctx — nothing was applied to any field.
     body_result.map_err(InstanceError::Body)?;
@@ -937,9 +1033,24 @@ fn run_instance(
             let cbody = shared.bodies[plan.consumer.idx()]
                 .as_ref()
                 .expect("bodies checked before run");
+            shared.trace(|| TraceEvent::BodyStart {
+                kernel: plan.consumer,
+                age: age.0,
+                indices: cidx.clone(),
+                attempt,
+            });
             let t_body = Instant::now();
             let cresult = invoke_body(cbody, &mut cctx);
-            *body_time += t_body.elapsed();
+            let c_elapsed = t_body.elapsed();
+            *body_time += c_elapsed;
+            shared.instruments.record_latency(plan.consumer, c_elapsed);
+            shared.trace(|| TraceEvent::BodyEnd {
+                kernel: plan.consumer,
+                age: age.0,
+                indices: cidx.clone(),
+                attempt,
+                ok: cresult.is_ok(),
+            });
             cresult.map_err(InstanceError::Body)?;
             let cstaged = std::mem::take(&mut cctx.staged);
             for cst in &cstaged {
@@ -1024,6 +1135,19 @@ fn apply_store_for(
     // An attempted store counts for source sequencing even when fully
     // deduped — the re-executed source must keep advancing its ages.
     *stored_any = true;
+    // Recorded before the store event is sent, so the trace's StoreApplied
+    // happens-before any dispatch the analyzer derives from it.
+    shared.trace(|| {
+        store_event(
+            Some(kernel),
+            decl.field,
+            target_age,
+            region.clone(),
+            outcome.stored,
+            outcome.deduped,
+            outcome.age_complete,
+        )
+    });
     shared
         .instruments
         .record_store(kernel, decl.field, outcome.stored as u64);

@@ -144,7 +144,7 @@ impl Default for KernelOptions {
 }
 
 /// Limits that bound a run of a (possibly infinite) P2G program.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RunLimits {
     /// Stop creating instances at this age (exclusive). The mul2/plus5
     /// example runs forever without it.
@@ -158,6 +158,28 @@ pub struct RunLimits {
     /// stores may still arrive. The cluster coordinator detects global
     /// quiescence and calls `request_stop` on every node.
     pub hold_open: bool,
+    /// Structured run tracing ([`crate::trace`]): record typed execution
+    /// events into per-thread ring buffers and attach the merged
+    /// [`crate::trace::RunTrace`] to the run report. `None` disables
+    /// recording (one branch per would-be event). Defaults to enabled
+    /// when the crate is built with the `trace` feature.
+    pub trace: Option<crate::trace::TraceOptions>,
+}
+
+impl Default for RunLimits {
+    fn default() -> RunLimits {
+        RunLimits {
+            max_ages: None,
+            wall_deadline: None,
+            gc_window: None,
+            hold_open: false,
+            trace: if cfg!(feature = "trace") {
+                Some(crate::trace::TraceOptions::default())
+            } else {
+                None
+            },
+        }
+    }
 }
 
 impl RunLimits {
@@ -183,6 +205,18 @@ impl RunLimits {
     /// Add an age GC window.
     pub fn with_gc_window(mut self, w: u64) -> RunLimits {
         self.gc_window = Some(w);
+        self
+    }
+
+    /// Enable structured run tracing with default buffer sizes.
+    pub fn with_trace(mut self) -> RunLimits {
+        self.trace = Some(crate::trace::TraceOptions::default());
+        self
+    }
+
+    /// Enable structured run tracing with explicit options.
+    pub fn with_trace_options(mut self, opts: crate::trace::TraceOptions) -> RunLimits {
+        self.trace = Some(opts);
         self
     }
 }

@@ -1,0 +1,265 @@
+//! Reusable invariant assertions over a [`RunTrace`] — the trace-level
+//! counterpart of the paper's execution-model guarantees.
+//!
+//! Each check panics with a descriptive message on violation, so a test
+//! can validate a whole run in one line:
+//!
+//! ```ignore
+//! let report = NodeBuilder::new(program)
+//!     .launch(RunLimits::ages(3).with_trace())?
+//!     .wait()?;
+//! p2g_runtime::trace_check::all(&report);
+//! ```
+//!
+//! The invariants:
+//!
+//! 1. **Dependencies before dispatch** — every analyzer dispatch of an
+//!    instance is preceded in the trace by stores covering its resolvable
+//!    fetch coordinates; whole-field (`All`) fetches require the fetched
+//!    age to have been completed by a prior store.
+//! 2. **Write-once** — no (field, age, element) is freshly written twice
+//!    by kernel stores, net of distributed-mode deduplication (deduped
+//!    and remote-injected stores are exempt by construction).
+//! 3. **Retries within budget** — no retry is scheduled past its kernel's
+//!    configured budget, and the scheduled-retry total matches the
+//!    instruments counter.
+//! 4. **Poison consistency** — the traced poisoned set equals the
+//!    instruments' poisoned set, and a degraded run shows at least one
+//!    failing body execution in the trace.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use p2g_field::Age;
+
+use crate::instrument::RunReport;
+use crate::trace::{region_coords, RunTrace, TraceEvent};
+
+/// Run every invariant against a finished run's report. Panics if the
+/// report carries no trace (enable with [`crate::RunLimits::with_trace`]
+/// or the `trace` cargo feature) or if the trace dropped events.
+pub fn all(report: &RunReport) {
+    let trace = report.trace.as_ref().expect(
+        "trace_check::all requires tracing: launch with RunLimits::with_trace() \
+         or build with --features trace",
+    );
+    assert_eq!(
+        trace.dropped, 0,
+        "trace ring buffers overflowed ({} events dropped); raise \
+         TraceOptions::capacity for invariant checking",
+        trace.dropped
+    );
+    dependencies_respected(trace);
+    write_once(trace);
+    retries_within_budget(trace);
+    let retried: usize = trace
+        .of_kind("RetryScheduled")
+        .map(|r| match &r.event {
+            TraceEvent::RetryScheduled { instances, .. } => *instances,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(
+        retried as u64,
+        report.instruments.total_retries(),
+        "traced retry instances must match the instruments retry counter"
+    );
+    poisoned_consistent(trace, report);
+}
+
+/// State of one (field, age) as seen so far while scanning the trace.
+#[derive(Default)]
+struct WrittenAge {
+    coords: HashSet<Vec<usize>>,
+    complete: bool,
+}
+
+/// Invariant 1: every `InstanceDispatched` is preceded by stores covering
+/// the instance's fetch set.
+///
+/// Fetch regions that resolve to concrete coordinates (index variables and
+/// constants) are checked pointwise. A whole-dimension (`All`) fetch is
+/// gated by age completeness in the analyzer, so the check requires a
+/// prior store with `age_complete` for that (field, age).
+pub fn dependencies_respected(trace: &RunTrace) {
+    let mut written: HashMap<(u32, u64), WrittenAge> = HashMap::new();
+    for r in &trace.records {
+        match &r.event {
+            TraceEvent::StoreApplied {
+                field,
+                age,
+                region,
+                age_complete,
+                ..
+            } => {
+                let w = written.entry((field.0, *age)).or_default();
+                // Remote regions are pre-resolved, so coords always
+                // enumerate; stay defensive anyway.
+                if let Some(coords) = region_coords(region) {
+                    w.coords.extend(coords);
+                }
+                w.complete |= *age_complete;
+            }
+            TraceEvent::InstanceDispatched {
+                kernel,
+                age,
+                indices,
+            } => {
+                let kspec = trace.spec().kernel(*kernel);
+                for fe in &kspec.fetches {
+                    let fa = fe.age.resolve(Age(*age));
+                    let region = crate::program::resolve_region(&fe.dims, indices);
+                    let w = written.get(&(fe.field.0, fa.0));
+                    match region_coords(&region) {
+                        Some(coords) => {
+                            let w = w.unwrap_or_else(|| {
+                                panic!(
+                                    "dispatch of {}@{}{:?} precedes any store to its \
+                                     fetched field {} age {}",
+                                    kspec.name, age, indices, fe.field.0, fa.0
+                                )
+                            });
+                            for c in coords {
+                                assert!(
+                                    w.coords.contains(&c),
+                                    "dispatch of {}@{}{:?} precedes the store of its \
+                                     fetch coordinate {:?} in field {} age {}",
+                                    kspec.name,
+                                    age,
+                                    indices,
+                                    c,
+                                    fe.field.0,
+                                    fa.0
+                                );
+                            }
+                        }
+                        None => {
+                            // Whole-field fetch: the analyzer's gate is
+                            // age completeness.
+                            assert!(
+                                w.is_some_and(|w| w.complete),
+                                "dispatch of {}@{}{:?} fetches all of field {} age {} \
+                                 before any store completed that age",
+                                kspec.name,
+                                age,
+                                indices,
+                                fe.field.0,
+                                fa.0
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Invariant 2: write-once per (field, age, element), net of dedup.
+///
+/// Only fully-fresh kernel stores (`deduped == 0`, `kernel != None`) mark
+/// coordinates: a partially-deduped store cannot attribute which elements
+/// were fresh, and remote-injected stores are replicas of a store already
+/// checked on the producing node. This under-approximates (never
+/// false-positives) in distributed mode and is exact on a single node.
+pub fn write_once(trace: &RunTrace) {
+    let mut fresh: HashMap<(u32, u64), HashSet<Vec<usize>>> = HashMap::new();
+    for r in &trace.records {
+        if let TraceEvent::StoreApplied {
+            kernel: Some(kernel),
+            field,
+            age,
+            region,
+            deduped,
+            elements,
+            ..
+        } = &r.event
+        {
+            if *deduped > 0 || *elements == 0 {
+                continue;
+            }
+            let Some(coords) = region_coords(region) else {
+                continue;
+            };
+            let set = fresh.entry((field.0, *age)).or_default();
+            for c in coords {
+                assert!(
+                    set.insert(c.clone()),
+                    "write-once violated in trace: kernel {} freshly stored field {} \
+                     age {} element {:?} twice",
+                    trace.spec().kernel(*kernel).name,
+                    field.0,
+                    age,
+                    c
+                );
+            }
+        }
+    }
+}
+
+/// Invariant 3: every scheduled retry stays within its kernel's budget
+/// (each `RetryScheduled` event carries the budget it was checked
+/// against).
+pub fn retries_within_budget(trace: &RunTrace) {
+    for r in trace.of_kind("RetryScheduled") {
+        if let TraceEvent::RetryScheduled {
+            kernel,
+            age,
+            attempt,
+            budget,
+            ..
+        } = &r.event
+        {
+            assert!(
+                attempt <= budget,
+                "retry attempt {} of kernel {} age {} exceeds its budget {}",
+                attempt,
+                trace.spec().kernel(*kernel).name,
+                age,
+                budget
+            );
+        }
+    }
+}
+
+/// Invariant 4: the traced poisoned set equals the instruments' poisoned
+/// set, and poisoning implies recorded body failures.
+pub fn poisoned_consistent(trace: &RunTrace, report: &RunReport) {
+    let traced: BTreeSet<(String, u64, Vec<usize>)> = trace
+        .of_kind("Poisoned")
+        .filter_map(|r| match &r.event {
+            TraceEvent::Poisoned {
+                kernel,
+                age,
+                indices,
+            } => Some((
+                trace.spec().kernel(*kernel).name.clone(),
+                *age,
+                indices.clone(),
+            )),
+            _ => None,
+        })
+        .collect();
+    let reported: BTreeSet<(String, u64, Vec<usize>)> = report
+        .instruments
+        .poisoned_instances()
+        .iter()
+        .flat_map(|((k, a), idxs)| idxs.iter().map(move |i| (k.clone(), *a, i.clone())))
+        .collect();
+    assert_eq!(
+        traced, reported,
+        "traced Poisoned events must match the instruments poisoned set"
+    );
+    if !traced.is_empty() {
+        assert!(
+            report.instruments.total_failures() > 0,
+            "poisoned instances recorded without any counted body failure"
+        );
+        assert!(
+            trace.records.iter().any(|r| matches!(
+                r.event,
+                TraceEvent::BodyEnd { ok: false, .. }
+            )),
+            "poisoned instances recorded without any failing BodyEnd in the trace"
+        );
+    }
+}

@@ -21,12 +21,19 @@ use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
+use p2g_field::Age;
+use p2g_graph::KernelId;
+
 use crate::instance::DispatchUnit;
+use crate::trace::{TraceEvent, Tracer};
 
 struct ActiveEntry {
     deadline: Instant,
     cancel: Arc<AtomicBool>,
     missed: bool,
+    kernel: KernelId,
+    age: Age,
+    indices: Vec<usize>,
 }
 
 struct RetryEntry {
@@ -65,10 +72,13 @@ struct Inner {
 pub(crate) struct Watchdog {
     inner: Mutex<Inner>,
     cond: Condvar,
+    /// Tracer handle + this thread's buffer id: deadline misses are traced
+    /// at flag time (on the watchdog thread), not at deregister time.
+    trace: Option<(Arc<Tracer>, u32)>,
 }
 
 impl Watchdog {
-    pub(crate) fn new() -> Watchdog {
+    pub(crate) fn new(trace: Option<(Arc<Tracer>, u32)>) -> Watchdog {
         Watchdog {
             inner: Mutex::new(Inner {
                 stopped: false,
@@ -78,12 +88,21 @@ impl Watchdog {
                 retries: std::collections::BinaryHeap::new(),
             }),
             cond: Condvar::new(),
+            trace,
         }
     }
 
-    /// Register a running instance with its soft deadline and cancellation
-    /// token; returns a registration id for [`Watchdog::deregister`].
-    pub(crate) fn register(&self, deadline: Instant, cancel: Arc<AtomicBool>) -> u64 {
+    /// Register a running instance with its soft deadline, cancellation
+    /// token and identity; returns a registration id for
+    /// [`Watchdog::deregister`].
+    pub(crate) fn register(
+        &self,
+        deadline: Instant,
+        cancel: Arc<AtomicBool>,
+        kernel: KernelId,
+        age: Age,
+        indices: Vec<usize>,
+    ) -> u64 {
         let mut g = self.inner.lock();
         let id = g.next_id;
         g.next_id += 1;
@@ -93,6 +112,9 @@ impl Watchdog {
                 deadline,
                 cancel,
                 missed: false,
+                kernel,
+                age,
+                indices,
             },
         );
         drop(g);
@@ -153,6 +175,16 @@ impl Watchdog {
                 if !e.missed && now >= e.deadline {
                     e.missed = true;
                     e.cancel.store(true, Ordering::Relaxed);
+                    if let Some((t, tid)) = &self.trace {
+                        t.record(
+                            *tid,
+                            TraceEvent::DeadlineMiss {
+                                kernel: e.kernel,
+                                age: e.age.0,
+                                indices: e.indices.clone(),
+                            },
+                        );
+                    }
                 }
             }
             let mut due = Vec::new();
@@ -199,11 +231,15 @@ mod tests {
         DispatchUnit::new(KernelId(0), Age(0), vec![vec![]])
     }
 
+    fn register(wd: &Watchdog, deadline: Instant, token: Arc<AtomicBool>) -> u64 {
+        wd.register(deadline, token, KernelId(0), Age(0), vec![])
+    }
+
     #[test]
     fn deadline_flags_token() {
-        let wd = Arc::new(Watchdog::new());
+        let wd = Arc::new(Watchdog::new(None));
         let token = Arc::new(AtomicBool::new(false));
-        let id = wd.register(Instant::now() + Duration::from_millis(5), token.clone());
+        let id = register(&wd, Instant::now() + Duration::from_millis(5), token.clone());
         let wd2 = wd.clone();
         let h = std::thread::spawn(move || while wd2.next_due().is_some() {});
         std::thread::sleep(Duration::from_millis(30));
@@ -215,16 +251,16 @@ mod tests {
 
     #[test]
     fn fast_instance_not_flagged() {
-        let wd = Watchdog::new();
+        let wd = Watchdog::new(None);
         let token = Arc::new(AtomicBool::new(false));
-        let id = wd.register(Instant::now() + Duration::from_secs(60), token.clone());
+        let id = register(&wd, Instant::now() + Duration::from_secs(60), token.clone());
         assert!(!wd.deregister(id));
         assert!(!token.load(Ordering::Relaxed));
     }
 
     #[test]
     fn retry_released_when_due() {
-        let wd = Watchdog::new();
+        let wd = Watchdog::new(None);
         wd.schedule_retry(unit(), Instant::now() + Duration::from_millis(5));
         let due = wd.next_due().expect("not stopped");
         assert_eq!(due.len(), 1);
@@ -232,7 +268,7 @@ mod tests {
 
     #[test]
     fn stop_drains_pending_retries() {
-        let wd = Watchdog::new();
+        let wd = Watchdog::new(None);
         wd.schedule_retry(unit(), Instant::now() + Duration::from_secs(60));
         wd.schedule_retry(unit(), Instant::now() + Duration::from_secs(60));
         let drained = wd.stop();

@@ -168,10 +168,11 @@ fn transient_failures_retried_to_identical_result() {
 
     let (report, fields) = NodeBuilder::new(program)
         .workers(3)
-        .launch(RunLimits::ages(ages).with_deadline(WALL))
+        .launch(RunLimits::ages(ages).with_deadline(WALL).with_trace())
         .and_then(|n| n.collect())
         .unwrap();
     assert_eq!(report.termination, Termination::Quiescent);
+    p2g_runtime::trace_check::all(&report);
     assert!(
         report.instruments.total_retries() > 0,
         "the injected failures must have gone through the retry path"
@@ -273,13 +274,20 @@ fn deadline_flags_and_degrades_overrunning_instance() {
 
     let (report, _) = NodeBuilder::new(program)
         .workers(2)
-        .launch(RunLimits::ages(2).with_deadline(WALL))
+        .launch(RunLimits::ages(2).with_deadline(WALL).with_trace())
         .and_then(|n| n.collect())
         .unwrap();
     assert!(saw_cancel.load(Ordering::Relaxed), "token must be flagged");
     assert_eq!(report.termination, Termination::Degraded);
+    p2g_runtime::trace_check::all(&report);
     assert!(report.instruments.total_deadline_misses() >= 1);
     assert!(report.instruments.total_poisoned() >= 1);
+    // The watchdog traced the miss with the overrunning instance identity.
+    let trace = report.trace.as_ref().unwrap();
+    assert!(
+        trace.of_kind("DeadlineMiss").count() >= 1,
+        "deadline miss must appear in the trace"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -542,11 +550,15 @@ fn run_layered(
 ) -> (p2g_runtime::RunReport, p2g_runtime::FieldStore) {
     let mut program = layered_program(lanes, plan, transient);
     program.set_fault_policy_all(policy);
-    NodeBuilder::new(program)
+    let (report, fields) = NodeBuilder::new(program)
         .workers(workers)
-        .launch(RunLimits::ages(ages).with_deadline(WALL))
+        .launch(RunLimits::ages(ages).with_deadline(WALL).with_trace())
         .and_then(|n| n.collect())
-        .expect("poison-mode chaos runs never abort")
+        .expect("poison-mode chaos runs never abort");
+    // Trace invariants must hold under chaos too: dependencies before
+    // dispatch, write-once, retries within budget, poison consistency.
+    p2g_runtime::trace_check::all(&report);
+    (report, fields)
 }
 
 fn sums_at(fields: &p2g_runtime::FieldStore, ages: u64) -> Vec<Option<i64>> {

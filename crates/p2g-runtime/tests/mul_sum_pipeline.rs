@@ -39,13 +39,14 @@ fn build_program() -> Program {
 fn run_ages(program: Program, workers: usize, ages: u64) -> p2g_runtime::node::FieldStore {
     let node = NodeBuilder::new(program).workers(workers);
     let (report, fields) = node
-        .launch(RunLimits::ages(ages))
+        .launch(RunLimits::ages(ages).with_trace())
         .and_then(|n| n.collect())
         .unwrap();
     assert_eq!(
         report.termination,
         p2g_runtime::instrument::Termination::Quiescent
     );
+    p2g_runtime::trace_check::all(&report);
     fields
 }
 
@@ -95,9 +96,10 @@ fn instance_counts_match_model() {
     let program = build_program();
     let node = NodeBuilder::new(program).workers(4);
     let report = node
-        .launch(RunLimits::ages(4))
+        .launch(RunLimits::ages(4).with_trace())
         .and_then(|n| n.wait())
         .unwrap();
+    p2g_runtime::trace_check::all(&report);
     let ins = &report.instruments;
     assert_eq!(ins.kernel("init").unwrap().instances, 1);
     assert_eq!(ins.kernel("mul2").unwrap().instances, 4 * 5);

@@ -66,8 +66,8 @@ pub use p2g_runtime as runtime;
 /// The common imports for building and running P2G programs.
 pub mod prelude {
     pub use p2g_dist::{
-        ClusterConfig, ClusterOutcome, FaultPlan, FaultyNet, KillTrigger, LinkStats, MasterNode,
-        SimCluster, SimNet, Transport, Workers,
+        ClusterConfig, ClusterOutcome, FaultPlan, FaultyNet, FrameParts, KillTrigger, LinkStats,
+        MasterNode, SimCluster, SimNet, StreamFeed, Transport, Workers,
     };
     pub use p2g_field::{
         Age, Buffer, DimSel, Extents, Field, FieldDef, FieldError, FieldId, Region, ScalarType,
@@ -78,9 +78,15 @@ pub mod prelude {
     };
     pub use p2g_graph::{FinalGraph, IntermediateGraph, NodeId, NodeSpec, Topology};
     pub use p2g_lang::{compile_source, CompiledProgram, PrintSink};
+    // Batch entry points.
     pub use p2g_runtime::{
-        KernelCtx, KernelOptions, NodeBuilder, NodeHandle, Program, RunLimits, RunReport,
-        RuntimeError,
+        ExhaustPolicy, FaultPolicy, KernelCtx, KernelOptions, NodeBuilder, NodeHandle, Program,
+        RunLimits, RunReport, RuntimeError, Termination,
+    };
+    // Streaming-session entry points.
+    pub use p2g_runtime::{
+        Session, SessionConfig, SessionOutput, SessionReport, SessionRuntime, SessionSink,
+        SubmitError, Ticket, WorkerPool,
     };
 }
 

@@ -169,16 +169,49 @@ impl ClusterConfig {
             .unwrap_or_else(|| (self.failure_timeout / 10).max(Duration::from_millis(1)))
     }
 
-    /// Heterogeneous worker counts, one per node (earlier nodes first).
-    #[deprecated(since = "0.2.0", note = "use ClusterConfig::workers(vec![...])")]
-    pub fn with_node_workers(self, workers: Vec<usize>) -> ClusterConfig {
-        self.workers(workers)
-    }
+}
 
-    /// Set worker threads per node.
-    #[deprecated(since = "0.2.0", note = "use ClusterConfig::workers(n)")]
-    pub fn with_workers(self, w: usize) -> ClusterConfig {
-        self.workers(w)
+/// A frame feed driving a streaming cluster run: the coordinator pulls
+/// frames while the admission window has room and injects their parts to
+/// every node subscribing to the part's field, exactly like a store
+/// forward. Frames not yet known complete are retained and re-injected
+/// after a recovery replan (write-once dedup absorbs duplicates), so a
+/// node death does not lose in-flight frames.
+pub struct StreamFeed {
+    frame: Box<dyn FnMut(u64) -> Option<FrameParts> + Send>,
+    completed: Box<dyn Fn() -> u64 + Send>,
+    window: u64,
+    submitted: u64,
+    exhausted: bool,
+    /// Frames submitted but not yet observed complete, for recovery
+    /// re-injection. Pruned by the completion probe (frames complete in
+    /// age order — the terminal kernel is ordered in streaming
+    /// workloads).
+    pending: std::collections::VecDeque<(u64, FrameParts)>,
+}
+
+/// The `(field, region, buffer)` parts making up one streamed frame.
+pub type FrameParts = Vec<(FieldId, Region, Buffer)>;
+
+impl StreamFeed {
+    /// A feed with an admission window of `window` in-flight frames.
+    /// `frame(n)` produces frame `n`'s `(field, region, buffer)` parts or
+    /// `None` at end of stream; `completed()` reports how many frames the
+    /// workload has finished so far (e.g. a counter bumped by the terminal
+    /// kernel body).
+    pub fn new(
+        window: u64,
+        frame: impl FnMut(u64) -> Option<FrameParts> + Send + 'static,
+        completed: impl Fn() -> u64 + Send + 'static,
+    ) -> StreamFeed {
+        StreamFeed {
+            frame: Box::new(frame),
+            completed: Box::new(completed),
+            window: window.max(1),
+            submitted: 0,
+            exhausted: false,
+            pending: std::collections::VecDeque::new(),
+        }
     }
 }
 
@@ -218,6 +251,9 @@ pub struct ClusterOutcome {
     /// replans) when the run limits enabled tracing. Per-node execution
     /// traces live on the individual [`RunReport`]s.
     pub dist_trace: Option<RunTrace>,
+    /// Streaming mode: frames the coordinator injected from the feed
+    /// (0 for batch runs).
+    pub frames_streamed: u64,
 }
 
 impl ClusterOutcome {
@@ -318,6 +354,29 @@ impl SimCluster {
 
     /// Run the cluster to global quiescence (or the deadline).
     pub fn run(self, limits: RunLimits) -> Result<ClusterOutcome, RuntimeError> {
+        self.run_inner(limits, None)
+    }
+
+    /// Run the cluster in streaming mode: the coordinator additionally
+    /// pumps `feed` — injecting frames while the admission window has room
+    /// — and stops once the feed is exhausted, every frame completed, and
+    /// the cluster is stably quiescent. This is the distributed face of
+    /// the session API: same frame-in/parts-injected contract as
+    /// [`p2g_runtime::Session::submit`], with the coordinator playing the
+    /// submitting client.
+    pub fn run_streaming(
+        self,
+        limits: RunLimits,
+        feed: StreamFeed,
+    ) -> Result<ClusterOutcome, RuntimeError> {
+        self.run_inner(limits, Some(feed))
+    }
+
+    fn run_inner(
+        self,
+        limits: RunLimits,
+        mut feed: Option<StreamFeed>,
+    ) -> Result<ClusterOutcome, RuntimeError> {
         let SimCluster {
             config,
             mut master,
@@ -479,6 +538,47 @@ impl SimCluster {
         loop {
             net.poll_faults();
 
+            // Streaming: pump the feed while the admission window has
+            // room. Parts go to every subscriber of their field, exactly
+            // like a store forward from the master.
+            if let Some(f) = feed.as_mut() {
+                while f.pending.front().is_some_and(|&(age, _)| age < (f.completed)()) {
+                    f.pending.pop_front();
+                }
+                while !f.exhausted && f.submitted - (f.completed)() < f.window {
+                    match (f.frame)(f.submitted) {
+                        Some(parts) => {
+                            let age = Age(f.submitted);
+                            let subs_now = subscribers.read().clone();
+                            for (field, region, buffer) in &parts {
+                                let Some(dsts) = subs_now.get(field) else {
+                                    continue;
+                                };
+                                for &dst in dsts {
+                                    if !net.node_alive(dst) {
+                                        continue;
+                                    }
+                                    let _ = net.send_with_retry(
+                                        MASTER_NODE,
+                                        dst,
+                                        NetMsg::StoreForward {
+                                            field: *field,
+                                            age,
+                                            region: region.clone(),
+                                            buffer: buffer.clone(),
+                                        },
+                                        SEND_ATTEMPTS,
+                                    );
+                                }
+                            }
+                            f.pending.push_back((f.submitted, parts));
+                            f.submitted += 1;
+                        }
+                        None => f.exhausted = true,
+                    }
+                }
+            }
+
             // Drain heartbeats (non-blocking).
             while let Some((src, msg)) = net.recv_timeout(MASTER_NODE, Duration::ZERO) {
                 if matches!(msg, NetMsg::Heartbeat { .. }) {
@@ -566,6 +666,37 @@ impl SimCluster {
                         }
                     }
                 }
+                // Streaming: re-inject every frame not yet known complete
+                // to the re-targeted subscribers — the dead node may have
+                // held the only replica of in-flight input parts.
+                if let Some(f) = feed.as_ref() {
+                    for (age, parts) in &f.pending {
+                        for (field, region, buffer) in parts {
+                            let Some(dsts) = subs_now.get(field) else {
+                                continue;
+                            };
+                            for &dst in dsts {
+                                if !net.node_alive(dst) {
+                                    continue;
+                                }
+                                let sent = net.send_with_retry(
+                                    MASTER_NODE,
+                                    dst,
+                                    NetMsg::StoreForward {
+                                        field: *field,
+                                        age: Age(*age),
+                                        region: region.clone(),
+                                        buffer: buffer.clone(),
+                                    },
+                                    SEND_ATTEMPTS,
+                                );
+                                if sent {
+                                    redelivered_stores += 1;
+                                }
+                            }
+                        }
+                    }
+                }
                 stable = 0;
             }
 
@@ -584,7 +715,13 @@ impl SimCluster {
             } else {
                 stable = 0;
             }
-            if stable >= 3 || deadline_hit || !any_alive {
+            // In streaming mode stable quiescence between frames is
+            // normal — only break once the feed is exhausted and every
+            // submitted frame completed.
+            let stream_done = feed
+                .as_ref()
+                .is_none_or(|f| f.exhausted && (f.completed)() >= f.submitted);
+            if (stable >= 3 && stream_done) || deadline_hit || !any_alive {
                 break;
             }
             std::thread::sleep(Duration::from_millis(1));
@@ -625,6 +762,7 @@ impl SimCluster {
             failed_nodes,
             redelivered_stores,
             dist_trace,
+            frames_streamed: feed.as_ref().map_or(0, |f| f.submitted),
         })
     }
 }

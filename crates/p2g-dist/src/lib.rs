@@ -44,7 +44,7 @@ pub mod cluster;
 pub mod master;
 pub mod transport;
 
-pub use cluster::{ClusterConfig, ClusterOutcome, SimCluster, Workers};
+pub use cluster::{ClusterConfig, ClusterOutcome, FrameParts, SimCluster, StreamFeed, Workers};
 pub use master::MasterNode;
 pub use transport::{
     FaultPlan, FaultyNet, KillSpec, KillTrigger, LinkStats, NetMsg, SimNet, Transport, MASTER_NODE,

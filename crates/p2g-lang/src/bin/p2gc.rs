@@ -8,8 +8,13 @@
 //!
 //! Usage:
 //!   p2gc run <file.p2g> [--ages N] [--workers W] [--gc-window W] [--trace-out PATH]
+//!   p2gc serve <file.p2g> [--sessions N] [--frames F] [--workers W] [--gc-window W]
 //!   p2gc check <file.p2g>
 //!   p2gc graph <file.p2g>        # dump Figures 2/3 style dot graphs
+//!
+//! `serve` runs the program as N concurrent tenants of one shared
+//! session-runtime worker pool (the resident multi-session configuration),
+//! each bounded to F frames (ages).
 //!
 //! `--trace-out` enables structured run tracing and writes the merged
 //! trace after the run: Chrome trace-viewer JSON (`chrome://tracing`,
@@ -21,11 +26,11 @@ use std::time::Duration;
 
 use p2g_graph::{FinalGraph, IntermediateGraph};
 use p2g_lang::compile_source;
-use p2g_runtime::{FaultPolicy, NodeBuilder, RunLimits};
+use p2g_runtime::{FaultPolicy, NodeBuilder, RunLimits, SessionRuntime};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--gc-window W] [--deadline-ms D]\n                      [--retries R] [--kernel-deadline-ms D] [--trace-out PATH]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>\n\nfault isolation (applies to every kernel, degrade instead of abort):\n  --retries R             retry failed kernel instances up to R times\n  --kernel-deadline-ms D  flag instances overrunning D ms for cancellation\n\ntracing:\n  --trace-out PATH        record a structured run trace; write Chrome\n                          trace-viewer JSON if PATH ends in .json, else JSONL"
+        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--gc-window W] [--deadline-ms D]\n                      [--retries R] [--kernel-deadline-ms D] [--trace-out PATH]\n  p2gc serve <file.p2g> [--sessions N] [--frames F] [--workers W] [--gc-window W]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>\n\nmulti-tenant serving (p2gc serve):\n  --sessions N            concurrent tenant copies of the program (default 2)\n  --frames F              frames (ages) per tenant (default 4)\n  --workers W             shared worker-pool threads\n\nfault isolation (applies to every kernel, degrade instead of abort):\n  --retries R             retry failed kernel instances up to R times\n  --kernel-deadline-ms D  flag instances overrunning D ms for cancellation\n\ntracing:\n  --trace-out PATH        record a structured run trace; write Chrome\n                          trace-viewer JSON if PATH ends in .json, else JSONL"
     );
     ExitCode::from(2)
 }
@@ -133,6 +138,72 @@ fn main() -> ExitCode {
                     eprintln!("p2gc: runtime error: {e}");
                     ExitCode::FAILURE
                 }
+            }
+        }
+        "serve" => {
+            let sessions: usize = flag(&args, "--sessions").unwrap_or(2);
+            let frames: u64 = flag(&args, "--frames").unwrap_or(4);
+            let workers: usize = flag(&args, "--workers")
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |n| n.get()));
+            let mut limits = RunLimits::ages(frames);
+            if let Some(w) = flag::<u64>(&args, "--gc-window") {
+                limits = limits.with_gc_window(w);
+            }
+
+            // One shared pool; each tenant is a pool-attached node running
+            // its own copy of the compiled program (kernel bodies cannot
+            // be cloned, so each session recompiles the source).
+            let runtime = SessionRuntime::new(workers);
+            let mut tenants = Vec::new();
+            for s in 0..sessions.max(1) {
+                let tenant = match compile_source(&source) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("p2gc: {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match runtime.launch_batch(tenant.program, limits.clone()) {
+                    Ok(node) => tenants.push((s, node, tenant.print)),
+                    Err(e) => {
+                        eprintln!("p2gc: session {s}: launch failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let start = std::time::Instant::now();
+            let mut failed = false;
+            for (s, node, print) in tenants {
+                match node.wait() {
+                    Ok(report) => {
+                        print!("{}", print.take());
+                        let instances: u64 = report
+                            .instruments
+                            .all()
+                            .iter()
+                            .map(|(_, s)| s.instances)
+                            .sum();
+                        eprintln!(
+                            "--- session {s}: {:?}, {instances} instances, {:?} ---",
+                            report.termination, report.wall_time
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("p2gc: session {s}: runtime error: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            runtime.shutdown();
+            eprintln!(
+                "--- {path}: {sessions} sessions x {frames} frames on {workers} shared workers \
+                 in {:?} ---",
+                start.elapsed()
+            );
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
             }
         }
         _ => usage(),

@@ -12,7 +12,7 @@
 //!
 //! ```
 //! use p2g_lang::compile_source;
-//! use p2g_runtime::{ExecutionNode, RunLimits};
+//! use p2g_runtime::{NodeBuilder, RunLimits};
 //!
 //! let src = r#"
 //! int32[] m_data age;
@@ -41,8 +41,12 @@
 //!   store m_data(a+1)[x] = value;
 //! "#;
 //! let compiled = compile_source(src).unwrap();
-//! let node = ExecutionNode::new(compiled.program, 2);
-//! let report = node.run(RunLimits::ages(2)).unwrap();
+//! let report = NodeBuilder::new(compiled.program)
+//!     .workers(2)
+//!     .launch(RunLimits::ages(2))
+//!     .unwrap()
+//!     .wait()
+//!     .unwrap();
 //! assert_eq!(report.instruments.kernel("mul2").unwrap().instances, 10);
 //! ```
 

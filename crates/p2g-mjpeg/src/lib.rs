@@ -43,6 +43,9 @@ pub mod yuv;
 pub use avi::wrap_avi;
 pub use decode::{decode_frame, decode_mjpeg, psnr};
 pub use encoder::encode_standalone;
-pub use pipeline::{build_mjpeg_program, MjpegConfig, MjpegSink};
+pub use pipeline::{
+    build_mjpeg_program, build_mjpeg_stream_program, mjpeg_spec, mjpeg_stream_spec,
+    stream_frame_parts, MjpegConfig, MjpegSink,
+};
 pub use synthetic::{FrameSource, SyntheticVideo, YuvFileSource};
 pub use yuv::YuvFrame;

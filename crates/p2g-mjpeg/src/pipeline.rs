@@ -16,17 +16,18 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use p2g_field::{Buffer, Extents, FieldDef, ScalarType, Value};
+use p2g_field::{Buffer, Extents, FieldDef, FieldId, Region, ScalarType, Value};
 use p2g_graph::spec::{
     AgeExpr, FetchDecl, IndexSel, IndexVar, KernelId, KernelSpec, ProgramSpec, StoreDecl,
 };
-use p2g_runtime::{Program, RuntimeError};
+use p2g_runtime::{Program, RuntimeError, Session, SessionSink};
 
 use crate::dct::{
     dct_quantize_aan, dct_quantize_naive, scaled_quant_table, QUANT_CHROMA, QUANT_LUMA,
 };
 use crate::jpeg::{write_frame, JpegParams};
 use crate::synthetic::FrameSource;
+use crate::yuv::YuvFrame;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -99,6 +100,18 @@ impl MjpegSink {
 
 /// Build the MJPEG program spec for a frame geometry.
 pub fn mjpeg_spec(width: usize, height: usize) -> ProgramSpec {
+    spec_internal(width, height, true)
+}
+
+/// The streaming-session variant of [`mjpeg_spec`]: identical fields and
+/// compute kernels but no `read/splityuv` source — input planes arrive by
+/// injection ([`p2g_runtime::Session::submit`]) instead of being pulled by
+/// a source kernel, so the pipeline is a pure frame-in/frame-out tenant.
+pub fn mjpeg_stream_spec(width: usize, height: usize) -> ProgramSpec {
+    spec_internal(width, height, false)
+}
+
+fn spec_internal(width: usize, height: usize, with_source: bool) -> ProgramSpec {
     let params = JpegParams::new(width, height, 50);
     let yb = params.luma_blocks();
     let cb = params.chroma_blocks();
@@ -154,22 +167,25 @@ pub fn mjpeg_spec(width: usize, height: usize) -> ProgramSpec {
         }],
     });
 
-    // read/splityuv: source with age var; stores the three input planes.
-    spec.add_kernel(KernelSpec {
-        id: KernelId(0),
-        name: "read/splityuv".into(),
-        index_vars: 0,
-        has_age_var: true,
-        fetches: vec![],
-        stores: [f_yin, f_uin, f_vin]
-            .into_iter()
-            .map(|f| StoreDecl {
-                field: f,
-                age: AgeExpr::Rel(0),
-                dims: vec![IndexSel::All, IndexSel::All],
-            })
-            .collect(),
-    });
+    if with_source {
+        // read/splityuv: source with age var; stores the three input
+        // planes.
+        spec.add_kernel(KernelSpec {
+            id: KernelId(0),
+            name: "read/splityuv".into(),
+            index_vars: 0,
+            has_age_var: true,
+            fetches: vec![],
+            stores: [f_yin, f_uin, f_vin]
+                .into_iter()
+                .map(|f| StoreDecl {
+                    field: f,
+                    age: AgeExpr::Rel(0),
+                    dims: vec![IndexSel::All, IndexSel::All],
+                })
+                .collect(),
+        });
+    }
 
     // The three DCT kernels: one instance per block.
     for (name, fin, fout) in [
@@ -235,7 +251,6 @@ pub fn build_mjpeg_program(
     let sink = MjpegSink::new();
     let max_frames = config.max_frames;
     let quality = config.quality;
-    let fast = config.fast_dct;
 
     program.body("init", move |ctx| {
         ctx.store(0, Buffer::from_vec(vec![quality as i32]));
@@ -264,6 +279,30 @@ pub fn build_mjpeg_program(
         Ok(())
     });
 
+    install_dct_bodies(&mut program, &config);
+
+    let out = sink.clone();
+    program.body("vlc/write", move |ctx| {
+        let params = JpegParams::new(width, height, quality);
+        let y = ctx.input(0).as_i16().ok_or("y_result must be i16")?;
+        let u = ctx.input(1).as_i16().ok_or("u_result must be i16")?;
+        let v = ctx.input(2).as_i16().ok_or("v_result must be i16")?;
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &params, y, u, v);
+        out.append(&frame);
+        Ok(())
+    });
+    // Frames must land in the stream in display order.
+    program.set_ordered("vlc/write");
+    apply_frame_deadline(&mut program, &config);
+
+    Ok((program, sink))
+}
+
+/// Install the three DCT kernel bodies (shared by the batch and streaming
+/// builders), including the chunking and stall-injection knobs.
+fn install_dct_bodies(program: &mut Program, config: &MjpegConfig) {
+    let fast = config.fast_dct;
     for (name, base) in [
         ("yDCT", &QUANT_LUMA),
         ("uDCT", &QUANT_CHROMA),
@@ -307,24 +346,12 @@ pub fn build_mjpeg_program(
             program.set_chunk_size(name, config.dct_chunk);
         }
     }
+}
 
-    let out = sink.clone();
-    program.body("vlc/write", move |ctx| {
-        let params = JpegParams::new(width, height, quality);
-        let y = ctx.input(0).as_i16().ok_or("y_result must be i16")?;
-        let u = ctx.input(1).as_i16().ok_or("u_result must be i16")?;
-        let v = ctx.input(2).as_i16().ok_or("v_result must be i16")?;
-        let mut frame = Vec::new();
-        write_frame(&mut frame, &params, y, u, v);
-        out.append(&frame);
-        Ok(())
-    });
-    // Frames must land in the stream in display order.
-    program.set_ordered("vlc/write");
-
+/// Deadline-aware degradation: an overrunning DCT block poisons its frame
+/// (the stream drops it) instead of aborting or stalling.
+fn apply_frame_deadline(program: &mut Program, config: &MjpegConfig) {
     if let Some(deadline) = config.frame_deadline {
-        // Deadline-aware degradation: an overrunning DCT block poisons its
-        // frame (the stream drops it) instead of aborting or stalling.
         let policy = p2g_runtime::FaultPolicy::retries(0)
             .poison()
             .with_deadline(deadline);
@@ -332,8 +359,83 @@ pub fn build_mjpeg_program(
             program.set_fault_policy(name, policy.clone());
         }
     }
+}
 
-    Ok((program, sink))
+/// Build the streaming-session MJPEG program: same compute pipeline as
+/// [`build_mjpeg_program`] but without a source kernel — frames are
+/// injected per age by [`p2g_runtime::Session::submit`] (see
+/// [`stream_frame_parts`]) and each encoded frame is staged in the
+/// session `sink` keyed by its age, so the session's age watch can hand it
+/// to [`p2g_runtime::Session::poll_output`] when the frame completes.
+/// `config.max_frames` is ignored: the stream is unbounded, bounded only
+/// by what the session admits.
+pub fn build_mjpeg_stream_program(
+    width: usize,
+    height: usize,
+    config: MjpegConfig,
+    sink: Arc<SessionSink>,
+) -> Result<Program, RuntimeError> {
+    let spec = mjpeg_stream_spec(width, height);
+    let mut program = Program::new(spec)?;
+    let quality = config.quality;
+
+    program.body("init", move |ctx| {
+        ctx.store(0, Buffer::from_vec(vec![quality as i32]));
+        Ok(())
+    });
+
+    install_dct_bodies(&mut program, &config);
+
+    program.body("vlc/write", move |ctx| {
+        let params = JpegParams::new(width, height, quality);
+        let y = ctx.input(0).as_i16().ok_or("y_result must be i16")?;
+        let u = ctx.input(1).as_i16().ok_or("u_result must be i16")?;
+        let v = ctx.input(2).as_i16().ok_or("v_result must be i16")?;
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &params, y, u, v);
+        sink.push(ctx.age().0, frame);
+        Ok(())
+    });
+    program.set_ordered("vlc/write");
+    apply_frame_deadline(&mut program, &config);
+
+    Ok(program)
+}
+
+/// Split a frame into the `(field, region, buffer)` parts a streaming
+/// MJPEG session expects: the three input planes as `[blocks, 64]`
+/// buffers, resolved against the session's field table.
+pub fn stream_frame_parts(
+    session: &Session,
+    frame: &YuvFrame,
+) -> Vec<(FieldId, Region, Buffer)> {
+    let to2d = |data: Vec<u8>, blocks: usize| {
+        Buffer::from_vec(data)
+            .reshape(Extents::new([blocks, 64]))
+            .expect("plane is blocks*64 samples")
+    };
+    let field = |name: &str| {
+        session
+            .field_id(name)
+            .expect("session runs an MJPEG stream program")
+    };
+    vec![
+        (
+            field("y_input"),
+            Region::all(2),
+            to2d(frame.luma_plane_blocks(), frame.luma_blocks()),
+        ),
+        (
+            field("u_input"),
+            Region::all(2),
+            to2d(frame.u_plane_blocks(), frame.chroma_blocks()),
+        ),
+        (
+            field("v_input"),
+            Region::all(2),
+            to2d(frame.v_plane_blocks(), frame.chroma_blocks()),
+        ),
+    ]
 }
 
 #[cfg(test)]

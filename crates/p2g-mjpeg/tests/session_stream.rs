@@ -1,0 +1,171 @@
+//! The MJPEG pipeline as a streaming-session tenant: frames submitted
+//! through the session API must encode bit-exactly with the batch
+//! pipeline/standalone encoder, stay memory-flat under a GC window, and
+//! drop (not stall on) frames that blow their deadline.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use p2g_mjpeg::encoder::count_frames;
+use p2g_mjpeg::pipeline::{build_mjpeg_stream_program, stream_frame_parts, MjpegConfig};
+use p2g_mjpeg::synthetic::{FrameSource, SyntheticVideo};
+use p2g_mjpeg::encode_standalone;
+use p2g_runtime::{SessionConfig, SessionRuntime, SessionSink};
+
+#[test]
+fn streamed_frames_encode_bit_exactly() {
+    const FRAMES: u64 = 6;
+    let src = SyntheticVideo::new(32, 32, FRAMES, 11);
+    let config = MjpegConfig {
+        quality: 75,
+        fast_dct: false,
+        ..MjpegConfig::default()
+    };
+    let runtime = SessionRuntime::new(4);
+    let sink = SessionSink::new();
+    let program =
+        build_mjpeg_stream_program(src.width(), src.height(), config, sink.clone()).unwrap();
+    let session = runtime
+        .open(
+            program,
+            SessionConfig::new("vlc/write")
+                .sink(sink)
+                .max_in_flight(4)
+                .gc_window(8),
+        )
+        .unwrap();
+
+    let mut stream = Vec::new();
+    for n in 0..FRAMES {
+        let f = src.frame(n).unwrap();
+        session.submit(stream_frame_parts(&session, &f)).unwrap();
+        while let Some(out) = session.poll_output() {
+            stream.extend(out.payload.expect("no drops without a deadline"));
+        }
+    }
+    session.close();
+    while let Some(out) = session.recv(Duration::from_secs(30)) {
+        stream.extend(out.payload.expect("no drops without a deadline"));
+    }
+    let report = session.finish(Duration::from_secs(30)).unwrap();
+    assert_eq!(report.frames_completed, FRAMES);
+    assert_eq!(report.frames_dropped, 0);
+
+    let reference = encode_standalone(&src, 75, FRAMES, false);
+    assert_eq!(
+        stream, reference,
+        "session-streamed MJPEG must be bit-exact with the baseline"
+    );
+    assert_eq!(count_frames(&stream), FRAMES as usize);
+    runtime.shutdown();
+}
+
+#[test]
+fn concurrent_mjpeg_sessions_stay_memory_flat() {
+    const SESSIONS: usize = 3;
+    const FRAMES: u64 = 40;
+    let runtime = Arc::new(SessionRuntime::new(4));
+
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            let runtime = runtime.clone();
+            std::thread::spawn(move || {
+                let src = SyntheticVideo::new(32, 32, FRAMES, 100 + i as u64);
+                let config = MjpegConfig {
+                    quality: 60,
+                    fast_dct: true,
+                    ..MjpegConfig::default()
+                };
+                let sink = SessionSink::new();
+                let program =
+                    build_mjpeg_stream_program(src.width(), src.height(), config, sink.clone())
+                        .unwrap();
+                let session = runtime
+                    .open(
+                        program,
+                        SessionConfig::new("vlc/write")
+                            .sink(sink)
+                            .max_in_flight(4)
+                            .gc_window(4),
+                    )
+                    .unwrap();
+                let mut got = 0u64;
+                let mut peak_resident = 0usize;
+                for n in 0..FRAMES {
+                    let f = src.frame(n).unwrap();
+                    session.submit(stream_frame_parts(&session, &f)).unwrap();
+                    while session.poll_output().is_some() {
+                        got += 1;
+                    }
+                    peak_resident = peak_resident.max(session.resident_ages());
+                }
+                while got < FRAMES {
+                    session.recv(Duration::from_secs(30)).expect("frame output");
+                    got += 1;
+                }
+                let report = session.finish(Duration::from_secs(30)).unwrap();
+                assert_eq!(report.frames_completed, FRAMES);
+                // 7 fields x (gc window + in flight) is a generous bound;
+                // the point is it does not scale with FRAMES.
+                assert!(
+                    peak_resident < 7 * 16,
+                    "per-session resident slabs must stay near the GC \
+                     window, saw {peak_resident}"
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    runtime.shutdown();
+}
+
+#[test]
+fn deadline_stalled_frame_drops_from_the_session_stream() {
+    const FRAMES: u64 = 4;
+    let src = SyntheticVideo::new(32, 32, FRAMES, 7);
+    let config = MjpegConfig {
+        quality: 75,
+        fast_dct: true,
+        frame_deadline: Some(Duration::from_millis(40)),
+        stall_frame: Some(1),
+        ..MjpegConfig::default()
+    };
+    let runtime = SessionRuntime::new(4);
+    let sink = SessionSink::new();
+    let program =
+        build_mjpeg_stream_program(src.width(), src.height(), config, sink.clone()).unwrap();
+    let session = runtime
+        .open(
+            program,
+            SessionConfig::new("vlc/write")
+                .sink(sink)
+                .max_in_flight(4)
+                .gc_window(8),
+        )
+        .unwrap();
+
+    for n in 0..FRAMES {
+        let f = src.frame(n).unwrap();
+        session.submit(stream_frame_parts(&session, &f)).unwrap();
+    }
+    let mut dropped = Vec::new();
+    let mut stream = Vec::new();
+    for _ in 0..FRAMES {
+        let out = session
+            .recv(Duration::from_secs(30))
+            .expect("every frame completes, dropped or not");
+        match out.payload {
+            Some(bytes) => stream.extend(bytes),
+            None => dropped.push(out.age),
+        }
+    }
+    assert_eq!(dropped, vec![1], "exactly the stalled frame drops");
+    assert_eq!(count_frames(&stream), FRAMES as usize - 1);
+
+    let report = session.finish(Duration::from_secs(30)).unwrap();
+    assert_eq!(report.frames_dropped, 1);
+    assert_eq!(report.frames_completed, FRAMES);
+    runtime.shutdown();
+}

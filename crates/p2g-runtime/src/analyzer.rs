@@ -65,6 +65,18 @@ use crate::options::{KernelOptions, RunLimits};
 /// Shared handle to the node's fields.
 pub type SharedFields = Arc<Vec<RwLock<Field>>>;
 
+/// Age-watch callback: `(age, poisoned)` fired on the analyzer thread when
+/// every instance of the watched kernel at `age` has completed (or been
+/// poisoned), in strictly increasing age order.
+pub type AgeWatchFn = Arc<dyn Fn(u64, bool) + Send + Sync>;
+
+/// A registered age watch: a frontier over one kernel's completed ages.
+struct AgeWatch {
+    kernel: KernelId,
+    frontier: u64,
+    callback: AgeWatchFn,
+}
+
 /// How the incremental path accounts one fetch declaration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FetchKind {
@@ -177,6 +189,13 @@ pub struct DependencyAnalyzer {
     /// applied here (not on a worker), so their `StoreApplied` events are
     /// recorded here too.
     tracer: Option<(Arc<crate::trace::Tracer>, u32)>,
+    /// Registered age watches (session output notification).
+    watches: Vec<AgeWatch>,
+    /// Smallest un-collected age per field: the last GC limit applied.
+    /// Gates the analyzer-state prune to once per limit advance.
+    field_gc_floor: Vec<u64>,
+    /// `(field, age)` slabs retired by GC since the last drain.
+    gc_collected: u64,
 }
 
 impl DependencyAnalyzer {
@@ -273,6 +292,9 @@ impl DependencyAnalyzer {
             poisoned_drain: Vec::new(),
             degraded: false,
             tracer: None,
+            watches: Vec::new(),
+            field_gc_floor: vec![0; nf],
+            gc_collected: 0,
             spec,
         }
     }
@@ -301,6 +323,29 @@ impl DependencyAnalyzer {
     /// remote-store applications are traced.
     pub fn set_tracer(&mut self, tracer: Arc<crate::trace::Tracer>, tid: u32) {
         self.tracer = Some((tracer, tid));
+    }
+
+    /// Watch `kernel`'s age frontier: the callback fires once per age, in
+    /// increasing order, when every instance of that age has completed or
+    /// been poisoned. The session layer watches the terminal kernel to
+    /// learn when a frame's output is ready.
+    pub fn set_age_watch(&mut self, kernel: KernelId, callback: AgeWatchFn) {
+        self.watches.push(AgeWatch {
+            kernel,
+            frontier: 0,
+            callback,
+        });
+    }
+
+    /// Drain the GC tally accumulated since the last call.
+    pub fn take_gc_collected(&mut self) -> u64 {
+        std::mem::take(&mut self.gc_collected)
+    }
+
+    /// Live `(field, age)` views — the analyzer's notion of resident ages,
+    /// sampled by the node's instruments for the peak-residency gauge.
+    pub fn live_ages(&self) -> usize {
+        self.views.len()
     }
 
     /// True when this node runs the given kernel.
@@ -418,7 +463,46 @@ impl DependencyAnalyzer {
             Event::Failure(_) => {}
         }
         self.process_poison(&mut out);
+        self.advance_watches();
         Ok(out)
+    }
+
+    /// Fire every watch whose next age is now fully finished. Poisoned
+    /// instances count as finished (with the poisoned flag), so a dropped
+    /// frame still produces an (empty) notification instead of a stall.
+    fn advance_watches(&mut self) {
+        for i in 0..self.watches.len() {
+            loop {
+                let (kid, a) = {
+                    let w = &self.watches[i];
+                    (w.kernel, w.frontier)
+                };
+                if !self.watch_age_done(kid, a) {
+                    break;
+                }
+                let poisoned = self
+                    .poisoned_instances
+                    .get(&(kid.0, a))
+                    .is_some_and(|s| !s.is_empty());
+                let callback = self.watches[i].callback.clone();
+                self.watches[i].frontier = a + 1;
+                callback(a, poisoned);
+            }
+        }
+    }
+
+    /// The watch done-predicate, mirroring [`Self::advance_ordered`]: the
+    /// instance space is known, fully dispatched, and fully completed.
+    fn watch_age_done(&mut self, kid: KernelId, a: u64) -> bool {
+        if !self.age_allowed(self.spec.kernel(kid), a) {
+            return false;
+        }
+        let Some(space) = self.instance_space(kid, a) else {
+            return false;
+        };
+        let d = self.dispatched.get(&(kid.0, a)).map_or(0, |s| s.count());
+        let c = *self.completed.get(&(kid.0, a)).unwrap_or(&0);
+        d >= space && c >= d
     }
 
     /// Drain the poison worklist: each entry poisons one instance, which
@@ -684,14 +768,35 @@ impl DependencyAnalyzer {
         if let Some(w) = self.limits.gc_window {
             if fmax > w {
                 let limit = self.gc_limit(se.field, fmax - w);
-                if limit > 0 {
-                    self.fields[se.field.idx()]
+                // The prune runs once per limit advance, not per store
+                // event: retire the field slabs, then every piece of
+                // analyzer state scoped below the new floor — streaming
+                // runs would otherwise grow views/tables/dispatched/
+                // completed maps without bound even though the field data
+                // itself is collected.
+                if limit > self.field_gc_floor[se.field.idx()] {
+                    let collected = self.fields[se.field.idx()]
                         .write()
                         .collect_below(Age(limit));
+                    self.field_gc_floor[se.field.idx()] = limit;
+                    self.gc_collected += collected as u64;
+                    if let Some((t, tid)) = &self.tracer {
+                        t.record(
+                            *tid,
+                            crate::trace::TraceEvent::AgeRetired {
+                                field: se.field,
+                                below: limit,
+                                collected,
+                            },
+                        );
+                    }
                     let f = se.field.0;
                     self.views.retain(|&(vf, va), _| vf != f || va >= limit);
                     self.view_ages[se.field.idx()].retain(|&a| a >= limit);
                     self.poison.retain(|&(pf, pa), _| pf != f || pa >= limit);
+                    self.expected_extents
+                        .retain(|&(ef, ea), _| ef != f || ea >= limit);
+                    self.prune_kernel_state();
                 }
             }
         }
@@ -1532,6 +1637,41 @@ impl DependencyAnalyzer {
             self.gc_floor.insert(kid.0, a);
         }
         a
+    }
+
+    /// Prune per-(kernel, age) accounting below each kernel's finished
+    /// frontier. Every pruned age is fully dispatched *and* completed (the
+    /// `gc_floor` invariant), so its UnitDone and Store events have all
+    /// drained — nothing can reference the dropped entries again. The
+    /// floor additionally respects ordered gating and age watches, whose
+    /// frontiers read dispatch/completion counts at their own pace.
+    fn prune_kernel_state(&mut self) {
+        let nk = self.spec.kernels.len();
+        let mut floors = Vec::with_capacity(nk);
+        for k in 0..nk {
+            let kid = k as u32;
+            // kernel_safe_age (not the bare cache): source kernels are
+            // nobody's consumer, so gc_limit never advances their floor.
+            let mut f = self.kernel_safe_age(KernelId(kid));
+            if self.options[k].ordered {
+                f = f.min(*self.ordered_next.get(&kid).unwrap_or(&0));
+            }
+            for w in &self.watches {
+                if w.kernel.idx() == k {
+                    f = f.min(w.frontier);
+                }
+            }
+            floors.push(f);
+        }
+        self.tables.retain(|&(k, a), _| a >= floors[k as usize]);
+        for (k, ages) in self.table_ages.iter_mut().enumerate() {
+            let f = floors[k];
+            ages.retain(|&a| a >= f);
+        }
+        self.dispatched.retain(|&(k, a), _| a >= floors[k as usize]);
+        self.completed.retain(|&(k, a), _| a >= floors[k as usize]);
+        self.poisoned_instances
+            .retain(|&(k, a), _| a >= floors[k as usize]);
     }
 
     /// The exclusive upper bound of collectible ages for `field`:

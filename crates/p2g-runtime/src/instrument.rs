@@ -234,6 +234,11 @@ pub struct Instruments {
     /// Final poisoned-instance sets per (kernel name, age), recorded by the
     /// analyzer before it exits. Index values of every skipped instance.
     poisoned_instances: parking_lot::Mutex<PoisonedInstances>,
+    /// `(field, age)` slabs retired by age GC.
+    gc_ages_collected: AtomicU64,
+    /// Peak simultaneously-live `(field, age)` views observed by the
+    /// analyzer — the flat-memory gauge the streaming soak tests assert on.
+    peak_live_ages: AtomicU64,
 }
 
 /// Poisoned-instance index vectors keyed by (kernel name, age).
@@ -253,7 +258,26 @@ impl Instruments {
             volumes: parking_lot::Mutex::new(BTreeMap::new()),
             deduped_elements: AtomicU64::new(0),
             poisoned_instances: parking_lot::Mutex::new(BTreeMap::new()),
+            gc_ages_collected: AtomicU64::new(0),
+            peak_live_ages: AtomicU64::new(0),
         }
+    }
+
+    /// Record retired `(field, age)` slabs and the current live-age count
+    /// (the peak gauge keeps the maximum).
+    pub fn record_gc(&self, collected: u64, live_ages: u64) {
+        self.gc_ages_collected.fetch_add(collected, Ordering::Relaxed);
+        self.peak_live_ages.fetch_max(live_ages, Ordering::Relaxed);
+    }
+
+    /// Total `(field, age)` slabs retired by age GC.
+    pub fn gc_ages_collected(&self) -> u64 {
+        self.gc_ages_collected.load(Ordering::Relaxed)
+    }
+
+    /// Peak simultaneously-live `(field, age)` count observed.
+    pub fn peak_live_ages(&self) -> u64 {
+        self.peak_live_ages.load(Ordering::Relaxed)
     }
 
     /// Record one failed instance execution (body `Err` or panic).
@@ -493,6 +517,8 @@ pub struct InstrumentsSnapshot {
     analyzer_batches: u64,
     deduped_elements: u64,
     poisoned_instances: BTreeMap<(String, u64), Vec<Vec<usize>>>,
+    gc_ages_collected: u64,
+    peak_live_ages: u64,
 }
 
 impl InstrumentsSnapshot {
@@ -506,7 +532,20 @@ impl InstrumentsSnapshot {
             analyzer_batches: live.analyzer_batches(),
             deduped_elements: live.deduped_elements(),
             poisoned_instances: live.poisoned_instances(),
+            gc_ages_collected: live.gc_ages_collected(),
+            peak_live_ages: live.peak_live_ages(),
         }
+    }
+
+    /// Total `(field, age)` slabs retired by age GC during the run.
+    pub fn gc_ages_collected(&self) -> u64 {
+        self.gc_ages_collected
+    }
+
+    /// Peak simultaneously-live `(field, age)` count the analyzer observed
+    /// — flat over a streaming run when GC keeps up.
+    pub fn peak_live_ages(&self) -> u64 {
+        self.peak_live_ages
     }
 
     /// Final poisoned-instance sets per (kernel name, age) — exactly the

@@ -55,21 +55,28 @@ pub mod instance;
 pub mod instrument;
 pub mod node;
 pub mod options;
+pub mod pool;
 pub mod program;
 pub mod ready;
+pub mod session;
 pub mod timer;
 pub mod trace;
 pub mod trace_check;
 mod watchdog;
 
-pub use analyzer::DependencyAnalyzer;
+pub use analyzer::{AgeWatchFn, DependencyAnalyzer};
 pub use error::RuntimeError;
 pub use events::{Event, StoreEvent};
 pub use instance::InstanceKey;
 pub use instrument::{Instruments, KernelStats, LatencyHistogram, RunReport, Termination};
-pub use node::{ExecutionNode, FieldStore, NodeBuilder, NodeHandle, RunningNode, StoreTap};
+pub use node::{FieldStore, NodeBuilder, NodeHandle, RunningNode, StoreTap};
 pub use options::{ExhaustPolicy, FaultPolicy, KernelOptions, RunLimits};
+pub use pool::WorkerPool;
 pub use program::{BodyResult, KernelCtx, Program};
+pub use session::{
+    Session, SessionConfig, SessionOutput, SessionReport, SessionRuntime, SessionSink,
+    SubmitError, Ticket,
+};
 pub use timer::TimerTable;
 pub use trace::{RunTrace, TraceEvent, TraceOptions, TraceRecord, Tracer};
 

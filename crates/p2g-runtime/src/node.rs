@@ -20,12 +20,13 @@ use parking_lot::{Mutex, RwLock};
 use p2g_field::{Age, Buffer, Field, FieldId, Region, Value};
 use p2g_graph::{KernelId, ProgramSpec};
 
-use crate::analyzer::{DependencyAnalyzer, SharedFields};
+use crate::analyzer::{AgeWatchFn, DependencyAnalyzer, SharedFields};
 use crate::error::RuntimeError;
 use crate::events::{Event, StoreEvent};
 use crate::instance::DispatchUnit;
 use crate::instrument::{Instruments, InstrumentsSnapshot, RunReport, Termination};
 use crate::options::{ExhaustPolicy, FaultPolicy, RunLimits};
+use crate::pool::{PoolTask, WorkerPool};
 use crate::program::{FusionPlan, KernelBody, KernelCtx, Program, StagedStore};
 use crate::ready::ReadyQueue;
 use crate::timer::TimerTable;
@@ -94,7 +95,7 @@ impl From<p2g_field::FieldError> for InstanceError {
 /// the data to subscriber nodes through this hook).
 pub type StoreTap = Arc<dyn Fn(FieldId, Age, &Region, &Buffer) + Send + Sync>;
 
-struct Shared {
+pub(crate) struct Shared {
     spec: Arc<ProgramSpec>,
     bodies: Vec<Option<KernelBody>>,
     fusions: Vec<FusionPlan>,
@@ -121,6 +122,9 @@ struct Shared {
     /// Structured event tracing; `None` keeps the hot path at one branch
     /// per would-be event.
     tracer: Option<Arc<Tracer>>,
+    /// Session mode: ready units go to this shared pool instead of the
+    /// node's private queue (which then has no workers of its own).
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Shared {
@@ -167,6 +171,23 @@ impl Shared {
     fn has_failed(&self) -> bool {
         self.failure.lock().is_some()
     }
+
+    /// Route a counted ready unit to this node's execution surface: the
+    /// shared worker pool in session mode, the private queue otherwise.
+    fn dispatch(self: &Arc<Self>, unit: DispatchUnit) {
+        match &self.pool {
+            Some(pool) => pool.submit(self.clone(), unit),
+            None => self.ready.push(unit),
+        }
+    }
+}
+
+/// One tick of a shared pool worker: execute a queued unit against its
+/// owning node. The pool worker's trace id is set per tick because
+/// consecutive ticks may belong to different nodes (different tracers).
+pub(crate) fn pool_worker_tick(worker: u32, task: PoolTask) {
+    TRACE_TID.with(|c| c.set(worker));
+    run_unit(&task.shared, task.unit);
 }
 
 /// Read access to a program's fields after a run (results extraction).
@@ -224,58 +245,8 @@ pub struct NodeBuilder {
     workers: usize,
     store_tap: Option<StoreTap>,
     assigned: Option<std::collections::HashSet<KernelId>>,
-}
-
-/// A single-machine P2G execution node.
-///
-/// Deprecated construction surface — use [`NodeBuilder`], which merges the
-/// old `run`/`run_collect`/`start` trio into `launch()` + handle methods.
-pub struct ExecutionNode {
-    builder: NodeBuilder,
-}
-
-impl ExecutionNode {
-    /// Create a node that will run `program` on `workers` worker threads
-    /// (plus the dedicated dependency-analyzer thread).
-    pub fn new(program: Program, workers: usize) -> ExecutionNode {
-        ExecutionNode {
-            builder: NodeBuilder::new(program).workers(workers),
-        }
-    }
-
-    /// Install a store tap: called after every successful local store
-    /// with the stored region and data (used to forward stores to other
-    /// nodes in a cluster).
-    #[deprecated(since = "0.2.0", note = "use NodeBuilder::store_tap")]
-    pub fn set_store_tap(&mut self, tap: StoreTap) {
-        self.builder.store_tap = Some(tap);
-    }
-
-    /// Restrict this node to a subset of the program's kernels
-    /// (distributed mode — the HLS decides the assignment).
-    #[deprecated(since = "0.2.0", note = "use NodeBuilder::assigned")]
-    pub fn set_assigned(&mut self, assigned: std::collections::HashSet<KernelId>) {
-        self.builder.assigned = Some(assigned);
-    }
-
-    /// Run to quiescence (or a limit), returning the report.
-    #[deprecated(since = "0.2.0", note = "use NodeBuilder::launch(..)?.wait()")]
-    pub fn run(self, limits: RunLimits) -> Result<RunReport, RuntimeError> {
-        self.builder.launch(limits)?.wait()
-    }
-
-    /// Run and additionally hand back the final field contents.
-    #[deprecated(since = "0.2.0", note = "use NodeBuilder::launch(..)?.collect()")]
-    pub fn run_collect(self, limits: RunLimits) -> Result<(RunReport, FieldStore), RuntimeError> {
-        self.builder.launch(limits)?.collect()
-    }
-
-    /// Start the node's threads and return a handle for interaction while
-    /// it runs (remote store injection, quiescence queries, stop).
-    #[deprecated(since = "0.2.0", note = "use NodeBuilder::launch")]
-    pub fn start(self, limits: RunLimits) -> Result<RunningNode, RuntimeError> {
-        self.builder.launch(limits)
-    }
+    pool: Option<Arc<WorkerPool>>,
+    watches: Vec<(String, AgeWatchFn)>,
 }
 
 impl NodeBuilder {
@@ -286,12 +257,34 @@ impl NodeBuilder {
             workers: 1,
             store_tap: None,
             assigned: None,
+            pool: None,
+            watches: Vec::new(),
         }
     }
 
-    /// Number of worker threads (the analyzer thread is extra).
+    /// Number of worker threads (the analyzer thread is extra). Ignored
+    /// when the node is attached to a shared [`WorkerPool`].
     pub fn workers(mut self, workers: usize) -> NodeBuilder {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Attach this node to a shared worker pool: the node spawns no worker
+    /// threads of its own and its ready units rank against every other
+    /// attached node's by age. This is how [`crate::session::SessionRuntime`]
+    /// hosts many tenants on one fixed thread set.
+    pub fn pool(mut self, pool: Arc<WorkerPool>) -> NodeBuilder {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Watch a kernel's age frontier: `callback(age, poisoned)` fires on the
+    /// analyzer thread each time every instance of `kernel` at `age` has
+    /// completed (or been poisoned), in strictly increasing age order. The
+    /// session layer uses a watch on the terminal kernel to learn when a
+    /// frame's output is ready.
+    pub fn watch_ages(mut self, kernel: &str, callback: AgeWatchFn) -> NodeBuilder {
+        self.watches.push((kernel.to_string(), callback));
         self
     }
 
@@ -335,11 +328,14 @@ impl NodeBuilder {
         let (events_tx, events_rx) = unbounded::<Event>();
         let fault: Vec<FaultPolicy> = options.iter().map(|o| o.fault.clone()).collect();
         // Trace buffer ids: workers 0..n, then analyzer, watchdog, main.
-        let analyzer_tid = self.workers as u32;
+        // Pool-attached nodes have no private workers; their units run on
+        // the pool's threads, which claim the worker tid range.
+        let worker_slots = self.pool.as_ref().map(|p| p.workers()).unwrap_or(self.workers);
+        let analyzer_tid = worker_slots as u32;
         let watchdog_tid = analyzer_tid + 1;
         let main_tid = analyzer_tid + 2;
         let tracer = limits.trace.as_ref().map(|opts| {
-            let mut labels: Vec<String> = (0..self.workers).map(|w| format!("worker-{w}")).collect();
+            let mut labels: Vec<String> = (0..worker_slots).map(|w| format!("worker-{w}")).collect();
             labels.push("analyzer".into());
             labels.push("watchdog".into());
             labels.push("main".into());
@@ -371,6 +367,7 @@ impl NodeBuilder {
             fault,
             watchdog,
             tracer: tracer.clone(),
+            pool: self.pool.clone(),
         });
 
         let fused_consumers: HashSet<KernelId> = fusions.iter().map(|f| f.consumer).collect();
@@ -387,6 +384,15 @@ impl NodeBuilder {
         if let Some(t) = &tracer {
             analyzer.set_tracer(t.clone(), analyzer_tid);
         }
+        for (name, callback) in self.watches {
+            let Some(idx) = spec.kernels.iter().position(|k| k.name == name) else {
+                return Err(RuntimeError::Kernel {
+                    kernel: name,
+                    message: "unknown kernel in watch_ages".into(),
+                });
+            };
+            analyzer.set_age_watch(KernelId(idx as u32), callback);
+        }
 
         let start = Instant::now();
 
@@ -401,7 +407,7 @@ impl NodeBuilder {
                 });
             }
             shared.outstanding.fetch_add(1, Ordering::SeqCst);
-            shared.ready.push(unit);
+            shared.dispatch(unit);
         }
         // A program with no sources is quiescent immediately (unless it
         // waits for remote stores).
@@ -421,19 +427,21 @@ impl NodeBuilder {
             })
             .expect("spawn analyzer");
 
-        // Worker threads.
+        // Worker threads — none when attached to a shared pool.
         let mut worker_handles = Vec::with_capacity(self.workers);
-        for w in 0..self.workers {
-            let ws = shared.clone();
-            worker_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("p2g-worker-{w}"))
-                    .spawn(move || {
-                        TRACE_TID.with(|c| c.set(w as u32));
-                        worker_loop(ws)
-                    })
-                    .expect("spawn worker"),
-            );
+        if shared.pool.is_none() {
+            for w in 0..self.workers {
+                let ws = shared.clone();
+                worker_handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("p2g-worker-{w}"))
+                        .spawn(move || {
+                            TRACE_TID.with(|c| c.set(w as u32));
+                            worker_loop(ws)
+                        })
+                        .expect("spawn worker"),
+                );
+            }
         }
 
         // Watchdog thread: releases due retries to the ready queue and
@@ -511,6 +519,27 @@ impl RunningNode {
     /// Builder-API alias of [`RunningNode::request_stop`].
     pub fn stop(&self) {
         self.request_stop();
+    }
+
+    /// True once the node's stop flag is set (quiescence, failure, or an
+    /// external [`RunningNode::request_stop`]). The session layer polls
+    /// this while draining so a dead node cannot hang `finish`.
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Total live `(field, age)` slabs across every field — the quantity
+    /// the streaming soak tests assert stays bounded while ages advance.
+    pub fn resident_ages(&self) -> usize {
+        self.fields
+            .iter()
+            .map(|l| l.read().resident_ages().count())
+            .sum()
+    }
+
+    /// Resident field memory in bytes (all fields, all live ages).
+    pub fn bytes_resident(&self) -> usize {
+        self.fields.iter().map(|l| l.read().bytes_resident()).sum()
     }
 
     /// Replace this node's kernel assignment (cluster recovery): the
@@ -608,8 +637,15 @@ impl RunningNode {
             instruments: InstrumentsSnapshot::capture(&shared.instruments),
             trace,
         };
-        // All threads joined: the Arcs unwrap cleanly.
+        // All threads joined; in pool mode, queued pool tasks may still
+        // hold clones of this node's shared state (they drain in age order
+        // and drop their clone as they run), so wait for the last clone to
+        // go before unwrapping the fields.
+        let weak = Arc::downgrade(&shared);
         drop(shared);
+        while weak.strong_count() > 0 {
+            std::thread::sleep(Duration::from_micros(50));
+        }
         let fields = Arc::try_unwrap(fields)
             .expect("no outstanding field references after join")
             .into_iter()
@@ -624,7 +660,7 @@ impl RunningNode {
 fn watchdog_loop(wd: Arc<Watchdog>, shared: Arc<Shared>) {
     while let Some(due) = wd.next_due() {
         for unit in due {
-            shared.ready.push(unit);
+            shared.dispatch(unit);
         }
     }
 }
@@ -700,6 +736,9 @@ fn analyzer_loop(
             if deduped > 0 {
                 shared.instruments.record_deduped(deduped);
             }
+            shared
+                .instruments
+                .record_gc(analyzer.take_gc_collected(), analyzer.live_ages() as u64);
             for (kid, age, indices) in analyzer.take_poisoned() {
                 shared.trace(|| TraceEvent::Poisoned {
                     kernel: kid,
@@ -720,7 +759,7 @@ fn analyzer_loop(
                     });
                 }
                 shared.outstanding.fetch_add(1, Ordering::SeqCst);
-                shared.ready.push(unit);
+                shared.dispatch(unit);
             }
             // This event is fully processed; the release may observe
             // quiescence (stop is then checked right here to avoid one

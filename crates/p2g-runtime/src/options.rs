@@ -196,6 +196,18 @@ impl RunLimits {
         }
     }
 
+    /// Resident streaming mode: no age cap, stay open across local
+    /// quiescence (input arrives over time, e.g. session frame submission),
+    /// and GC field ages more than `gc_window` behind each field's
+    /// frontier so memory stays flat over unbounded input.
+    pub fn streaming(gc_window: u64) -> RunLimits {
+        RunLimits {
+            gc_window: Some(gc_window),
+            hold_open: true,
+            ..RunLimits::default()
+        }
+    }
+
     /// Add a wall-clock deadline.
     pub fn with_deadline(mut self, d: Duration) -> RunLimits {
         self.wall_deadline = Some(d);

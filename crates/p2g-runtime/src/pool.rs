@@ -1,0 +1,109 @@
+//! The shared worker pool behind [`crate::session::SessionRuntime`]: a
+//! fixed set of worker threads executing dispatch units for *many* nodes
+//! at once.
+//!
+//! In batch mode each [`crate::NodeBuilder::launch`] spawns its own
+//! workers. A resident multi-tenant runtime cannot do that — a hundred
+//! sessions must not mean a hundred thread pools — so the pool owns the
+//! threads and every attached node routes its ready units here instead of
+//! its private queue. Entries rank by (age, kernel, arrival) *across*
+//! sessions: ages are frame numbers, so the session that is furthest
+//! behind pops first and a saturated tenant's deep backlog cannot starve a
+//! lightly-loaded one (its next frame always ranks ahead of the backlog's
+//! tail).
+//!
+//! Lifecycle: the pool outlives the nodes attached to it. Nodes stop
+//! individually (quiescence, `request_stop`); their queued units drain
+//! harmlessly — a unit for a stopped-and-failed node is skipped, one for a
+//! cleanly-stopped node runs against its still-live fields. The pool
+//! itself shuts down when dropped: the queue closes, workers finish the
+//! remaining backlog and exit.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::instance::DispatchUnit;
+use crate::node::{pool_worker_tick, Shared};
+use crate::ready::{Ranked, ReadyQueue};
+
+/// One queued unit of work: the owning node's shared state plus the unit.
+pub(crate) struct PoolTask {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) unit: DispatchUnit,
+}
+
+impl Ranked for PoolTask {
+    fn rank_age(&self) -> u64 {
+        self.unit.age.0
+    }
+    fn rank_kernel(&self) -> u32 {
+        self.unit.kernel.0
+    }
+}
+
+/// A fixed-size worker pool shared by every session of a
+/// [`crate::session::SessionRuntime`] (and by pool-attached batch nodes).
+pub struct WorkerPool {
+    queue: Arc<ReadyQueue<PoolTask>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Start a pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> Arc<WorkerPool> {
+        let workers = workers.max(1);
+        let queue: Arc<ReadyQueue<PoolTask>> = Arc::new(ReadyQueue::new());
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let q = queue.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("p2g-pool-{w}"))
+                    .spawn(move || {
+                        while let Some(task) = q.pop() {
+                            pool_worker_tick(w as u32, task);
+                        }
+                    })
+                    .expect("spawn pool worker"),
+            );
+        }
+        Arc::new(WorkerPool {
+            queue,
+            handles: Mutex::new(handles),
+            workers,
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Units currently queued (all tenants).
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueue one unit for `shared`'s node.
+    pub(crate) fn submit(&self, shared: Arc<Shared>, unit: DispatchUnit) {
+        self.queue.push(PoolTask { shared, unit });
+    }
+
+    /// Close the queue and join the workers (remaining backlog drains
+    /// first). Idempotent.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

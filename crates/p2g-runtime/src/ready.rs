@@ -4,42 +4,93 @@
 //! as in the paper's prototype — this guarantees that kernels satisfying
 //! their own dependencies through aging cycles (mul2/plus5) never starve
 //! fetch-less kernels or each other.
+//!
+//! The queue is generic over its payload so the session runtime's shared
+//! worker pool ([`crate::pool::WorkerPool`]) can reuse the same age-priority
+//! discipline across *tenants*: pool entries carry (session, unit) pairs and
+//! rank by the unit's age, which keeps a saturated session's high-age
+//! backlog behind every other session's low-age work — the fairness
+//! property the two-tenant tests pin down.
 
-use std::cmp::Reverse;
+use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::instance::DispatchUnit;
 
-#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct Rank {
+/// Payloads the queue knows how to rank. Lower (age, kernel) pops first;
+/// arrival order breaks ties.
+pub trait Ranked {
+    /// The age this entry runs at (primary key, ascending).
+    fn rank_age(&self) -> u64;
+    /// The kernel id (secondary key, ascending).
+    fn rank_kernel(&self) -> u32;
+}
+
+impl Ranked for DispatchUnit {
+    fn rank_age(&self) -> u64 {
+        self.age.0
+    }
+    fn rank_kernel(&self) -> u32 {
+        self.kernel.0
+    }
+}
+
+/// Min-heap entry: compares only the (age, kernel, seq) rank, never the
+/// payload.
+struct Entry<T> {
     age: u64,
     kernel: u32,
     seq: u64,
+    payload: T,
 }
 
-struct Inner {
-    heap: BinaryHeap<(Reverse<Rank>, DispatchUnit)>,
+impl<T> Entry<T> {
+    fn rank(&self) -> (u64, u32, u64) {
+        (self.age, self.kernel, self.seq)
+    }
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank() == other.rank()
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap, we want the lowest rank first.
+        other.rank().cmp(&self.rank())
+    }
+}
+
+struct Inner<T> {
+    heap: BinaryHeap<Entry<T>>,
     seq: u64,
     closed: bool,
 }
 
-/// Age-priority blocking queue of dispatch units.
-pub struct ReadyQueue {
-    inner: Mutex<Inner>,
+/// Age-priority blocking queue.
+pub struct ReadyQueue<T: Ranked = DispatchUnit> {
+    inner: Mutex<Inner<T>>,
     cond: Condvar,
 }
 
-impl Default for ReadyQueue {
-    fn default() -> ReadyQueue {
+impl<T: Ranked> Default for ReadyQueue<T> {
+    fn default() -> ReadyQueue<T> {
         ReadyQueue::new()
     }
 }
 
-impl ReadyQueue {
+impl<T: Ranked> ReadyQueue<T> {
     /// Empty queue.
-    pub fn new() -> ReadyQueue {
+    pub fn new() -> ReadyQueue<T> {
         ReadyQueue {
             inner: Mutex::new(Inner {
                 heap: BinaryHeap::new(),
@@ -50,27 +101,29 @@ impl ReadyQueue {
         }
     }
 
-    /// Push a unit; wakes one waiting worker.
-    pub fn push(&self, unit: DispatchUnit) {
+    /// Push an entry; wakes one waiting worker.
+    pub fn push(&self, payload: T) {
         let mut g = self.inner.lock();
-        let rank = Rank {
-            age: unit.age.0,
-            kernel: unit.kernel.0,
+        let entry = Entry {
+            age: payload.rank_age(),
+            kernel: payload.rank_kernel(),
             seq: g.seq,
+            payload,
         };
         g.seq += 1;
-        g.heap.push((Reverse(rank), unit));
+        g.heap.push(entry);
         drop(g);
         self.cond.notify_one();
     }
 
-    /// Pop the lowest-age unit, blocking until one is available or the
-    /// queue is closed. `None` means shutdown.
-    pub fn pop(&self) -> Option<DispatchUnit> {
+    /// Pop the lowest-age entry, blocking until one is available or the
+    /// queue is closed. `None` means shutdown (remaining entries still
+    /// drain first).
+    pub fn pop(&self) -> Option<T> {
         let mut g = self.inner.lock();
         loop {
-            if let Some((_, unit)) = g.heap.pop() {
-                return Some(unit);
+            if let Some(entry) = g.heap.pop() {
+                return Some(entry.payload);
             }
             if g.closed {
                 return None;
@@ -80,45 +133,35 @@ impl ReadyQueue {
     }
 
     /// Non-blocking pop (used by single-threaded drivers and tests).
-    pub fn try_pop(&self) -> Option<DispatchUnit> {
-        self.inner.lock().heap.pop().map(|(_, u)| u)
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.lock().heap.pop().map(|e| e.payload)
     }
 
-    /// Close the queue; blocked and future pops return `None`.
+    /// Close the queue; blocked and future pops return `None` once drained.
     pub fn close(&self) {
         self.inner.lock().closed = true;
         self.cond.notify_all();
     }
 
-    /// Number of queued units.
+    /// Number of queued entries.
     pub fn len(&self) -> usize {
         self.inner.lock().heap.len()
     }
 
-    /// True when no units are queued.
+    /// True when no entries are queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 }
 
-// DispatchUnit doesn't implement Ord; the heap compares only the Rank.
-// These impls make the tuple orderable while ignoring the payload.
+// DispatchUnit equality for tests and assertions; ordering lives in the
+// queue's Entry, not here.
 impl PartialEq for DispatchUnit {
     fn eq(&self, other: &Self) -> bool {
         self.kernel == other.kernel && self.age == other.age && self.instances == other.instances
     }
 }
 impl Eq for DispatchUnit {}
-impl PartialOrd for DispatchUnit {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for DispatchUnit {
-    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -157,7 +200,7 @@ mod tests {
 
     #[test]
     fn close_unblocks_poppers() {
-        let q = std::sync::Arc::new(ReadyQueue::new());
+        let q = std::sync::Arc::new(ReadyQueue::<DispatchUnit>::new());
         let q2 = q.clone();
         let h = std::thread::spawn(move || q2.pop());
         std::thread::sleep(std::time::Duration::from_millis(10));
@@ -180,5 +223,28 @@ mod tests {
         assert!(q.is_empty());
         q.push(unit(0, 0));
         assert_eq!(q.len(), 1);
+    }
+
+    /// Cross-payload ranking: generic entries interleave by age exactly
+    /// like dispatch units — the property the multi-tenant pool relies on.
+    struct Tagged(u64, &'static str);
+    impl Ranked for Tagged {
+        fn rank_age(&self) -> u64 {
+            self.0
+        }
+        fn rank_kernel(&self) -> u32 {
+            0
+        }
+    }
+
+    #[test]
+    fn generic_payloads_rank_by_age() {
+        let q: ReadyQueue<Tagged> = ReadyQueue::new();
+        q.push(Tagged(9, "laggard"));
+        q.push(Tagged(2, "fresh"));
+        q.push(Tagged(5, "middle"));
+        assert_eq!(q.try_pop().unwrap().1, "fresh");
+        assert_eq!(q.try_pop().unwrap().1, "middle");
+        assert_eq!(q.try_pop().unwrap().1, "laggard");
     }
 }

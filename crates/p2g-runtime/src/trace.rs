@@ -131,6 +131,15 @@ pub enum TraceEvent {
     /// Distributed: the coordinator re-planned the kernel assignment over
     /// the surviving nodes.
     Replan { survivors: Vec<NodeId> },
+    /// Age GC retired every `(field, age)` slab of `field` below `below`
+    /// (`collected` of them were actually resident). Streaming runs emit
+    /// one per GC-limit advance; the no-store-after-retire trace invariant
+    /// checks stores against these.
+    AgeRetired {
+        field: FieldId,
+        below: u64,
+        collected: usize,
+    },
 }
 
 impl TraceEvent {
@@ -150,11 +159,12 @@ impl TraceEvent {
             TraceEvent::Recv { .. } => "Recv",
             TraceEvent::NodeDeath { .. } => "NodeDeath",
             TraceEvent::Replan { .. } => "Replan",
+            TraceEvent::AgeRetired { .. } => "AgeRetired",
         }
     }
 
     /// Every kind name, in declaration order — the event schema.
-    pub const KINDS: [&'static str; 12] = [
+    pub const KINDS: [&'static str; 13] = [
         "InstanceDispatched",
         "BodyStart",
         "BodyEnd",
@@ -167,6 +177,7 @@ impl TraceEvent {
         "Recv",
         "NodeDeath",
         "Replan",
+        "AgeRetired",
     ];
 }
 
@@ -512,6 +523,25 @@ impl RunTrace {
                     out,
                     ",\"survivors\":{}",
                     json_usize_array(&survivors.iter().map(|n| n.0 as usize).collect::<Vec<_>>())
+                );
+            }
+            TraceEvent::AgeRetired {
+                field,
+                below,
+                collected,
+            } => {
+                let fname = self
+                    .spec
+                    .fields
+                    .get(field.idx())
+                    .map(|f| f.name.as_str())
+                    .unwrap_or("?");
+                let _ = write!(
+                    out,
+                    ",\"field\":\"{}\",\"below\":{},\"collected\":{}",
+                    json_escape(fname),
+                    below,
+                    collected
                 );
             }
         }

@@ -26,6 +26,10 @@
 //! 4. **Poison consistency** — the traced poisoned set equals the
 //!    instruments' poisoned set, and a degraded run shows at least one
 //!    failing body execution in the trace.
+//! 5. **No store after retirement** — once age GC retires a field below
+//!    some age (`AgeRetired`), no later store targets that field at a
+//!    retired age: GC only collects ages every consumer is finished with,
+//!    so a late store would mean the safe-age clamp under-approximated.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -64,6 +68,34 @@ pub fn all(report: &RunReport) {
         "traced retry instances must match the instruments retry counter"
     );
     poisoned_consistent(trace, report);
+    no_store_after_retire(trace);
+}
+
+/// Invariant 5: no store lands at a `(field, age)` the GC already retired.
+/// (A store tying the same timestamp as the retirement is ordered before
+/// it by the capture sort, which is the causally-correct reading.)
+pub fn no_store_after_retire(trace: &RunTrace) {
+    let mut retired: HashMap<u32, u64> = HashMap::new();
+    for r in &trace.records {
+        match &r.event {
+            TraceEvent::AgeRetired { field, below, .. } => {
+                let e = retired.entry(field.0).or_insert(0);
+                *e = (*e).max(*below);
+            }
+            TraceEvent::StoreApplied { field, age, .. } => {
+                if let Some(&below) = retired.get(&field.0) {
+                    assert!(
+                        *age >= below,
+                        "store to field {} age {} after GC retired that field below {}",
+                        field.0,
+                        age,
+                        below
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 /// State of one (field, age) as seen so far while scanning the trace.

@@ -220,19 +220,3 @@ fn timers_reachable_from_bodies() {
         Some(Value::I32(1))
     );
 }
-
-/// The deprecated `ExecutionNode` shims must keep working (they delegate to
-/// `NodeBuilder`) until the next breaking release removes them.
-#[test]
-#[allow(deprecated)]
-fn deprecated_execution_node_shims_still_run() {
-    use p2g_runtime::ExecutionNode;
-
-    let node = ExecutionNode::new(consumer_program(), 1);
-    let report = node.run(RunLimits::ages(0)).unwrap();
-    assert_eq!(report.instruments.kernel("double").unwrap().instances, 0);
-
-    let node = ExecutionNode::new(consumer_program(), 2);
-    let (_, fields) = node.run_collect(RunLimits::ages(0)).unwrap();
-    assert!(fields.fetch("output", Age(5), &Region::all(1)).is_none());
-}

@@ -184,3 +184,53 @@ fn print_capture_deterministic() {
     assert_eq!(runs[1], runs[2]);
     assert!(runs[0].contains("10 11 12 13 14"));
 }
+
+/// The streaming-session API through the prelude: MJPEG frames submitted
+/// to a resident session come back bit-exact with the batch encoder.
+#[test]
+fn mjpeg_session_streaming_end_to_end() {
+    use p2g_mjpeg::{
+        build_mjpeg_stream_program, encode_standalone, stream_frame_parts, FrameSource,
+        MjpegConfig, SyntheticVideo,
+    };
+    use std::time::Duration;
+
+    const FRAMES: u64 = 3;
+    let src = SyntheticVideo::new(48, 32, FRAMES, 21);
+    let reference = encode_standalone(&src, 80, FRAMES, false);
+
+    let runtime = SessionRuntime::new(3);
+    let sink = SessionSink::new();
+    let config = MjpegConfig {
+        quality: 80,
+        fast_dct: false,
+        ..MjpegConfig::default()
+    };
+    let program =
+        build_mjpeg_stream_program(src.width(), src.height(), config, sink.clone()).unwrap();
+    let session = runtime
+        .open(
+            program,
+            SessionConfig::new("vlc/write")
+                .sink(sink)
+                .max_in_flight(2)
+                .gc_window(4),
+        )
+        .unwrap();
+
+    let mut stream = Vec::new();
+    for n in 0..FRAMES {
+        let ticket = session
+            .submit(stream_frame_parts(&session, &src.frame(n).unwrap()))
+            .unwrap();
+        assert_eq!(ticket.age, n);
+    }
+    for _ in 0..FRAMES {
+        let out = session.recv(Duration::from_secs(30)).expect("frame output");
+        stream.extend(out.payload.expect("no drops"));
+    }
+    let report = session.finish(Duration::from_secs(30)).unwrap();
+    assert_eq!(report.frames_completed, FRAMES);
+    assert_eq!(stream, reference);
+    runtime.shutdown();
+}

@@ -56,6 +56,7 @@ fn store_event(fields: &SharedFields, fid: u32, age: u64, region: &Region, buf: 
         elements: o.stored,
         age_complete: o.age_complete,
         resized: o.resized,
+        inline_dispatched: None,
     })
 }
 
@@ -73,6 +74,7 @@ fn element_event(fields: &SharedFields, fid: u32, age: u64, idx: &[usize], v: Va
         elements: o.stored,
         age_complete: o.age_complete,
         resized: o.resized,
+        inline_dispatched: None,
     })
 }
 

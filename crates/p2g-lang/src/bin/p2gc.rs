@@ -7,8 +7,8 @@
 //! per-kernel instrumentation table.
 //!
 //! Usage:
-//!   p2gc run <file.p2g> [--ages N] [--workers W] [--gc-window W] [--trace-out PATH]
-//!   p2gc serve <file.p2g> [--sessions N] [--frames F] [--workers W] [--gc-window W]
+//!   p2gc run <file.p2g> [--ages N] [--workers W] [--shards S] [--gc-window W] [--trace-out PATH]
+//!   p2gc serve <file.p2g> [--sessions N] [--frames F] [--workers W] [--shards S] [--gc-window W]
 //!   p2gc check <file.p2g>
 //!   p2gc graph <file.p2g>        # dump Figures 2/3 style dot graphs
 //!
@@ -30,7 +30,7 @@ use p2g_runtime::{FaultPolicy, NodeBuilder, RunLimits, SessionRuntime};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--gc-window W] [--deadline-ms D]\n                      [--retries R] [--kernel-deadline-ms D] [--trace-out PATH]\n  p2gc serve <file.p2g> [--sessions N] [--frames F] [--workers W] [--gc-window W]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>\n\nmulti-tenant serving (p2gc serve):\n  --sessions N            concurrent tenant copies of the program (default 2)\n  --frames F              frames (ages) per tenant (default 4)\n  --workers W             shared worker-pool threads\n\nfault isolation (applies to every kernel, degrade instead of abort):\n  --retries R             retry failed kernel instances up to R times\n  --kernel-deadline-ms D  flag instances overrunning D ms for cancellation\n\ntracing:\n  --trace-out PATH        record a structured run trace; write Chrome\n                          trace-viewer JSON if PATH ends in .json, else JSONL"
+        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--shards S] [--gc-window W]\n                      [--deadline-ms D] [--retries R] [--kernel-deadline-ms D]\n                      [--trace-out PATH]\n  p2gc serve <file.p2g> [--sessions N] [--frames F] [--workers W] [--shards S]\n                        [--gc-window W]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>\n\nparallel dependency analysis:\n  --shards S              analyzer shards (default 1, the sequential\n                          analyzer); sharded runs also enable the\n                          worker-side inline dispatch fast path\n\nmulti-tenant serving (p2gc serve):\n  --sessions N            concurrent tenant copies of the program (default 2)\n  --frames F              frames (ages) per tenant (default 4)\n  --workers W             shared worker-pool threads\n\nfault isolation (applies to every kernel, degrade instead of abort):\n  --retries R             retry failed kernel instances up to R times\n  --kernel-deadline-ms D  flag instances overrunning D ms for cancellation\n\ntracing:\n  --trace-out PATH        record a structured run trace; write Chrome\n                          trace-viewer JSON if PATH ends in .json, else JSONL"
     );
     ExitCode::from(2)
 }
@@ -86,7 +86,8 @@ fn main() -> ExitCode {
             let ages: u64 = flag(&args, "--ages").unwrap_or(4);
             let workers: usize = flag(&args, "--workers")
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |n| n.get()));
-            let mut limits = RunLimits::ages(ages);
+            let shards: usize = flag(&args, "--shards").unwrap_or(1);
+            let mut limits = RunLimits::ages(ages).with_shards(shards);
             if let Some(w) = flag::<u64>(&args, "--gc-window") {
                 limits = limits.with_gc_window(w);
             }
@@ -119,6 +120,14 @@ fn main() -> ExitCode {
                         report.termination, report.wall_time
                     );
                     eprint!("{}", report.instruments.render_table());
+                    if shards > 1 {
+                        eprintln!(
+                            "analyzer shards: {} ({} events, {} inline dispatches)",
+                            shards,
+                            report.instruments.shard_events().iter().sum::<u64>(),
+                            report.instruments.inline_dispatches()
+                        );
+                    }
                     if let Some(out) = trace_out {
                         let trace = report.trace.as_ref().expect("tracing was enabled");
                         let body = if out.ends_with(".json") {
@@ -145,7 +154,8 @@ fn main() -> ExitCode {
             let frames: u64 = flag(&args, "--frames").unwrap_or(4);
             let workers: usize = flag(&args, "--workers")
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |n| n.get()));
-            let mut limits = RunLimits::ages(frames);
+            let shards: usize = flag(&args, "--shards").unwrap_or(1);
+            let mut limits = RunLimits::ages(frames).with_shards(shards);
             if let Some(w) = flag::<u64>(&args, "--gc-window") {
                 limits = limits.with_gc_window(w);
             }

@@ -61,6 +61,7 @@ use p2g_graph::{KernelId, ProgramSpec};
 use crate::events::{Event, StoreEvent};
 use crate::instance::DispatchUnit;
 use crate::options::{KernelOptions, RunLimits};
+use crate::shard::{ShardGc, ShardPlan};
 
 /// Shared handle to the node's fields.
 pub type SharedFields = Arc<Vec<RwLock<Field>>>;
@@ -91,6 +92,15 @@ enum FetchKind {
     /// be settled (a gate), and extent growth bumps every counter by the
     /// slab growth.
     RowLike,
+}
+
+/// Sharded-analyzer scope ([`crate::shard`]): the slice of the
+/// `(kernel, age)` space this analyzer instance owns, plus the shared
+/// cross-shard GC frontiers.
+struct ShardScope {
+    plan: Arc<ShardPlan>,
+    shard: usize,
+    gc: Arc<ShardGc>,
 }
 
 /// Event-derived knowledge of one (field, age): the extents seen so far and
@@ -196,6 +206,12 @@ pub struct DependencyAnalyzer {
     field_gc_floor: Vec<u64>,
     /// `(field, age)` slabs retired by GC since the last drain.
     gc_collected: u64,
+    /// Sharded mode: this instance's slice of the `(kernel, age)` space.
+    /// `None` (single-thread mode) behaves exactly as before sharding.
+    scope: Option<ShardScope>,
+    /// Sharded mode: `(field, age)` keys whose expected extents grew since
+    /// the last [`DependencyAnalyzer::take_outbox`] — broadcast to peers.
+    outbox_keys: Vec<(u32, u64)>,
 }
 
 impl DependencyAnalyzer {
@@ -295,6 +311,8 @@ impl DependencyAnalyzer {
             watches: Vec::new(),
             field_gc_floor: vec![0; nf],
             gc_collected: 0,
+            scope: None,
+            outbox_keys: Vec::new(),
             spec,
         }
     }
@@ -342,6 +360,46 @@ impl DependencyAnalyzer {
         std::mem::take(&mut self.gc_collected)
     }
 
+    /// Enter sharded mode: this analyzer owns shard `shard` of `plan` and
+    /// coordinates age GC through the shared frontiers in `gc`.
+    pub fn set_shard_scope(&mut self, plan: Arc<ShardPlan>, shard: usize, gc: Arc<ShardGc>) {
+        self.scope = Some(ShardScope { plan, shard, gc });
+    }
+
+    /// Drain the expected-extents broadcasts accumulated since the last
+    /// call (sharded mode; always empty otherwise). The caller must deliver
+    /// these to every peer shard *before* dispatching the units returned by
+    /// the same `on_event` call: per-shard FIFO delivery then guarantees an
+    /// expectation arrives ahead of any store produced under it.
+    pub fn take_outbox(&mut self) -> Vec<Event> {
+        if self.outbox_keys.is_empty() {
+            return Vec::new();
+        }
+        let mut keys = std::mem::take(&mut self.outbox_keys);
+        keys.sort_unstable();
+        keys.dedup();
+        keys.into_iter()
+            .filter_map(|(f, a)| {
+                self.expected_extents
+                    .get(&(f, a))
+                    .map(|dims| Event::ShardExpect {
+                        field: FieldId(f),
+                        age: Age(a),
+                        dims: dims.clone(),
+                    })
+            })
+            .collect()
+    }
+
+    /// True when this analyzer owns `(kid, a)` — always, outside sharded
+    /// mode.
+    fn owns(&self, kid: KernelId, a: u64) -> bool {
+        match &self.scope {
+            None => true,
+            Some(sc) => sc.plan.owns(kid, a, sc.shard),
+        }
+    }
+
     /// Live `(field, age)` views — the analyzer's notion of resident ages,
     /// sampled by the node's instruments for the peak-residency gauge.
     pub fn live_ages(&self) -> usize {
@@ -373,7 +431,7 @@ impl DependencyAnalyzer {
             .iter()
             .filter(|k| k.is_source() && !self.fused_consumers.contains(&k.id))
             .map(|k| k.id)
-            .filter(|&id| self.runs(id))
+            .filter(|&id| self.runs(id) && self.owns(id, 0))
             .collect();
         for id in source_ids {
             if !self.age_allowed(self.spec.kernel(id), 0) {
@@ -435,6 +493,7 @@ impl DependencyAnalyzer {
                     elements: o.stored,
                     age_complete: o.age_complete,
                     resized: o.resized,
+                    inline_dispatched: None,
                 };
                 self.on_store(&se, &mut out);
             }
@@ -461,6 +520,7 @@ impl DependencyAnalyzer {
                 ..
             } => self.pending_poison.push((*kernel, age.0, indices.clone())),
             Event::Failure(_) => {}
+            Event::ShardExpect { field, age, dims } => self.on_shard_expect(*field, *age, dims),
         }
         self.process_poison(&mut out);
         self.advance_watches();
@@ -505,6 +565,75 @@ impl DependencyAnalyzer {
         d >= space && c >= d
     }
 
+    /// Merge a peer shard's expected-extents broadcast. Expectations only
+    /// ever grow, and growth can only *close* settledness gates, so a
+    /// changed merge re-derives the affected tables' cached gate state;
+    /// re-opening (with its table sweep) happens on the store path as
+    /// usual — a broadcast carries no new data elements, so it can never
+    /// make an instance newly runnable.
+    fn on_shard_expect(&mut self, field: FieldId, age: Age, dims: &[Option<usize>]) {
+        let ndim = self.spec.fields[field.idx()].ndim;
+        let entry = self
+            .expected_extents
+            .entry((field.0, age.0))
+            .or_insert_with(|| vec![None; ndim]);
+        let mut changed = false;
+        for (slot, d) in entry.iter_mut().zip(dims) {
+            if let Some(n) = d {
+                if slot.is_none_or(|cur| cur < *n) {
+                    *slot = Some(*n);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return;
+        }
+        for kid in self.consumers[field.idx()].clone() {
+            if self.fused_consumers.contains(&kid) {
+                continue;
+            }
+            for a2 in self.affected_ages(kid, field, age) {
+                let key = (kid.0, a2);
+                if self.tables.contains_key(&key) && !self.table_gate(kid, a2) {
+                    self.tables.get_mut(&key).expect("checked above").gates_open = false;
+                }
+            }
+        }
+    }
+
+    /// Record a worker-side inline dispatch ([`crate::shard`] fast path):
+    /// re-derive the consumer instance the worker ran from its single
+    /// pointwise fetch — the same Var mapping the worker used — and mark it
+    /// dispatched before any accounting, so the analyzer-side dispatch
+    /// paths dedup against it.
+    fn note_inline_dispatch(&mut self, cid: KernelId, se: &StoreEvent) {
+        let k = self.spec.kernel(cid);
+        let Some(fe) = k.fetches.first() else { return };
+        let AgeExpr::Rel(t) = fe.age else { return };
+        if (se.age.0 as i64) < t {
+            return;
+        }
+        let ca = (se.age.0 as i64 - t) as u64;
+        if !self.owns(cid, ca) {
+            return; // only the owning shard tracks this instance
+        }
+        let Ok(spans) = se.region.resolve(&se.extents) else {
+            return;
+        };
+        if spans.iter().any(|&(_, l)| l != 1) {
+            return; // the fast path only fires on single-point stores
+        }
+        let coord: Vec<usize> = spans.iter().map(|&(s, _)| s).collect();
+        let mut idx = vec![0usize; k.index_vars as usize];
+        for (d, sel) in fe.dims.iter().enumerate() {
+            if let IndexSel::Var(v) = sel {
+                idx[v.0 as usize] = coord[d];
+            }
+        }
+        self.mark_dispatched(cid, ca, &idx);
+    }
+
     /// Drain the poison worklist: each entry poisons one instance, which
     /// may queue its transitive dependents back onto the worklist.
     fn process_poison(&mut self, out: &mut Vec<DispatchUnit>) {
@@ -527,13 +656,19 @@ impl DependencyAnalyzer {
             return;
         }
         self.degraded = true;
-        self.poisoned_drain.push((kid, a, idx.clone()));
-        // A transitively poisoned instance was never dispatched; a directly
-        // failed one already was (mark_dispatched dedups). Either way it
-        // counts as completed — its UnitDone (if any) reported successes
-        // only.
-        self.mark_dispatched(kid, a, &idx);
-        *self.completed.entry((kid.0, a)).or_insert(0) += 1;
+        // Sharded mode: the traversal itself is replicated on every shard
+        // (KernelFailure is broadcast and the walk is deterministic from
+        // the spec), but completion accounting and the instrument drain
+        // must happen exactly once — on the owning shard.
+        if self.owns(kid, a) {
+            self.poisoned_drain.push((kid, a, idx.clone()));
+            // A transitively poisoned instance was never dispatched; a
+            // directly failed one already was (mark_dispatched dedups).
+            // Either way it counts as completed — its UnitDone (if any)
+            // reported successes only.
+            self.mark_dispatched(kid, a, &idx);
+            *self.completed.entry((kid.0, a)).or_insert(0) += 1;
+        }
 
         let k = self.spec.kernel(kid).clone();
         let fused = self.options[kid.idx()].fuse_consumer;
@@ -579,13 +714,17 @@ impl DependencyAnalyzer {
         // are independent reads (frame dropping, not stream truncation).
         if k.is_source() && k.has_age_var {
             let next = a + 1;
-            if self.age_allowed(&k, next) && self.mark_dispatched(kid, next, &[]) {
+            if self.age_allowed(&k, next)
+                && self.owns(kid, next)
+                && self.mark_dispatched(kid, next, &[])
+            {
                 self.emit(DispatchUnit::new(kid, Age(next), vec![vec![]]), out);
             }
         }
         // The poisoned instance may have been the one gating an ordered
-        // kernel's age advancement.
-        if self.options[kid.idx()].ordered {
+        // kernel's age advancement. Ordered kernels are pinned, so only
+        // their home shard holds the gating state.
+        if self.options[kid.idx()].ordered && self.owns(kid, a) {
             self.advance_ordered(kid, out);
         }
     }
@@ -759,6 +898,11 @@ impl DependencyAnalyzer {
     }
 
     fn on_store(&mut self, se: &StoreEvent, out: &mut Vec<DispatchUnit>) {
+        // Worker-side inline dispatch: mark before anything else so every
+        // analyzer-side dispatch path dedups against it.
+        if let Some(cid) = se.inline_dispatched {
+            self.note_inline_dispatch(cid, se);
+        }
         // Track the field's frontier and garbage collect behind it.
         let fmax = &mut self.field_max_age[se.field.idx()];
         if se.age.0 > *fmax {
@@ -766,37 +910,84 @@ impl DependencyAnalyzer {
         }
         let fmax = *fmax;
         if let Some(w) = self.limits.gc_window {
-            if fmax > w {
-                let limit = self.gc_limit(se.field, fmax - w);
-                // The prune runs once per limit advance, not per store
-                // event: retire the field slabs, then every piece of
-                // analyzer state scoped below the new floor — streaming
-                // runs would otherwise grow views/tables/dispatched/
-                // completed maps without bound even though the field data
-                // itself is collected.
-                if limit > self.field_gc_floor[se.field.idx()] {
-                    let collected = self.fields[se.field.idx()]
-                        .write()
-                        .collect_below(Age(limit));
-                    self.field_gc_floor[se.field.idx()] = limit;
-                    self.gc_collected += collected as u64;
-                    if let Some((t, tid)) = &self.tracer {
-                        t.record(
-                            *tid,
-                            crate::trace::TraceEvent::AgeRetired {
-                                field: se.field,
-                                below: limit,
-                                collected,
-                            },
-                        );
+            if self.scope.is_none() {
+                if fmax > w {
+                    let limit = self.gc_limit(se.field, fmax - w);
+                    // The prune runs once per limit advance, not per store
+                    // event: retire the field slabs, then every piece of
+                    // analyzer state scoped below the new floor — streaming
+                    // runs would otherwise grow views/tables/dispatched/
+                    // completed maps without bound even though the field
+                    // data itself is collected.
+                    if limit > self.field_gc_floor[se.field.idx()] {
+                        let collected = self.fields[se.field.idx()]
+                            .write()
+                            .collect_below(Age(limit));
+                        self.field_gc_floor[se.field.idx()] = limit;
+                        self.gc_collected += collected as u64;
+                        if let Some((t, tid)) = &self.tracer {
+                            t.record(
+                                *tid,
+                                crate::trace::TraceEvent::AgeRetired {
+                                    field: se.field,
+                                    below: limit,
+                                    collected,
+                                },
+                            );
+                        }
+                        let f = se.field.0;
+                        self.views.retain(|&(vf, va), _| vf != f || va >= limit);
+                        self.view_ages[se.field.idx()].retain(|&a| a >= limit);
+                        self.poison.retain(|&(pf, pa), _| pf != f || pa >= limit);
+                        self.expected_extents
+                            .retain(|&(ef, ea), _| ef != f || ea >= limit);
+                        self.prune_kernel_state();
                     }
+                }
+            } else {
+                // Sharded GC: retirement goes through the shared floor so
+                // exactly one shard collects the field slabs; every shard
+                // then prunes its local state as it observes the floor
+                // advance. Each shard's window bound uses its own frontier
+                // view; the shared `claim_retire` fetch_max makes the
+                // outcome the max over shards, and `gc_limit` clamps by the
+                // *global* min consumer frontier, so no live age retires.
+                let gc = self.scope.as_ref().expect("sharded").gc.clone();
+                if fmax > w {
+                    let limit = self.gc_limit(se.field, fmax - w);
+                    if limit > 0 && gc.claim_retire(se.field, limit) < limit {
+                        let collected = self.fields[se.field.idx()]
+                            .write()
+                            .collect_below(Age(limit));
+                        self.gc_collected += collected as u64;
+                        if let Some((t, tid)) = &self.tracer {
+                            t.record(
+                                *tid,
+                                crate::trace::TraceEvent::AgeRetired {
+                                    field: se.field,
+                                    below: limit,
+                                    collected,
+                                },
+                            );
+                        }
+                    }
+                }
+                let floor = gc.retire_floor(se.field);
+                if floor > self.field_gc_floor[se.field.idx()] {
+                    self.field_gc_floor[se.field.idx()] = floor;
                     let f = se.field.0;
-                    self.views.retain(|&(vf, va), _| vf != f || va >= limit);
-                    self.view_ages[se.field.idx()].retain(|&a| a >= limit);
-                    self.poison.retain(|&(pf, pa), _| pf != f || pa >= limit);
+                    self.views.retain(|&(vf, va), _| vf != f || va >= floor);
+                    self.view_ages[se.field.idx()].retain(|&a| a >= floor);
+                    self.poison.retain(|&(pf, pa), _| pf != f || pa >= floor);
                     self.expected_extents
-                        .retain(|&(ef, ea), _| ef != f || ea >= limit);
+                        .retain(|&(ef, ea), _| ef != f || ea >= floor);
                     self.prune_kernel_state();
+                }
+                // An event below the floor is stale (its slabs are gone);
+                // rebuilding a view for it would leak state that no later
+                // event prunes.
+                if se.age.0 < self.field_gc_floor[se.field.idx()] {
+                    return;
                 }
             }
         }
@@ -925,7 +1116,7 @@ impl DependencyAnalyzer {
     /// accounted, so the decrement phase sees them as pending.
     fn ensure_table(&mut self, kid: KernelId, a: u64, se: &StoreEvent, old_ext: Option<&Extents>) {
         let k = self.spec.kernel(kid);
-        if k.is_source() {
+        if k.is_source() || !self.owns(kid, a) {
             return;
         }
         let key = (kid.0, a);
@@ -1387,6 +1578,9 @@ impl DependencyAnalyzer {
             *slot = Some(slot.map_or(range, |cur| cur.max(range)));
             if *slot != before {
                 changed.push((f, a));
+                if self.scope.is_some() {
+                    self.outbox_keys.push((f, a));
+                }
             }
         }
     }
@@ -1616,12 +1810,29 @@ impl DependencyAnalyzer {
     /// completed — no field age that `kid` still needs may be collected.
     /// `u64::MAX` when the kernel can never run again (age cap reached).
     fn kernel_safe_age(&mut self, kid: KernelId) -> u64 {
+        if let Some(sc) = &self.scope {
+            if sc.plan.is_pinned(kid) && sc.plan.unit_owner(kid, 0) != sc.shard {
+                // A peer shard owns every age of this pinned kernel; its
+                // published frontier is the binding one. (Without this the
+                // skip-non-owned loop below would never terminate.)
+                let shard = sc.shard;
+                sc.gc.publish_kernel_frontier(kid, shard, u64::MAX);
+                return u64::MAX;
+            }
+        }
         let mut a = *self.gc_floor.get(&kid.0).unwrap_or(&0);
         loop {
             let k = self.spec.kernel(kid);
             if !self.age_allowed(k, a) {
                 a = u64::MAX;
                 break;
+            }
+            if !self.owns(kid, a) {
+                // A peer shard owns this age; the global frontier is the
+                // min over every shard's published slot, so skipping it
+                // here is sound.
+                a += 1;
+                continue;
             }
             let Some(space) = self.instance_space(kid, a) else {
                 break;
@@ -1635,6 +1846,9 @@ impl DependencyAnalyzer {
         }
         if a != u64::MAX {
             self.gc_floor.insert(kid.0, a);
+        }
+        if let Some(sc) = &self.scope {
+            sc.gc.publish_kernel_frontier(kid, sc.shard, a);
         }
         a
     }
@@ -1701,7 +1915,14 @@ impl DependencyAnalyzer {
             for fa in fetch_ages {
                 match fa {
                     crate::AgeExprCopy::Rel(t) => {
-                        let safe = self.kernel_safe_age(kid);
+                        // Refresh (and publish) the local frontier, then
+                        // clamp by the *global* one in sharded mode — a
+                        // peer may own ages this shard has skipped over.
+                        let local = self.kernel_safe_age(kid);
+                        let safe = match &self.scope {
+                            None => local,
+                            Some(sc) => sc.gc.kernel_frontier(kid),
+                        };
                         limit = limit.min(safe.saturating_add(t.max(0) as u64));
                     }
                     crate::AgeExprCopy::Const(c) => {
@@ -1721,7 +1942,7 @@ impl DependencyAnalyzer {
     fn try_generate(&mut self, kid: KernelId, a: u64, out: &mut Vec<DispatchUnit>) {
         let spec = self.spec.clone();
         let k = spec.kernel(kid);
-        if !self.age_allowed(k, a) || k.is_source() {
+        if !self.age_allowed(k, a) || k.is_source() || !self.owns(kid, a) {
             return;
         }
         let nvars = k.index_vars as usize;
@@ -1996,6 +2217,7 @@ mod tests {
             elements: out.stored,
             age_complete: out.age_complete,
             resized: out.resized,
+            inline_dispatched: None,
         }
     }
 
@@ -2210,6 +2432,7 @@ mod tests {
                     elements: out.stored,
                     age_complete: out.age_complete,
                     resized: out.resized,
+                    inline_dispatched: None,
                 }
             };
             let units: Vec<_> = an

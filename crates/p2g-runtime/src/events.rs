@@ -31,6 +31,11 @@ pub struct StoreEvent {
     pub age_complete: bool,
     /// New extents when the store triggered an implicit resize.
     pub resized: Option<Extents>,
+    /// Sharded/inline fast path: the worker that applied this store
+    /// already dispatched this consumer's single unblocked instance
+    /// inline. The analyzer marks it dispatched instead of dispatching
+    /// it again ([`crate::shard`]).
+    pub inline_dispatched: Option<KernelId>,
 }
 
 /// Bus events consumed by the dependency analyzer.
@@ -82,4 +87,14 @@ pub enum Event {
     },
     /// A kernel body failed; the node aborts the run.
     Failure(String),
+    /// Sharded mode only: a shard's expected-extents knowledge for
+    /// `(field, age)` grew ([`crate::analyzer`] extent propagation). The
+    /// expectation is broadcast so every shard's settledness gates close
+    /// before any store produced under the new expectation can arrive.
+    /// Max-merged on receipt; expectations only ever grow.
+    ShardExpect {
+        field: FieldId,
+        age: Age,
+        dims: Vec<Option<usize>>,
+    },
 }

@@ -239,6 +239,14 @@ pub struct Instruments {
     /// Peak simultaneously-live `(field, age)` views observed by the
     /// analyzer — the flat-memory gauge the streaming soak tests assert on.
     peak_live_ages: AtomicU64,
+    /// Events processed per analyzer shard ([`crate::shard`]); one slot in
+    /// single-thread mode.
+    shard_events: Vec<AtomicU64>,
+    /// Per-shard event-queue depth high-water mark.
+    shard_queue_peak: Vec<AtomicU64>,
+    /// Worker-side inline dispatches — ready successors that skipped the
+    /// analyzer round trip entirely.
+    inline_dispatches: AtomicU64,
 }
 
 /// Poisoned-instance index vectors keyed by (kernel name, age).
@@ -247,6 +255,12 @@ pub type PoisonedInstances = BTreeMap<(String, u64), Vec<Vec<usize>>>;
 impl Instruments {
     /// Create counters for `names` kernels (indexed by `KernelId::idx`).
     pub fn new(names: Vec<String>) -> Instruments {
+        Instruments::new_sharded(names, 1)
+    }
+
+    /// Create counters for `names` kernels and `shards` analyzer shards.
+    pub fn new_sharded(names: Vec<String>, shards: usize) -> Instruments {
+        let shards = shards.max(1);
         Instruments {
             kernels: names
                 .into_iter()
@@ -260,7 +274,46 @@ impl Instruments {
             poisoned_instances: parking_lot::Mutex::new(BTreeMap::new()),
             gc_ages_collected: AtomicU64::new(0),
             peak_live_ages: AtomicU64::new(0),
+            shard_events: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_queue_peak: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            inline_dispatches: AtomicU64::new(0),
         }
+    }
+
+    /// Record events processed by one analyzer shard.
+    pub fn record_shard_events(&self, shard: usize, events: u64) {
+        self.shard_events[shard].fetch_add(events, Ordering::Relaxed);
+    }
+
+    /// Record a shard's event-queue depth (the gauge keeps the maximum).
+    pub fn record_shard_queue_depth(&self, shard: usize, depth: u64) {
+        self.shard_queue_peak[shard].fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Record one worker-side inline dispatch.
+    pub fn record_inline_dispatch(&self) {
+        self.inline_dispatches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Events processed per analyzer shard.
+    pub fn shard_events(&self) -> Vec<u64> {
+        self.shard_events
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Per-shard event-queue depth high-water marks.
+    pub fn shard_queue_peaks(&self) -> Vec<u64> {
+        self.shard_queue_peak
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Worker-side inline dispatches.
+    pub fn inline_dispatches(&self) -> u64 {
+        self.inline_dispatches.load(Ordering::Relaxed)
     }
 
     /// Record retired `(field, age)` slabs and the current live-age count
@@ -519,6 +572,9 @@ pub struct InstrumentsSnapshot {
     poisoned_instances: BTreeMap<(String, u64), Vec<Vec<usize>>>,
     gc_ages_collected: u64,
     peak_live_ages: u64,
+    shard_events: Vec<u64>,
+    shard_queue_peaks: Vec<u64>,
+    inline_dispatches: u64,
 }
 
 impl InstrumentsSnapshot {
@@ -534,6 +590,9 @@ impl InstrumentsSnapshot {
             poisoned_instances: live.poisoned_instances(),
             gc_ages_collected: live.gc_ages_collected(),
             peak_live_ages: live.peak_live_ages(),
+            shard_events: live.shard_events(),
+            shard_queue_peaks: live.shard_queue_peaks(),
+            inline_dispatches: live.inline_dispatches(),
         }
     }
 
@@ -596,6 +655,22 @@ impl InstrumentsSnapshot {
         self.analyzer_batches
     }
 
+    /// Events processed per analyzer shard, indexed by shard.
+    pub fn shard_events(&self) -> &[u64] {
+        &self.shard_events
+    }
+
+    /// High-water queue depth per analyzer shard, indexed by shard.
+    pub fn shard_queue_peaks(&self) -> &[u64] {
+        &self.shard_queue_peaks
+    }
+
+    /// Successor instances dispatched by the worker-side inline fast path,
+    /// bypassing the analyzer.
+    pub fn inline_dispatches(&self) -> u64 {
+        self.inline_dispatches
+    }
+
     /// Stats for a kernel by name.
     pub fn kernel(&self, name: &str) -> Option<&KernelStats> {
         self.entries.iter().find(|(n, _)| n == name).map(|(_, s)| s)
@@ -631,6 +706,23 @@ impl InstrumentsSnapshot {
                 st.instances,
                 st.dispatch_us(),
                 st.kernel_us()
+            ));
+        }
+        if self.shard_events.len() > 1 {
+            for (i, (ev, peak)) in self
+                .shard_events
+                .iter()
+                .zip(&self.shard_queue_peaks)
+                .enumerate()
+            {
+                s.push_str(&format!(
+                    "analyzer-{:<7} {:>10} events {:>9} queue peak\n",
+                    i, ev, peak
+                ));
+            }
+            s.push_str(&format!(
+                "inline fast-path {:>10} dispatches\n",
+                self.inline_dispatches
             ));
         }
         s

@@ -59,6 +59,7 @@ pub mod pool;
 pub mod program;
 pub mod ready;
 pub mod session;
+pub mod shard;
 pub mod timer;
 pub mod trace;
 pub mod trace_check;
@@ -77,6 +78,7 @@ pub use session::{
     Session, SessionConfig, SessionOutput, SessionReport, SessionRuntime, SessionSink,
     SubmitError, Ticket,
 };
+pub use shard::{ShardGc, ShardPlan};
 pub use timer::TimerTable;
 pub use trace::{RunTrace, TraceEvent, TraceOptions, TraceRecord, Tracer};
 

@@ -25,10 +25,11 @@ use crate::error::RuntimeError;
 use crate::events::{Event, StoreEvent};
 use crate::instance::DispatchUnit;
 use crate::instrument::{Instruments, InstrumentsSnapshot, RunReport, Termination};
-use crate::options::{ExhaustPolicy, FaultPolicy, RunLimits};
+use crate::options::{ExhaustPolicy, FaultPolicy, KernelOptions, RunLimits};
 use crate::pool::{PoolTask, WorkerPool};
 use crate::program::{FusionPlan, KernelBody, KernelCtx, Program, StagedStore};
 use crate::ready::ReadyQueue;
+use crate::shard::{ShardGc, ShardPlan};
 use crate::timer::TimerTable;
 use crate::trace::{store_event, RunTrace, TraceEvent, Tracer};
 use crate::watchdog::Watchdog;
@@ -95,13 +96,121 @@ impl From<p2g_field::FieldError> for InstanceError {
 /// the data to subscriber nodes through this hook).
 pub type StoreTap = Arc<dyn Fn(FieldId, Age, &Region, &Buffer) + Send + Sync>;
 
+/// Static precomputation for the worker-side inline fast path: a fresh
+/// single-point store into the field unblocks exactly one instance of
+/// `consumer`, so the storing worker dispatches it directly and tags the
+/// store event for the analyzer to reconcile ([`crate::shard`]). Built
+/// only for single-fetch pointwise consumers whose fetch dimensions cover
+/// every index variable and whose own store targets all have static
+/// extents (so no extent expectation can change under a peer shard).
+struct InlinePlan {
+    consumer: KernelId,
+    /// The consumer's `Rel(t)` fetch-age offset: a store at age `a` feeds
+    /// instance age `a - t`.
+    t: i64,
+    /// Number of consumer index variables.
+    index_vars: usize,
+    /// For each fetch dimension, the consumer index variable it selects.
+    var_of_dim: Vec<usize>,
+    /// Run age bound: instances at `age >= max_ages` never dispatch.
+    max_ages: Option<u64>,
+}
+
+/// Derive the per-field inline fast-path plans. A field gets a plan when
+/// it has a consumer that is: non-source, un-fused, un-watched, unordered,
+/// chunk-size 1, with exactly one fetch at a `Rel` age whose dimensions
+/// are distinct `Var` selectors covering all of the consumer's index
+/// variables — then one stored element maps to exactly one instance, and
+/// a fresh single-point store proves that instance's only dependency.
+fn build_inline_plans(
+    spec: &ProgramSpec,
+    options: &[KernelOptions],
+    fused: &HashSet<KernelId>,
+    watched: &HashSet<KernelId>,
+    limits: &RunLimits,
+) -> Vec<Option<InlinePlan>> {
+    use p2g_graph::spec::{AgeExpr, IndexSel};
+    let mut plans: Vec<Option<InlinePlan>> = (0..spec.fields.len()).map(|_| None).collect();
+    for k in &spec.kernels {
+        let i = k.id.idx();
+        if k.is_source()
+            || !k.has_age_var
+            || fused.contains(&k.id)
+            || watched.contains(&k.id)
+            || options[i].ordered
+            || options[i].chunk_size > 1
+            || k.fetches.len() != 1
+        {
+            continue;
+        }
+        let fe = &k.fetches[0];
+        let AgeExpr::Rel(t) = fe.age else { continue };
+        let mut var_of_dim = Vec::with_capacity(fe.dims.len());
+        let mut seen = vec![false; k.index_vars as usize];
+        let mut ok = true;
+        for sel in &fe.dims {
+            match sel {
+                IndexSel::Var(v) => {
+                    let vi = v.0 as usize;
+                    if seen[vi] {
+                        ok = false;
+                        break;
+                    }
+                    seen[vi] = true;
+                    var_of_dim.push(vi);
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok || !seen.iter().all(|&b| b) {
+            continue;
+        }
+        // The consumer's own stores must target statically-sized fields:
+        // inline dispatch skips the analyzer's extent propagation, so it
+        // must not be the only source of a grown extent expectation.
+        if !k
+            .stores
+            .iter()
+            .all(|st| spec.fields[st.field.idx()].initial_extents.is_some())
+        {
+            continue;
+        }
+        let slot = &mut plans[fe.field.idx()];
+        if slot.is_none() {
+            *slot = Some(InlinePlan {
+                consumer: k.id,
+                t,
+                index_vars: k.index_vars as usize,
+                var_of_dim,
+                max_ages: limits.max_ages,
+            });
+        }
+    }
+    plans
+}
+
 pub(crate) struct Shared {
     spec: Arc<ProgramSpec>,
     bodies: Vec<Option<KernelBody>>,
     fusions: Vec<FusionPlan>,
     fields: SharedFields,
     ready: ReadyQueue,
-    events_tx: Sender<Event>,
+    /// One event channel per analyzer shard (one entry in single-analyzer
+    /// mode). Workers route through [`Shared::send_event`].
+    event_txs: Vec<Sender<Event>>,
+    /// Sharded mode: the store/unit routing plan. `None` ⇒ one analyzer
+    /// thread observing every event (today's semantics, bit for bit).
+    shard_plan: Option<Arc<ShardPlan>>,
+    /// Set before the first `KernelFailure` event is published: disarms
+    /// the inline fast path so no worker-side dispatch can race the
+    /// analyzer's poison traversal.
+    poisoned: AtomicBool,
+    /// Per field: inline fast-path plan for its single pointwise consumer
+    /// (empty vector when the fast path is disabled).
+    inline: Vec<Option<InlinePlan>>,
     /// Events + queued units not yet fully processed. Zero ⇒ quiescent.
     outstanding: AtomicI64,
     stop: AtomicBool,
@@ -179,6 +288,74 @@ impl Shared {
             Some(pool) => pool.submit(self.clone(), unit),
             None => self.ready.push(unit),
         }
+    }
+
+    /// Bitmask selecting every analyzer shard.
+    fn all_shards_mask(&self) -> u64 {
+        let n = self.event_txs.len();
+        if n >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    /// Publish an event to the analyzer shard(s) that must observe it.
+    /// Stores go to the shards owning an affected consumer instance
+    /// ([`ShardPlan::store_dests`]), `UnitDone` to the unit's owner, and
+    /// failure/reassign events broadcast. Every delivered copy is counted
+    /// separately as outstanding work before the first send, so quiescence
+    /// still requires each copy processed.
+    fn send_event(&self, ev: Event) {
+        let Some(plan) = &self.shard_plan else {
+            self.outstanding.fetch_add(1, Ordering::SeqCst);
+            let _ = self.event_txs[0].send(ev);
+            return;
+        };
+        let mask: u64 = match &ev {
+            Event::Store(se) => plan.store_dests(se.field, se.age.0),
+            Event::UnitDone { kernel, age, .. } => 1u64 << plan.unit_owner(*kernel, age.0),
+            // Sharded mode applies remote stores node-side and routes them
+            // as `Store` (see `inject_remote_store`); this arm is only a
+            // fallback.
+            Event::RemoteStore { .. } => 1,
+            Event::Reassign { .. } | Event::KernelFailure { .. } | Event::Failure(_) => {
+                self.all_shards_mask()
+            }
+            // Expectation broadcasts originate on an analyzer shard and go
+            // through `broadcast_expect` (which excludes the originator).
+            Event::ShardExpect { .. } => self.all_shards_mask(),
+        };
+        self.send_to_mask(ev, mask);
+    }
+
+    /// Deliver one analyzer shard's expected-extents broadcast to every
+    /// *other* shard (the originator already merged it locally).
+    fn broadcast_expect(&self, ev: Event, from: usize) {
+        let mask = self.all_shards_mask() & !(1u64 << from);
+        self.send_to_mask(ev, mask);
+    }
+
+    /// Send counted copies of `ev` to every shard in `mask`.
+    fn send_to_mask(&self, ev: Event, mask: u64) {
+        let copies = mask.count_ones() as i64;
+        if copies == 0 {
+            return;
+        }
+        // All copies counted before any is visible: a shard that finishes
+        // its copy instantly cannot observe a transient zero.
+        self.outstanding.fetch_add(copies, Ordering::SeqCst);
+        let last = 63 - mask.leading_zeros() as usize;
+        let mut rem = mask & !(1u64 << last);
+        let mut s = 0usize;
+        while rem != 0 {
+            if rem & 1 != 0 {
+                let _ = self.event_txs[s].send(ev.clone());
+            }
+            rem >>= 1;
+            s += 1;
+        }
+        let _ = self.event_txs[last].send(ev);
     }
 }
 
@@ -325,18 +502,67 @@ impl NodeBuilder {
                 .map(|(i, d)| RwLock::new(Field::new(FieldId(i as u32), d.clone())))
                 .collect(),
         );
-        let (events_tx, events_rx) = unbounded::<Event>();
+        // One event channel (and one analyzer thread) per shard; a single
+        // shard is exactly the pre-sharding runtime, event for event.
+        let shards = limits.shards.clamp(1, 64);
+        let (event_txs, event_rxs): (Vec<Sender<Event>>, Vec<Receiver<Event>>) =
+            (0..shards).map(|_| unbounded::<Event>()).unzip();
         let fault: Vec<FaultPolicy> = options.iter().map(|o| o.fault.clone()).collect();
-        // Trace buffer ids: workers 0..n, then analyzer, watchdog, main.
-        // Pool-attached nodes have no private workers; their units run on
-        // the pool's threads, which claim the worker tid range.
+
+        // Resolve age watches up front: watched kernels are pinned by the
+        // shard plan (their callbacks must fire in global age order).
+        let mut watch_ids: Vec<(KernelId, AgeWatchFn)> = Vec::new();
+        for (name, callback) in self.watches {
+            let Some(idx) = spec.kernels.iter().position(|k| k.name == name) else {
+                return Err(RuntimeError::Kernel {
+                    kernel: name,
+                    message: "unknown kernel in watch_ages".into(),
+                });
+            };
+            watch_ids.push((KernelId(idx as u32), callback));
+        }
+        let watched: HashSet<KernelId> = watch_ids.iter().map(|(k, _)| *k).collect();
+        let fused_consumers: HashSet<KernelId> = fusions.iter().map(|f| f.consumer).collect();
+        let shard_plan = (shards > 1).then(|| {
+            Arc::new(ShardPlan::new(
+                &spec,
+                &options,
+                &fused_consumers,
+                &watched,
+                shards,
+            ))
+        });
+        let shard_gc = shard_plan
+            .as_ref()
+            .map(|_| Arc::new(ShardGc::new(spec.kernels.len(), spec.fields.len(), shards)));
+        // The inline fast path rides along with sharding (it exists to
+        // keep the analyzer off the critical path) and can be opted into
+        // explicitly; cluster-assigned nodes keep every dispatch decision
+        // in the analyzer, where recovery rescans can reconcile it.
+        let inline: Vec<Option<InlinePlan>> =
+            if self.assigned.is_none() && (shards > 1 || limits.inline_dispatch) {
+                build_inline_plans(&spec, &options, &fused_consumers, &watched, &limits)
+            } else {
+                (0..spec.fields.len()).map(|_| None).collect()
+            };
+
+        // Trace buffer ids: workers 0..n, then the analyzer shards,
+        // watchdog, main. Pool-attached nodes have no private workers;
+        // their units run on the pool's threads, which claim the worker
+        // tid range.
         let worker_slots = self.pool.as_ref().map(|p| p.workers()).unwrap_or(self.workers);
-        let analyzer_tid = worker_slots as u32;
-        let watchdog_tid = analyzer_tid + 1;
-        let main_tid = analyzer_tid + 2;
+        let analyzer_tid0 = worker_slots as u32;
+        let watchdog_tid = analyzer_tid0 + shards as u32;
+        let main_tid = watchdog_tid + 1;
         let tracer = limits.trace.as_ref().map(|opts| {
             let mut labels: Vec<String> = (0..worker_slots).map(|w| format!("worker-{w}")).collect();
-            labels.push("analyzer".into());
+            if shards == 1 {
+                labels.push("analyzer".into());
+            } else {
+                for s in 0..shards {
+                    labels.push(format!("analyzer-{s}"));
+                }
+            }
             labels.push("watchdog".into());
             labels.push("main".into());
             Arc::new(Tracer::new(labels, opts.capacity))
@@ -355,11 +581,17 @@ impl NodeBuilder {
             fusions: fusions.clone(),
             fields: fields.clone(),
             ready: ReadyQueue::new(),
-            events_tx,
+            event_txs,
+            shard_plan: shard_plan.clone(),
+            poisoned: AtomicBool::new(false),
+            inline,
             outstanding: AtomicI64::new(0),
             stop: AtomicBool::new(false),
             failure: Mutex::new(None),
-            instruments: Instruments::new(spec.kernels.iter().map(|k| k.name.clone()).collect()),
+            instruments: Instruments::new_sharded(
+                spec.kernels.iter().map(|k| k.name.clone()).collect(),
+                shards,
+            ),
             timers,
             store_tap: self.store_tap.clone(),
             hold_open: limits.hold_open,
@@ -370,44 +602,53 @@ impl NodeBuilder {
             pool: self.pool.clone(),
         });
 
-        let fused_consumers: HashSet<KernelId> = fusions.iter().map(|f| f.consumer).collect();
-        let mut analyzer = DependencyAnalyzer::new(
-            spec.clone(),
-            options,
-            fused_consumers,
-            fields.clone(),
-            limits.clone(),
-        );
-        if let Some(assigned) = self.assigned {
-            analyzer.set_assigned(assigned);
+        let mut analyzers = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let mut analyzer = DependencyAnalyzer::new(
+                spec.clone(),
+                options.clone(),
+                fused_consumers.clone(),
+                fields.clone(),
+                limits.clone(),
+            );
+            if let Some(assigned) = &self.assigned {
+                analyzer.set_assigned(assigned.clone());
+            }
+            if let Some(t) = &tracer {
+                analyzer.set_tracer(t.clone(), analyzer_tid0 + s as u32);
+            }
+            if let (Some(plan), Some(gc)) = (&shard_plan, &shard_gc) {
+                analyzer.set_shard_scope(plan.clone(), s, gc.clone());
+            }
+            analyzers.push(analyzer);
         }
-        if let Some(t) = &tracer {
-            analyzer.set_tracer(t.clone(), analyzer_tid);
-        }
-        for (name, callback) in self.watches {
-            let Some(idx) = spec.kernels.iter().position(|k| k.name == name) else {
-                return Err(RuntimeError::Kernel {
-                    kernel: name,
-                    message: "unknown kernel in watch_ages".into(),
-                });
-            };
-            analyzer.set_age_watch(KernelId(idx as u32), callback);
+        // An age watch lives on the shard owning the watched kernel
+        // (pinned, so one shard owns every age and fires in order).
+        for (kid, callback) in watch_ids {
+            let home = shard_plan
+                .as_ref()
+                .map(|p| p.unit_owner(kid, 0))
+                .unwrap_or(0);
+            analyzers[home].set_age_watch(kid, callback);
         }
 
         let start = Instant::now();
 
-        // Seed source kernels before any worker can observe an empty queue.
+        // Seed source kernels before any worker can observe an empty
+        // queue. Each shard only seeds the sources it owns.
         TRACE_TID.with(|c| c.set(main_tid));
-        for unit in analyzer.seed() {
-            for indices in &unit.instances {
-                shared.trace(|| TraceEvent::InstanceDispatched {
-                    kernel: unit.kernel,
-                    age: unit.age.0,
-                    indices: indices.clone(),
-                });
+        for analyzer in &mut analyzers {
+            for unit in analyzer.seed() {
+                for indices in &unit.instances {
+                    shared.trace(|| TraceEvent::InstanceDispatched {
+                        kernel: unit.kernel,
+                        age: unit.age.0,
+                        indices: indices.clone(),
+                    });
+                }
+                shared.outstanding.fetch_add(1, Ordering::SeqCst);
+                shared.dispatch(unit);
             }
-            shared.outstanding.fetch_add(1, Ordering::SeqCst);
-            shared.dispatch(unit);
         }
         // A program with no sources is quiescent immediately (unless it
         // waits for remote stores).
@@ -416,16 +657,28 @@ impl NodeBuilder {
             shared.ready.close();
         }
 
-        // Analyzer thread.
-        let analyzer_shared = shared.clone();
+        // Analyzer shard threads.
         let deadline = limits.wall_deadline.map(|d| start + d);
-        let analyzer_handle = std::thread::Builder::new()
-            .name("p2g-analyzer".into())
-            .spawn(move || {
-                TRACE_TID.with(|c| c.set(analyzer_tid));
-                analyzer_loop(analyzer, analyzer_shared, events_rx, deadline)
-            })
-            .expect("spawn analyzer");
+        let batch = limits.analyzer_batch.max(1);
+        let mut analyzer_handles = Vec::with_capacity(shards);
+        for (s, (analyzer, events_rx)) in analyzers.into_iter().zip(event_rxs).enumerate() {
+            let analyzer_shared = shared.clone();
+            let tid = analyzer_tid0 + s as u32;
+            let name = if shards == 1 {
+                "p2g-analyzer".to_string()
+            } else {
+                format!("p2g-analyzer-{s}")
+            };
+            analyzer_handles.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || {
+                        TRACE_TID.with(|c| c.set(tid));
+                        analyzer_loop(analyzer, analyzer_shared, events_rx, deadline, s, batch)
+                    })
+                    .expect("spawn analyzer"),
+            );
+        }
 
         // Worker threads — none when attached to a shared pool.
         let mut worker_handles = Vec::with_capacity(self.workers);
@@ -459,7 +712,7 @@ impl NodeBuilder {
             fields,
             spec,
             start,
-            analyzer_handle,
+            analyzer_handles,
             worker_handles,
             watchdog_handle,
         })
@@ -477,7 +730,7 @@ pub struct RunningNode {
     fields: SharedFields,
     spec: Arc<ProgramSpec>,
     start: Instant,
-    analyzer_handle: std::thread::JoinHandle<Termination>,
+    analyzer_handles: Vec<std::thread::JoinHandle<Termination>>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
     watchdog_handle: Option<std::thread::JoinHandle<()>>,
 }
@@ -485,15 +738,65 @@ pub struct RunningNode {
 impl RunningNode {
     /// Forward a store produced on another node into this node's field
     /// replicas; the dependency analyzer applies it and dispatches any
-    /// instances it unblocks.
+    /// instances it unblocks. In sharded mode the replica store is applied
+    /// here (idempotently — remote forwards may duplicate) and the
+    /// resulting store event routed like a local one, so every consumer
+    /// shard observes it.
     pub fn inject_remote_store(&self, field: FieldId, age: Age, region: Region, buffer: Buffer) {
-        self.shared.outstanding.fetch_add(1, Ordering::SeqCst);
-        let _ = self.shared.events_tx.send(Event::RemoteStore {
+        if self.shared.shard_plan.is_none() {
+            self.shared.outstanding.fetch_add(1, Ordering::SeqCst);
+            let _ = self.shared.event_txs[0].send(Event::RemoteStore {
+                field,
+                age,
+                region,
+                buffer,
+            });
+            return;
+        }
+        let applied = {
+            let mut f = self.shared.fields[field.idx()].write();
+            match f.store_idempotent(age, &region, &buffer) {
+                Ok(outcome) => {
+                    let extents = f.extents(age).cloned().expect("age resident after store");
+                    let resolved = region.resolved_against(&extents);
+                    Ok((outcome, resolved, extents))
+                }
+                Err(e) => Err(e),
+            }
+        };
+        let (outcome, region, extents) = match applied {
+            Ok(v) => v,
+            Err(e) => {
+                self.shared.fail(RuntimeError::Field(e));
+                return;
+            }
+        };
+        self.shared.trace(|| {
+            store_event(
+                None,
+                field,
+                age,
+                region.clone(),
+                outcome.stored,
+                outcome.deduped,
+                outcome.age_complete,
+            )
+        });
+        if outcome.deduped > 0 {
+            self.shared
+                .instruments
+                .record_deduped(outcome.deduped as u64);
+        }
+        self.shared.send_event(Event::Store(StoreEvent {
             field,
             age,
             region,
-            buffer,
-        });
+            extents,
+            elements: outcome.stored,
+            age_complete: outcome.age_complete,
+            resized: outcome.resized,
+            inline_dispatched: None,
+        }));
     }
 
     /// Outstanding local work (events + queued + running units). Zero
@@ -546,8 +849,9 @@ impl RunningNode {
     /// analyzer seeds newly-owned sources and rescans resident field data
     /// for instances that became this node's responsibility.
     pub fn reassign(&self, kernels: std::collections::HashSet<KernelId>) {
-        self.shared.outstanding.fetch_add(1, Ordering::SeqCst);
-        let _ = self.shared.events_tx.send(Event::Reassign { kernels });
+        // Broadcasts in sharded mode: every shard adopts the assignment
+        // and rescans the slice of the instance space it owns.
+        self.shared.send_event(Event::Reassign { kernels });
     }
 
     /// Snapshot every written region of every resident field age. Cluster
@@ -596,17 +900,26 @@ impl RunningNode {
             fields,
             spec,
             start,
-            analyzer_handle,
+            analyzer_handles,
             worker_handles,
             watchdog_handle,
         } = self;
-        let termination = match analyzer_handle.join() {
-            Ok(t) => t,
-            Err(_) => {
-                shared.fail(RuntimeError::WorkerPanic);
-                Termination::Failed
+        // Join every analyzer shard and keep the most severe exit status:
+        // one shard hitting the deadline (or failing) decides the run even
+        // when its peers wound down quiescent.
+        let mut termination = Termination::Quiescent;
+        for handle in analyzer_handles {
+            let t = match handle.join() {
+                Ok(t) => t,
+                Err(_) => {
+                    shared.fail(RuntimeError::WorkerPanic);
+                    Termination::Failed
+                }
+            };
+            if termination_rank(t) > termination_rank(termination) {
+                termination = t;
             }
-        };
+        }
         // The analyzer has returned, so stop is set; make sure the
         // watchdog and workers wind down before collecting.
         shared.shutdown();
@@ -655,6 +968,16 @@ impl RunningNode {
     }
 }
 
+/// Severity order for merging per-shard analyzer exit statuses.
+fn termination_rank(t: Termination) -> u8 {
+    match t {
+        Termination::Quiescent => 0,
+        Termination::Degraded => 1,
+        Termination::DeadlineExpired => 2,
+        Termination::Failed => 3,
+    }
+}
+
 /// Watchdog thread: push due retry units to the ready queue (their
 /// outstanding counts were taken at schedule time) until stopped.
 fn watchdog_loop(wd: Arc<Watchdog>, shared: Arc<Shared>) {
@@ -670,6 +993,8 @@ fn analyzer_loop(
     shared: Arc<Shared>,
     events_rx: Receiver<Event>,
     deadline: Option<Instant>,
+    shard: usize,
+    batch: usize,
 ) -> Termination {
     // The non-failure exit status: quiescent, or degraded once any
     // instance was poisoned.
@@ -707,13 +1032,15 @@ fn analyzer_loop(
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return finished(&analyzer),
         };
+        shared
+            .instruments
+            .record_shard_queue_depth(shard, events_rx.len() as u64 + 1);
         // Greedy batch drain: under a store storm the channel is never
         // empty, and handling a burst back-to-back keeps the analyzer's
         // accounting state cache-hot and skips the blocking-receive path.
-        // MAX_BATCH bounds the time between deadline checks. Outstanding
-        // work is still released per event so the quiescence protocol is
-        // unchanged.
-        const MAX_BATCH: usize = 256;
+        // The batch size bounds the time between deadline checks.
+        // Outstanding work is still released per event so the quiescence
+        // protocol is unchanged.
         let mut handled = 0usize;
         while let Some(ev) = next.take() {
             if let Event::Failure(msg) = &ev {
@@ -747,6 +1074,12 @@ fn analyzer_loop(
                 });
                 shared.instruments.record_poisoned(kid, age, &indices);
             }
+            // Expectation broadcasts must reach peer shards before any
+            // store a dispatched unit produces: per-shard FIFO channels
+            // make sending them first sufficient.
+            for bc in analyzer.take_outbox() {
+                shared.broadcast_expect(bc, shard);
+            }
             for unit in units {
                 // Retry units are re-dispatches, not fresh analyzer
                 // decisions (they come back through the watchdog, not
@@ -773,12 +1106,13 @@ fn analyzer_loop(
                 };
             }
             handled += 1;
-            if handled < MAX_BATCH {
+            if handled < batch {
                 next = events_rx.try_recv().ok();
             }
         }
         shared.trace(|| TraceEvent::AnalyzerBatch { events: handled });
         shared.instruments.record_analyzer_batch();
+        shared.instruments.record_shard_events(shard, handled as u64);
     }
 }
 
@@ -804,7 +1138,7 @@ fn retry_salt(unit: &DispatchUnit, failed: &[Vec<usize>]) -> u64 {
 /// apply stores, publish events. Body failures go through the kernel's
 /// fault policy: batched into one delayed retry unit while the budget
 /// lasts, then aborted or poisoned per [`ExhaustPolicy`].
-fn run_unit(shared: &Shared, unit: DispatchUnit) {
+fn run_unit(shared: &Arc<Shared>, unit: DispatchUnit) {
     // A failure-stop drains the queue without running stale units.
     if shared.stop.load(Ordering::SeqCst) && shared.has_failed() {
         shared.release_outstanding();
@@ -874,10 +1208,14 @@ fn run_unit(shared: &Shared, unit: DispatchUnit) {
                             return;
                         }
                         ExhaustPolicy::Poison => {
-                            // Counted event: the analyzer quarantines the
-                            // instance and propagates poison.
-                            shared.outstanding.fetch_add(1, Ordering::SeqCst);
-                            let _ = shared.events_tx.send(Event::KernelFailure {
+                            // Disarm the inline fast path before the
+                            // failure is visible: no worker-side dispatch
+                            // may race the poison traversal. Counted
+                            // event(s): every analyzer shard quarantines
+                            // the instance and propagates poison over the
+                            // slice it owns.
+                            shared.poisoned.store(true, Ordering::SeqCst);
+                            shared.send_event(Event::KernelFailure {
                                 kernel: unit.kernel,
                                 age: unit.age,
                                 indices: indices.clone(),
@@ -933,9 +1271,9 @@ fn run_unit(shared: &Shared, unit: DispatchUnit) {
     // case this thread's release is the one that observes quiescence.
     // `instances` reports only this execution's successes — poisoned
     // instances are accounted by the analyzer, retried ones by the retry
-    // unit's own UnitDone.
-    shared.outstanding.fetch_add(1, Ordering::SeqCst);
-    let _ = shared.events_tx.send(Event::UnitDone {
+    // unit's own UnitDone. Routed to the shard owning the unit, behind
+    // every store event this thread published for it (per-shard FIFO).
+    shared.send_event(Event::UnitDone {
         kernel: unit.kernel,
         age: unit.age,
         instances: ok_instances,
@@ -962,7 +1300,7 @@ fn invoke_body(body: &KernelBody, ctx: &mut KernelCtx) -> Result<(), String> {
 /// Execute one kernel instance (and its fused consumer, if any). Returns
 /// whether any store was performed.
 fn run_instance(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     kernel: KernelId,
     age: Age,
     indices: &[usize],
@@ -1115,7 +1453,7 @@ fn run_instance(
 
 #[allow(clippy::too_many_arguments)]
 fn apply_store(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     kernel: KernelId,
     age: Age,
     indices: &[usize],
@@ -1131,7 +1469,7 @@ fn apply_store(
 
 #[allow(clippy::too_many_arguments)]
 fn apply_store_for(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     kernel: KernelId,
     kspec: &p2g_graph::spec::KernelSpec,
     age: Age,
@@ -1198,8 +1536,32 @@ fn apply_store_for(
     if let Some(tap) = &shared.store_tap {
         tap(decl.field, target_age, &region, &st.buffer);
     }
-    shared.outstanding.fetch_add(1, Ordering::SeqCst);
-    let _ = shared.events_tx.send(Event::Store(StoreEvent {
+    // Inline fast path: a fresh single-point store into a field with a
+    // pointwise single-fetch consumer proves exactly one instance ready —
+    // dispatch it from this worker and tag the store event so the owning
+    // analyzer shard reconciles instead of re-dispatching, keeping the
+    // analyzer round trip off the dispatch critical path.
+    let mut inline: Option<(KernelId, Age, Vec<usize>)> = None;
+    if let Some(plan) = &shared.inline[decl.field.idx()] {
+        if !idempotent && outcome.deduped == 0 && !shared.poisoned.load(Ordering::SeqCst) {
+            let ca = target_age.0 as i64 - plan.t;
+            if ca >= 0 && plan.max_ages.is_none_or(|m| (ca as u64) < m) {
+                if let Ok(spans) = region.resolve(&extents) {
+                    if spans.iter().all(|&(_, len)| len == 1) {
+                        let mut cidx = vec![0usize; plan.index_vars];
+                        for (d, &(start, _)) in spans.iter().enumerate() {
+                            cidx[plan.var_of_dim[d]] = start;
+                        }
+                        inline = Some((plan.consumer, Age(ca as u64), cidx));
+                    }
+                }
+            }
+        }
+    }
+    // The tagged store event is sent before the inline unit is dispatched,
+    // so the owning shard observes the tag ahead of any event the unit
+    // itself produces.
+    shared.send_event(Event::Store(StoreEvent {
         field: decl.field,
         age: target_age,
         region,
@@ -1207,6 +1569,23 @@ fn apply_store_for(
         elements: outcome.stored,
         age_complete: outcome.age_complete,
         resized: outcome.resized,
+        inline_dispatched: inline.as_ref().map(|(consumer, _, _)| *consumer),
     }));
+    if let Some((consumer, cage, cidx)) = inline {
+        shared.trace(|| TraceEvent::InstanceDispatched {
+            kernel: consumer,
+            age: cage.0,
+            indices: cidx.clone(),
+        });
+        shared.instruments.record_inline_dispatch();
+        shared.outstanding.fetch_add(1, Ordering::SeqCst);
+        shared.dispatch(DispatchUnit {
+            kernel: consumer,
+            age: cage,
+            instances: vec![cidx],
+            attempt: 0,
+            prior_stored: false,
+        });
+    }
     Ok(())
 }

@@ -94,6 +94,9 @@ pub struct SessionConfig {
     pub sink: Option<Arc<SessionSink>>,
     /// Enable structured run tracing for this session's node.
     pub trace: bool,
+    /// Dependency-analyzer shards for this session's node (default 1, the
+    /// single sequential analyzer). See [`RunLimits::with_shards`].
+    pub shards: usize,
 }
 
 impl SessionConfig {
@@ -106,6 +109,7 @@ impl SessionConfig {
             gc_window: 16,
             sink: None,
             trace: false,
+            shards: 1,
         }
     }
 
@@ -131,6 +135,13 @@ impl SessionConfig {
     /// trace).
     pub fn with_trace(mut self) -> SessionConfig {
         self.trace = true;
+        self
+    }
+
+    /// Shard the session's dependency analyzer across `n` threads
+    /// (at least 1).
+    pub fn shards(mut self, n: usize) -> SessionConfig {
+        self.shards = n.max(1);
         self
     }
 }
@@ -447,7 +458,7 @@ impl SessionRuntime {
             watch_shared.submit_cv.notify_all();
             watch_shared.output_cv.notify_all();
         });
-        let mut limits = RunLimits::streaming(config.gc_window);
+        let mut limits = RunLimits::streaming(config.gc_window).with_shards(config.shards);
         if config.trace {
             limits = limits.with_trace();
         }

@@ -105,14 +105,129 @@ struct WrittenAge {
     complete: bool,
 }
 
-/// Invariant 1: every `InstanceDispatched` is preceded by stores covering
-/// the instance's fetch set.
+/// Check one dispatch's fetch set against the stores seen so far.
+fn check_dispatch(
+    written: &HashMap<(u32, u64), WrittenAge>,
+    trace: &RunTrace,
+    kernel: p2g_graph::KernelId,
+    age: u64,
+    indices: &[usize],
+) {
+    let kspec = trace.spec().kernel(kernel);
+    for fe in &kspec.fetches {
+        let fa = fe.age.resolve(Age(age));
+        let region = crate::program::resolve_region(&fe.dims, indices);
+        let w = written.get(&(fe.field.0, fa.0));
+        match region_coords(&region) {
+            Some(coords) => {
+                let w = w.unwrap_or_else(|| {
+                    panic!(
+                        "dispatch of {}@{}{:?} precedes any store to its \
+                         fetched field {} age {}",
+                        kspec.name, age, indices, fe.field.0, fa.0
+                    )
+                });
+                for c in coords {
+                    assert!(
+                        w.coords.contains(&c),
+                        "dispatch of {}@{}{:?} precedes the store of its \
+                         fetch coordinate {:?} in field {} age {}",
+                        kspec.name,
+                        age,
+                        indices,
+                        c,
+                        fe.field.0,
+                        fa.0
+                    );
+                }
+            }
+            None => {
+                // Whole-field fetch: the analyzer's gate is age
+                // completeness.
+                assert!(
+                    w.is_some_and(|w| w.complete),
+                    "dispatch of {}@{}{:?} fetches all of field {} age {} \
+                     before any store completed that age",
+                    kspec.name,
+                    age,
+                    indices,
+                    fe.field.0,
+                    fa.0
+                );
+            }
+        }
+    }
+}
+
+/// Invariant 1 (relaxed, the default): every `InstanceDispatched` is
+/// preceded — per fetched `(field, age)` timeline — by stores covering its
+/// fetch set.
 ///
 /// Fetch regions that resolve to concrete coordinates (index variables and
 /// constants) are checked pointwise. A whole-dimension (`All`) fetch is
 /// gated by age completeness in the analyzer, so the check requires a
 /// prior store with `age_complete` for that (field, age).
+///
+/// "Preceded" is timestamp-based with tie tolerance: a sharded run traces
+/// stores on worker threads and dispatches on N analyzer threads, so two
+/// causally-ordered records can carry the same monotonic timestamp and
+/// sort either way in the merged trace. All stores in a timestamp tie
+/// group are credited before any dispatch in that group is checked. For
+/// the strict single-queue ordering (exact record order, no tie
+/// tolerance) use [`dependencies_respected_strict`].
 pub fn dependencies_respected(trace: &RunTrace) {
+    let mut written: HashMap<(u32, u64), WrittenAge> = HashMap::new();
+    let records = &trace.records;
+    let mut i = 0;
+    while i < records.len() {
+        let ts = records[i].ts_ns;
+        let mut j = i;
+        while j < records.len() && records[j].ts_ns == ts {
+            j += 1;
+        }
+        // Credit every store in the tie group first…
+        for r in &records[i..j] {
+            if let TraceEvent::StoreApplied {
+                field,
+                age,
+                region,
+                age_complete,
+                ..
+            } = &r.event
+            {
+                let w = written.entry((field.0, *age)).or_default();
+                // Remote regions are pre-resolved, so coords always
+                // enumerate; stay defensive anyway.
+                if let Some(coords) = region_coords(region) {
+                    w.coords.extend(coords);
+                }
+                w.complete |= *age_complete;
+            }
+        }
+        // …then check the group's dispatches.
+        for r in &records[i..j] {
+            if let TraceEvent::InstanceDispatched {
+                kernel,
+                age,
+                indices,
+            } = &r.event
+            {
+                check_dispatch(&written, trace, *kernel, *age, indices);
+            }
+        }
+        i = j;
+    }
+}
+
+/// Invariant 1 (strict): like [`dependencies_respected`] but in exact
+/// merged-record order with no timestamp tie tolerance — each dispatch
+/// sees only the stores at strictly earlier record positions.
+///
+/// This is the single-analyzer (`shards = 1`) guarantee: one event queue
+/// imposes one global order, so every dependency store is traced at an
+/// earlier position than the dispatch it enables. Sharded runs satisfy
+/// only the relaxed per-`(field, age)` form.
+pub fn dependencies_respected_strict(trace: &RunTrace) {
     let mut written: HashMap<(u32, u64), WrittenAge> = HashMap::new();
     for r in &trace.records {
         match &r.event {
@@ -124,8 +239,6 @@ pub fn dependencies_respected(trace: &RunTrace) {
                 ..
             } => {
                 let w = written.entry((field.0, *age)).or_default();
-                // Remote regions are pre-resolved, so coords always
-                // enumerate; stay defensive anyway.
                 if let Some(coords) = region_coords(region) {
                     w.coords.extend(coords);
                 }
@@ -135,52 +248,7 @@ pub fn dependencies_respected(trace: &RunTrace) {
                 kernel,
                 age,
                 indices,
-            } => {
-                let kspec = trace.spec().kernel(*kernel);
-                for fe in &kspec.fetches {
-                    let fa = fe.age.resolve(Age(*age));
-                    let region = crate::program::resolve_region(&fe.dims, indices);
-                    let w = written.get(&(fe.field.0, fa.0));
-                    match region_coords(&region) {
-                        Some(coords) => {
-                            let w = w.unwrap_or_else(|| {
-                                panic!(
-                                    "dispatch of {}@{}{:?} precedes any store to its \
-                                     fetched field {} age {}",
-                                    kspec.name, age, indices, fe.field.0, fa.0
-                                )
-                            });
-                            for c in coords {
-                                assert!(
-                                    w.coords.contains(&c),
-                                    "dispatch of {}@{}{:?} precedes the store of its \
-                                     fetch coordinate {:?} in field {} age {}",
-                                    kspec.name,
-                                    age,
-                                    indices,
-                                    c,
-                                    fe.field.0,
-                                    fa.0
-                                );
-                            }
-                        }
-                        None => {
-                            // Whole-field fetch: the analyzer's gate is
-                            // age completeness.
-                            assert!(
-                                w.is_some_and(|w| w.complete),
-                                "dispatch of {}@{}{:?} fetches all of field {} age {} \
-                                 before any store completed that age",
-                                kspec.name,
-                                age,
-                                indices,
-                                fe.field.0,
-                                fa.0
-                            );
-                        }
-                    }
-                }
-            }
+            } => check_dispatch(&written, trace, *kernel, *age, indices),
             _ => {}
         }
     }

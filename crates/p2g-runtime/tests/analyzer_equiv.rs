@@ -19,7 +19,7 @@ use p2g_graph::spec::{AgeExpr, FetchDecl, IndexSel, IndexVar, KernelSpec};
 use p2g_graph::{KernelId, ProgramSpec};
 use p2g_runtime::analyzer::{DependencyAnalyzer, SharedFields};
 use p2g_runtime::events::{Event, StoreEvent};
-use p2g_runtime::{KernelOptions, RunLimits};
+use p2g_runtime::{KernelOptions, RunLimits, ShardGc, ShardPlan};
 
 /// Pure-consumer program exercising every fetch shape the analyzer
 /// classifies: pointwise, row-like, whole-field, constant-age, and the
@@ -196,6 +196,7 @@ proptest! {
                     elements: out.stored,
                     age_complete: out.age_complete,
                     resized: out.resized,
+                    inline_dispatched: None,
                 })
             };
             inc_units.extend(incremental.on_event(&ev).unwrap());
@@ -217,6 +218,141 @@ proptest! {
         got.sort();
         got.dedup();
         prop_assert_eq!(got.len(), got_len, "incremental dispatched a duplicate instance");
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Drive the same storm through N shard-scoped analyzers: each store
+    /// is delivered (in a deterministic single-thread interleaving) to
+    /// exactly the shards the [`ShardPlan`] routes it to, expectation
+    /// broadcasts are forwarded to every peer as the node's analyzer loop
+    /// does, and the union of dispatched instances must equal the rescan
+    /// oracle's — nothing missed, nothing dispatched twice.
+    #[test]
+    fn sharded_union_matches_rescan_oracle(
+        n0 in 1usize..5,
+        n1 in 1usize..4,
+        n2 in 1usize..4,
+        ages in 1u64..4,
+        shards in 2usize..5,
+        subset_seed in any::<u64>(),
+        keep_num in 0u32..=100,
+        dup_mask in any::<u64>(),
+        order in any::<u64>(),
+    ) {
+        let spec = Arc::new(consumer_spec(n0, n1, n2));
+        let fields = make_fields(&spec);
+        let options = vec![KernelOptions::default(); spec.kernels.len()];
+        let plan = Arc::new(ShardPlan::new(
+            &spec,
+            &options,
+            &HashSet::new(),
+            &HashSet::new(),
+            shards,
+        ));
+        let gc = Arc::new(ShardGc::new(spec.kernels.len(), spec.fields.len(), shards));
+        let mut analyzers: Vec<DependencyAnalyzer> = (0..shards)
+            .map(|s| {
+                let mut an = make_analyzer(&spec, &fields, ages);
+                an.set_shard_scope(plan.clone(), s, gc.clone());
+                an
+            })
+            .collect();
+        let mut units = Vec::new();
+        for an in analyzers.iter_mut() {
+            units.extend(an.seed());
+        }
+
+        let mut stores: Vec<(u32, u64, Vec<usize>)> = Vec::new();
+        for a in 0..ages {
+            for x in 0..n0 {
+                stores.push((0, a, vec![x]));
+            }
+            for y in 0..n1 {
+                for z in 0..n2 {
+                    stores.push((1, a, vec![y, z]));
+                }
+            }
+        }
+        let mut keep: Vec<(u32, u64, Vec<usize>)> = stores
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let mut h = subset_seed ^ (*i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                h ^= h >> 31;
+                h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+                (h % 100) < keep_num as u64
+            })
+            .map(|(_, s)| s)
+            .collect();
+        let mut state = order;
+        for i in (1..keep.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            keep.swap(i, (state as usize) % (i + 1));
+        }
+
+        // Deliver each event to its destination shards (a valid
+        // linearization of the runtime's per-shard FIFO channels, where
+        // expectation broadcasts always precede later stores).
+        let deliver = |analyzers: &mut Vec<DependencyAnalyzer>,
+                           units: &mut Vec<p2g_runtime::instance::DispatchUnit>,
+                           ev: &Event,
+                           fid: u32,
+                           a: u64| {
+            let mut mask = plan.store_dests(FieldId(fid), a);
+            let mut s = 0usize;
+            while mask != 0 {
+                if mask & 1 != 0 {
+                    units.extend(analyzers[s].on_event(ev).unwrap());
+                    for bc in analyzers[s].take_outbox() {
+                        for (p, peer) in analyzers.iter_mut().enumerate() {
+                            if p != s {
+                                units.extend(peer.on_event(&bc).unwrap());
+                            }
+                        }
+                    }
+                }
+                mask >>= 1;
+                s += 1;
+            }
+        };
+        for (i, (fid, a, idx)) in keep.iter().enumerate() {
+            let ev = {
+                let mut field = fields[*fid as usize].write();
+                let region = Region::point(idx);
+                let out = field
+                    .store_element(Age(*a), idx, Value::I32(i as i32))
+                    .unwrap();
+                let extents = field.extents(Age(*a)).cloned().unwrap();
+                Event::Store(StoreEvent {
+                    field: FieldId(*fid),
+                    age: Age(*a),
+                    region: region.resolved_against(&extents),
+                    extents,
+                    elements: out.stored,
+                    age_complete: out.age_complete,
+                    resized: out.resized,
+                    inline_dispatched: None,
+                })
+            };
+            deliver(&mut analyzers, &mut units, &ev, *fid, *a);
+            if dup_mask & (1 << (i % 64)) != 0 {
+                deliver(&mut analyzers, &mut units, &ev, *fid, *a);
+            }
+        }
+
+        let mut oracle = make_analyzer(&spec, &fields, ages);
+        let all: HashSet<KernelId> = spec.kernels.iter().map(|k| k.id).collect();
+        let oracle_units = oracle.on_event(&Event::Reassign { kernels: all }).unwrap();
+
+        let mut got = instances_of(&units);
+        let mut want = instances_of(&oracle_units);
+        let got_len = got.len();
+        got.sort();
+        got.dedup();
+        prop_assert_eq!(got.len(), got_len, "sharded analyzers dispatched a duplicate instance");
         want.sort();
         prop_assert_eq!(got, want);
     }

@@ -2,8 +2,11 @@
 //! and gating, invariant certification on real runs, export formats, and
 //! the per-kernel latency histograms fed by the same instrumentation path.
 
-use p2g_field::Buffer;
-use p2g_graph::spec::mul_sum_example;
+use p2g_field::{Buffer, Extents, FieldDef, ScalarType};
+use p2g_graph::spec::{
+    mul_sum_example, AgeExpr, FetchDecl, IndexSel, IndexVar, KernelId, KernelSpec, ProgramSpec,
+    StoreDecl,
+};
 use p2g_runtime::{NodeBuilder, Program, RunLimits, RunReport, TraceEvent};
 
 fn build_program() -> Program {
@@ -90,6 +93,173 @@ fn invariants_and_counts_on_a_real_run() {
         TraceEvent::BodyEnd { ok, .. } => *ok,
         _ => unreachable!(),
     }));
+}
+
+/// A run on the single-analyzer path (`shards = 1`) satisfies the *strict*
+/// dependency ordering — every dependency store appears at a strictly
+/// earlier position in the merged trace than the dispatch it enables.
+/// Sharded runs are only required to satisfy the relaxed per-(field, age)
+/// form checked by `trace_check::all`; this pins the stronger single-queue
+/// guarantee so it can't silently regress.
+#[test]
+fn single_shard_satisfies_strict_ordering() {
+    let report = traced_run(4, 4);
+    let trace = report.trace.as_ref().unwrap();
+    p2g_runtime::trace_check::dependencies_respected_strict(trace);
+}
+
+/// The full invariant suite certifies a sharded run, and the sharded
+/// instrumentation (per-shard event counts, queue peaks) is populated.
+#[test]
+fn invariants_hold_on_a_sharded_run() {
+    let report = NodeBuilder::new(build_program())
+        .workers(4)
+        .launch(RunLimits::ages(6).with_trace().with_shards(4))
+        .and_then(|n| n.wait())
+        .unwrap();
+    p2g_runtime::trace_check::all(&report);
+
+    // The same instance space ran as on the single-shard path.
+    let single = NodeBuilder::new(build_program())
+        .workers(4)
+        .launch(RunLimits::ages(6))
+        .and_then(|n| n.wait())
+        .unwrap();
+    for k in ["init", "mul2", "plus5", "print"] {
+        assert_eq!(
+            report.instruments.kernel(k).unwrap().instances,
+            single.instruments.kernel(k).unwrap().instances,
+            "sharded run dispatched a different number of {k} instances"
+        );
+    }
+
+    // Per-shard counters surfaced in the snapshot.
+    let shard_events = report.instruments.shard_events();
+    assert_eq!(shard_events.len(), 4);
+    assert!(
+        shard_events.iter().sum::<u64>() > 0,
+        "sharded run recorded no per-shard events"
+    );
+    assert_eq!(report.instruments.shard_queue_peaks().len(), 4);
+    assert!(report.instruments.render_table().contains("analyzer-0"));
+}
+
+/// A pointwise aging pipeline over statically-sized fields: each kernel
+/// has exactly one single-point `Rel` fetch, so every store is
+/// inline-eligible. `N` is the per-field element count.
+fn pointwise_program(n: usize) -> Program {
+    let mut spec = ProgramSpec::new();
+    let f0 = spec.add_field(FieldDef::with_extents(
+        "f0",
+        ScalarType::I32,
+        Extents::new([n]),
+    ));
+    let f1 = spec.add_field(FieldDef::with_extents(
+        "f1",
+        ScalarType::I32,
+        Extents::new([n]),
+    ));
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "seed".into(),
+        index_vars: 0,
+        has_age_var: false,
+        fetches: vec![],
+        stores: vec![StoreDecl {
+            field: f0,
+            age: AgeExpr::Const(0),
+            dims: vec![IndexSel::All],
+        }],
+    });
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "twice".into(),
+        index_vars: 1,
+        has_age_var: true,
+        fetches: vec![FetchDecl {
+            field: f0,
+            age: AgeExpr::Rel(0),
+            dims: vec![IndexSel::Var(IndexVar(0))],
+        }],
+        stores: vec![StoreDecl {
+            field: f1,
+            age: AgeExpr::Rel(0),
+            dims: vec![IndexSel::Var(IndexVar(0))],
+        }],
+    });
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "inc".into(),
+        index_vars: 1,
+        has_age_var: true,
+        fetches: vec![FetchDecl {
+            field: f1,
+            age: AgeExpr::Rel(0),
+            dims: vec![IndexSel::Var(IndexVar(0))],
+        }],
+        stores: vec![StoreDecl {
+            field: f0,
+            age: AgeExpr::Rel(1),
+            dims: vec![IndexSel::Var(IndexVar(0))],
+        }],
+    });
+    let mut program = Program::new(spec).unwrap();
+    program.body("seed", move |ctx| {
+        ctx.store(0, Buffer::from_vec((0..n as i32).collect::<Vec<_>>()));
+        Ok(())
+    });
+    program.body("twice", |ctx| {
+        let v = ctx.input(0).value(0).as_i64() as i32;
+        ctx.store(0, Buffer::from_vec(vec![v.wrapping_mul(2)]));
+        Ok(())
+    });
+    program.body("inc", |ctx| {
+        let v = ctx.input(0).value(0).as_i64() as i32;
+        ctx.store(0, Buffer::from_vec(vec![v.wrapping_add(1)]));
+        Ok(())
+    });
+    program
+}
+
+/// The worker-side inline fast path actually fires on an eligible
+/// (pointwise, statically-sized) pipeline, the dispatched instance space
+/// matches the analyzer-only run exactly, and every trace invariant still
+/// holds — the tagged store events reconcile so nothing double-dispatches
+/// (a duplicate would trip the write-once check).
+#[test]
+fn inline_fast_path_fires_and_stays_consistent() {
+    const AGES: u64 = 6;
+    const N: usize = 8;
+    let baseline = NodeBuilder::new(pointwise_program(N))
+        .workers(4)
+        .launch(RunLimits::ages(AGES))
+        .and_then(|n| n.wait())
+        .unwrap();
+    for (limits, label) in [
+        (RunLimits::ages(AGES).with_shards(4), "shards=4"),
+        (
+            RunLimits::ages(AGES).with_inline_dispatch(),
+            "shards=1 + inline",
+        ),
+    ] {
+        let report = NodeBuilder::new(pointwise_program(N))
+            .workers(4)
+            .launch(limits.with_trace())
+            .and_then(|n| n.wait())
+            .unwrap();
+        assert!(
+            report.instruments.inline_dispatches() > 0,
+            "{label}: inline fast path never fired on an eligible pipeline"
+        );
+        p2g_runtime::trace_check::all(&report);
+        for k in ["seed", "twice", "inc"] {
+            assert_eq!(
+                report.instruments.kernel(k).unwrap().instances,
+                baseline.instruments.kernel(k).unwrap().instances,
+                "{label}: inline dispatch changed the {k} instance space"
+            );
+        }
+    }
 }
 
 /// JSONL export: one object per line, every `type` drawn from the event

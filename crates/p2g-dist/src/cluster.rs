@@ -41,12 +41,23 @@ use p2g_runtime::trace::{RunTrace, TraceEvent, Tracer};
 use p2g_runtime::{Program, RunLimits, RuntimeError};
 
 use crate::master::MasterNode;
-use crate::transport::{FaultPlan, FaultyNet, NetMsg, SimNet, Transport, MASTER_NODE};
+use crate::tcp::TcpMesh;
+use crate::transport::{FaultPlan, FaultyNet, NetMsg, RetryConfig, SimNet, Transport, MASTER_NODE};
 
-/// Max send attempts for one store forward. With per-message drop
-/// probability p the forward is lost with probability p^64 — for p < 0.3
-/// that is < 1e-33, which is why bounded-loss links never change results.
-const SEND_ATTEMPTS: u32 = 64;
+/// Which interconnect a [`SimCluster`] runs over. The coordinator,
+/// heartbeat, replan and replay machinery is identical either way — that
+/// is the point: the recovery protocol is a property of the [`Transport`]
+/// contract, not of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process [`SimNet`] with modeled latency (the default).
+    #[default]
+    Sim,
+    /// Real loopback TCP sockets via [`crate::TcpMesh`]: every store
+    /// forward is framed by the wire codec and crosses the kernel's
+    /// network stack.
+    Tcp,
+}
 
 /// Per-node worker-thread counts: the same number everywhere, or one count
 /// per node (earlier nodes first).
@@ -99,6 +110,11 @@ pub struct ClusterConfig {
     /// Heartbeat staleness after which the master declares a node failed.
     /// A false positive is safe (recovery is idempotent), merely wasteful.
     pub failure_timeout: Duration,
+    /// Which interconnect to run over ([`TransportKind::Sim`] default).
+    pub transport: TransportKind,
+    /// Backoff-and-budget discipline for store-forward sends (and, over
+    /// TCP, reconnection attempts).
+    pub retry: RetryConfig,
 }
 
 impl ClusterConfig {
@@ -112,7 +128,24 @@ impl ClusterConfig {
             fault_plan: None,
             heartbeat_interval: None,
             failure_timeout: Duration::from_millis(50),
+            transport: TransportKind::Sim,
+            retry: RetryConfig::default(),
         }
+    }
+
+    /// Run over real loopback TCP sockets instead of the in-process
+    /// simulated network. Latency modeling does not apply (the loopback
+    /// stack provides its own), and fault-plan delivery *delays* degrade
+    /// to immediate delivery; drops, duplicates and kills inject the same.
+    pub fn over_tcp(mut self) -> ClusterConfig {
+        self.transport = TransportKind::Tcp;
+        self
+    }
+
+    /// Override the send retry/backoff discipline.
+    pub fn with_retry(mut self, retry: RetryConfig) -> ClusterConfig {
+        self.retry = retry;
+        self
     }
 
     /// Set worker threads: a uniform count (`usize`) or one count per node
@@ -232,8 +265,9 @@ pub struct ClusterOutcome {
     pub reports: Vec<(NodeId, RunReport)>,
     /// Per-node field replicas, in node order.
     pub fields: Vec<(NodeId, FieldStore)>,
-    /// The network with its final statistics.
-    pub net: Arc<SimNet>,
+    /// The network with its final statistics. (Bring the
+    /// [`Transport`] trait into scope to query them.)
+    pub net: Arc<dyn Transport>,
     /// The kernel assignment in effect at the end of the run (differs from
     /// the initial plan when recovery re-planned).
     pub assignment: HashMap<NodeId, HashSet<KernelId>>,
@@ -292,7 +326,7 @@ impl ClusterOutcome {
 
 /// For each field, the nodes that run at least one consumer of it under
 /// `assignment` — the store-forwarding subscription map.
-fn subscribers_for(
+pub(crate) fn subscribers_for(
     spec: &ProgramSpec,
     assignment: &HashMap<NodeId, HashSet<KernelId>>,
 ) -> HashMap<FieldId, Vec<NodeId>> {
@@ -385,11 +419,16 @@ impl SimCluster {
             node_ids,
         } = self;
 
-        let sim = SimNet::new(&node_ids, config.latency);
-        let net: Arc<dyn Transport> = match config.fault_plan.clone() {
-            Some(plan) => FaultyNet::new(sim.clone(), plan),
-            None => sim.clone() as Arc<dyn Transport>,
+        let base: Arc<dyn Transport> = match config.transport {
+            TransportKind::Sim => SimNet::new(&node_ids, config.latency),
+            TransportKind::Tcp => TcpMesh::new(&node_ids, config.retry)
+                .map_err(|e| RuntimeError::Net(e.to_string()))?,
         };
+        let net: Arc<dyn Transport> = match config.fault_plan.clone() {
+            Some(plan) => FaultyNet::new(base.clone(), plan),
+            None => base.clone(),
+        };
+        let retry = config.retry;
         let spec = programs[0].spec().clone();
 
         // Subscription map: shared so recovery can re-target forwarding.
@@ -452,7 +491,7 @@ impl SimCluster {
                                 region: region.clone(),
                                 buffer: buffer.clone(),
                             },
-                            SEND_ATTEMPTS,
+                            &retry,
                         );
                     }
                 }))
@@ -496,34 +535,35 @@ impl SimCluster {
                                 last_hb = Instant::now();
                             }
                             let recv_budget = heartbeat_interval.min(Duration::from_millis(2));
-                            match net.recv_timeout(node_id, recv_budget) {
-                                Some((
-                                    _src,
-                                    NetMsg::StoreForward {
-                                        field,
-                                        age,
-                                        region,
-                                        buffer,
-                                    },
-                                )) => {
-                                    if let Some(t) = &tracer {
-                                        t.record(
-                                            node_id.0,
-                                            TraceEvent::Recv {
-                                                node: node_id,
-                                                field,
-                                                age: age.0,
-                                            },
-                                        );
-                                    }
-                                    node.inject_remote_store(field, age, region, buffer);
-                                    net.delivered();
+                            // Only store forwards carry work to apply;
+                            // control traffic (heartbeats, multi-process
+                            // protocol messages) is dropped here.
+                            if let Some((
+                                _src,
+                                NetMsg::StoreForward {
+                                    field,
+                                    age,
+                                    region,
+                                    buffer,
+                                },
+                            )) = net.recv_timeout(node_id, recv_budget)
+                            {
+                                if let Some(t) = &tracer {
+                                    t.record(
+                                        node_id.0,
+                                        TraceEvent::Recv {
+                                            node: node_id,
+                                            field,
+                                            age: age.0,
+                                        },
+                                    );
                                 }
-                                Some((_, NetMsg::Heartbeat { .. })) | None => {}
+                                node.inject_remote_store(field, age, region, buffer);
+                                net.delivered(node_id);
                             }
                         }
                     })
-                    .expect("spawn delivery thread"),
+                    .map_err(|e| RuntimeError::Net(format!("spawn delivery thread: {e}")))?,
             );
         }
 
@@ -567,7 +607,7 @@ impl SimCluster {
                                             region: region.clone(),
                                             buffer: buffer.clone(),
                                         },
-                                        SEND_ATTEMPTS,
+                                        &retry,
                                     );
                                 }
                             }
@@ -658,7 +698,7 @@ impl SimCluster {
                                     region: region.clone(),
                                     buffer: buffer.clone(),
                                 },
-                                SEND_ATTEMPTS,
+                                &retry,
                             );
                             if sent {
                                 redelivered_stores += 1;
@@ -688,7 +728,7 @@ impl SimCluster {
                                         region: region.clone(),
                                         buffer: buffer.clone(),
                                     },
-                                    SEND_ATTEMPTS,
+                                    &retry,
                                 );
                                 if sent {
                                     redelivered_stores += 1;
@@ -755,9 +795,9 @@ impl SimCluster {
         Ok(ClusterOutcome {
             reports,
             fields,
-            retries: sim.total_retries(),
-            lost_sends: sim.total_lost(),
-            net: sim,
+            retries: base.total_retries(),
+            lost_sends: base.total_lost(),
+            net: base,
             assignment,
             failed_nodes,
             redelivered_stores,

@@ -1,0 +1,620 @@
+//! The multi-process cluster runtime: `p2gc cluster master` and
+//! `p2gc cluster node` call into here, and the same heartbeat / replan /
+//! replay machinery the in-process [`crate::SimCluster`] exercises runs
+//! across OS processes over [`crate::TcpNet`].
+//!
+//! # Protocol (all frames via the [`crate::wire`] codec)
+//!
+//! ```text
+//! node             master
+//!  | -- Hello ------> |   join: node id, worker count, listen port
+//!  | <-- Assign ----- |   epoch 1: kernels, subscription map, peer book
+//!  |  (launch runtime; store forwards flow node<->node directly)
+//!  | -- Status -----> |   heartbeat + quiescence counters, repeating
+//!  |                  |   death detected: staleness / dead connection /
+//!  | <-- Assign ----- |   failed flag -> replan: epoch N+1 to survivors
+//!  | <-- Replay ----- |   re-send written regions to new subscribers
+//!  | <-- Finish ----- |   stable global quiescence reached
+//!  | -- Results ----> |   written field regions; master merges + digests
+//! ```
+//!
+//! Quiescence: every live node reports `Status` with the current epoch,
+//! `outstanding == 0` (runtime work counter, computed after draining its
+//! network inbox) and `unacked == 0` (data frames not yet acknowledged by
+//! a live peer — the receiver acks only after the frame is in its inbox),
+//! for three consecutive statuses per node. A store can therefore never
+//! be in flight invisibly: it is either unacknowledged at the sender or
+//! ahead of the status computation at the receiver.
+//!
+//! Exactly-once: the transport is at-least-once (reconnect re-sends the
+//! unacknowledged window; recovery replays whole regions) and execution
+//! is at-least-once (kernels re-run on reassignment) — write-once fields
+//! dedup on value equality, so results come out exactly-once. The result
+//! digest is computed over the sorted, deduplicated set of written
+//! `(field, age, region, buffer)` entries, making it invariant to node
+//! count, assignment, and recovery history.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use p2g_field::{Age, Buffer, FieldId, Region};
+use p2g_graph::{NodeId, NodeSpec, ProgramSpec};
+use p2g_runtime::node::NodeBuilder;
+use p2g_runtime::{Program, RunLimits, RuntimeError};
+
+use crate::cluster::subscribers_for;
+use crate::master::MasterNode;
+use crate::tcp::TcpNet;
+use crate::transport::{NetMsg, RetryConfig, Transport, MASTER_NODE};
+use crate::wire;
+
+/// Consecutive quiescent statuses required from every live node.
+const QUIET_ROUNDS: u64 = 3;
+
+/// Configuration for a master process.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// Loopback port to listen on (0 = ephemeral; the bound port is in
+    /// [`MasterOutcome`] and announced on stderr).
+    pub port: u16,
+    /// Number of node processes expected to join.
+    pub nodes: usize,
+    /// Send retry/backoff discipline (also governs reconnect supervision).
+    pub retry: RetryConfig,
+    /// Status staleness after which a node is declared failed.
+    pub failure_timeout: Duration,
+    /// Maximum time to wait for all nodes to join.
+    pub join_timeout: Duration,
+    /// Hard wall-clock bound on the whole run.
+    pub deadline: Duration,
+}
+
+impl MasterConfig {
+    pub fn nodes(n: usize) -> MasterConfig {
+        MasterConfig {
+            port: 0,
+            nodes: n.max(1),
+            retry: RetryConfig::default(),
+            failure_timeout: Duration::from_millis(500),
+            join_timeout: Duration::from_secs(30),
+            deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Configuration for a node process.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This node's id (unique across the cluster, assigned by the
+    /// launcher).
+    pub id: NodeId,
+    /// The master's listen address.
+    pub master: SocketAddr,
+    /// Worker threads for the local runtime.
+    pub workers: usize,
+    /// Send retry/backoff discipline (also governs reconnect supervision).
+    pub retry: RetryConfig,
+    /// How often to report `Status` to the master.
+    pub status_interval: Duration,
+    /// Hard wall-clock bound on the whole run.
+    pub deadline: Duration,
+}
+
+impl NodeConfig {
+    pub fn new(id: NodeId, master: SocketAddr) -> NodeConfig {
+        NodeConfig {
+            id,
+            master,
+            workers: 2,
+            retry: RetryConfig::default(),
+            status_interval: Duration::from_millis(25),
+            deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What a master run produced.
+#[derive(Debug, Clone)]
+pub struct MasterOutcome {
+    /// CRC32 over the sorted, deduplicated wire encoding of every written
+    /// `(field, age, region, buffer)` entry — invariant to node count and
+    /// recovery history, so bit-identical results digest identically.
+    pub digest: u32,
+    /// Deduplicated result entries behind the digest.
+    pub entries: usize,
+    /// Nodes that died (or were declared dead) during the run.
+    pub failed_nodes: Vec<NodeId>,
+    /// Final assignment epoch (1 = no recovery happened).
+    pub epoch: u64,
+    /// The port the master listened on.
+    pub port: u16,
+}
+
+fn net_err(what: &str, e: impl std::fmt::Display) -> RuntimeError {
+    RuntimeError::Net(format!("{what}: {e}"))
+}
+
+/// Canonical digest of result entries: wire-encode each entry, sort,
+/// dedup (write-once replicas and re-executions collapse), CRC the
+/// concatenation.
+pub fn results_digest(entries: &[(FieldId, Age, Region, Buffer)]) -> (u32, usize) {
+    let mut blobs: Vec<Vec<u8>> = entries
+        .iter()
+        .map(|(field, age, region, buffer)| {
+            wire::encode_payload(&NetMsg::StoreForward {
+                field: *field,
+                age: *age,
+                region: region.clone(),
+                buffer: buffer.clone(),
+            })
+        })
+        .collect();
+    blobs.sort();
+    blobs.dedup();
+    let mut all = Vec::new();
+    for b in &blobs {
+        all.extend_from_slice(b);
+    }
+    (wire::crc32(&all), blobs.len())
+}
+
+fn sorted_assign_msg(
+    epoch: u64,
+    kernels: &HashSet<p2g_graph::KernelId>,
+    subscribers: &HashMap<FieldId, Vec<NodeId>>,
+    addrs: &BTreeMap<NodeId, SocketAddr>,
+) -> NetMsg {
+    let mut ks: Vec<_> = kernels.iter().copied().collect();
+    ks.sort_by_key(|k| k.0);
+    let mut subs: Vec<(FieldId, Vec<NodeId>)> = subscribers
+        .iter()
+        .map(|(f, ns)| (*f, ns.clone()))
+        .collect();
+    subs.sort_by_key(|(f, _)| f.0);
+    let peers: Vec<(NodeId, String)> = addrs
+        .iter()
+        .map(|(n, a)| (*n, a.to_string()))
+        .collect();
+    NetMsg::Assign {
+        epoch,
+        kernels: ks,
+        subscribers: subs,
+        peers,
+    }
+}
+
+/// Run the master side: accept joins, plan, supervise, recover, collect
+/// results. Returns once the cluster reached stable global quiescence and
+/// every live node reported its results.
+pub fn run_master(spec: &ProgramSpec, cfg: &MasterConfig) -> Result<MasterOutcome, RuntimeError> {
+    let net = TcpNet::bind_on(MASTER_NODE, cfg.retry, 0, cfg.port)
+        .map_err(|e| net_err("master bind", e))?;
+    let port = net.port();
+    eprintln!("p2g-master: listening on 127.0.0.1:{port}, waiting for {} nodes", cfg.nodes);
+
+    // --- join phase -----------------------------------------------------
+    let mut master = MasterNode::new();
+    let mut addrs: BTreeMap<NodeId, SocketAddr> = BTreeMap::new();
+    let mut workers_of: BTreeMap<NodeId, u32> = BTreeMap::new();
+    let join_deadline = Instant::now() + cfg.join_timeout;
+    while addrs.len() < cfg.nodes {
+        if Instant::now() >= join_deadline {
+            return Err(RuntimeError::Net(format!(
+                "join timeout: {}/{} nodes joined",
+                addrs.len(),
+                cfg.nodes
+            )));
+        }
+        if let Some((_, NetMsg::Hello { node, workers, port })) =
+            net.recv_timeout(MASTER_NODE, Duration::from_millis(100))
+        {
+            if node == MASTER_NODE {
+                continue; // a node may not claim the master's id
+            }
+            let addr = SocketAddr::from(([127, 0, 0, 1], port));
+            if addrs.insert(node, addr).is_none() {
+                workers_of.insert(node, workers);
+                master.report_topology(NodeSpec::multicore(
+                    node,
+                    format!("proc-node-{}", node.0),
+                    (workers as usize).max(1),
+                ));
+                eprintln!("p2g-master: node {} joined ({} workers, port {port})", node.0, workers);
+            }
+            net.set_peer(node, addr);
+        }
+    }
+
+    // --- plan + assign --------------------------------------------------
+    let mut epoch: u64 = 1;
+    let mut assignment = master.plan(spec);
+    let mut subscribers = subscribers_for(spec, &assignment);
+    let node_ids: Vec<NodeId> = addrs.keys().copied().collect();
+    let empty = HashSet::new();
+    for &id in &node_ids {
+        let msg = sorted_assign_msg(
+            epoch,
+            assignment.get(&id).unwrap_or(&empty),
+            &subscribers,
+            &addrs,
+        );
+        if !net.send_with_retry(MASTER_NODE, id, msg, &cfg.retry) {
+            return Err(RuntimeError::Net(format!("cannot assign node {}", id.0)));
+        }
+    }
+    eprintln!("p2g-master: epoch {epoch} assigned across {} nodes", node_ids.len());
+
+    // --- supervise ------------------------------------------------------
+    let start = Instant::now();
+    let mut alive: HashMap<NodeId, bool> = node_ids.iter().map(|&n| (n, true)).collect();
+    let mut last_seen: HashMap<NodeId, Instant> =
+        node_ids.iter().map(|&n| (n, Instant::now())).collect();
+    let mut quiet: HashMap<NodeId, u64> = node_ids.iter().map(|&n| (n, 0)).collect();
+    let mut runtime_failed: HashSet<NodeId> = HashSet::new();
+    let mut failed_nodes: Vec<NodeId> = Vec::new();
+    loop {
+        if start.elapsed() >= cfg.deadline {
+            return Err(RuntimeError::Net("run deadline exceeded".into()));
+        }
+
+        // Drain node reports.
+        while let Some((src, msg)) = net.recv_timeout(MASTER_NODE, Duration::from_millis(2)) {
+            if !alive.get(&src).copied().unwrap_or(false) {
+                continue; // late traffic from a node already declared dead
+            }
+            match msg {
+                NetMsg::Status {
+                    epoch: e,
+                    outstanding,
+                    unacked,
+                    failed,
+                    ..
+                } => {
+                    last_seen.insert(src, Instant::now());
+                    if failed {
+                        runtime_failed.insert(src);
+                    }
+                    let q = quiet.entry(src).or_insert(0);
+                    if e == epoch && outstanding == 0 && unacked == 0 && !failed {
+                        *q += 1;
+                    } else {
+                        *q = 0;
+                    }
+                }
+                NetMsg::Hello { .. } => {} // reconnect handshake
+                _ => {}
+            }
+        }
+
+        // Failure detection: stale statuses, dead connections, or the
+        // node's own runtime reporting failure.
+        let newly_dead: Vec<NodeId> = node_ids
+            .iter()
+            .copied()
+            .filter(|&id| {
+                alive[&id]
+                    && (last_seen[&id].elapsed() > cfg.failure_timeout
+                        || !net.node_alive(id)
+                        || runtime_failed.contains(&id))
+            })
+            .collect();
+        for id in newly_dead {
+            alive.insert(id, false);
+            failed_nodes.push(id);
+            net.disconnect(id);
+            master.node_left(id);
+            let survivors: Vec<NodeId> =
+                node_ids.iter().copied().filter(|&n| alive[&n]).collect();
+            eprintln!(
+                "p2g-master: node {} failed; replanning over {} survivors",
+                id.0,
+                survivors.len()
+            );
+            if survivors.is_empty() {
+                return Err(RuntimeError::Net("all nodes failed".into()));
+            }
+            // Replan over survivors, re-target subscriptions, reassign,
+            // replay — the same five recovery steps as the in-process
+            // coordinator, spoken over the wire.
+            assignment = master.replan(spec, &BTreeMap::new(), &BTreeMap::new());
+            subscribers = subscribers_for(spec, &assignment);
+            epoch += 1;
+            let live_addrs: BTreeMap<NodeId, SocketAddr> = addrs
+                .iter()
+                .filter(|(n, _)| alive[*n])
+                .map(|(n, a)| (*n, *a))
+                .collect();
+            for &sid in &survivors {
+                let msg = sorted_assign_msg(
+                    epoch,
+                    assignment.get(&sid).unwrap_or(&empty),
+                    &subscribers,
+                    &live_addrs,
+                );
+                let _ = net.send_with_retry(MASTER_NODE, sid, msg, &cfg.retry);
+                let _ = net.send_with_retry(MASTER_NODE, sid, NetMsg::Replay { epoch }, &cfg.retry);
+            }
+            for q in quiet.values_mut() {
+                *q = 0;
+            }
+        }
+
+        // Stable global quiescence?
+        let live: Vec<NodeId> = node_ids.iter().copied().filter(|&n| alive[&n]).collect();
+        if !live.is_empty() && live.iter().all(|n| quiet[n] >= QUIET_ROUNDS) {
+            break;
+        }
+    }
+
+    // --- finish + collect ----------------------------------------------
+    let live: Vec<NodeId> = node_ids.iter().copied().filter(|&n| alive[&n]).collect();
+    for &id in &live {
+        let _ = net.send_with_retry(MASTER_NODE, id, NetMsg::Finish, &cfg.retry);
+    }
+    let mut merged: Vec<(FieldId, Age, Region, Buffer)> = Vec::new();
+    let mut reported: HashSet<NodeId> = HashSet::new();
+    let collect_deadline = Instant::now() + cfg.failure_timeout.max(Duration::from_secs(5)) * 4;
+    while reported.len() < live.len() {
+        if Instant::now() >= collect_deadline {
+            return Err(RuntimeError::Net(format!(
+                "result collection timeout: {}/{} nodes reported",
+                reported.len(),
+                live.len()
+            )));
+        }
+        if let Some((src, NetMsg::Results { entries })) =
+            net.recv_timeout(MASTER_NODE, Duration::from_millis(100))
+        {
+            if live.contains(&src) && reported.insert(src) {
+                merged.extend(entries);
+            }
+        }
+    }
+    let (digest, entries) = results_digest(&merged);
+    eprintln!(
+        "p2g-master: done in {:?}, epoch {epoch}, {} failed, digest {digest:08x} over {entries} entries",
+        start.elapsed(),
+        failed_nodes.len()
+    );
+    Ok(MasterOutcome {
+        digest,
+        entries,
+        failed_nodes,
+        epoch,
+        port,
+    })
+}
+
+/// Run the node side: join, await assignment, execute with store
+/// forwarding over the wire, report status, honor reassign/replay, and
+/// report results on finish.
+pub fn run_node(
+    program: Program,
+    limits: RunLimits,
+    cfg: &NodeConfig,
+) -> Result<(), RuntimeError> {
+    program.check_bodies()?;
+    let me = cfg.id;
+    let net = TcpNet::bind(me, cfg.retry, cfg.workers as u32).map_err(|e| net_err("node bind", e))?;
+    net.set_peer(MASTER_NODE, cfg.master);
+    let deadline = Instant::now() + cfg.deadline;
+
+    // Join. The queued Hello forces the connection; the transport's own
+    // handshake Hello carries the same information, so the master sees
+    // the join even if this frame races a reconnect.
+    if !net.send_with_retry(
+        me,
+        MASTER_NODE,
+        NetMsg::Hello {
+            node: me,
+            workers: cfg.workers as u32,
+            port: net.port(),
+        },
+        &cfg.retry,
+    ) {
+        return Err(RuntimeError::Net("cannot reach master".into()));
+    }
+
+    // Await the first assignment.
+    let (mut epoch, kernels, subs0, peers0) = loop {
+        if Instant::now() >= deadline {
+            return Err(RuntimeError::Net("no assignment before deadline".into()));
+        }
+        if !net.node_alive(MASTER_NODE) {
+            return Err(RuntimeError::Net("lost master before assignment".into()));
+        }
+        match net.recv_timeout(me, Duration::from_millis(100)) {
+            Some((
+                _,
+                NetMsg::Assign {
+                    epoch,
+                    kernels,
+                    subscribers,
+                    peers,
+                },
+            )) => break (epoch, kernels, subscribers, peers),
+            _ => continue,
+        }
+    };
+    let apply_peers = |peers: &[(NodeId, String)]| {
+        for (id, addr) in peers {
+            if *id == me {
+                continue;
+            }
+            match addr.parse::<SocketAddr>() {
+                Ok(a) => net.set_peer(*id, a),
+                Err(e) => eprintln!("[p2g-node {}] bad peer address {addr:?}: {e}", me.0),
+            }
+        }
+    };
+    apply_peers(&peers0);
+    let subscribers: Arc<RwLock<HashMap<FieldId, Vec<NodeId>>>> =
+        Arc::new(RwLock::new(subs0.into_iter().collect()));
+    eprintln!(
+        "[p2g-node {}] assigned epoch {epoch}: {} kernels",
+        me.0,
+        kernels.len()
+    );
+
+    // Launch the runtime with a store tap forwarding over the wire.
+    let mut node_limits = limits;
+    node_limits.hold_open = true;
+    node_limits.wall_deadline = None;
+    let tap_net: Arc<dyn Transport> = net.clone();
+    let tap_subs = subscribers.clone();
+    let tap_retry = cfg.retry;
+    let node = NodeBuilder::new(program)
+        .workers(cfg.workers)
+        .assigned(kernels.iter().copied().collect())
+        .store_tap(Arc::new(move |field, age, region, buffer| {
+            let dsts: Vec<NodeId> = tap_subs
+                .read()
+                .get(&field)
+                .map(|subs| subs.iter().copied().filter(|&d| d != me).collect())
+                .unwrap_or_default();
+            for dst in dsts {
+                let _ = tap_net.send_with_retry(
+                    me,
+                    dst,
+                    NetMsg::StoreForward {
+                        field,
+                        age,
+                        region: region.clone(),
+                        buffer: buffer.clone(),
+                    },
+                    &tap_retry,
+                );
+            }
+        }))
+        .launch(node_limits)?;
+
+    let replay = |epoch: u64| {
+        let subs_now = subscribers.read().clone();
+        let mut replayed = 0u64;
+        for (field, age, region, buffer) in node.snapshot_written() {
+            let Some(dsts) = subs_now.get(&field) else {
+                continue;
+            };
+            for &dst in dsts {
+                if dst == me || !net.node_alive(dst) {
+                    continue;
+                }
+                if net.send_with_retry(
+                    me,
+                    dst,
+                    NetMsg::StoreForward {
+                        field,
+                        age,
+                        region: region.clone(),
+                        buffer: buffer.clone(),
+                    },
+                    &cfg.retry,
+                ) {
+                    replayed += 1;
+                }
+            }
+        }
+        eprintln!("[p2g-node {}] replayed {replayed} regions for epoch {epoch}", me.0);
+    };
+
+    // Deliver, report, recover — until the master says Finish.
+    let mut seq = 0u64;
+    let mut applied_stores = 0u64;
+    let mut last_status = Instant::now() - cfg.status_interval;
+    let finished = loop {
+        if Instant::now() >= deadline {
+            node.request_stop();
+            return Err(RuntimeError::Net("run deadline exceeded".into()));
+        }
+        if !net.node_alive(MASTER_NODE) {
+            // Orphaned (master gone): stop rather than spin forever.
+            node.request_stop();
+            return Err(RuntimeError::Net("lost master mid-run".into()));
+        }
+        match net.recv_timeout(me, Duration::from_millis(2)) {
+            Some((
+                _,
+                NetMsg::StoreForward {
+                    field,
+                    age,
+                    region,
+                    buffer,
+                },
+            )) => {
+                node.inject_remote_store(field, age, region, buffer);
+                net.delivered(me);
+                applied_stores += 1;
+                if applied_stores.is_multiple_of(4) {
+                    eprintln!("[p2g-node {}] progress applied={applied_stores}", me.0);
+                }
+                continue; // drain the inbox before the next status
+            }
+            Some((
+                _,
+                NetMsg::Assign {
+                    epoch: e,
+                    kernels,
+                    subscribers: subs,
+                    peers,
+                },
+            )) if e > epoch => {
+                epoch = e;
+                apply_peers(&peers);
+                // Peers absent from the new address book are dead.
+                let live: HashSet<NodeId> = peers.iter().map(|(n, _)| *n).collect();
+                *subscribers.write() = subs.into_iter().collect();
+                for id in subscribers
+                    .read()
+                    .values()
+                    .flatten()
+                    .copied()
+                    .collect::<HashSet<_>>()
+                {
+                    if id != me && !live.contains(&id) {
+                        net.disconnect(id);
+                    }
+                }
+                node.reassign(kernels.iter().copied().collect());
+                eprintln!(
+                    "[p2g-node {}] reassigned epoch {epoch}: {} kernels",
+                    me.0,
+                    kernels.len()
+                );
+            }
+            Some((_, NetMsg::Replay { epoch: e })) => replay(e),
+            Some((_, NetMsg::Finish)) => break true,
+            Some(_) => {}
+            None => {}
+        }
+        if last_status.elapsed() >= cfg.status_interval {
+            seq += 1;
+            net.try_send(
+                me,
+                MASTER_NODE,
+                NetMsg::Status {
+                    epoch,
+                    seq,
+                    outstanding: node.outstanding(),
+                    unacked: net.in_flight(),
+                    applied: net.data_applied(),
+                    failed: node.has_failed(),
+                },
+            );
+            last_status = Instant::now();
+        }
+    };
+
+    // Report results, flush, exit.
+    if finished {
+        let entries = node.snapshot_written();
+        eprintln!("[p2g-node {}] finishing: {} result entries", me.0, entries.len());
+        let _ = net.send_with_retry(me, MASTER_NODE, NetMsg::Results { entries }, &cfg.retry);
+        net.flush(MASTER_NODE, Duration::from_secs(10));
+    }
+    node.request_stop();
+    Ok(())
+}

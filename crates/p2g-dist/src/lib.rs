@@ -11,7 +11,7 @@
 //! graph across nodes, and can repartition from instrumentation feedback.
 //!
 //! ```
-//! use p2g_dist::{SimCluster, ClusterConfig};
+//! use p2g_dist::{SimCluster, ClusterConfig, Transport};
 //! use p2g_graph::spec::mul_sum_example;
 //! use p2g_runtime::Program;
 //! use p2g_field::Buffer;
@@ -41,11 +41,19 @@
 //! ```
 
 pub mod cluster;
+pub mod cluster_proc;
 pub mod master;
+pub mod tcp;
 pub mod transport;
+pub mod wire;
 
-pub use cluster::{ClusterConfig, ClusterOutcome, FrameParts, SimCluster, StreamFeed, Workers};
+pub use cluster::{
+    ClusterConfig, ClusterOutcome, FrameParts, SimCluster, StreamFeed, TransportKind, Workers,
+};
+pub use cluster_proc::{results_digest, run_master, run_node, MasterConfig, MasterOutcome, NodeConfig};
 pub use master::MasterNode;
+pub use tcp::{TcpMesh, TcpNet};
 pub use transport::{
-    FaultPlan, FaultyNet, KillSpec, KillTrigger, LinkStats, NetMsg, SimNet, Transport, MASTER_NODE,
+    FaultPlan, FaultyNet, KillSpec, KillTrigger, LinkStats, NetMsg, RetryConfig, SimNet, Transport,
+    MASTER_NODE,
 };

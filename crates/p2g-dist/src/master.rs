@@ -122,9 +122,7 @@ impl MasterNode {
             // More parts than nodes cannot happen (parts = min(nodes,
             // kernels)), so indexing is safe.
             let node = node_order[rank.min(node_order.len() - 1)];
-            out.get_mut(&node)
-                .expect("node registered")
-                .extend(part.kernels_in(p));
+            out.entry(node).or_default().extend(part.kernels_in(p));
         }
         out
     }

@@ -1,0 +1,1063 @@
+//! Real-socket implementation of the [`Transport`] trait: [`TcpNet`] is
+//! one endpoint (one process hosting one node's inbox), [`TcpMesh`] wires
+//! one endpoint per node inside a single process so [`crate::SimCluster`]
+//! can run its heartbeat / replan / replay machinery over genuine loopback
+//! TCP instead of the in-process [`crate::SimNet`].
+//!
+//! # Connection supervision
+//!
+//! Every destination peer gets a dedicated *sender thread* owning the
+//! outbound connection and its state machine:
+//!
+//! ```text
+//!           +-----------(budget left)-----------+
+//!           v                                   |
+//!   Idle -> Connecting --fail--> Backoff(exp + jitter)
+//!           | ok                                |
+//!           v                                   | (budget exhausted)
+//!        Established --write/ack error--+       v
+//!           ^                           |      Dead (peer marked dead,
+//!           +------(reconnect)----------+       queue purged, balanced)
+//! ```
+//!
+//! On (re)connect the sender writes a [`NetMsg::Hello`] handshake first,
+//! then *re-sends every unacknowledged frame*: the receiver acknowledges
+//! each applied frame with [`NetMsg::Ack`] on the same socket, the sender
+//! trims its resend window, and whatever was in the dead socket's buffers
+//! is replayed on the next connection. Combined with the write-once field
+//! model (duplicate deliveries dedup on value equality) this yields
+//! at-least-once transport and exactly-once results.
+//!
+//! Frames are protected by the [`crate::wire`] codec (magic, version,
+//! length, CRC32); a frame that fails validation drops the connection —
+//! the supervisor reconnects and the resend window makes the stream whole.
+//! Half-open connections are caught by the protocol-level heartbeats
+//! (staleness fires the master's failure detector) plus read timeouts on
+//! the reader threads.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use p2g_graph::NodeId;
+
+use crate::transport::{LinkStats, NetMsg, RetryConfig, Transport, MASTER_NODE};
+use crate::wire::{self, FrameReader};
+
+/// Timeout for one TCP connect attempt (loopback connects resolve in
+/// microseconds; refused connections return immediately).
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+/// Socket write deadline — a peer that stops draining for this long is
+/// treated as a broken connection, not waited on forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+/// Reader-thread poll interval: reads time out this often so the thread
+/// can observe shutdown even on an idle connection.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Counters shared by every endpoint of a mesh (or owned solo by one
+/// process's endpoint): link statistics and the data-plane in-flight
+/// accounting that feeds quiescence detection.
+struct Counters {
+    /// Data messages accepted for `dst` but not yet applied there. The
+    /// in-flight count is the sum; `disconnect(dst)` removes the entry
+    /// wholesale so a dead node can never wedge quiescence.
+    pending_to: Mutex<HashMap<NodeId, u64>>,
+    /// Monotonic data messages accepted (for multi-process `Status`).
+    sent: AtomicU64,
+    /// Monotonic data messages applied (for multi-process `Status`).
+    applied: AtomicU64,
+    stats: Mutex<BTreeMap<(NodeId, NodeId), LinkStats>>,
+    dead: Mutex<HashSet<NodeId>>,
+    /// Corrupt frames dropped by inbound readers (each one costs the
+    /// sender a reconnect + resend).
+    corrupt_frames: AtomicU64,
+    /// Solo (multi-process) endpoints balance `pending_to` on peer
+    /// acknowledgement — the receiver lives in another process, so its
+    /// `delivered` calls can't reach these counters. Mesh endpoints share
+    /// counters and balance on `delivered` instead.
+    ack_balances: bool,
+}
+
+impl Counters {
+    fn new(ack_balances: bool) -> Arc<Counters> {
+        Arc::new(Counters {
+            pending_to: Mutex::new(HashMap::new()),
+            sent: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            stats: Mutex::new(BTreeMap::new()),
+            dead: Mutex::new(HashSet::new()),
+            corrupt_frames: AtomicU64::new(0),
+            ack_balances,
+        })
+    }
+
+    fn is_dead(&self, node: NodeId) -> bool {
+        self.dead.lock().contains(&node)
+    }
+
+    fn count_sent(&self, src: NodeId, dst: NodeId, bytes: u64) {
+        let mut stats = self.stats.lock();
+        let e = stats.entry((src, dst)).or_default();
+        e.messages += 1;
+        e.bytes += bytes;
+        drop(stats);
+        self.sent.fetch_add(1, Ordering::SeqCst);
+        *self.pending_to.lock().entry(dst).or_insert(0) += 1;
+    }
+
+    fn count_applied(&self, dst: NodeId) {
+        self.applied.fetch_add(1, Ordering::SeqCst);
+        if !self.ack_balances {
+            if let Some(n) = self.pending_to.lock().get_mut(&dst) {
+                *n = n.saturating_sub(1);
+            }
+        }
+    }
+
+    /// An acked data frame to `dst` leaves the pending count (solo mode).
+    fn count_acked(&self, dst: NodeId) {
+        if self.ack_balances {
+            if let Some(n) = self.pending_to.lock().get_mut(&dst) {
+                *n = n.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Declare `node` dead: future liveness checks fail and its pending
+    /// deliveries stop counting as in flight (they will never be applied).
+    fn mark_dead(&self, node: NodeId) {
+        self.dead.lock().insert(node);
+        self.pending_to.lock().remove(&node);
+    }
+}
+
+/// One message queue + resend window guarded by the peer's sender thread.
+struct PeerQueue {
+    /// Frames queued for transmission, in order.
+    out: VecDeque<NetMsg>,
+    /// Frames written on the current connection, not yet acknowledged.
+    /// Re-sent in order after a reconnect.
+    unacked: VecDeque<NetMsg>,
+    /// Frames acknowledged on the current connection.
+    conn_acked: u64,
+    /// Connection generation; stale ack-reader threads no-op.
+    conn_gen: u64,
+    /// Ack reader observed the connection die; sender must reconnect.
+    conn_broken: bool,
+    /// Peer declared dead (or endpoint shut down): sender drains and exits.
+    closed: bool,
+}
+
+struct PeerHandle {
+    queue: Mutex<PeerQueue>,
+    ready: Condvar,
+}
+
+impl PeerHandle {
+    fn new() -> Arc<PeerHandle> {
+        Arc::new(PeerHandle {
+            queue: Mutex::new(PeerQueue {
+                out: VecDeque::new(),
+                unacked: VecDeque::new(),
+                conn_acked: 0,
+                conn_gen: 0,
+                conn_broken: false,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn close(&self) {
+        self.queue.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+struct Inbox {
+    queue: Mutex<VecDeque<(NodeId, NetMsg)>>,
+    ready: Condvar,
+}
+
+/// Endpoint-local shared state (between the caller, accept/reader threads
+/// and sender threads).
+struct Shared {
+    me: NodeId,
+    workers: u32,
+    port: u16,
+    retry: RetryConfig,
+    inbox: Inbox,
+    peers: Mutex<HashMap<NodeId, Arc<PeerHandle>>>,
+    addrs: Mutex<HashMap<NodeId, SocketAddr>>,
+    counters: Arc<Counters>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn push_inbox(&self, src: NodeId, msg: NetMsg) {
+        let mut q = self.inbox.queue.lock();
+        q.push_back((src, msg));
+        drop(q);
+        self.inbox.ready.notify_one();
+    }
+}
+
+/// One TCP endpoint: hosts the inbox for a single node id (`me`), accepts
+/// inbound connections on a loopback listener, and supervises one
+/// outbound connection per peer. Implements [`Transport`] from this
+/// node's perspective — `recv_timeout`/`delivered` are only meaningful
+/// for `me`, `try_send` only with `src == me`.
+pub struct TcpNet {
+    shared: Arc<Shared>,
+}
+
+impl TcpNet {
+    /// Bind a new endpoint for `node` on an ephemeral loopback port.
+    /// `workers` is advertised in the connection handshake so a master
+    /// process learns the node's capacity from its `Hello`.
+    pub fn bind(node: NodeId, retry: RetryConfig, workers: u32) -> std::io::Result<Arc<TcpNet>> {
+        Self::bind_on(node, retry, workers, 0)
+    }
+
+    /// Bind on a specific loopback port (0 = ephemeral). The master
+    /// process uses this so nodes have a known address to dial.
+    pub fn bind_on(
+        node: NodeId,
+        retry: RetryConfig,
+        workers: u32,
+        port: u16,
+    ) -> std::io::Result<Arc<TcpNet>> {
+        Self::bind_shared(node, retry, workers, Counters::new(true), port)
+    }
+
+    fn bind_shared(
+        node: NodeId,
+        retry: RetryConfig,
+        workers: u32,
+        counters: Arc<Counters>,
+        port: u16,
+    ) -> std::io::Result<Arc<TcpNet>> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let port = listener.local_addr()?.port();
+        let shared = Arc::new(Shared {
+            me: node,
+            workers,
+            port,
+            retry,
+            inbox: Inbox {
+                queue: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+            },
+            peers: Mutex::new(HashMap::new()),
+            addrs: Mutex::new(HashMap::new()),
+            counters,
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = shared.clone();
+        std::thread::Builder::new()
+            .name(format!("p2g-tcp-accept-{}", node.0))
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Arc::new(TcpNet { shared }))
+    }
+
+    /// The loopback port this endpoint listens on.
+    pub fn port(&self) -> u16 {
+        self.shared.port
+    }
+
+    /// This endpoint's node id.
+    pub fn me(&self) -> NodeId {
+        self.shared.me
+    }
+
+    /// Register (or update) a peer's address. Sends to unregistered peers
+    /// are drops.
+    pub fn set_peer(&self, node: NodeId, addr: SocketAddr) {
+        self.shared.addrs.lock().insert(node, addr);
+    }
+
+    /// Monotonic count of data messages this endpoint accepted for send.
+    pub fn data_sent(&self) -> u64 {
+        self.shared.counters.sent.load(Ordering::SeqCst)
+    }
+
+    /// Monotonic count of data messages applied at this endpoint.
+    pub fn data_applied(&self) -> u64 {
+        self.shared.counters.applied.load(Ordering::SeqCst)
+    }
+
+    /// Corrupt frames dropped by this endpoint's inbound readers.
+    pub fn corrupt_frames(&self) -> u64 {
+        self.shared.counters.corrupt_frames.load(Ordering::SeqCst)
+    }
+
+    /// Block until every frame queued for `dst` has been written *and
+    /// acknowledged* (or the timeout expires / the peer dies). A process
+    /// about to exit calls this so its final messages actually leave.
+    pub fn flush(&self, dst: NodeId, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let done = {
+                let peers = self.shared.peers.lock();
+                match peers.get(&dst) {
+                    Some(p) => {
+                        let q = p.queue.lock();
+                        q.closed || (q.out.is_empty() && q.unacked.is_empty())
+                    }
+                    None => true,
+                }
+            };
+            if done {
+                return true;
+            }
+            if Instant::now() >= deadline || self.shared.counters.is_dead(dst) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stop all supervisor/reader threads and close the listener. Idempotent.
+    pub fn shutdown(&self) {
+        shutdown_shared(&self.shared);
+    }
+}
+
+impl Drop for TcpNet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn shutdown_shared(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    for peer in shared.peers.lock().values() {
+        peer.close();
+    }
+    // Wake the accept thread (blocked in `accept`) with a throwaway
+    // connection; it observes the flag and exits.
+    let _ = TcpStream::connect(("127.0.0.1", shared.port));
+    shared.inbox.ready.notify_all();
+}
+
+// ---------------------------------------------------------- inbound side
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_shared = shared.clone();
+        let name = format!("p2g-tcp-read-{}", shared.me.0);
+        let r = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || inbound_conn(stream, conn_shared));
+        if r.is_err() {
+            // Out of threads: refuse the connection; the peer's
+            // supervisor will back off and retry.
+            continue;
+        }
+    }
+}
+
+/// Serve one accepted connection: validate the handshake, then decode
+/// frames, push them to the inbox and acknowledge each one. Any wire
+/// error drops the connection (the sender reconnects and re-sends its
+/// unacknowledged window).
+fn inbound_conn(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut ack_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 64 * 1024];
+    let mut peer: Option<NodeId> = None;
+    let mut frames_in: u64 = 0;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        reader.push(&buf[..n]);
+        loop {
+            let payload = match reader.next_frame() {
+                Ok(Some(p)) => p,
+                Ok(None) => break,
+                Err(_) => {
+                    // Corrupt frame: sever the connection rather than
+                    // risk misinterpreting the stream. The supervisor on
+                    // the other side reconnects and re-sends.
+                    shared
+                        .counters
+                        .corrupt_frames
+                        .fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+            };
+            let msg = match wire::decode_payload(&payload) {
+                Ok(m) => m,
+                Err(_) => {
+                    shared
+                        .counters
+                        .corrupt_frames
+                        .fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+            };
+            // The first frame on every connection must identify the peer.
+            // The handshake is not ack-counted: it never enters the
+            // sender's resend window.
+            let src = match peer {
+                Some(src) => src,
+                None => match msg {
+                    NetMsg::Hello { node, .. } => {
+                        peer = Some(node);
+                        // Surface the join/handshake to the host (the
+                        // multi-process master treats it as a node join).
+                        if !shared.counters.is_dead(shared.me) {
+                            shared.push_inbox(node, msg);
+                        }
+                        continue;
+                    }
+                    _ => return, // protocol violation: drop the connection
+                },
+            };
+            if matches!(msg, NetMsg::Ack { .. }) {
+                continue; // acks never arrive on inbound connections
+            }
+            frames_in += 1;
+            // Deliveries for a dead endpoint are dropped (their in-flight
+            // accounting was already balanced by `disconnect`) — but still
+            // acknowledged, so the sender's window drains.
+            if !shared.counters.is_dead(shared.me) {
+                shared.push_inbox(src, msg);
+            }
+            let ack = wire::encode_frame(&NetMsg::Ack { count: frames_in });
+            if ack_half.write_all(&ack).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- outbound side
+
+/// The per-peer supervisor: owns the outbound connection, reconnects with
+/// exponential backoff + jitter, re-sends the unacknowledged window after
+/// every reconnect, and marks the peer dead once the attempt budget is
+/// exhausted.
+fn sender_loop(dst: NodeId, peer: Arc<PeerHandle>, shared: Arc<Shared>) {
+    let mut conn: Option<TcpStream> = None;
+    let mut attempts: u32 = 0;
+    loop {
+        // Wait for work (or a broken connection with frames to resend).
+        {
+            let mut q = peer.queue.lock();
+            loop {
+                if q.closed || shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if q.conn_broken {
+                    q.conn_broken = false;
+                    conn = None;
+                }
+                if !q.out.is_empty() || (conn.is_none() && !q.unacked.is_empty()) {
+                    break;
+                }
+                peer.ready.wait(&mut q);
+            }
+        }
+
+        // Ensure a connection, backing off between attempts.
+        if conn.is_none() {
+            let Some(addr) = shared.addrs.lock().get(&dst).copied() else {
+                // No address for this peer: drop whatever is queued.
+                let mut q = peer.queue.lock();
+                q.out.clear();
+                q.unacked.clear();
+                continue;
+            };
+            match TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT) {
+                Ok(stream) => {
+                    attempts = 0;
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+                    let _ = stream.set_read_timeout(Some(READ_POLL));
+                    // Handshake, then replay the unacknowledged window.
+                    let hello = wire::encode_frame(&NetMsg::Hello {
+                        node: shared.me,
+                        workers: shared.workers,
+                        port: shared.port,
+                    });
+                    let mut stream = stream;
+                    if stream.write_all(&hello).is_err() {
+                        conn = None;
+                        continue;
+                    }
+                    let gen = {
+                        let mut q = peer.queue.lock();
+                        q.conn_gen += 1;
+                        q.conn_acked = 0;
+                        q.conn_broken = false;
+                        q.conn_gen
+                    };
+                    if let Ok(read_half) = stream.try_clone() {
+                        let ack_peer = peer.clone();
+                        let ack_shared = shared.clone();
+                        let _ = std::thread::Builder::new()
+                            .name(format!("p2g-tcp-ack-{}-{}", shared.me.0, dst.0))
+                            .spawn(move || ack_loop(read_half, gen, dst, ack_peer, ack_shared));
+                    }
+                    let window: Vec<NetMsg> = peer.queue.lock().unacked.iter().cloned().collect();
+                    let mut ok = true;
+                    for msg in &window {
+                        if stream.write_all(&wire::encode_frame(msg)).is_err() {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        conn = Some(stream);
+                    }
+                }
+                Err(_) => {
+                    attempts += 1;
+                    if attempts >= shared.retry.attempts.max(1) {
+                        // Budget exhausted: the peer is gone. Mark it dead
+                        // so liveness checks fail fast, and drop the
+                        // queue — recovery replay makes the data whole.
+                        shared.counters.mark_dead(dst);
+                        shared.counters.stats.lock().entry((shared.me, dst)).or_default().lost +=
+                            1;
+                        peer.close();
+                        return;
+                    }
+                    shared.counters.stats.lock().entry((shared.me, dst)).or_default().retries +=
+                        1;
+                    let salt = ((shared.me.0 as u64) << 40)
+                        ^ ((dst.0 as u64) << 16)
+                        ^ attempts as u64;
+                    std::thread::sleep(shared.retry.backoff_for(attempts - 1, salt));
+                    continue;
+                }
+            }
+            if conn.is_none() {
+                continue;
+            }
+        }
+
+        // Drain the queue onto the connection; every frame written joins
+        // the resend window until acknowledged.
+        loop {
+            let msg = {
+                let mut q = peer.queue.lock();
+                if q.closed {
+                    return;
+                }
+                if q.conn_broken {
+                    break;
+                }
+                match q.out.pop_front() {
+                    Some(m) => {
+                        q.unacked.push_back(m.clone());
+                        m
+                    }
+                    None => break,
+                }
+            };
+            let Some(stream) = conn.as_mut() else {
+                break; // connection raced away; reconnect from the top
+            };
+            if stream.write_all(&wire::encode_frame(&msg)).is_err() {
+                conn = None;
+                break;
+            }
+        }
+    }
+}
+
+/// Consume acknowledgements on an outbound connection, trimming the
+/// sender's resend window; on connection death, flag the supervisor.
+fn ack_loop(
+    mut stream: TcpStream,
+    gen: u64,
+    dst: NodeId,
+    peer: Arc<PeerHandle>,
+    shared: Arc<Shared>,
+) {
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) || peer.queue.lock().closed {
+            return;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => 0,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => 0,
+        };
+        if n == 0 {
+            // EOF or hard error: tell the supervisor (if this is still
+            // the live connection) and exit.
+            let mut q = peer.queue.lock();
+            if q.conn_gen == gen {
+                q.conn_broken = true;
+                peer.ready.notify_all();
+            }
+            return;
+        }
+        reader.push(&buf[..n]);
+        loop {
+            match reader.next_frame() {
+                Ok(Some(payload)) => {
+                    if let Ok(NetMsg::Ack { count }) = wire::decode_payload(&payload) {
+                        let mut q = peer.queue.lock();
+                        if q.conn_gen != gen {
+                            return; // superseded connection
+                        }
+                        let newly = count.saturating_sub(q.conn_acked);
+                        for _ in 0..newly {
+                            if let Some(m) = q.unacked.pop_front() {
+                                if !m.is_control() {
+                                    shared.counters.count_acked(dst);
+                                }
+                            }
+                        }
+                        q.conn_acked = q.conn_acked.max(count);
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Corrupt ack stream: treat as a broken connection.
+                    let mut q = peer.queue.lock();
+                    if q.conn_gen == gen {
+                        q.conn_broken = true;
+                        peer.ready.notify_all();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- Transport impl
+
+fn endpoint_try_send(shared: &Arc<Shared>, src: NodeId, dst: NodeId, msg: NetMsg) -> bool {
+    debug_assert_eq!(src, shared.me, "endpoint sends originate locally");
+    let data = !msg.is_control();
+    if shared.counters.is_dead(dst) || shared.counters.is_dead(shared.me) {
+        if data {
+            shared.counters.stats.lock().entry((src, dst)).or_default().drops += 1;
+        }
+        return false;
+    }
+    if dst == shared.me {
+        // Loopback delivery without a socket (a node subscribing to its
+        // own field would not normally be routed here, but be total).
+        if data {
+            shared.counters.count_sent(src, dst, msg.wire_bytes());
+        }
+        shared.push_inbox(src, msg);
+        return true;
+    }
+    if !shared.addrs.lock().contains_key(&dst) {
+        if data {
+            shared.counters.stats.lock().entry((src, dst)).or_default().drops += 1;
+        }
+        return false;
+    }
+    let peer = {
+        let mut peers = shared.peers.lock();
+        match peers.get(&dst) {
+            Some(p) => p.clone(),
+            None => {
+                let p = PeerHandle::new();
+                let thread_peer = p.clone();
+                let thread_shared = shared.clone();
+                // Register the handle only once its supervisor exists; a
+                // failed spawn (fd/thread exhaustion) is a counted drop,
+                // not a panic and not a supervisor-less queue.
+                match std::thread::Builder::new()
+                    .name(format!("p2g-tcp-send-{}-{}", shared.me.0, dst.0))
+                    .spawn(move || sender_loop(dst, thread_peer, thread_shared))
+                {
+                    Ok(_) => {
+                        peers.insert(dst, p.clone());
+                        p
+                    }
+                    Err(_) => {
+                        if data {
+                            shared
+                                .counters
+                                .stats
+                                .lock()
+                                .entry((src, dst))
+                                .or_default()
+                                .drops += 1;
+                        }
+                        return false;
+                    }
+                }
+            }
+        }
+    };
+    let mut q = peer.queue.lock();
+    if q.closed {
+        if data {
+            shared.counters.stats.lock().entry((src, dst)).or_default().drops += 1;
+        }
+        return false;
+    }
+    if data {
+        shared.counters.count_sent(src, dst, msg.wire_bytes());
+    }
+    q.out.push_back(msg);
+    drop(q);
+    peer.ready.notify_one();
+    true
+}
+
+fn endpoint_recv(shared: &Shared, dst: NodeId, timeout: Duration) -> Option<(NodeId, NetMsg)> {
+    if dst != shared.me {
+        return None;
+    }
+    let deadline = Instant::now() + timeout;
+    let mut q = shared.inbox.queue.lock();
+    loop {
+        if let Some(item) = q.pop_front() {
+            return Some(item);
+        }
+        if shared.shutdown.load(Ordering::SeqCst)
+            || shared.counters.is_dead(shared.me)
+            || Instant::now() >= deadline
+        {
+            return None;
+        }
+        shared.inbox.ready.wait_until(&mut q, deadline);
+    }
+}
+
+fn endpoint_disconnect(shared: &Shared, node: NodeId) {
+    shared.counters.mark_dead(node);
+    if node == shared.me {
+        shared.inbox.queue.lock().clear();
+        shared.inbox.ready.notify_all();
+    }
+    if let Some(peer) = shared.peers.lock().get(&node) {
+        peer.close();
+    }
+}
+
+impl Transport for TcpNet {
+    fn try_send(&self, src: NodeId, dst: NodeId, msg: NetMsg) -> bool {
+        endpoint_try_send(&self.shared, src, dst, msg)
+    }
+
+    fn recv_timeout(&self, dst: NodeId, timeout: Duration) -> Option<(NodeId, NetMsg)> {
+        endpoint_recv(&self.shared, dst, timeout)
+    }
+
+    fn delivered(&self, dst: NodeId) {
+        self.shared.counters.count_applied(dst);
+    }
+
+    fn in_flight(&self) -> u64 {
+        // Local view: data accepted here and not yet applied here. The
+        // multi-process coordinator sums `Status` counters instead.
+        self.shared.counters.pending_to.lock().values().sum()
+    }
+
+    fn node_alive(&self, node: NodeId) -> bool {
+        if self.shared.counters.is_dead(node) {
+            return false;
+        }
+        node == self.shared.me || self.shared.addrs.lock().contains_key(&node)
+    }
+
+    fn disconnect(&self, node: NodeId) {
+        endpoint_disconnect(&self.shared, node);
+    }
+
+    fn note_retry(&self, src: NodeId, dst: NodeId) {
+        self.shared.counters.stats.lock().entry((src, dst)).or_default().retries += 1;
+    }
+
+    fn note_lost(&self, src: NodeId, dst: NodeId) {
+        self.shared.counters.stats.lock().entry((src, dst)).or_default().lost += 1;
+    }
+
+    fn note_drop(&self, src: NodeId, dst: NodeId) {
+        self.shared.counters.stats.lock().entry((src, dst)).or_default().drops += 1;
+    }
+
+    fn note_duplicate(&self, src: NodeId, dst: NodeId) {
+        self.shared.counters.stats.lock().entry((src, dst)).or_default().duplicates += 1;
+    }
+
+    fn link_stats(&self) -> BTreeMap<(NodeId, NodeId), LinkStats> {
+        self.shared.counters.stats.lock().clone()
+    }
+}
+
+// ----------------------------------------------------------------- mesh
+
+/// All of a cluster's endpoints in one process, fully peered over
+/// loopback TCP, sharing one set of counters so the [`Transport`]
+/// in-flight contract holds globally. This is what lets [`crate::SimCluster`]
+/// (and with it the whole fault_recovery suite) run unchanged over real
+/// sockets: the coordinator keeps calling one `Transport`, and every
+/// store forward crosses the kernel's network stack.
+pub struct TcpMesh {
+    endpoints: BTreeMap<NodeId, Arc<TcpNet>>,
+    counters: Arc<Counters>,
+}
+
+impl TcpMesh {
+    /// Bind one endpoint per node (plus the master's control endpoint)
+    /// and introduce them to each other.
+    pub fn new(nodes: &[NodeId], retry: RetryConfig) -> std::io::Result<Arc<TcpMesh>> {
+        let counters = Counters::new(false);
+        let mut endpoints = BTreeMap::new();
+        for &id in nodes.iter().chain(std::iter::once(&MASTER_NODE)) {
+            let ep = TcpNet::bind_shared(id, retry, 0, counters.clone(), 0)?;
+            endpoints.insert(id, ep);
+        }
+        let addrs: Vec<(NodeId, SocketAddr)> = endpoints
+            .iter()
+            .map(|(&id, ep)| {
+                (
+                    id,
+                    SocketAddr::from(([127, 0, 0, 1], ep.port())),
+                )
+            })
+            .collect();
+        for ep in endpoints.values() {
+            for &(id, addr) in &addrs {
+                if id != ep.me() {
+                    ep.set_peer(id, addr);
+                }
+            }
+        }
+        Ok(Arc::new(TcpMesh {
+            endpoints,
+            counters,
+        }))
+    }
+
+    /// Corrupt frames dropped across all endpoints.
+    pub fn corrupt_frames(&self) -> u64 {
+        self.counters.corrupt_frames.load(Ordering::SeqCst)
+    }
+
+    /// Stop every endpoint's threads. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        for ep in self.endpoints.values() {
+            ep.shutdown();
+        }
+    }
+}
+
+impl Drop for TcpMesh {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Transport for TcpMesh {
+    fn try_send(&self, src: NodeId, dst: NodeId, msg: NetMsg) -> bool {
+        match self.endpoints.get(&src) {
+            Some(ep) => ep.try_send(src, dst, msg),
+            None => false,
+        }
+    }
+
+    fn recv_timeout(&self, dst: NodeId, timeout: Duration) -> Option<(NodeId, NetMsg)> {
+        self.endpoints
+            .get(&dst)
+            .and_then(|ep| ep.recv_timeout(dst, timeout))
+    }
+
+    fn delivered(&self, dst: NodeId) {
+        self.counters.count_applied(dst);
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.counters.pending_to.lock().values().sum()
+    }
+
+    fn node_alive(&self, node: NodeId) -> bool {
+        self.endpoints.contains_key(&node) && !self.counters.is_dead(node)
+    }
+
+    fn disconnect(&self, node: NodeId) {
+        self.counters.mark_dead(node);
+        if let Some(ep) = self.endpoints.get(&node) {
+            ep.shared.inbox.queue.lock().clear();
+            ep.shared.inbox.ready.notify_all();
+        }
+        // Close every endpoint's supervisor for the dead peer so queued
+        // frames stop being retried.
+        for ep in self.endpoints.values() {
+            if let Some(peer) = ep.shared.peers.lock().get(&node) {
+                peer.close();
+            }
+        }
+    }
+
+    fn note_retry(&self, src: NodeId, dst: NodeId) {
+        self.counters.stats.lock().entry((src, dst)).or_default().retries += 1;
+    }
+
+    fn note_lost(&self, src: NodeId, dst: NodeId) {
+        self.counters.stats.lock().entry((src, dst)).or_default().lost += 1;
+    }
+
+    fn note_drop(&self, src: NodeId, dst: NodeId) {
+        self.counters.stats.lock().entry((src, dst)).or_default().drops += 1;
+    }
+
+    fn note_duplicate(&self, src: NodeId, dst: NodeId) {
+        self.counters.stats.lock().entry((src, dst)).or_default().duplicates += 1;
+    }
+
+    fn link_stats(&self) -> BTreeMap<(NodeId, NodeId), LinkStats> {
+        self.counters.stats.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2g_field::{Age, Buffer, DimSel, FieldId, Region};
+
+    fn store(n: i32) -> NetMsg {
+        NetMsg::StoreForward {
+            field: FieldId(0),
+            age: Age(0),
+            region: Region(vec![DimSel::All]),
+            buffer: Buffer::from_vec(vec![n]),
+        }
+    }
+
+    #[test]
+    fn endpoints_exchange_data_over_sockets() {
+        let a = TcpNet::bind(NodeId(0), RetryConfig::default(), 2).unwrap();
+        let b = TcpNet::bind(NodeId(1), RetryConfig::default(), 2).unwrap();
+        a.set_peer(NodeId(1), SocketAddr::from(([127, 0, 0, 1], b.port())));
+        assert!(a.try_send(NodeId(0), NodeId(1), store(7)));
+        // First inbox frame is the handshake Hello, then the store.
+        let mut got_store = false;
+        for _ in 0..4 {
+            match b.recv_timeout(NodeId(1), Duration::from_secs(2)) {
+                Some((src, NetMsg::StoreForward { buffer, .. })) => {
+                    assert_eq!(src, NodeId(0));
+                    assert_eq!(buffer.data(), &p2g_field::buffer::BufferData::I32(vec![7]));
+                    got_store = true;
+                    break;
+                }
+                Some(_) => continue,
+                None => break,
+            }
+        }
+        assert!(got_store, "store forward crossed the socket");
+        b.delivered(NodeId(1));
+        assert_eq!(a.data_sent(), 1);
+        assert_eq!(b.data_applied(), 1);
+    }
+
+    #[test]
+    fn send_to_unknown_peer_is_a_drop() {
+        let a = TcpNet::bind(NodeId(0), RetryConfig::default(), 1).unwrap();
+        assert!(!a.try_send(NodeId(0), NodeId(9), store(1)));
+        assert_eq!(a.link_stats()[&(NodeId(0), NodeId(9))].drops, 1);
+    }
+
+    #[test]
+    fn peer_death_is_detected_and_marked() {
+        let a = TcpNet::bind(NodeId(0), RetryConfig::attempts(3), 1).unwrap();
+        // Point at a bound-then-dropped port: connection refused.
+        let dead_port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        a.set_peer(NodeId(1), SocketAddr::from(([127, 0, 0, 1], dead_port)));
+        assert!(a.node_alive(NodeId(1)));
+        assert!(a.try_send(NodeId(0), NodeId(1), store(1)));
+        // Supervisor exhausts its 3-attempt budget and marks the peer dead.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while a.node_alive(NodeId(1)) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!a.node_alive(NodeId(1)), "exhausted budget marks peer dead");
+        assert_eq!(a.in_flight(), 0, "dead peer's pending was balanced");
+    }
+
+    #[test]
+    fn corrupt_bytes_drop_connection_not_process() {
+        let a = TcpNet::bind(NodeId(0), RetryConfig::default(), 1).unwrap();
+        // Raw garbage straight at the listener: handshake never validates.
+        let mut s = TcpStream::connect(("127.0.0.1", a.port())).unwrap();
+        s.write_all(&[0xAB; 256]).unwrap();
+        s.flush().unwrap();
+        // The endpoint survives and still accepts a well-formed peer.
+        let b = TcpNet::bind(NodeId(1), RetryConfig::default(), 1).unwrap();
+        b.set_peer(NodeId(0), SocketAddr::from(([127, 0, 0, 1], a.port())));
+        assert!(b.try_send(NodeId(1), NodeId(0), store(3)));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut seen = false;
+        while Instant::now() < deadline {
+            if let Some((_, NetMsg::StoreForward { .. })) =
+                a.recv_timeout(NodeId(0), Duration::from_millis(100))
+            {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "endpoint still functional after garbage connection");
+    }
+
+    #[test]
+    fn mesh_disconnect_balances_in_flight() {
+        let mesh = TcpMesh::new(&[NodeId(0), NodeId(1)], RetryConfig::default()).unwrap();
+        assert!(mesh.try_send(NodeId(0), NodeId(1), store(1)));
+        assert!(mesh.in_flight() >= 1);
+        mesh.disconnect(NodeId(1));
+        assert_eq!(mesh.in_flight(), 0);
+        assert!(!mesh.node_alive(NodeId(1)));
+        assert!(mesh.node_alive(NodeId(0)));
+        assert!(!mesh.try_send(NodeId(0), NodeId(1), store(2)));
+    }
+}

@@ -25,13 +25,21 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use p2g_field::{Age, Buffer, FieldId, Region};
-use p2g_graph::NodeId;
+use p2g_graph::{KernelId, NodeId};
 
 /// Pseudo-node id addressing the master's control inbox (heartbeats).
 pub const MASTER_NODE: NodeId = NodeId(u32::MAX);
 
 /// A message on the cluster network.
-#[derive(Debug, Clone)]
+///
+/// The first two variants are the original simulated-cluster planes
+/// (data + liveness). The remaining variants are the multi-process
+/// control protocol spoken between `p2gc cluster master` and
+/// `p2gc cluster node` processes over [`crate::TcpNet`]; they are all
+/// control-plane (excluded from link statistics and in-flight tracking),
+/// since the data plane is exactly the [`NetMsg::StoreForward`] traffic
+/// either way.
+#[derive(Debug, Clone, PartialEq)]
 pub enum NetMsg {
     /// A store forwarded from a producer node to a subscriber node.
     StoreForward {
@@ -43,6 +51,52 @@ pub enum NetMsg {
     /// Liveness beacon from an execution node to the master (control
     /// plane: not counted in link statistics or in-flight tracking).
     Heartbeat { seq: u64 },
+    /// Connection handshake and cluster join: the first frame on every
+    /// TCP connection identifies the sender; sent to the master it also
+    /// reports the node's worker count and data-plane listen port.
+    Hello {
+        node: NodeId,
+        workers: u32,
+        port: u16,
+    },
+    /// Master → node: the kernel assignment for `epoch`, the
+    /// field-subscription map for store forwarding, and the peer address
+    /// book (`host:port` per node) so nodes can dial each other.
+    Assign {
+        epoch: u64,
+        kernels: Vec<KernelId>,
+        subscribers: Vec<(FieldId, Vec<NodeId>)>,
+        peers: Vec<(NodeId, String)>,
+    },
+    /// Node → master: liveness plus the counters the master needs for
+    /// distributed quiescence detection and failure escalation.
+    /// `outstanding` is the node's runtime work counter, `unacked` its
+    /// data frames accepted for send but not yet acknowledged by a live
+    /// peer (acks are sent after the frame reaches the receiver's inbox,
+    /// so `outstanding == 0 && unacked == 0` on every live node, stably,
+    /// implies global quiescence). `applied` is informational.
+    Status {
+        epoch: u64,
+        seq: u64,
+        outstanding: i64,
+        unacked: u64,
+        applied: u64,
+        failed: bool,
+    },
+    /// Master → node: re-send every locally written field region to the
+    /// current subscribers (recovery replay after a replan).
+    Replay { epoch: u64 },
+    /// Master → node: the run is complete; report results and exit.
+    Finish,
+    /// Node → master: the node's written field regions, in response to
+    /// [`NetMsg::Finish`].
+    Results {
+        entries: Vec<(FieldId, Age, Region, Buffer)>,
+    },
+    /// Receiver → sender on one TCP connection: the first `count` data
+    /// frames on this connection have been received; the sender may trim
+    /// its resend window. Never routed — consumed inside the transport.
+    Ack { count: u64 },
 }
 
 impl NetMsg {
@@ -53,13 +107,37 @@ impl NetMsg {
             NetMsg::StoreForward { buffer, .. } => {
                 32 + (buffer.len() * buffer.scalar_type().size_bytes()) as u64
             }
-            NetMsg::Heartbeat { .. } => 16,
+            NetMsg::Heartbeat { .. } | NetMsg::Ack { .. } | NetMsg::Finish => 16,
+            NetMsg::Hello { .. } | NetMsg::Replay { .. } => 24,
+            NetMsg::Status { .. } => 56,
+            NetMsg::Assign {
+                kernels,
+                subscribers,
+                peers,
+                ..
+            } => {
+                32 + 4 * kernels.len() as u64
+                    + subscribers
+                        .iter()
+                        .map(|(_, subs)| 8 + 4 * subs.len() as u64)
+                        .sum::<u64>()
+                    + peers.iter().map(|(_, a)| 8 + a.len() as u64).sum::<u64>()
+            }
+            NetMsg::Results { entries } => {
+                16 + entries
+                    .iter()
+                    .map(|(_, _, _, b)| 32 + (b.len() * b.scalar_type().size_bytes()) as u64)
+                    .sum::<u64>()
+            }
         }
     }
 
     /// Control messages bypass in-flight accounting and link statistics.
+    /// Everything except the data plane ([`NetMsg::StoreForward`]) is
+    /// control: liveness, cluster membership, recovery orchestration and
+    /// end-of-run result collection.
     pub fn is_control(&self) -> bool {
-        matches!(self, NetMsg::Heartbeat { .. })
+        !matches!(self, NetMsg::StoreForward { .. })
     }
 }
 
@@ -81,9 +159,73 @@ pub struct LinkStats {
     pub lost: u64,
 }
 
+/// Backoff-and-budget discipline for [`Transport::send_with_retry`] and
+/// the TCP connection supervisor — the same exponential-backoff-with-
+/// deterministic-jitter shape as the kernel-level `FaultPolicy` (PR 3),
+/// applied to the network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryConfig {
+    /// Maximum send attempts before the message is abandoned
+    /// ([`Transport::note_lost`]).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub backoff: Duration,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: Duration,
+    /// Fraction of extra random (deterministic, identity-hashed) delay in
+    /// `[0, jitter]` added per backoff, decorrelating retry storms.
+    pub jitter: f64,
+}
+
+impl Default for RetryConfig {
+    /// 64 attempts, 50µs doubling to a 2ms cap: with drop probability
+    /// `p < 0.3` the failure odds after 64 attempts are below `0.3^64`,
+    /// which is what makes lossy links invisible to results.
+    fn default() -> RetryConfig {
+        RetryConfig {
+            attempts: 64,
+            backoff: Duration::from_micros(50),
+            backoff_cap: Duration::from_millis(2),
+            jitter: 0.1,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// A budget of `attempts` sends with the default backoff shape.
+    pub fn attempts(attempts: u32) -> RetryConfig {
+        RetryConfig {
+            attempts: attempts.max(1),
+            ..RetryConfig::default()
+        }
+    }
+
+    /// Set the backoff range (initial, doubling up to `cap`).
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> RetryConfig {
+        self.backoff = base;
+        self.backoff_cap = cap.max(base);
+        self
+    }
+
+    /// The backoff before attempt `attempt + 1`, with deterministic
+    /// jitter derived from `salt` (splitmix64 finalizer, as in the
+    /// kernel retry path).
+    pub fn backoff_for(&self, attempt: u32, salt: u64) -> Duration {
+        let base = self
+            .backoff
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.backoff_cap);
+        let mut z = salt.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        let frac = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+        base.mul_f64(1.0 + self.jitter.clamp(0.0, 1.0) * frac)
+    }
+}
+
 /// Abstraction over the cluster interconnect. [`SimNet`] is the in-process
-/// implementation; [`FaultyNet`] decorates any transport with fault
-/// injection. A future TCP transport implements the same surface.
+/// implementation, [`crate::TcpNet`] the real-socket one; [`FaultyNet`]
+/// decorates any transport with fault injection.
 ///
 /// Delivery contract: a data message accepted by [`Transport::try_send`] is
 /// counted in flight until the receiver calls [`Transport::delivered`]
@@ -95,15 +237,22 @@ pub trait Transport: Send + Sync {
     /// message was dropped (dead/unknown destination, or injected fault).
     fn try_send(&self, src: NodeId, dst: NodeId, msg: NetMsg) -> bool;
 
+    /// Send with an extra delivery delay (fault injection). Transports
+    /// without delayed delivery send immediately — the injected fault
+    /// degrades to plain delivery, never to a drop.
+    fn send_delayed(&self, src: NodeId, dst: NodeId, msg: NetMsg, _delay: Duration) -> bool {
+        self.try_send(src, dst, msg)
+    }
+
     /// Receive the next message for `dst`, waiting up to `timeout`.
     /// Returns `None` on timeout or when `dst` is disconnected and its
     /// inbox is empty.
     fn recv_timeout(&self, dst: NodeId, timeout: Duration) -> Option<(NodeId, NetMsg)>;
 
-    /// Mark one received *data* message as fully applied. Must be called
-    /// after the message's effects are visible in the destination node's
-    /// outstanding-work counter.
-    fn delivered(&self);
+    /// Mark one received *data* message as fully applied at `dst`. Must be
+    /// called after the message's effects are visible in the destination
+    /// node's outstanding-work counter.
+    fn delivered(&self, dst: NodeId);
 
     /// Data messages sent but not yet applied (monotonic-safe).
     fn in_flight(&self) -> u64;
@@ -125,26 +274,62 @@ pub trait Transport: Send + Sync {
     /// Record a send abandoned after exhausting its retry budget.
     fn note_lost(&self, _src: NodeId, _dst: NodeId) {}
 
-    /// Send with bounded exponential backoff while the destination is
-    /// alive. Returns `false` once `dst` is dead or `max_attempts` sends
-    /// were dropped. With drop probability `p < 0.3`, the failure odds
-    /// after the default 64 attempts are below `0.3^64` — effectively
-    /// never — which is what makes lossy links invisible to results.
-    fn send_with_retry(&self, src: NodeId, dst: NodeId, msg: NetMsg, max_attempts: u32) -> bool {
-        let mut backoff = Duration::from_micros(50);
-        for attempt in 1..=max_attempts.max(1) {
+    /// Record a dropped data message on the `src -> dst` link.
+    fn note_drop(&self, _src: NodeId, _dst: NodeId) {}
+
+    /// Record an injected duplicate delivery on the `src -> dst` link.
+    fn note_duplicate(&self, _src: NodeId, _dst: NodeId) {}
+
+    /// Per-directed-link statistics snapshot. The accounting is
+    /// transport-agnostic: [`FaultyNet`] injects faults into any inner
+    /// transport and the drops/duplicates land here either way.
+    fn link_stats(&self) -> BTreeMap<(NodeId, NodeId), LinkStats> {
+        BTreeMap::new()
+    }
+
+    /// Total data messages accepted onto links.
+    fn messages(&self) -> u64 {
+        self.link_stats().values().map(|s| s.messages).sum()
+    }
+
+    /// Total data payload bytes accepted onto links.
+    fn bytes(&self) -> u64 {
+        self.link_stats().values().map(|s| s.bytes).sum()
+    }
+
+    /// Total send retries across all links.
+    fn total_retries(&self) -> u64 {
+        self.link_stats().values().map(|s| s.retries).sum()
+    }
+
+    /// Total dropped data messages across all links.
+    fn total_drops(&self) -> u64 {
+        self.link_stats().values().map(|s| s.drops).sum()
+    }
+
+    /// Total sends abandoned after exhausting their retry budget.
+    fn total_lost(&self) -> u64 {
+        self.link_stats().values().map(|s| s.lost).sum()
+    }
+
+    /// Send with bounded exponential backoff + jitter while the
+    /// destination is alive. Returns `false` once `dst` is dead or the
+    /// attempt budget was exhausted on drops.
+    fn send_with_retry(&self, src: NodeId, dst: NodeId, msg: NetMsg, retry: &RetryConfig) -> bool {
+        let attempts = retry.attempts.max(1);
+        for attempt in 1..=attempts {
             if !self.node_alive(dst) {
                 return false;
             }
             if self.try_send(src, dst, msg.clone()) {
                 return true;
             }
-            if attempt == max_attempts {
+            if attempt == attempts {
                 break;
             }
             self.note_retry(src, dst);
-            std::thread::sleep(backoff);
-            backoff = (backoff * 2).min(Duration::from_millis(2));
+            let salt = ((src.0 as u64) << 40) ^ ((dst.0 as u64) << 16) ^ attempt as u64;
+            std::thread::sleep(retry.backoff_for(attempt - 1, salt));
         }
         // The destination is still alive but every attempt was dropped:
         // genuine data loss, worth surfacing (unlike the dead-node return
@@ -335,6 +520,10 @@ impl Transport for SimNet {
         self.enqueue(src, dst, msg, Duration::ZERO)
     }
 
+    fn send_delayed(&self, src: NodeId, dst: NodeId, msg: NetMsg, delay: Duration) -> bool {
+        self.enqueue(src, dst, msg, delay)
+    }
+
     fn recv_timeout(&self, dst: NodeId, timeout: Duration) -> Option<(NodeId, NetMsg)> {
         let inbox = self.inboxes.get(&dst)?;
         let deadline = Instant::now() + timeout;
@@ -342,27 +531,30 @@ impl Transport for SimNet {
         loop {
             let now = Instant::now();
             // Earliest-ready message first; the heap orders by ready_at.
-            if let Some(Reverse(head)) = state.queue.peek() {
-                if head.ready_at <= now {
-                    let Reverse(p) = state.queue.pop().expect("peeked");
-                    return Some((p.src, p.msg));
+            match state.queue.peek().map(|Reverse(head)| head.ready_at) {
+                Some(ready_at) if ready_at <= now => {
+                    if let Some(Reverse(p)) = state.queue.pop() {
+                        return Some((p.src, p.msg));
+                    }
                 }
-                // Wait until the head matures or the caller's deadline.
-                let wake = head.ready_at.min(deadline);
-                if now >= deadline {
-                    return None;
+                Some(ready_at) => {
+                    // Wait until the head matures or the caller's deadline.
+                    if now >= deadline {
+                        return None;
+                    }
+                    inbox.ready.wait_until(&mut state, ready_at.min(deadline));
                 }
-                inbox.ready.wait_until(&mut state, wake);
-            } else {
-                if !state.alive || now >= deadline {
-                    return None;
+                None => {
+                    if !state.alive || now >= deadline {
+                        return None;
+                    }
+                    inbox.ready.wait_until(&mut state, deadline);
                 }
-                inbox.ready.wait_until(&mut state, deadline);
             }
         }
     }
 
-    fn delivered(&self) {
+    fn delivered(&self, _dst: NodeId) {
         self.applied.fetch_add(1, Ordering::SeqCst);
     }
 
@@ -408,6 +600,26 @@ impl Transport for SimNet {
 
     fn note_lost(&self, src: NodeId, dst: NodeId) {
         self.stats.lock().entry((src, dst)).or_default().lost += 1;
+    }
+
+    fn note_drop(&self, src: NodeId, dst: NodeId) {
+        SimNet::note_drop(self, src, dst);
+    }
+
+    fn note_duplicate(&self, src: NodeId, dst: NodeId) {
+        SimNet::note_duplicate(self, src, dst);
+    }
+
+    fn link_stats(&self) -> BTreeMap<(NodeId, NodeId), LinkStats> {
+        SimNet::link_stats(self)
+    }
+
+    fn messages(&self) -> u64 {
+        SimNet::messages(self)
+    }
+
+    fn bytes(&self) -> u64 {
+        SimNet::bytes(self)
     }
 }
 
@@ -527,11 +739,13 @@ impl FaultRng {
     }
 }
 
-/// Decorator injecting faults per a [`FaultPlan`] into an inner [`SimNet`].
-/// Statistics (drops, duplicates, retries) land in the inner net's
-/// [`LinkStats`], so outcome reporting is transport-agnostic.
+/// Decorator injecting faults per a [`FaultPlan`] into any inner
+/// [`Transport`] — [`SimNet`] or [`crate::TcpNet`] alike, so the same
+/// drop/dup/delay schedules exercise real sockets. Statistics (drops,
+/// duplicates, retries) land in the inner transport's [`LinkStats`], so
+/// outcome reporting is transport-agnostic.
 pub struct FaultyNet {
-    inner: Arc<SimNet>,
+    inner: Arc<dyn Transport>,
     plan: FaultPlan,
     rng: Mutex<FaultRng>,
     data_msgs: AtomicU64,
@@ -540,7 +754,7 @@ pub struct FaultyNet {
 }
 
 impl FaultyNet {
-    pub fn new(inner: Arc<SimNet>, plan: FaultPlan) -> Arc<FaultyNet> {
+    pub fn new(inner: Arc<dyn Transport>, plan: FaultPlan) -> Arc<FaultyNet> {
         let kill_fired = vec![false; plan.kills.len()];
         Arc::new(FaultyNet {
             rng: Mutex::new(FaultRng(plan.seed | 1)),
@@ -558,8 +772,8 @@ impl FaultyNet {
         self.started.lock().get_or_insert_with(Instant::now);
     }
 
-    /// The undecorated network (statistics, direct access).
-    pub fn inner(&self) -> &Arc<SimNet> {
+    /// The undecorated transport (statistics, direct access).
+    pub fn inner(&self) -> &Arc<dyn Transport> {
         &self.inner
     }
 
@@ -611,21 +825,21 @@ impl Transport for FaultyNet {
         let extra = self.plan.max_extra_delay.mul_f64(delay_roll);
         if dup_roll < self.plan.duplicate_rate {
             // Deliver twice; write-once dedup at the receiver absorbs it.
-            if self.inner.enqueue(src, dst, msg.clone(), extra) {
+            if self.inner.send_delayed(src, dst, msg.clone(), extra) {
                 self.inner.note_duplicate(src, dst);
-                self.inner.enqueue(src, dst, msg, extra);
+                self.inner.send_delayed(src, dst, msg, extra);
             }
             return true;
         }
-        self.inner.enqueue(src, dst, msg, extra)
+        self.inner.send_delayed(src, dst, msg, extra)
     }
 
     fn recv_timeout(&self, dst: NodeId, timeout: Duration) -> Option<(NodeId, NetMsg)> {
         self.inner.recv_timeout(dst, timeout)
     }
 
-    fn delivered(&self) {
-        self.inner.delivered();
+    fn delivered(&self, dst: NodeId) {
+        self.inner.delivered(dst);
     }
 
     fn in_flight(&self) -> u64 {
@@ -652,6 +866,26 @@ impl Transport for FaultyNet {
     fn note_lost(&self, src: NodeId, dst: NodeId) {
         self.inner.note_lost(src, dst);
     }
+
+    fn note_drop(&self, src: NodeId, dst: NodeId) {
+        self.inner.note_drop(src, dst);
+    }
+
+    fn note_duplicate(&self, src: NodeId, dst: NodeId) {
+        self.inner.note_duplicate(src, dst);
+    }
+
+    fn link_stats(&self) -> BTreeMap<(NodeId, NodeId), LinkStats> {
+        self.inner.link_stats()
+    }
+
+    fn messages(&self) -> u64 {
+        self.inner.messages()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.inner.bytes()
+    }
 }
 
 #[cfg(test)]
@@ -676,7 +910,7 @@ mod tests {
         let (src, m) = net.recv_timeout(NodeId(1), Duration::from_secs(1)).unwrap();
         assert_eq!(src, NodeId(0));
         assert_eq!(m.wire_bytes(), 32 + 16);
-        net.delivered();
+        net.delivered(NodeId(1));
         assert_eq!(net.in_flight(), 0);
     }
 
@@ -708,15 +942,15 @@ mod tests {
         let t0 = std::time::Instant::now();
         net.recv_timeout(NodeId(1), Duration::from_secs(1)).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(20));
-        net.delivered();
+        net.delivered(NodeId(1));
     }
 
     #[test]
     fn in_flight_is_monotonic_safe() {
         let net = SimNet::new(&[NodeId(0)], Duration::ZERO);
         // Erroneous double-delivered must not wrap the counter negative.
-        net.delivered();
-        net.delivered();
+        net.delivered(NodeId(0));
+        net.delivered(NodeId(0));
         assert_eq!(net.in_flight(), 0);
         net.send(NodeId(0), NodeId(0), msg(1));
         assert!(net.in_flight() <= 1);
@@ -770,7 +1004,7 @@ mod tests {
         let net = FaultyNet::new(inner.clone(), FaultPlan::new().drop_rate(0.5).seed(7));
         let mut delivered = 0;
         for _ in 0..200 {
-            if net.send_with_retry(NodeId(0), NodeId(1), msg(1), 64) {
+            if net.send_with_retry(NodeId(0), NodeId(1), msg(1), &RetryConfig::default()) {
                 delivered += 1;
             }
         }
@@ -788,7 +1022,7 @@ mod tests {
         let net = FaultyNet::new(inner.clone(), FaultPlan::new().drop_rate(0.99).seed(1));
         let mut lost = 0;
         for _ in 0..20 {
-            if !net.send_with_retry(NodeId(0), NodeId(1), msg(1), 2) {
+            if !net.send_with_retry(NodeId(0), NodeId(1), msg(1), &RetryConfig::attempts(2)) {
                 lost += 1;
             }
         }
@@ -807,8 +1041,8 @@ mod tests {
         let a = net.recv_timeout(NodeId(1), Duration::from_millis(100));
         let b = net.recv_timeout(NodeId(1), Duration::from_millis(100));
         assert!(a.is_some() && b.is_some(), "duplicate delivered twice");
-        net.delivered();
-        net.delivered();
+        net.delivered(NodeId(1));
+        net.delivered(NodeId(1));
         assert_eq!(net.in_flight(), 0);
         assert!(inner.link_stats()[&(NodeId(0), NodeId(1))].duplicates >= 1);
     }

@@ -86,6 +86,38 @@ fn cluster_matches_single_node_results() {
     }
 }
 
+/// The same coordinator over real localhost sockets ([`TcpMesh`] via
+/// `over_tcp`) produces bit-identical results and real network traffic.
+#[test]
+fn cluster_matches_single_node_results_over_tcp() {
+    let reference = single_node_reference(4);
+    for nodes in [2, 3] {
+        let cluster =
+            SimCluster::new(ClusterConfig::nodes(nodes).over_tcp(), build_mul_sum).unwrap();
+        let outcome = cluster.run(RunLimits::ages(4)).unwrap();
+        let got: Vec<Vec<i32>> = (0..4)
+            .flat_map(|a| {
+                vec![
+                    outcome
+                        .fetch("m_data", Age(a), &Region::all(1))
+                        .unwrap_or_else(|| panic!("m_data age {a} missing on {nodes} tcp nodes"))
+                        .as_i32()
+                        .unwrap()
+                        .to_vec(),
+                    outcome
+                        .fetch("p_data", Age(a), &Region::all(1))
+                        .unwrap()
+                        .as_i32()
+                        .unwrap()
+                        .to_vec(),
+                ]
+            })
+            .collect();
+        assert_eq!(got, reference, "{nodes}-node tcp cluster diverged");
+        assert!(outcome.net.messages() > 0, "data must cross real sockets");
+    }
+}
+
 #[test]
 fn every_kernel_assigned_to_exactly_one_node() {
     let cluster = SimCluster::new(ClusterConfig::nodes(3), build_mul_sum).unwrap();

@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use p2g_dist::{ClusterConfig, FaultPlan, SimCluster};
+use p2g_dist::{ClusterConfig, FaultPlan, SimCluster, TransportKind};
 use p2g_field::{Age, Buffer, Region};
 use p2g_graph::spec::mul_sum_example;
 use p2g_graph::NodeId;
@@ -86,8 +86,10 @@ fn outcome_fields(outcome: &p2g_dist::ClusterOutcome, ages: u64) -> Vec<Vec<i32>
         .collect()
 }
 
-#[test]
-fn node_killed_mid_run_recovers_to_identical_results() {
+/// The recovery scenarios run over both transports: the simulated network
+/// and real localhost sockets ([`TransportKind::Tcp`]). The coordinator,
+/// fault plan, and exactly-once argument are transport-agnostic.
+fn killed_mid_run_scenario(transport: TransportKind) {
     const AGES: u64 = 6;
     let want = reference(AGES);
     // Kill node 1 once cross-node traffic is underway; a lossy link on top
@@ -96,7 +98,8 @@ fn node_killed_mid_run_recovers_to_identical_results() {
         .kill_after_messages(NodeId(1), 12)
         .drop_rate(0.2)
         .seed(42);
-    let config = ClusterConfig::nodes(3).with_faults(plan);
+    let mut config = ClusterConfig::nodes(3).with_faults(plan);
+    config.transport = transport;
     let cluster = SimCluster::new(config, build_mul_sum).unwrap();
     let outcome = cluster
         .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)).with_trace())
@@ -138,12 +141,22 @@ fn node_killed_mid_run_recovers_to_identical_results() {
 }
 
 #[test]
-fn duplicate_deliveries_are_absorbed_by_dedup() {
+fn node_killed_mid_run_recovers_to_identical_results() {
+    killed_mid_run_scenario(TransportKind::Sim);
+}
+
+#[test]
+fn node_killed_mid_run_recovers_over_tcp() {
+    killed_mid_run_scenario(TransportKind::Tcp);
+}
+
+fn duplicate_deliveries_scenario(transport: TransportKind) {
     const AGES: u64 = 4;
     let want = reference(AGES);
     let plan = FaultPlan::new().duplicate_rate(0.5).seed(9);
-    let cluster =
-        SimCluster::new(ClusterConfig::nodes(2).with_faults(plan), build_mul_sum).unwrap();
+    let mut config = ClusterConfig::nodes(2).with_faults(plan);
+    config.transport = transport;
+    let cluster = SimCluster::new(config, build_mul_sum).unwrap();
     let outcome = cluster
         .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)).with_trace())
         .unwrap();
@@ -156,6 +169,16 @@ fn duplicate_deliveries_are_absorbed_by_dedup() {
     for (_, report) in &outcome.reports {
         p2g_runtime::trace_check::all(report);
     }
+}
+
+#[test]
+fn duplicate_deliveries_are_absorbed_by_dedup() {
+    duplicate_deliveries_scenario(TransportKind::Sim);
+}
+
+#[test]
+fn duplicate_deliveries_are_absorbed_over_tcp() {
+    duplicate_deliveries_scenario(TransportKind::Tcp);
 }
 
 #[test]
@@ -176,21 +199,31 @@ fn heartbeat_interval_derives_from_failure_timeout() {
     assert_eq!(c.heartbeat_every(), Duration::from_millis(7));
 }
 
-#[test]
-fn recovery_works_with_overridden_detection_timings() {
+fn overridden_timings_scenario(transport: TransportKind) {
     const AGES: u64 = 4;
     let want = reference(AGES);
     let plan = FaultPlan::new().kill_after_messages(NodeId(1), 8).seed(7);
-    let config = ClusterConfig::nodes(3)
+    let mut config = ClusterConfig::nodes(3)
         .with_faults(plan)
         .failure_timeout(Duration::from_millis(120))
         .heartbeat_interval(Duration::from_millis(3));
+    config.transport = transport;
     let cluster = SimCluster::new(config, build_mul_sum).unwrap();
     let outcome = cluster
         .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)))
         .unwrap();
     assert_eq!(outcome.failed_nodes, vec![NodeId(1)]);
     assert_eq!(outcome_fields(&outcome, AGES), want);
+}
+
+#[test]
+fn recovery_works_with_overridden_detection_timings() {
+    overridden_timings_scenario(TransportKind::Sim);
+}
+
+#[test]
+fn recovery_with_overridden_timings_over_tcp() {
+    overridden_timings_scenario(TransportKind::Tcp);
 }
 
 /// A fatal kernel failure (Abort policy) is genuine node death: the node
@@ -316,19 +349,22 @@ fn poisoned_kernel_failure_stays_local_no_replan() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Random drop rates below 30% change latency, never results.
+    /// Random drop rates below 30% change latency, never results — over
+    /// the simulated network and over real localhost sockets alike.
     #[test]
     fn random_drop_rates_never_change_results(
         drop_milli in 0usize..300,
         seed in 0u64..100_000,
         nodes in 2usize..=3,
+        tcp in any::<bool>(),
     ) {
         const AGES: u64 = 3;
         let want = reference(AGES);
         let plan = FaultPlan::new()
             .drop_rate(drop_milli as f64 / 1000.0)
             .seed(seed | 1);
-        let config = ClusterConfig::nodes(nodes).with_faults(plan);
+        let mut config = ClusterConfig::nodes(nodes).with_faults(plan);
+        config.transport = if tcp { TransportKind::Tcp } else { TransportKind::Sim };
         let cluster = SimCluster::new(config, build_mul_sum).unwrap();
         let outcome = cluster
             .run(RunLimits::ages(AGES).with_deadline(Duration::from_secs(30)))

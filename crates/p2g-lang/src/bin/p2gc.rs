@@ -21,16 +21,18 @@
 //! Perfetto) when the path ends in `.json`, JSONL (one event object per
 //! line) otherwise.
 
+use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use p2g_graph::{FinalGraph, IntermediateGraph};
+use p2g_dist::{run_master, run_node, MasterConfig, NodeConfig, RetryConfig};
+use p2g_graph::{FinalGraph, IntermediateGraph, NodeId};
 use p2g_lang::compile_source;
 use p2g_runtime::{FaultPolicy, NodeBuilder, RunLimits, SessionRuntime};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--shards S] [--gc-window W]\n                      [--deadline-ms D] [--retries R] [--kernel-deadline-ms D]\n                      [--trace-out PATH]\n  p2gc serve <file.p2g> [--sessions N] [--frames F] [--workers W] [--shards S]\n                        [--gc-window W]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>\n\nparallel dependency analysis:\n  --shards S              analyzer shards (default 1, the sequential\n                          analyzer); sharded runs also enable the\n                          worker-side inline dispatch fast path\n\nmulti-tenant serving (p2gc serve):\n  --sessions N            concurrent tenant copies of the program (default 2)\n  --frames F              frames (ages) per tenant (default 4)\n  --workers W             shared worker-pool threads\n\nfault isolation (applies to every kernel, degrade instead of abort):\n  --retries R             retry failed kernel instances up to R times\n  --kernel-deadline-ms D  flag instances overrunning D ms for cancellation\n\ntracing:\n  --trace-out PATH        record a structured run trace; write Chrome\n                          trace-viewer JSON if PATH ends in .json, else JSONL"
+        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--shards S] [--gc-window W]\n                      [--deadline-ms D] [--retries R] [--kernel-deadline-ms D]\n                      [--trace-out PATH]\n  p2gc serve <file.p2g> [--sessions N] [--frames F] [--workers W] [--shards S]\n                        [--gc-window W]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>\n  p2gc cluster master <file.p2g> --nodes N [--port P] [--ages A]\n                      [--failure-timeout-ms D] [--deadline-ms D]\n                      [--net-retries R] [--net-backoff-us B]\n  p2gc cluster node <file.p2g> --node-id I --master HOST:PORT [--workers W]\n                      [--ages A] [--deadline-ms D]\n                      [--net-retries R] [--net-backoff-us B]\n\nmulti-process cluster (p2gc cluster):\n  master listens on loopback, plans the dependency graph across the\n  joined nodes, supervises heartbeats, replans and replays around node\n  deaths, and prints a chunking-invariant results digest; each node\n  process runs its assigned kernels and forwards stores over TCP\n  --net-retries R         send attempts before a peer is declared dead\n  --net-backoff-us B      initial reconnect/retry backoff (doubles, jittered)\n\nparallel dependency analysis:\n  --shards S              analyzer shards (default 1, the sequential\n                          analyzer); sharded runs also enable the\n                          worker-side inline dispatch fast path\n\nmulti-tenant serving (p2gc serve):\n  --sessions N            concurrent tenant copies of the program (default 2)\n  --frames F              frames (ages) per tenant (default 4)\n  --workers W             shared worker-pool threads\n\nfault isolation (applies to every kernel, degrade instead of abort):\n  --retries R             retry failed kernel instances up to R times\n  --kernel-deadline-ms D  flag instances overrunning D ms for cancellation\n\ntracing:\n  --trace-out PATH        record a structured run trace; write Chrome\n                          trace-viewer JSON if PATH ends in .json, else JSONL"
     );
     ExitCode::from(2)
 }
@@ -44,7 +46,12 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    // `cluster` takes a role before the source path.
+    let path_idx = if cmd == "cluster" { 2 } else { 1 };
+    let Some(path) = args.get(path_idx) else {
         return usage();
     };
 
@@ -147,6 +154,78 @@ fn main() -> ExitCode {
                     eprintln!("p2gc: runtime error: {e}");
                     ExitCode::FAILURE
                 }
+            }
+        }
+        "cluster" => {
+            let ages: u64 = flag(&args, "--ages").unwrap_or(4);
+            let mut retry = RetryConfig::default();
+            if let Some(r) = flag::<u32>(&args, "--net-retries") {
+                retry.attempts = r.max(1);
+            }
+            if let Some(us) = flag::<u64>(&args, "--net-backoff-us") {
+                let base = Duration::from_micros(us.max(1));
+                retry = retry.with_backoff(base, base.saturating_mul(64));
+            }
+            match args.get(1).map(String::as_str) {
+                Some("master") => {
+                    let Some(nodes) = flag::<usize>(&args, "--nodes") else {
+                        eprintln!("p2gc: cluster master requires --nodes N");
+                        return ExitCode::from(2);
+                    };
+                    let mut cfg = MasterConfig::nodes(nodes);
+                    cfg.retry = retry;
+                    if let Some(p) = flag::<u16>(&args, "--port") {
+                        cfg.port = p;
+                    }
+                    if let Some(ms) = flag::<u64>(&args, "--failure-timeout-ms") {
+                        cfg.failure_timeout = Duration::from_millis(ms);
+                    }
+                    if let Some(ms) = flag::<u64>(&args, "--deadline-ms") {
+                        cfg.deadline = Duration::from_millis(ms);
+                    }
+                    match run_master(&compiled.spec, &cfg) {
+                        Ok(out) => {
+                            println!(
+                                "digest {:08x} entries {} epoch {} failed {}",
+                                out.digest,
+                                out.entries,
+                                out.epoch,
+                                out.failed_nodes.len()
+                            );
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("p2gc: cluster master: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                Some("node") => {
+                    let Some(id) = flag::<u32>(&args, "--node-id") else {
+                        eprintln!("p2gc: cluster node requires --node-id I");
+                        return ExitCode::from(2);
+                    };
+                    let Some(master) = flag::<SocketAddr>(&args, "--master") else {
+                        eprintln!("p2gc: cluster node requires --master HOST:PORT");
+                        return ExitCode::from(2);
+                    };
+                    let mut cfg = NodeConfig::new(NodeId(id), master);
+                    cfg.retry = retry;
+                    if let Some(w) = flag::<usize>(&args, "--workers") {
+                        cfg.workers = w.max(1);
+                    }
+                    if let Some(ms) = flag::<u64>(&args, "--deadline-ms") {
+                        cfg.deadline = Duration::from_millis(ms);
+                    }
+                    match run_node(compiled.program, RunLimits::ages(ages), &cfg) {
+                        Ok(()) => ExitCode::SUCCESS,
+                        Err(e) => {
+                            eprintln!("p2gc: cluster node: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                _ => usage(),
             }
         }
         "serve" => {

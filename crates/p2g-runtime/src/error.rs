@@ -17,6 +17,8 @@ pub enum RuntimeError {
     IndexTooLarge { kernel: String, value: usize },
     /// A worker thread panicked.
     WorkerPanic,
+    /// The cluster network transport failed (bind, connect, protocol).
+    Net(String),
 }
 
 impl From<FieldError> for RuntimeError {
@@ -46,6 +48,7 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "kernel '{kernel}': index value {value} exceeds 65535")
             }
             RuntimeError::WorkerPanic => write!(f, "a worker thread panicked"),
+            RuntimeError::Net(e) => write!(f, "network transport error: {e}"),
         }
     }
 }

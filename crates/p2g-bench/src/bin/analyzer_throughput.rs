@@ -83,7 +83,7 @@ struct StormStats {
 /// One full storm: seed, init stores, then per age `n` one-element
 /// assignment stores and `k` centroid row stores, synchronously through the
 /// analyzer. Returns per-event latencies and dispatch totals.
-fn run_storm(n: usize, k: usize, ages: u64, tracer: Option<&Tracer>) -> StormStats {
+fn run_storm(n: usize, k: usize, ages: u64, tracer: Option<&Tracer>, batch: usize) -> StormStats {
     let spec = Arc::new(p2g_kmeans::pipeline::kmeans_spec(n, k, 2));
     let fields: SharedFields = Arc::new(
         spec.fields
@@ -92,7 +92,12 @@ fn run_storm(n: usize, k: usize, ages: u64, tracer: Option<&Tracer>) -> StormSta
             .map(|(i, d)| parking_lot::RwLock::new(Field::new(FieldId(i as u32), d.clone())))
             .collect(),
     );
-    let options = vec![p2g_core::runtime::KernelOptions::default(); spec.kernels.len()];
+    // `--batch B` chunks runnable instances into B-instance dispatch
+    // units, the shape the batched execution path consumes.
+    let mut options = vec![p2g_core::runtime::KernelOptions::default(); spec.kernels.len()];
+    for o in &mut options {
+        o.chunk_size = batch.max(1);
+    }
     let mut an = DependencyAnalyzer::new(
         spec.clone(),
         options,
@@ -672,15 +677,17 @@ fn main() {
     let label: String = arg("--label", "current".to_string());
     let out_name: String = arg("--out", "BENCH_analyzer.json".to_string());
     let traced = has_flag("--trace");
+    let batch: usize = arg("--batch", 1);
     let tracer = traced.then(|| Tracer::new(vec!["bench".into()], 1 << 16));
 
     eprintln!(
-        "analyzer_throughput: n={n} k={k} ages={ages} reps={reps} label={label} trace={traced}"
+        "analyzer_throughput: n={n} k={k} ages={ages} reps={reps} label={label} trace={traced} \
+         batch={batch}"
     );
 
     let mut best: Option<StormStats> = None;
     for rep in 0..reps.max(1) {
-        let s = run_storm(n, k, ages, tracer.as_ref());
+        let s = run_storm(n, k, ages, tracer.as_ref(), batch);
         eprintln!(
             "  rep {rep}: {} events in {:.4}s  ({:.0} events/s, {} units, {} instances)",
             s.events,
@@ -714,7 +721,8 @@ fn main() {
     let _ = writeln!(json, "  \"label\": \"{label}\",");
     let _ = writeln!(
         json,
-        "  \"workload\": {{ \"shape\": \"kmeans\", \"n\": {n}, \"k\": {k}, \"ages\": {ages} }},"
+        "  \"workload\": {{ \"shape\": \"kmeans\", \"n\": {n}, \"k\": {k}, \"ages\": {ages}, \
+         \"batch\": {batch} }},"
     );
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"events\": {},", s.events);

@@ -9,6 +9,12 @@
 //! Defaults are scaled down so the bench completes quickly on small hosts;
 //! reproduce the paper-scale run with:
 //! `cargo run -p p2g-bench --bin fig9_mjpeg --release -- --frames 50 --iters 10 --max-threads 8`
+//!
+//! `--fast-dct` switches the DCT bodies to the SIMD AAN path,
+//! `--dct-chunk N` chunks DCT instances, `--batch` executes
+//! multi-instance units as one batched work unit, and `--adaptive` lets
+//! the runtime adapt chunk sizes online — together the "after"
+//! configuration of the kernel-body optimisation.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -22,12 +28,18 @@ fn main() {
     let iters: usize = arg("--iters", 5);
     let max_threads: usize = arg("--max-threads", 8);
     let quality: u8 = arg("--quality", 75);
+    let fast_dct = has_flag("--fast-dct");
+    let dct_chunk: usize = arg("--dct-chunk", 1);
+    let batch = has_flag("--batch");
+    let adaptive = has_flag("--adaptive");
 
     let mut out = String::new();
     out.push_str("Figure 9 — Workload execution time for Motion JPEG\n");
     out.push_str("==================================================\n");
     out.push_str(&format!(
-        "synthetic Foreman-like CIF (352x288), {frames} frames, quality {quality}, naive DCT\n",
+        "synthetic Foreman-like CIF (352x288), {frames} frames, quality {quality}, \
+         {} DCT, chunk {dct_chunk}, batch {batch}, adaptive {adaptive}\n",
+        if fast_dct { "SIMD AAN" } else { "naive" },
     ));
     out.push_str(&format!(
         "host ({} logical CPUs):\n{}\n",
@@ -39,7 +51,7 @@ fn main() {
     // Core i7, 30 s on the Opteron at 50 frames).
     let source = SyntheticVideo::foreman_like(frames);
     let t0 = Instant::now();
-    let stream = encode_standalone(&source, quality, frames, false);
+    let stream = encode_standalone(&source, quality, frames, fast_dct);
     let baseline = t0.elapsed();
     out.push_str(&format!(
         "standalone single-threaded encoder: {:.4} s ({} bytes)\n\n",
@@ -52,8 +64,8 @@ fn main() {
         let config = MjpegConfig {
             quality,
             max_frames: frames,
-            fast_dct: false,
-            dct_chunk: 1,
+            fast_dct,
+            dct_chunk,
             ..MjpegConfig::default()
         };
         let (program, sink) = build_mjpeg_program(source, config).expect("valid program");
@@ -62,6 +74,12 @@ fn main() {
         let mut limits = RunLimits::ages(frames + 1).with_gc_window(4);
         if has_flag("--trace") {
             limits = limits.with_trace();
+        }
+        if batch {
+            limits = limits.with_batch_exec();
+        }
+        if adaptive {
+            limits = limits.with_adaptive(AdaptiveGranularity::default());
         }
         let t0 = Instant::now();
         node.launch(limits).and_then(|n| n.wait()).expect("run succeeds");
@@ -77,6 +95,8 @@ fn main() {
     out.push_str("at the core count (see EXPERIMENTS.md).\n");
 
     print!("{out}");
-    write_result("fig9_mjpeg.txt", &out);
-    write_result("fig9_mjpeg.csv", &series.to_csv());
+    let out_name: String = arg("--out", "fig9_mjpeg.txt".to_string());
+    let csv_name: String = arg("--out-csv", "fig9_mjpeg.csv".to_string());
+    write_result(&out_name, &out);
+    write_result(&csv_name, &series.to_csv());
 }

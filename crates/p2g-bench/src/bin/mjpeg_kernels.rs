@@ -1,0 +1,181 @@
+//! MJPEG kernel-body microbenchmark: scalar naive DCT vs scalar AAN vs
+//! the SIMD AAN path actually used by the pipeline's fast bodies, plus
+//! RGB↔YUV conversion throughput. Writes
+//! `results/BENCH_mjpeg_kernels.json`.
+//!
+//! Usage:
+//!   mjpeg_kernels [--blocks N] [--reps R] [--quality Q] [--quick]
+//!
+//! `--quick` shrinks the workload for CI smoke runs.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use p2g_bench::{arg, has_flag, write_result};
+use p2g_mjpeg::dct::{
+    aan_divisors, dct_quantize_aan_div, dct_quantize_aan_scalar, dct_quantize_naive,
+    scaled_quant_table, simd_active, QUANT_LUMA,
+};
+use p2g_mjpeg::yuv::{rgb_to_yuv, rgb_to_yuv_scalar, yuv_simd_active};
+
+/// One measured DCT variant: mean time per 8x8 block over `reps` passes.
+struct Variant {
+    name: &'static str,
+    ns_per_block: f64,
+    blocks_per_sec: f64,
+}
+
+fn bench_dct(
+    name: &'static str,
+    blocks: &[[u8; 64]],
+    reps: usize,
+    mut f: impl FnMut(&[u8; 64]) -> [i16; 64],
+) -> Variant {
+    // One warmup pass, then `reps` timed passes over the whole set.
+    let mut sink = 0i64;
+    for b in blocks {
+        sink = sink.wrapping_add(f(b)[0] as i64);
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        for b in blocks {
+            sink = sink.wrapping_add(f(b)[0] as i64);
+        }
+    }
+    let elapsed = start.elapsed();
+    black_box(sink);
+    let total = (blocks.len() * reps) as f64;
+    let ns = elapsed.as_nanos() as f64 / total;
+    Variant {
+        name,
+        ns_per_block: ns,
+        blocks_per_sec: 1e9 / ns,
+    }
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    // Default workload: one CIF frame's worth of luma+chroma blocks
+    // (1584 + 2 x 396), many passes.
+    let blocks: usize = arg("--blocks", if quick { 256 } else { 2376 });
+    let reps: usize = arg("--reps", if quick { 20 } else { 400 });
+    let quality: u8 = arg("--quality", 75);
+
+    // Deterministic pseudo-random pixel data (xorshift; no external seed).
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let block_data: Vec<[u8; 64]> = (0..blocks)
+        .map(|_| std::array::from_fn(|_| (next() & 0xff) as u8))
+        .collect();
+
+    let table = scaled_quant_table(&QUANT_LUMA, quality);
+    let divisors = aan_divisors(&table);
+
+    // Sanity: the SIMD path must be bit-exact against the scalar oracle
+    // before its numbers mean anything.
+    for b in &block_data {
+        assert_eq!(
+            dct_quantize_aan_div(b, &divisors),
+            dct_quantize_aan_scalar(b, &table),
+            "SIMD AAN diverged from the scalar oracle"
+        );
+    }
+
+    eprintln!(
+        "mjpeg_kernels: {blocks} blocks x {reps} reps, quality {quality}, simd {}",
+        simd_active()
+    );
+    let naive = bench_dct("scalar_naive", &block_data, reps, |b| {
+        dct_quantize_naive(b, &table)
+    });
+    let aan_scalar = bench_dct("scalar_aan", &block_data, reps, |b| {
+        dct_quantize_aan_scalar(b, &table)
+    });
+    let aan_simd = bench_dct("simd_aan", &block_data, reps, |b| {
+        dct_quantize_aan_div(b, &divisors)
+    });
+    for v in [&naive, &aan_scalar, &aan_simd] {
+        eprintln!(
+            "  {:>12}: {:>8.1} ns/block, {:>12.0} blocks/s",
+            v.name, v.ns_per_block, v.blocks_per_sec
+        );
+    }
+
+    // RGB -> YUV conversion on a CIF-sized frame, same protocol.
+    let (w, h) = (352, 288);
+    let rgb: Vec<u8> = (0..w * h * 3).map(|_| (next() & 0xff) as u8).collect();
+    let yuv_reps = if quick { 5 } else { 100 };
+    let _ = black_box(rgb_to_yuv(&rgb, w, h));
+    let start = Instant::now();
+    for _ in 0..yuv_reps {
+        black_box(rgb_to_yuv(&rgb, w, h));
+    }
+    let yuv_simd_s = start.elapsed().as_secs_f64() / yuv_reps as f64;
+    let _ = black_box(rgb_to_yuv_scalar(&rgb, w, h));
+    let start = Instant::now();
+    for _ in 0..yuv_reps {
+        black_box(rgb_to_yuv_scalar(&rgb, w, h));
+    }
+    let yuv_scalar_s = start.elapsed().as_secs_f64() / yuv_reps as f64;
+    let mpix = (w * h) as f64 / 1e6;
+    eprintln!(
+        "  rgb_to_yuv: scalar {:.1} Mpix/s, simd-path {:.1} Mpix/s (simd {})",
+        mpix / yuv_scalar_s,
+        mpix / yuv_simd_s,
+        yuv_simd_active()
+    );
+
+    let speedup_simd_vs_naive = aan_simd.blocks_per_sec / naive.blocks_per_sec;
+    let speedup_simd_vs_scalar_aan = aan_simd.blocks_per_sec / aan_scalar.blocks_per_sec;
+    eprintln!(
+        "  speedup: simd_aan vs scalar_naive {speedup_simd_vs_naive:.2}x, \
+         vs scalar_aan {speedup_simd_vs_scalar_aan:.2}x"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"mjpeg_kernels\",");
+    let _ = writeln!(json, "  \"label\": \"{}\",", arg("--label", "after".to_string()));
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{ \"blocks\": {blocks}, \"quality\": {quality}, \"yuv_frame\": \"352x288\" }},"
+    );
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"simd_active\": {},", simd_active());
+    let _ = writeln!(json, "  \"dct\": {{");
+    for (i, v) in [&naive, &aan_scalar, &aan_simd].iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"ns_per_block\": {:.1}, \"blocks_per_sec\": {:.0} }}{}",
+            v.name,
+            v.ns_per_block,
+            v.blocks_per_sec,
+            if i < 2 { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"speedup\": {{ \"simd_aan_vs_scalar_naive\": {speedup_simd_vs_naive:.2}, \
+         \"simd_aan_vs_scalar_aan\": {speedup_simd_vs_scalar_aan:.2} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"rgb_to_yuv\": {{ \"simd_active\": {}, \"scalar_mpix_per_sec\": {:.1}, \
+         \"simd_mpix_per_sec\": {:.1} }}",
+        yuv_simd_active(),
+        mpix / yuv_scalar_s,
+        mpix / yuv_simd_s
+    );
+    json.push_str("}\n");
+    if !quick {
+        write_result("BENCH_mjpeg_kernels.json", &json);
+    } else {
+        eprintln!("(quick mode: result file not written)");
+    }
+}

@@ -13,7 +13,10 @@
 //! `cargo run -p p2g-bench --bin session_throughput --release -- \
 //!    [--sessions 8] [--frames 1000] [--width 64] [--height 64] \
 //!    [--workers N] [--in-flight 8] [--gc-window 8] [--quick] \
-//!    [--label after] [--out BENCH_sessions.json]`
+//!    [--batch] [--adaptive] [--label after] [--out BENCH_sessions.json]`
+//!
+//! `--batch` executes multi-instance dispatch units as one batched work
+//! unit; `--adaptive` turns on online chunk-size adaptation.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -32,8 +35,12 @@ struct SessionStats {
     peak_resident_bytes: usize,
     peak_live_ages: u64,
     gc_ages_collected: u64,
+    batched_instances: u64,
+    granularity_changes: u64,
     /// Submit→output latency per frame, nanoseconds.
     lat_ns: Vec<u64>,
+    /// Per-kernel body-latency quantiles (name, p50/p95/p99 ns).
+    kernel_lat: Vec<(String, u64, u64, u64)>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -45,6 +52,8 @@ fn run_session(
     height: usize,
     in_flight: usize,
     gc_window: u64,
+    batch: bool,
+    adaptive: bool,
 ) -> SessionStats {
     let src = SyntheticVideo::new(width, height, frames, seed);
     let sink = SessionSink::new();
@@ -55,14 +64,18 @@ fn run_session(
     };
     let program = build_mjpeg_stream_program(width, height, config, sink.clone())
         .expect("stream program builds");
+    let mut session_config = SessionConfig::new("vlc/write")
+        .sink(sink)
+        .max_in_flight(in_flight)
+        .gc_window(gc_window);
+    if batch {
+        session_config = session_config.with_batch_exec();
+    }
+    if adaptive {
+        session_config = session_config.with_adaptive(AdaptiveGranularity::default());
+    }
     let session = runtime
-        .open(
-            program,
-            SessionConfig::new("vlc/write")
-                .sink(sink)
-                .max_in_flight(in_flight)
-                .gc_window(gc_window),
-        )
+        .open(program, session_config)
         .expect("session opens");
 
     let mut submitted_at: Vec<Instant> = Vec::with_capacity(frames as usize);
@@ -106,14 +119,32 @@ fn run_session(
         .finish(Duration::from_secs(60))
         .expect("session finishes cleanly");
     assert_eq!(report.frames_completed, frames);
+    let ins = &report.report.instruments;
+    let kernel_lat = ins
+        .all()
+        .iter()
+        .filter(|(_, s)| s.instances > 0)
+        .map(|(name, _)| {
+            let (p50, p95, p99) = ins.latency_quantiles(name).unwrap_or_default();
+            (
+                name.clone(),
+                p50.as_nanos() as u64,
+                p95.as_nanos() as u64,
+                p99.as_nanos() as u64,
+            )
+        })
+        .collect();
     SessionStats {
         frames,
         dropped,
         peak_resident_ages,
         peak_resident_bytes,
-        peak_live_ages: report.report.instruments.peak_live_ages(),
-        gc_ages_collected: report.report.instruments.gc_ages_collected(),
+        peak_live_ages: ins.peak_live_ages(),
+        gc_ages_collected: ins.gc_ages_collected(),
+        batched_instances: ins.batched_instances(),
+        granularity_changes: ins.granularity_changes(),
         lat_ns,
+        kernel_lat,
     }
 }
 
@@ -126,12 +157,15 @@ fn main() {
     let workers: usize = arg("--workers", logical_cpus());
     let in_flight: usize = arg("--in-flight", 8);
     let gc_window: u64 = arg("--gc-window", 8);
+    let batch = has_flag("--batch");
+    let adaptive = has_flag("--adaptive");
     let label: String = arg("--label", "after".to_string());
     let out: String = arg("--out", "BENCH_sessions.json".to_string());
 
     eprintln!(
         "session_throughput: {sessions} sessions x {frames} frames ({width}x{height}) \
-         on {workers} workers, window {in_flight}, gc {gc_window}"
+         on {workers} workers, window {in_flight}, gc {gc_window}, batch {batch}, \
+         adaptive {adaptive}"
     );
     eprintln!("{}", hwinfo());
 
@@ -150,6 +184,8 @@ fn main() {
                         height,
                         in_flight,
                         gc_window,
+                        batch,
+                        adaptive,
                     )
                 })
             })
@@ -169,7 +205,25 @@ fn main() {
         .unwrap_or(0);
     let peak_live_ages = stats.iter().map(|s| s.peak_live_ages).max().unwrap_or(0);
     let gc_collected: u64 = stats.iter().map(|s| s.gc_ages_collected).sum();
+    let batched_instances: u64 = stats.iter().map(|s| s.batched_instances).sum();
+    let granularity_changes: u64 = stats.iter().map(|s| s.granularity_changes).sum();
     let fps = frames_total as f64 / elapsed.as_secs_f64();
+
+    // Per-kernel body-latency quantiles: worst (max) across sessions, so
+    // the artifact reflects the slowest tenant.
+    let mut kernel_lat: Vec<(String, u64, u64, u64)> = Vec::new();
+    for s in &stats {
+        for (name, p50, p95, p99) in &s.kernel_lat {
+            match kernel_lat.iter_mut().find(|(n, ..)| n == name) {
+                Some(e) => {
+                    e.1 = e.1.max(*p50);
+                    e.2 = e.2.max(*p95);
+                    e.3 = e.3.max(*p99);
+                }
+                None => kernel_lat.push((name.clone(), *p50, *p95, *p99)),
+            }
+        }
+    }
 
     let mut lat: Vec<u64> = stats.iter().flat_map(|s| s.lat_ns.iter().copied()).collect();
     lat.sort_unstable();
@@ -204,7 +258,8 @@ fn main() {
         json,
         "  \"workload\": {{ \"shape\": \"mjpeg-stream\", \"sessions\": {sessions}, \
          \"frames_per_session\": {frames}, \"width\": {width}, \"height\": {height}, \
-         \"workers\": {workers}, \"in_flight\": {in_flight}, \"gc_window\": {gc_window} }},"
+         \"workers\": {workers}, \"in_flight\": {in_flight}, \"gc_window\": {gc_window}, \
+         \"batch\": {batch}, \"adaptive\": {adaptive} }},"
     );
     let _ = writeln!(json, "  \"frames_total\": {frames_total},");
     let _ = writeln!(json, "  \"dropped_frames\": {dropped},");
@@ -214,11 +269,22 @@ fn main() {
     let _ = writeln!(json, "  \"peak_resident_bytes\": {peak_resident_bytes},");
     let _ = writeln!(json, "  \"peak_live_ages\": {peak_live_ages},");
     let _ = writeln!(json, "  \"gc_ages_collected\": {gc_collected},");
+    let _ = writeln!(json, "  \"batched_instances\": {batched_instances},");
+    let _ = writeln!(json, "  \"granularity_changes\": {granularity_changes},");
     let _ = writeln!(json, "  \"frame_latency_ns\": {{");
     let _ = writeln!(json, "    \"mean\": {mean},");
     let _ = writeln!(json, "    \"p50\": {},", pct(0.50));
     let _ = writeln!(json, "    \"p99\": {},", pct(0.99));
     let _ = writeln!(json, "    \"max\": {}", lat.last().copied().unwrap_or(0));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"kernel_latency_ns\": {{");
+    for (i, (name, p50, p95, p99)) in kernel_lat.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{ \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99} }}{}",
+            if i + 1 < kernel_lat.len() { "," } else { "" }
+        );
+    }
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     write_result(&out, &json);

@@ -168,6 +168,45 @@ impl Buffer {
         Ok(())
     }
 
+    /// Concatenate buffers of one scalar type into a single 1-D buffer
+    /// (shapes are flattened; element order is part order, row-major
+    /// within each part). The merged-store path of batched execution uses
+    /// this to fuse per-instance payloads into one contiguous payload.
+    pub fn concat<'a, I>(parts: I) -> Result<Buffer, FieldError>
+    where
+        I: IntoIterator<Item = &'a Buffer>,
+    {
+        let mut out: Option<BufferData> = None;
+        for part in parts {
+            match &mut out {
+                None => out = Some(part.data.clone()),
+                Some(acc) => {
+                    if acc.scalar_type() != part.scalar_type() {
+                        return Err(FieldError::TypeMismatch {
+                            expected: acc.scalar_type(),
+                            found: part.scalar_type(),
+                        });
+                    }
+                    match (acc, &part.data) {
+                        (BufferData::U8(a), BufferData::U8(b)) => a.extend_from_slice(b),
+                        (BufferData::I16(a), BufferData::I16(b)) => a.extend_from_slice(b),
+                        (BufferData::I32(a), BufferData::I32(b)) => a.extend_from_slice(b),
+                        (BufferData::I64(a), BufferData::I64(b)) => a.extend_from_slice(b),
+                        (BufferData::F32(a), BufferData::F32(b)) => a.extend_from_slice(b),
+                        (BufferData::F64(a), BufferData::F64(b)) => a.extend_from_slice(b),
+                        _ => unreachable!("scalar types checked above"),
+                    }
+                }
+            }
+        }
+        let data = out.unwrap_or(BufferData::U8(Vec::new()));
+        let len = data.len();
+        Ok(Buffer {
+            shape: Extents::new([len]),
+            data,
+        })
+    }
+
     /// Access the raw data.
     #[inline]
     pub fn data(&self) -> &BufferData {
@@ -271,6 +310,17 @@ mod tests {
     fn from_data_length_checked() {
         let r = Buffer::from_data(BufferData::U8(vec![0; 3]), Extents::new([2, 2]));
         assert!(matches!(r, Err(FieldError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn concat_flattens_in_part_order() {
+        let a = Buffer::from_vec(vec![1i16, 2]);
+        let b = Buffer::from_vec(vec![3i16]);
+        let c = Buffer::concat([&a, &b]).unwrap();
+        assert_eq!(c.shape(), &Extents::new([3]));
+        assert_eq!(c.as_i16().unwrap(), &[1, 2, 3]);
+        assert!(Buffer::concat([&a, &Buffer::from_vec(vec![1u8])]).is_err());
+        assert_eq!(Buffer::concat([]).unwrap().len(), 0);
     }
 
     #[test]

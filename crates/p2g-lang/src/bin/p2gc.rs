@@ -32,7 +32,7 @@ use p2g_runtime::{FaultPolicy, NodeBuilder, RunLimits, SessionRuntime};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--shards S] [--gc-window W]\n                      [--deadline-ms D] [--retries R] [--kernel-deadline-ms D]\n                      [--trace-out PATH]\n  p2gc serve <file.p2g> [--sessions N] [--frames F] [--workers W] [--shards S]\n                        [--gc-window W]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>\n  p2gc cluster master <file.p2g> --nodes N [--port P] [--ages A]\n                      [--failure-timeout-ms D] [--deadline-ms D]\n                      [--net-retries R] [--net-backoff-us B]\n  p2gc cluster node <file.p2g> --node-id I --master HOST:PORT [--workers W]\n                      [--ages A] [--deadline-ms D]\n                      [--net-retries R] [--net-backoff-us B]\n\nmulti-process cluster (p2gc cluster):\n  master listens on loopback, plans the dependency graph across the\n  joined nodes, supervises heartbeats, replans and replays around node\n  deaths, and prints a chunking-invariant results digest; each node\n  process runs its assigned kernels and forwards stores over TCP\n  --net-retries R         send attempts before a peer is declared dead\n  --net-backoff-us B      initial reconnect/retry backoff (doubles, jittered)\n\nparallel dependency analysis:\n  --shards S              analyzer shards (default 1, the sequential\n                          analyzer); sharded runs also enable the\n                          worker-side inline dispatch fast path\n\nmulti-tenant serving (p2gc serve):\n  --sessions N            concurrent tenant copies of the program (default 2)\n  --frames F              frames (ages) per tenant (default 4)\n  --workers W             shared worker-pool threads\n\nfault isolation (applies to every kernel, degrade instead of abort):\n  --retries R             retry failed kernel instances up to R times\n  --kernel-deadline-ms D  flag instances overrunning D ms for cancellation\n\ntracing:\n  --trace-out PATH        record a structured run trace; write Chrome\n                          trace-viewer JSON if PATH ends in .json, else JSONL"
+        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--shards S] [--gc-window W]\n                      [--deadline-ms D] [--retries R] [--kernel-deadline-ms D]\n                      [--trace-out PATH] [--batch] [--adaptive]\n  p2gc serve <file.p2g> [--sessions N] [--frames F] [--workers W] [--shards S]\n                        [--gc-window W] [--batch] [--adaptive]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>\n  p2gc cluster master <file.p2g> --nodes N [--port P] [--ages A]\n                      [--failure-timeout-ms D] [--deadline-ms D]\n                      [--net-retries R] [--net-backoff-us B]\n  p2gc cluster node <file.p2g> --node-id I --master HOST:PORT [--workers W]\n                      [--ages A] [--deadline-ms D]\n                      [--net-retries R] [--net-backoff-us B]\n\nmulti-process cluster (p2gc cluster):\n  master listens on loopback, plans the dependency graph across the\n  joined nodes, supervises heartbeats, replans and replays around node\n  deaths, and prints a chunking-invariant results digest; each node\n  process runs its assigned kernels and forwards stores over TCP\n  --net-retries R         send attempts before a peer is declared dead\n  --net-backoff-us B      initial reconnect/retry backoff (doubles, jittered)\n\nparallel dependency analysis:\n  --shards S              analyzer shards (default 1, the sequential\n                          analyzer); sharded runs also enable the\n                          worker-side inline dispatch fast path\n\nbatched execution and granularity adaptation:\n  --batch                 execute multi-instance dispatch units as one\n                          batched work unit (merged fetches and stores)\n  --adaptive              adapt kernel chunk sizes online from live\n                          dispatch-overhead and latency measurements\n\nmulti-tenant serving (p2gc serve):\n  --sessions N            concurrent tenant copies of the program (default 2)\n  --frames F              frames (ages) per tenant (default 4)\n  --workers W             shared worker-pool threads\n\nfault isolation (applies to every kernel, degrade instead of abort):\n  --retries R             retry failed kernel instances up to R times\n  --kernel-deadline-ms D  flag instances overrunning D ms for cancellation\n\ntracing:\n  --trace-out PATH        record a structured run trace; write Chrome\n                          trace-viewer JSON if PATH ends in .json, else JSONL"
     );
     ExitCode::from(2)
 }
@@ -42,6 +42,21 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Apply the shared `--batch` / `--adaptive` execution flags to run limits.
+fn exec_flags(args: &[String], mut limits: RunLimits) -> RunLimits {
+    if has_flag(args, "--batch") {
+        limits = limits.with_batch_exec();
+    }
+    if has_flag(args, "--adaptive") {
+        limits = limits.with_adaptive(p2g_runtime::AdaptiveGranularity::default());
+    }
+    limits
 }
 
 fn main() -> ExitCode {
@@ -94,7 +109,7 @@ fn main() -> ExitCode {
             let workers: usize = flag(&args, "--workers")
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |n| n.get()));
             let shards: usize = flag(&args, "--shards").unwrap_or(1);
-            let mut limits = RunLimits::ages(ages).with_shards(shards);
+            let mut limits = exec_flags(&args, RunLimits::ages(ages).with_shards(shards));
             if let Some(w) = flag::<u64>(&args, "--gc-window") {
                 limits = limits.with_gc_window(w);
             }
@@ -234,7 +249,7 @@ fn main() -> ExitCode {
             let workers: usize = flag(&args, "--workers")
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |n| n.get()));
             let shards: usize = flag(&args, "--shards").unwrap_or(1);
-            let mut limits = RunLimits::ages(frames).with_shards(shards);
+            let mut limits = exec_flags(&args, RunLimits::ages(frames).with_shards(shards));
             if let Some(w) = flag::<u64>(&args, "--gc-window") {
                 limits = limits.with_gc_window(w);
             }

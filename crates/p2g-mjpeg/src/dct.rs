@@ -5,6 +5,16 @@
 //! FastDCT [2]"); both the naive transform and the Arai–Agui–Nakajima
 //! (AAN) fast scaled DCT it cites are implemented here, and an ablation
 //! bench compares them. An inverse DCT supports round-trip testing.
+//!
+//! With the `simd` cargo feature (default) on x86_64 hosts with AVX, the
+//! AAN transform and quantization run on explicit `core::arch` intrinsics:
+//! the block is transposed into 8-lane f64 vectors so one vectorized AAN
+//! butterfly pass processes all 8 rows (then all 8 columns) at once, and
+//! quantization divides 4 coefficients per instruction. The vector path
+//! performs the *same* IEEE-754 add/sub/mul/div sequence per lane as the
+//! scalar code (no FMA contraction, rounding stays scalar), so its output
+//! is bit-identical to the scalar oracle — asserted by unit tests here and
+//! proptests in `tests/simd_exact.rs`.
 
 use std::f64::consts::PI;
 
@@ -84,16 +94,17 @@ fn aan_scale() -> [f64; 8] {
     s
 }
 
+// Constants from Arai, Agui, Nakajima 1988 (shared by the scalar and
+// vectorized butterflies so both perform identical multiplications).
+const A1: f64 = std::f64::consts::FRAC_1_SQRT_2; // cos(pi/4)
+const A2: f64 = 0.541_196_100_146_197; // cos(pi/8) - cos(3pi/8)
+const A3: f64 = A1;
+const A4: f64 = 1.306_562_964_876_377; // cos(pi/8) + cos(3pi/8)
+const A5: f64 = 0.382_683_432_365_09; // cos(3pi/8)
+
 /// 1-D AAN forward DCT (8 points, scaled output), operating in place.
 #[inline]
 fn aan_1d(d: &mut [f64; 8]) {
-    // Constants from Arai, Agui, Nakajima 1988.
-    const A1: f64 = std::f64::consts::FRAC_1_SQRT_2; // cos(pi/4)
-    const A2: f64 = 0.541_196_100_146_197; // cos(pi/8) - cos(3pi/8)
-    const A3: f64 = A1;
-    const A4: f64 = 1.306_562_964_876_377; // cos(pi/8) + cos(3pi/8)
-    const A5: f64 = 0.382_683_432_365_09; // cos(3pi/8)
-
     let tmp0 = d[0] + d[7];
     let tmp7 = d[0] - d[7];
     let tmp1 = d[1] + d[6];
@@ -135,9 +146,10 @@ fn aan_1d(d: &mut [f64; 8]) {
     d[7] = z11 - z4;
 }
 
-/// AAN fast forward DCT. Output equals [`fdct_naive`] after descaling,
-/// which [`quantize_aan`] folds into quantization.
-pub fn fdct_aan(block: &[u8; 64]) -> [f64; 64] {
+/// AAN fast forward DCT — the scalar oracle the SIMD path is checked
+/// against. Output equals [`fdct_naive`] after descaling, which
+/// [`quantize_aan`] folds into quantization.
+pub fn fdct_aan_scalar(block: &[u8; 64]) -> [f64; 64] {
     let mut data = [0.0f64; 64];
     for (s, &p) in data.iter_mut().zip(block) {
         *s = p as f64 - 128.0;
@@ -163,6 +175,31 @@ pub fn fdct_aan(block: &[u8; 64]) -> [f64; 64] {
     data
 }
 
+/// AAN fast forward DCT: the vectorized path when available (bit-identical
+/// per lane), the scalar oracle otherwise.
+pub fn fdct_aan(block: &[u8; 64]) -> [f64; 64] {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::avx_available() {
+        // SAFETY: AVX support was just detected.
+        return unsafe { simd::fdct_aan_avx(block) };
+    }
+    fdct_aan_scalar(block)
+}
+
+/// True when the vectorized AAN/quantize/YUV paths are compiled in and the
+/// host supports them (reported by benches; correctness never depends on
+/// it).
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        simd::avx_available()
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
 /// Quantize true (unscaled) DCT coefficients.
 pub fn quantize(coeffs: &[f64; 64], table: &[u16; 64]) -> [i16; 64] {
     let mut out = [0i16; 64];
@@ -173,7 +210,7 @@ pub fn quantize(coeffs: &[f64; 64], table: &[u16; 64]) -> [i16; 64] {
 }
 
 /// Quantize raw AAN output, folding the AAN scale factors into the
-/// divisor (`table[v*8+u] * s[u] * s[v] * 8`).
+/// divisor (`table[v*8+u] * s[u] * s[v] * 8`) — the scalar oracle.
 pub fn quantize_aan(coeffs: &[f64; 64], table: &[u16; 64]) -> [i16; 64] {
     let s = aan_scale();
     let mut out = [0i16; 64];
@@ -187,15 +224,75 @@ pub fn quantize_aan(coeffs: &[f64; 64], table: &[u16; 64]) -> [i16; 64] {
     out
 }
 
+/// Precompute the AAN-folded quantization divisors for a table, so
+/// multi-block batches pay the `aan_scale` products once. The expression
+/// matches [`quantize_aan`] exactly (same operation order), keeping the
+/// precomputed path bit-identical.
+pub fn aan_divisors(table: &[u16; 64]) -> [f64; 64] {
+    let s = aan_scale();
+    let mut div = [0.0f64; 64];
+    for v in 0..8 {
+        for u in 0..8 {
+            let i = v * 8 + u;
+            div[i] = table[i] as f64 * s[u] * s[v] * 8.0;
+        }
+    }
+    div
+}
+
+/// Quantize raw AAN output against precomputed [`aan_divisors`]. The
+/// division vectorizes (IEEE division is lane-exact); rounding stays
+/// scalar because `_mm256_round_pd` rounds half-to-even while
+/// `f64::round` rounds half-away-from-zero.
+pub fn quantize_aan_div(coeffs: &[f64; 64], divisors: &[f64; 64]) -> [i16; 64] {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::avx_available() {
+        // SAFETY: AVX support was just detected.
+        return unsafe { simd::quantize_aan_div_avx(coeffs, divisors) };
+    }
+    let mut out = [0i16; 64];
+    for i in 0..64 {
+        out[i] = (coeffs[i] / divisors[i]).round() as i16;
+    }
+    out
+}
+
 /// Forward DCT + quantization with the naive transform (the paper's
 /// configuration).
 pub fn dct_quantize_naive(block: &[u8; 64], table: &[u16; 64]) -> [i16; 64] {
     quantize(&fdct_naive(block), table)
 }
 
-/// Forward DCT + quantization with the AAN transform.
+/// Forward DCT + quantization with the AAN transform (vectorized when
+/// available, bit-identical to [`dct_quantize_aan_scalar`]).
 pub fn dct_quantize_aan(block: &[u8; 64], table: &[u16; 64]) -> [i16; 64] {
-    quantize_aan(&fdct_aan(block), table)
+    quantize_aan_div(&fdct_aan(block), &aan_divisors(table))
+}
+
+/// Forward DCT + quantization on the pure scalar path — the bit-exactness
+/// oracle for [`dct_quantize_aan`].
+pub fn dct_quantize_aan_scalar(block: &[u8; 64], table: &[u16; 64]) -> [i16; 64] {
+    quantize_aan(&fdct_aan_scalar(block), table)
+}
+
+/// Forward DCT + quantization with precomputed divisors — the per-unit
+/// amortized form the batched MJPEG kernel body uses.
+pub fn dct_quantize_aan_div(block: &[u8; 64], divisors: &[f64; 64]) -> [i16; 64] {
+    quantize_aan_div(&fdct_aan(block), divisors)
+}
+
+/// Transform + quantize a contiguous run of 8×8 blocks (`blocks.len()`
+/// and `out.len()` must be equal multiples of 64). Amortizes the divisor
+/// precomputation across the batch; each block takes the vectorized path
+/// when available.
+pub fn dct_quantize_aan_blocks(blocks: &[u8], table: &[u16; 64], out: &mut [i16]) {
+    assert_eq!(blocks.len() % 64, 0, "blocks must be a multiple of 64");
+    assert_eq!(blocks.len(), out.len(), "output length must match input");
+    let div = aan_divisors(table);
+    for (b_in, b_out) in blocks.chunks_exact(64).zip(out.chunks_exact_mut(64)) {
+        let block: &[u8; 64] = b_in.try_into().expect("exact 64-byte chunk");
+        b_out.copy_from_slice(&dct_quantize_aan_div(block, &div));
+    }
 }
 
 /// Inverse 8×8 DCT (naive), for round-trip tests.
@@ -228,6 +325,182 @@ pub fn dequantize(q: &[i16; 64], table: &[u16; 64]) -> [f64; 64] {
         out[i] = q[i] as f64 * table[i] as f64;
     }
     out
+}
+
+/// Explicit-SIMD AAN DCT + quantization (x86_64 AVX, stable `core::arch`).
+///
+/// The transform keeps bit-exactness with the scalar oracle by
+/// construction: the block is transposed so each [`V8`] vector holds one
+/// butterfly index across all 8 rows (then all 8 columns), and
+/// [`aan_vec`] performs exactly the add/sub/mul sequence of [`aan_1d`]
+/// per lane. AVX `add/sub/mul/div_pd` are IEEE-754 operations identical
+/// to their scalar counterparts, and no FMA contraction is used, so every
+/// lane computes the same bits the scalar code would.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd {
+    use core::arch::x86_64::*;
+
+    use super::{A1, A2, A3, A4, A5};
+
+    /// Runtime AVX detection (cached by std behind an atomic).
+    #[inline]
+    pub fn avx_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx")
+    }
+
+    /// Eight f64 lanes as a pair of 256-bit registers (lanes 0–3, 4–7).
+    #[derive(Copy, Clone)]
+    struct V8(__m256d, __m256d);
+
+    #[target_feature(enable = "avx")]
+    fn vadd(a: V8, b: V8) -> V8 {
+        V8(_mm256_add_pd(a.0, b.0), _mm256_add_pd(a.1, b.1))
+    }
+
+    #[target_feature(enable = "avx")]
+    fn vsub(a: V8, b: V8) -> V8 {
+        V8(_mm256_sub_pd(a.0, b.0), _mm256_sub_pd(a.1, b.1))
+    }
+
+    #[target_feature(enable = "avx")]
+    fn vmul_s(a: V8, s: f64) -> V8 {
+        let k = _mm256_set1_pd(s);
+        V8(_mm256_mul_pd(a.0, k), _mm256_mul_pd(a.1, k))
+    }
+
+    /// The AAN butterfly of [`super::aan_1d`], one lane per row/column.
+    #[target_feature(enable = "avx")]
+    fn aan_vec(d: &mut [V8; 8]) {
+        let tmp0 = vadd(d[0], d[7]);
+        let tmp7 = vsub(d[0], d[7]);
+        let tmp1 = vadd(d[1], d[6]);
+        let tmp6 = vsub(d[1], d[6]);
+        let tmp2 = vadd(d[2], d[5]);
+        let tmp5 = vsub(d[2], d[5]);
+        let tmp3 = vadd(d[3], d[4]);
+        let tmp4 = vsub(d[3], d[4]);
+
+        // Even part.
+        let tmp10 = vadd(tmp0, tmp3);
+        let tmp13 = vsub(tmp0, tmp3);
+        let tmp11 = vadd(tmp1, tmp2);
+        let tmp12 = vsub(tmp1, tmp2);
+
+        d[0] = vadd(tmp10, tmp11);
+        d[4] = vsub(tmp10, tmp11);
+
+        let z1 = vmul_s(vadd(tmp12, tmp13), A1);
+        d[2] = vadd(tmp13, z1);
+        d[6] = vsub(tmp13, z1);
+
+        // Odd part.
+        let tmp10 = vadd(tmp4, tmp5);
+        let tmp11 = vadd(tmp5, tmp6);
+        let tmp12 = vadd(tmp6, tmp7);
+
+        let z5 = vmul_s(vsub(tmp10, tmp12), A5);
+        let z2 = vadd(vmul_s(tmp10, A2), z5);
+        let z4 = vadd(vmul_s(tmp12, A4), z5);
+        let z3 = vmul_s(tmp11, A3);
+
+        let z11 = vadd(tmp7, z3);
+        let z13 = vsub(tmp7, z3);
+
+        d[5] = vadd(z13, z2);
+        d[3] = vsub(z13, z2);
+        d[1] = vadd(z11, z4);
+        d[7] = vsub(z11, z4);
+    }
+
+    /// Transpose four 4×4 f64 rows.
+    #[target_feature(enable = "avx")]
+    fn transpose4(
+        a: __m256d,
+        b: __m256d,
+        c: __m256d,
+        d: __m256d,
+    ) -> (__m256d, __m256d, __m256d, __m256d) {
+        let t0 = _mm256_shuffle_pd(a, b, 0x0); // a0 b0 a2 b2
+        let t1 = _mm256_shuffle_pd(a, b, 0xF); // a1 b1 a3 b3
+        let t2 = _mm256_shuffle_pd(c, d, 0x0);
+        let t3 = _mm256_shuffle_pd(c, d, 0xF);
+        (
+            _mm256_permute2f128_pd(t0, t2, 0x20), // a0 b0 c0 d0
+            _mm256_permute2f128_pd(t1, t3, 0x20),
+            _mm256_permute2f128_pd(t0, t2, 0x31), // a2 b2 c2 d2
+            _mm256_permute2f128_pd(t1, t3, 0x31),
+        )
+    }
+
+    /// Full 8×8 transpose: 2×2 arrangement of 4×4 tiles, each transposed
+    /// in place with the off-diagonal tiles swapped.
+    #[target_feature(enable = "avx")]
+    fn transpose8(m: &mut [V8; 8]) {
+        let (a0, a1, a2, a3) = transpose4(m[0].0, m[1].0, m[2].0, m[3].0);
+        let (b0, b1, b2, b3) = transpose4(m[0].1, m[1].1, m[2].1, m[3].1);
+        let (c0, c1, c2, c3) = transpose4(m[4].0, m[5].0, m[6].0, m[7].0);
+        let (d0, d1, d2, d3) = transpose4(m[4].1, m[5].1, m[6].1, m[7].1);
+        m[0] = V8(a0, c0);
+        m[1] = V8(a1, c1);
+        m[2] = V8(a2, c2);
+        m[3] = V8(a3, c3);
+        m[4] = V8(b0, d0);
+        m[5] = V8(b1, d1);
+        m[6] = V8(b2, d2);
+        m[7] = V8(b3, d3);
+    }
+
+    /// Vectorized AAN forward DCT, bit-identical to
+    /// [`super::fdct_aan_scalar`].
+    ///
+    /// # Safety
+    /// The caller must have verified AVX support ([`avx_available`]).
+    #[target_feature(enable = "avx")]
+    pub unsafe fn fdct_aan_avx(block: &[u8; 64]) -> [f64; 64] {
+        let mut data = [0.0f64; 64];
+        for (s, &p) in data.iter_mut().zip(block) {
+            *s = p as f64 - 128.0;
+        }
+        let mut m = [V8(_mm256_setzero_pd(), _mm256_setzero_pd()); 8];
+        for (r, v) in m.iter_mut().enumerate() {
+            *v = V8(
+                _mm256_loadu_pd(data.as_ptr().add(r * 8)),
+                _mm256_loadu_pd(data.as_ptr().add(r * 8 + 4)),
+            );
+        }
+        // Row pass: lanes = rows, butterfly index = column.
+        transpose8(&mut m);
+        aan_vec(&mut m);
+        // Column pass: lanes = columns, butterfly index = row.
+        transpose8(&mut m);
+        aan_vec(&mut m);
+        let mut out = [0.0f64; 64];
+        for (r, v) in m.iter().enumerate() {
+            _mm256_storeu_pd(out.as_mut_ptr().add(r * 8), v.0);
+            _mm256_storeu_pd(out.as_mut_ptr().add(r * 8 + 4), v.1);
+        }
+        out
+    }
+
+    /// Vectorized quantization against precomputed divisors: IEEE-exact
+    /// vector division, scalar half-away-from-zero rounding.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX support ([`avx_available`]).
+    #[target_feature(enable = "avx")]
+    pub unsafe fn quantize_aan_div_avx(coeffs: &[f64; 64], divisors: &[f64; 64]) -> [i16; 64] {
+        let mut q = [0.0f64; 64];
+        for i in (0..64).step_by(4) {
+            let c = _mm256_loadu_pd(coeffs.as_ptr().add(i));
+            let d = _mm256_loadu_pd(divisors.as_ptr().add(i));
+            _mm256_storeu_pd(q.as_mut_ptr().add(i), _mm256_div_pd(c, d));
+        }
+        let mut out = [0i16; 64];
+        for i in 0..64 {
+            out[i] = q[i].round() as i16;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -325,6 +598,53 @@ mod tests {
             assert!(q10[i] >= q50[i]);
             assert!(q90[i] <= q50[i]);
             assert!(q90[i] >= 1);
+        }
+    }
+
+    #[test]
+    fn simd_fdct_bit_identical_to_scalar_oracle() {
+        // On hosts without AVX (or with the feature off) fdct_aan *is*
+        // the scalar path and the assertion is trivially true.
+        for seed in 0u8..=255 {
+            let block = test_block(seed);
+            let simd = fdct_aan(&block);
+            let scalar = fdct_aan_scalar(&block);
+            for i in 0..64 {
+                assert_eq!(
+                    simd[i].to_bits(),
+                    scalar[i].to_bits(),
+                    "seed {seed} coeff {i}: {} vs {}",
+                    simd[i],
+                    scalar[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_quantize_bit_identical_to_scalar_oracle() {
+        for seed in [0u8, 1, 42, 128, 200, 255] {
+            for quality in [5u8, 50, 75, 95] {
+                let block = test_block(seed);
+                let table = scaled_quant_table(&QUANT_LUMA, quality);
+                assert_eq!(
+                    dct_quantize_aan(&block, &table),
+                    dct_quantize_aan_scalar(&block, &table),
+                    "seed {seed} quality {quality}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_batch_matches_per_block() {
+        let table = scaled_quant_table(&QUANT_LUMA, 75);
+        let blocks: Vec<u8> = (0..8u8).flat_map(|s| test_block(s).to_vec()).collect();
+        let mut out = vec![0i16; blocks.len()];
+        dct_quantize_aan_blocks(&blocks, &table, &mut out);
+        for (s, chunk) in out.chunks_exact(64).enumerate() {
+            let expect = dct_quantize_aan(&test_block(s as u8), &table);
+            assert_eq!(chunk, &expect[..], "block {s}");
         }
     }
 

@@ -23,7 +23,8 @@ use p2g_graph::spec::{
 use p2g_runtime::{Program, RuntimeError, Session, SessionSink};
 
 use crate::dct::{
-    dct_quantize_aan, dct_quantize_naive, scaled_quant_table, QUANT_CHROMA, QUANT_LUMA,
+    aan_divisors, dct_quantize_aan, dct_quantize_aan_div, dct_quantize_naive, scaled_quant_table,
+    QUANT_CHROMA, QUANT_LUMA,
 };
 use crate::jpeg::{write_frame, JpegParams};
 use crate::synthetic::FrameSource;
@@ -345,6 +346,44 @@ fn install_dct_bodies(program: &mut Program, config: &MjpegConfig) {
         if config.dct_chunk > 1 {
             program.set_chunk_size(name, config.dct_chunk);
         }
+        // Whole-unit batch body for the batched execution path
+        // ([`p2g_runtime::RunLimits::batch_exec`]): parse the quality
+        // parameter and derive the quantization table/divisors ONCE per
+        // unit instead of once per block, then transform every block of
+        // the unit back-to-back. Bit-identical to the scalar body.
+        let stall = if name == "yDCT" {
+            config.stall_frame
+        } else {
+            None
+        };
+        program.batch_body(name, move |bctx| {
+            if stall.is_some() {
+                // The stall knob needs per-instance cancellation; let the
+                // runtime fall back to the scalar path.
+                return Err("stall injection forces per-instance bodies".into());
+            }
+            let q = match bctx.input(0, 1).value(0) {
+                Value::I32(q) => q as u8,
+                other => return Err(format!("bad params value {other:?}")),
+            };
+            let table = scaled_quant_table(&base, q);
+            let divisors = aan_divisors(&table);
+            let mut block = [0u8; 64];
+            for i in 0..bctx.len() {
+                let samples = bctx
+                    .input(i, 0)
+                    .as_u8()
+                    .ok_or_else(|| "input block must be u8".to_string())?;
+                block.copy_from_slice(samples);
+                let coeffs = if fast {
+                    dct_quantize_aan_div(&block, &divisors)
+                } else {
+                    dct_quantize_naive(&block, &table)
+                };
+                bctx.store(i, 0, Buffer::from_vec(coeffs.to_vec()));
+            }
+            Ok(())
+        });
     }
 }
 
@@ -546,6 +585,40 @@ mod tests {
         };
         let (stream, _) = run_pipeline(src, config, 4);
         assert_eq!(stream, reference);
+    }
+
+    #[test]
+    fn batched_and_adaptive_execution_is_bit_exact() {
+        use p2g_runtime::AdaptiveGranularity;
+        let src = SyntheticVideo::new(32, 32, 3, 5);
+        let reference = encode_standalone(&src, 75, 3, true);
+        let config = MjpegConfig {
+            quality: 75,
+            max_frames: 3,
+            fast_dct: true,
+            dct_chunk: 8,
+            ..MjpegConfig::default()
+        };
+        let (program, sink) = build_mjpeg_program(Arc::new(src), config).unwrap();
+        let report = NodeBuilder::new(program)
+            .workers(4)
+            .launch(
+                RunLimits::ages(4)
+                    .with_gc_window(4)
+                    .with_batch_exec()
+                    .with_adaptive(AdaptiveGranularity::default()),
+            )
+            .and_then(|n| n.wait())
+            .unwrap();
+        assert_eq!(
+            sink.take(),
+            reference,
+            "batched + adaptive run must stay bit-exact"
+        );
+        assert!(
+            report.instruments.batched_instances() > 0,
+            "chunked DCT units must take the batched path"
+        );
     }
 
     #[test]

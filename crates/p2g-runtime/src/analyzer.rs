@@ -212,6 +212,9 @@ pub struct DependencyAnalyzer {
     /// Sharded mode: `(field, age)` keys whose expected extents grew since
     /// the last [`DependencyAnalyzer::take_outbox`] — broadcast to peers.
     outbox_keys: Vec<(u32, u64)>,
+    /// Adaptive mode: the online chunk-size controller consulted (instead
+    /// of the static `chunk_size`) when chunking runnable instances.
+    granularity: Option<Arc<crate::granularity::GranularityController>>,
 }
 
 impl DependencyAnalyzer {
@@ -313,8 +316,31 @@ impl DependencyAnalyzer {
             gc_collected: 0,
             scope: None,
             outbox_keys: Vec::new(),
+            granularity: None,
             spec,
         }
+    }
+
+    /// Attach the run's granularity controller: [`Self::chunk_size_for`]
+    /// then follows its live per-kernel targets.
+    pub fn set_granularity(
+        &mut self,
+        controller: Arc<crate::granularity::GranularityController>,
+    ) {
+        self.granularity = Some(controller);
+    }
+
+    /// The chunk size to cut `kernel`'s runnable instances into right now:
+    /// the controller's live target when adaptation covers this kernel,
+    /// the static [`KernelOptions::chunk_size`] otherwise.
+    fn chunk_size_for(&self, kernel: KernelId) -> usize {
+        if let Some(g) = &self.granularity {
+            let c = g.chunk_for(kernel);
+            if c > 0 {
+                return c;
+            }
+        }
+        self.options[kernel.idx()].chunk_size.max(1)
     }
 
     /// Drain the dedup tally accumulated since the last call.
@@ -1526,7 +1552,7 @@ impl DependencyAnalyzer {
                 runnable.push(idx);
             }
         }
-        let chunk = self.options[kid.idx()].chunk_size.max(1);
+        let chunk = self.chunk_size_for(kid);
         for group in runnable.chunks(chunk) {
             self.emit(DispatchUnit::new(kid, Age(a), group.to_vec()), out);
         }
@@ -2011,7 +2037,7 @@ impl DependencyAnalyzer {
         }
 
         // Chunk runnable instances into dispatch units (data granularity).
-        let chunk = self.options[kid.idx()].chunk_size.max(1);
+        let chunk = self.chunk_size_for(kid);
         for group in runnable.chunks(chunk) {
             self.emit(DispatchUnit::new(kid, Age(a), group.to_vec()), out);
         }

@@ -247,6 +247,11 @@ pub struct Instruments {
     /// Worker-side inline dispatches — ready successors that skipped the
     /// analyzer round trip entirely.
     inline_dispatches: AtomicU64,
+    /// Instances executed through the batched work-unit path (one queue
+    /// pop / one `catch_unwind` chain per multi-instance unit).
+    batched_instances: AtomicU64,
+    /// Chunk-size decisions made by the online granularity controller.
+    granularity_changes: AtomicU64,
 }
 
 /// Poisoned-instance index vectors keyed by (kernel name, age).
@@ -277,7 +282,47 @@ impl Instruments {
             shard_events: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             shard_queue_peak: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             inline_dispatches: AtomicU64::new(0),
+            batched_instances: AtomicU64::new(0),
+            granularity_changes: AtomicU64::new(0),
         }
+    }
+
+    /// Record instances executed through the batched work-unit path.
+    pub fn record_batched(&self, instances: u64) {
+        self.batched_instances.fetch_add(instances, Ordering::Relaxed);
+    }
+
+    /// Instances executed through the batched path so far.
+    pub fn batched_instances(&self) -> u64 {
+        self.batched_instances.load(Ordering::Relaxed)
+    }
+
+    /// Record one chunk-size decision by the granularity controller.
+    pub fn record_granularity_change(&self) {
+        self.granularity_changes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Chunk-size decisions made by the granularity controller so far.
+    pub fn granularity_changes(&self) -> u64 {
+        self.granularity_changes.load(Ordering::Relaxed)
+    }
+
+    /// Live raw counter reads for one kernel —
+    /// `(instances, units, dispatch_ns, kernel_ns)` — the monotonic inputs
+    /// the granularity controller differentiates per interval.
+    pub fn kernel_raw(&self, kernel: KernelId) -> (u64, u64, u64, u64) {
+        let c = &self.kernels[kernel.idx()].1;
+        (
+            c.instances.load(Ordering::Relaxed),
+            c.units.load(Ordering::Relaxed),
+            c.dispatch_ns.load(Ordering::Relaxed),
+            c.kernel_ns.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Live body-latency histogram snapshot for one kernel.
+    pub fn latency_histogram(&self, kernel: KernelId) -> LatencyHistogram {
+        self.kernels[kernel.idx()].1.latency.snapshot()
     }
 
     /// Record events processed by one analyzer shard.
@@ -504,24 +549,34 @@ impl Instruments {
             .collect()
     }
 
-    /// Render the paper's micro-benchmark table (Tables II/III format).
+    /// Render the paper's micro-benchmark table (Tables II/III format),
+    /// extended with the per-kernel body-latency percentiles the
+    /// granularity controller reads.
     pub fn render_table(&self) -> String {
-        let mut s = String::new();
-        s.push_str(&format!(
-            "{:<16} {:>10} {:>16} {:>16}\n",
-            "Kernel", "Instances", "Dispatch Time", "Kernel Time"
-        ));
-        for (name, st) in self.all() {
-            s.push_str(&format!(
-                "{:<16} {:>10} {:>13.2} us {:>13.2} us\n",
-                name,
-                st.instances,
-                st.dispatch_us(),
-                st.kernel_us()
-            ));
-        }
-        s
+        render_kernel_table(&self.all())
     }
+}
+
+/// Shared renderer for the live and snapshot instrument tables.
+fn render_kernel_table(entries: &[(String, KernelStats)]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<16} {:>10} {:>16} {:>16} {:>10} {:>10} {:>10}\n",
+        "Kernel", "Instances", "Dispatch Time", "Kernel Time", "p50", "p95", "p99"
+    ));
+    for (name, st) in entries {
+        s.push_str(&format!(
+            "{:<16} {:>10} {:>13.2} us {:>13.2} us {:>7.1} us {:>7.1} us {:>7.1} us\n",
+            name,
+            st.instances,
+            st.dispatch_us(),
+            st.kernel_us(),
+            st.latency.p50().as_nanos() as f64 / 1000.0,
+            st.latency.p95().as_nanos() as f64 / 1000.0,
+            st.latency.p99().as_nanos() as f64 / 1000.0,
+        ));
+    }
+    s
 }
 
 /// Why a run ended.
@@ -575,6 +630,8 @@ pub struct InstrumentsSnapshot {
     shard_events: Vec<u64>,
     shard_queue_peaks: Vec<u64>,
     inline_dispatches: u64,
+    batched_instances: u64,
+    granularity_changes: u64,
 }
 
 impl InstrumentsSnapshot {
@@ -593,7 +650,19 @@ impl InstrumentsSnapshot {
             shard_events: live.shard_events(),
             shard_queue_peaks: live.shard_queue_peaks(),
             inline_dispatches: live.inline_dispatches(),
+            batched_instances: live.batched_instances(),
+            granularity_changes: live.granularity_changes(),
         }
+    }
+
+    /// Instances executed through the batched work-unit path.
+    pub fn batched_instances(&self) -> u64 {
+        self.batched_instances
+    }
+
+    /// Chunk-size decisions made by the online granularity controller.
+    pub fn granularity_changes(&self) -> u64 {
+        self.granularity_changes
     }
 
     /// Total `(field, age)` slabs retired by age GC during the run.
@@ -692,20 +761,14 @@ impl InstrumentsSnapshot {
         &self.volumes
     }
 
-    /// Render as the paper's micro-benchmark table.
+    /// Render as the paper's micro-benchmark table (with latency
+    /// percentile columns).
     pub fn render_table(&self) -> String {
-        let mut s = String::new();
-        s.push_str(&format!(
-            "{:<16} {:>10} {:>16} {:>16}\n",
-            "Kernel", "Instances", "Dispatch Time", "Kernel Time"
-        ));
-        for (name, st) in &self.entries {
+        let mut s = render_kernel_table(&self.entries);
+        if self.batched_instances > 0 || self.granularity_changes > 0 {
             s.push_str(&format!(
-                "{:<16} {:>10} {:>13.2} us {:>13.2} us\n",
-                name,
-                st.instances,
-                st.dispatch_us(),
-                st.kernel_us()
+                "batched path     {:>10} instances {:>7} granularity changes\n",
+                self.batched_instances, self.granularity_changes
             ));
         }
         if self.shard_events.len() > 1 {
@@ -786,5 +849,45 @@ mod tests {
         let snap = InstrumentsSnapshot::capture(&ins);
         assert!(snap.render_table().contains("yDCT"));
         assert_eq!(snap.kernel("yDCT").unwrap().instances, 1);
+    }
+
+    #[test]
+    fn latency_percentiles_in_tables() {
+        let ins = Instruments::new(vec!["k".into()]);
+        ins.record_latency(KernelId(0), Duration::from_micros(100));
+        ins.record_latency(KernelId(0), Duration::from_micros(3));
+        let table = ins.render_table();
+        assert!(table.contains("p50") && table.contains("p95") && table.contains("p99"));
+        let snap = InstrumentsSnapshot::capture(&ins);
+        assert!(snap.render_table().contains("p95"));
+        let (p50, p95, p99) = snap.latency_quantiles("k").unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn batched_and_granularity_counters() {
+        let ins = Instruments::new(vec!["k".into()]);
+        ins.record_batched(16);
+        ins.record_granularity_change();
+        assert_eq!(ins.batched_instances(), 16);
+        assert_eq!(ins.granularity_changes(), 1);
+        let snap = InstrumentsSnapshot::capture(&ins);
+        assert_eq!(snap.batched_instances(), 16);
+        assert_eq!(snap.granularity_changes(), 1);
+        assert!(snap.render_table().contains("batched path"));
+    }
+
+    #[test]
+    fn kernel_raw_reads_live_counters() {
+        let ins = Instruments::new(vec!["k".into()]);
+        ins.record_unit(
+            KernelId(0),
+            4,
+            Duration::from_nanos(100),
+            Duration::from_nanos(400),
+        );
+        assert_eq!(ins.kernel_raw(KernelId(0)), (4, 1, 100, 400));
+        assert_eq!(ins.latency_histogram(KernelId(0)).count(), 0);
     }
 }

@@ -51,6 +51,7 @@
 pub mod analyzer;
 pub mod error;
 pub mod events;
+pub mod granularity;
 pub mod instance;
 pub mod instrument;
 pub mod node;
@@ -68,12 +69,13 @@ mod watchdog;
 pub use analyzer::{AgeWatchFn, DependencyAnalyzer};
 pub use error::RuntimeError;
 pub use events::{Event, StoreEvent};
+pub use granularity::{GranularityChangeInfo, GranularityController};
 pub use instance::InstanceKey;
 pub use instrument::{Instruments, KernelStats, LatencyHistogram, RunReport, Termination};
 pub use node::{FieldStore, NodeBuilder, NodeHandle, RunningNode, StoreTap};
-pub use options::{ExhaustPolicy, FaultPolicy, KernelOptions, RunLimits};
+pub use options::{AdaptiveGranularity, ExhaustPolicy, FaultPolicy, KernelOptions, RunLimits};
 pub use pool::WorkerPool;
-pub use program::{BodyResult, KernelCtx, Program};
+pub use program::{BatchCtx, BodyResult, KernelCtx, Program};
 pub use session::{
     Session, SessionConfig, SessionOutput, SessionReport, SessionRuntime, SessionSink,
     SubmitError, Ticket,

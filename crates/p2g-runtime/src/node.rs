@@ -23,11 +23,12 @@ use p2g_graph::{KernelId, ProgramSpec};
 use crate::analyzer::{AgeWatchFn, DependencyAnalyzer, SharedFields};
 use crate::error::RuntimeError;
 use crate::events::{Event, StoreEvent};
+use crate::granularity::GranularityController;
 use crate::instance::DispatchUnit;
 use crate::instrument::{Instruments, InstrumentsSnapshot, RunReport, Termination};
 use crate::options::{ExhaustPolicy, FaultPolicy, KernelOptions, RunLimits};
 use crate::pool::{PoolTask, WorkerPool};
-use crate::program::{FusionPlan, KernelBody, KernelCtx, Program, StagedStore};
+use crate::program::{BatchCtx, BatchKernelBody, FusionPlan, KernelBody, KernelCtx, Program, StagedStore};
 use crate::ready::ReadyQueue;
 use crate::shard::{ShardGc, ShardPlan};
 use crate::timer::TimerTable;
@@ -195,6 +196,9 @@ fn build_inline_plans(
 pub(crate) struct Shared {
     spec: Arc<ProgramSpec>,
     bodies: Vec<Option<KernelBody>>,
+    /// Optional whole-unit bodies, used opportunistically on the batched
+    /// path when a kernel registered one.
+    batch_bodies: Vec<Option<BatchKernelBody>>,
     fusions: Vec<FusionPlan>,
     fields: SharedFields,
     ready: ReadyQueue,
@@ -234,6 +238,13 @@ pub(crate) struct Shared {
     /// Session mode: ready units go to this shared pool instead of the
     /// node's private queue (which then has no workers of its own).
     pool: Option<Arc<WorkerPool>>,
+    /// Batched instance execution ([`RunLimits::batch_exec`]): eligible
+    /// multi-instance units run as one work unit with merged fetches,
+    /// segmented `catch_unwind`, and merged store events.
+    batch_exec: bool,
+    /// The online chunk-size controller, ticked by analyzer shard 0
+    /// ([`RunLimits::adaptive`]).
+    granularity: Option<Arc<GranularityController>>,
 }
 
 impl Shared {
@@ -490,6 +501,7 @@ impl NodeBuilder {
         let Program {
             spec,
             bodies,
+            batch_bodies,
             options,
             fusions,
             timers,
@@ -539,12 +551,20 @@ impl NodeBuilder {
         // keep the analyzer off the critical path) and can be opted into
         // explicitly; cluster-assigned nodes keep every dispatch decision
         // in the analyzer, where recovery rescans can reconcile it.
-        let inline: Vec<Option<InlinePlan>> =
-            if self.assigned.is_none() && (shards > 1 || limits.inline_dispatch) {
-                build_inline_plans(&spec, &options, &fused_consumers, &watched, &limits)
-            } else {
-                (0..spec.fields.len()).map(|_| None).collect()
-            };
+        // Adaptive granularity disables it: the inline plan requires
+        // chunk-size 1, which the controller is free to change online.
+        let inline: Vec<Option<InlinePlan>> = if limits.adaptive.is_none()
+            && self.assigned.is_none()
+            && (shards > 1 || limits.inline_dispatch)
+        {
+            build_inline_plans(&spec, &options, &fused_consumers, &watched, &limits)
+        } else {
+            (0..spec.fields.len()).map(|_| None).collect()
+        };
+        let granularity = limits.adaptive.as_ref().map(|cfg| {
+            let adaptive = GranularityController::eligibility(&spec, &options, &fusions);
+            Arc::new(GranularityController::new(cfg.clone(), &options, adaptive))
+        });
 
         // Trace buffer ids: workers 0..n, then the analyzer shards,
         // watchdog, main. Pool-attached nodes have no private workers;
@@ -578,6 +598,7 @@ impl NodeBuilder {
         let shared = Arc::new(Shared {
             spec: spec.clone(),
             bodies,
+            batch_bodies,
             fusions: fusions.clone(),
             fields: fields.clone(),
             ready: ReadyQueue::new(),
@@ -600,6 +621,8 @@ impl NodeBuilder {
             watchdog,
             tracer: tracer.clone(),
             pool: self.pool.clone(),
+            batch_exec: limits.batch_exec,
+            granularity: granularity.clone(),
         });
 
         let mut analyzers = Vec::with_capacity(shards);
@@ -619,6 +642,9 @@ impl NodeBuilder {
             }
             if let (Some(plan), Some(gc)) = (&shard_plan, &shard_gc) {
                 analyzer.set_shard_scope(plan.clone(), s, gc.clone());
+            }
+            if let Some(g) = &granularity {
+                analyzer.set_granularity(g.clone());
             }
             analyzers.push(analyzer);
         }
@@ -1027,6 +1053,12 @@ fn analyzer_loop(
                 return Termination::DeadlineExpired;
             }
         }
+        // Adaptive granularity: shard 0 runs the controller tick (it is
+        // interval-gated internally, so this is one lock + compare on the
+        // idle path).
+        if shard == 0 {
+            granularity_tick(&shared);
+        }
         let mut next = match events_rx.recv_timeout(Duration::from_millis(5)) {
             Ok(ev) => Some(ev),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
@@ -1122,6 +1154,24 @@ fn worker_loop(shared: Arc<Shared>) {
     }
 }
 
+/// One controller tick ([`RunLimits::adaptive`]): differentiate the
+/// instrument counters and publish every chunk-size decision as a
+/// `GranularityChange` trace event. Called from analyzer shard 0 only, so
+/// decisions are totally ordered.
+fn granularity_tick(shared: &Arc<Shared>) {
+    let Some(g) = &shared.granularity else { return };
+    for ch in g.tick(&shared.instruments) {
+        shared.instruments.record_granularity_change();
+        shared.trace(|| TraceEvent::GranularityChange {
+            kernel: ch.kernel,
+            from: ch.from,
+            to: ch.to,
+            overhead_ppm: ch.overhead_ppm,
+            p95_ns: ch.p95_ns,
+        });
+    }
+}
+
 /// Deterministic jitter salt for a retry: hashes the unit identity so
 /// repeated runs back off identically.
 fn retry_salt(unit: &DispatchUnit, failed: &[Vec<usize>]) -> u64 {
@@ -1142,6 +1192,10 @@ fn run_unit(shared: &Arc<Shared>, unit: DispatchUnit) {
     // A failure-stop drains the queue without running stale units.
     if shared.stop.load(Ordering::SeqCst) && shared.has_failed() {
         shared.release_outstanding();
+        return;
+    }
+    if batch_eligible(shared, &unit) {
+        run_unit_batched(shared, unit);
         return;
     }
     let policy = &shared.fault[unit.kernel.idx()];
@@ -1281,6 +1335,477 @@ fn run_unit(shared: &Arc<Shared>, unit: DispatchUnit) {
         retried,
     });
     shared.release_outstanding();
+}
+
+/// Whether a dispatch unit may take the batched path: opted in
+/// ([`RunLimits::batch_exec`]), multi-instance, first attempt, and free of
+/// the features the scalar path implements per instance — store dedup
+/// (cluster mode), soft deadlines (per-instance watchdog registration),
+/// and fusion (inline consumer execution). Retry units fall back to the
+/// scalar path, which also handles their idempotent store replay.
+fn batch_eligible(shared: &Shared, unit: &DispatchUnit) -> bool {
+    let k = unit.kernel;
+    shared.batch_exec
+        && unit.instances.len() >= 2
+        && unit.attempt == 0
+        && !shared.dedup_stores
+        && shared.fault[k.idx()].deadline.is_none()
+        && !shared
+            .fusions
+            .iter()
+            .any(|f| f.producer == k || f.consumer == k)
+}
+
+/// Execute a batch-eligible dispatch unit as ONE work unit: one merged
+/// fetch pass (one field read-lock acquisition per fetch declaration
+/// covers every instance), bodies run either through the kernel's
+/// whole-unit batch body or back-to-back inside segmented
+/// `catch_unwind` frames, and contiguous per-instance stores coalesce
+/// into merged range stores (one write-lock, one store event). Fault
+/// containment is per instance: a failed body retries or poisons only
+/// itself, and only its own stores are withheld — its peers' land
+/// normally.
+fn run_unit_batched(shared: &Arc<Shared>, unit: DispatchUnit) {
+    use p2g_graph::spec::IndexSel;
+    let kernel = unit.kernel;
+    let kspec = shared.spec.kernel(kernel);
+    let policy = &shared.fault[kernel.idx()];
+    let n = unit.instances.len();
+    let t_unit = Instant::now();
+    let mut body_time = Duration::ZERO;
+    let mut stored_any = unit.prior_stored;
+
+    // Merged fetch assembly. Buffers are still copies — workers never
+    // hold field locks while running kernel code.
+    let mut inputs: Vec<Vec<Buffer>> = (0..n)
+        .map(|_| Vec::with_capacity(kspec.fetches.len()))
+        .collect();
+    let mut fetch_err: Option<p2g_field::FieldError> = None;
+    'fetch: for fe in &kspec.fetches {
+        let fa = fe.age.resolve(unit.age);
+        let guard = shared.fields[fe.field.idx()].read();
+        for (i, indices) in unit.instances.iter().enumerate() {
+            let region = crate::program::resolve_region(&fe.dims, indices);
+            match guard.fetch(fa, &region) {
+                Ok(buf) => inputs[i].push(buf),
+                Err(e) => {
+                    fetch_err = Some(e);
+                    break 'fetch;
+                }
+            }
+        }
+    }
+    if let Some(e) = fetch_err {
+        shared.fail(RuntimeError::Field(e));
+        shared.release_outstanding();
+        return;
+    }
+
+    // Whole-unit batch body, when the kernel registered one: a single
+    // invocation stages every instance's stores. An `Err` or panic falls
+    // back to the per-instance path — batch bodies are pure, so the
+    // discarded partial staging is the only effect lost.
+    let mut outcomes: Option<Vec<Result<Vec<StagedStore>, String>>> = None;
+    if let Some(bbody) = &shared.batch_bodies[kernel.idx()] {
+        let mut bctx = BatchCtx {
+            spec: kspec,
+            age: unit.age,
+            instances: &unit.instances,
+            inputs: &inputs,
+            staged: (0..n).map(|_| Vec::new()).collect(),
+            timers: &shared.timers,
+        };
+        for indices in &unit.instances {
+            shared.trace(|| TraceEvent::BodyStart {
+                kernel,
+                age: unit.age.0,
+                indices: indices.clone(),
+                attempt: 0,
+            });
+        }
+        IN_KERNEL.with(|c| c.set(true));
+        let t_body = Instant::now();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| bbody(&mut bctx)));
+        let elapsed = t_body.elapsed();
+        IN_KERNEL.with(|c| c.set(false));
+        let ok = matches!(&result, Ok(Ok(())));
+        // Chrome-trace begin/end events nest LIFO: the batch's BodyEnds
+        // close in reverse of their opens.
+        for indices in unit.instances.iter().rev() {
+            shared.trace(|| TraceEvent::BodyEnd {
+                kernel,
+                age: unit.age.0,
+                indices: indices.clone(),
+                attempt: 0,
+                ok,
+            });
+        }
+        if ok {
+            body_time += elapsed;
+            let per = elapsed / n as u32;
+            for _ in 0..n {
+                shared.instruments.record_latency(kernel, per);
+            }
+            outcomes = Some(bctx.staged.into_iter().map(Ok).collect());
+        }
+    }
+    let outcomes = match outcomes {
+        Some(o) => o,
+        None => run_bodies_segmented(
+            shared,
+            kernel,
+            unit.age,
+            &unit.instances,
+            &mut inputs,
+            &mut body_time,
+        ),
+    };
+
+    // Partition: successes apply their stores (grouped per store
+    // declaration so contiguous runs can merge), failures go through the
+    // kernel's fault policy exactly as on the scalar path.
+    let ok_instances = outcomes.iter().filter(|o| o.is_ok()).count();
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    let mut groups: Vec<Vec<(usize, StagedStore)>> =
+        (0..kspec.stores.len()).map(|_| Vec::new()).collect();
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(staged) => {
+                for st in staged {
+                    groups[st.store_idx].push((i, st));
+                }
+            }
+            Err(msg) => failures.push((i, msg)),
+        }
+    }
+    for (sidx, entries) in groups.into_iter().enumerate() {
+        if entries.is_empty() {
+            continue;
+        }
+        let decl = &kspec.stores[sidx];
+        // Merge eligibility: the declaration is addressed by one leading
+        // index variable (no other Var dims), every entry is a default
+        // region/age 1-D store, payloads are type- and length-uniform,
+        // and every successful instance staged exactly one entry.
+        let leading_var = match decl.dims.first() {
+            Some(IndexSel::Var(v)) => Some(v.0 as usize),
+            _ => None,
+        };
+        let mergeable = leading_var.is_some()
+            && !decl.dims[1..]
+                .iter()
+                .any(|d| matches!(d, IndexSel::Var(_)))
+            && entries
+                .iter()
+                .all(|(_, st)| st.region.is_none() && st.age.is_none() && st.buffer.shape().ndim() == 1)
+            && entries.windows(2).all(|w| {
+                w[0].1.buffer.scalar_type() == w[1].1.buffer.scalar_type()
+                    && w[0].1.buffer.len() == w[1].1.buffer.len()
+            })
+            && entries.len() == ok_instances
+            && entries.len() >= 2;
+        let apply_scalar = |run: &[(usize, StagedStore)], stored_any: &mut bool| {
+            for (i, st) in run {
+                apply_store_for(
+                    shared,
+                    kernel,
+                    kspec,
+                    unit.age,
+                    &unit.instances[*i],
+                    st,
+                    false,
+                    stored_any,
+                )?;
+            }
+            Ok::<(), RuntimeError>(())
+        };
+        let applied = if mergeable {
+            let j = leading_var.expect("checked by mergeable");
+            let mut entries = entries;
+            entries.sort_by_key(|(i, _)| unit.instances[*i][j]);
+            // Split into maximal runs of consecutive instance coordinates
+            // and land each run as one range store.
+            let mut result = Ok(());
+            let mut run_start = 0usize;
+            for e in 1..=entries.len() {
+                let boundary = e == entries.len()
+                    || unit.instances[entries[e].0][j] != unit.instances[entries[e - 1].0][j] + 1;
+                if !boundary {
+                    continue;
+                }
+                let run = &entries[run_start..e];
+                run_start = e;
+                result = if run.len() >= 2 {
+                    apply_store_merged(
+                        shared,
+                        kernel,
+                        kspec,
+                        unit.age,
+                        &unit.instances,
+                        j,
+                        sidx,
+                        run,
+                        &mut stored_any,
+                    )
+                } else {
+                    apply_scalar(run, &mut stored_any)
+                };
+                if result.is_err() {
+                    break;
+                }
+            }
+            result
+        } else {
+            apply_scalar(&entries, &mut stored_any)
+        };
+        if let Err(err) = applied {
+            shared.fail(err);
+            shared.release_outstanding();
+            return;
+        }
+    }
+
+    // Fault policy, per failed instance: retryable failures batch into
+    // one delayed retry unit (which is not batch-eligible, so its replay
+    // runs scalar and stores idempotently); exhausted ones abort or
+    // poison. Poison is per instance — only the failed instance's
+    // downstream dependents are quarantined.
+    let mut failed: Vec<Vec<usize>> = Vec::new();
+    for (i, message) in failures {
+        shared.instruments.record_failure(kernel);
+        if unit.attempt < policy.retries {
+            failed.push(unit.instances[i].clone());
+        } else {
+            match policy.on_exhaust {
+                ExhaustPolicy::Abort => {
+                    shared.fail(RuntimeError::Kernel {
+                        kernel: kspec.name.clone(),
+                        message,
+                    });
+                    shared.release_outstanding();
+                    return;
+                }
+                ExhaustPolicy::Poison => {
+                    shared.poisoned.store(true, Ordering::SeqCst);
+                    shared.send_event(Event::KernelFailure {
+                        kernel,
+                        age: unit.age,
+                        indices: unit.instances[i].clone(),
+                        message,
+                    });
+                }
+            }
+        }
+    }
+
+    let dispatch_time = t_unit.elapsed().saturating_sub(body_time);
+    shared
+        .instruments
+        .record_unit(kernel, n as u64, dispatch_time, body_time);
+    shared.instruments.record_batched(n as u64);
+
+    let retried = !failed.is_empty();
+    if retried {
+        shared.trace(|| TraceEvent::RetryScheduled {
+            kernel,
+            age: unit.age.0,
+            instances: failed.len(),
+            attempt: unit.attempt + 1,
+            budget: policy.retries,
+        });
+        shared
+            .instruments
+            .record_retries(kernel, failed.len() as u64);
+        let salt = retry_salt(&unit, &failed);
+        let due = Instant::now() + policy.backoff_for(unit.attempt, salt);
+        let retry = DispatchUnit {
+            kernel,
+            age: unit.age,
+            instances: failed,
+            attempt: unit.attempt + 1,
+            prior_stored: stored_any,
+        };
+        shared.outstanding.fetch_add(1, Ordering::SeqCst);
+        shared
+            .watchdog
+            .as_ref()
+            .expect("watchdog runs whenever retries are configured")
+            .schedule_retry(retry, due);
+    }
+
+    shared.send_event(Event::UnitDone {
+        kernel,
+        age: unit.age,
+        instances: ok_instances,
+        stored_any,
+        retried,
+    });
+    shared.release_outstanding();
+}
+
+/// Run a unit's kernel bodies back-to-back inside as few `catch_unwind`
+/// frames as possible: one frame covers every remaining instance, and a
+/// panic fails only the body that raised it — the frame's completed
+/// outcomes persist and the next frame resumes right after the panicking
+/// instance, so successful bodies never re-run.
+fn run_bodies_segmented(
+    shared: &Arc<Shared>,
+    kernel: KernelId,
+    age: Age,
+    instances: &[Vec<usize>],
+    inputs: &mut [Vec<Buffer>],
+    body_time: &mut Duration,
+) -> Vec<Result<Vec<StagedStore>, String>> {
+    let kspec = shared.spec.kernel(kernel);
+    let body = shared.bodies[kernel.idx()]
+        .as_ref()
+        .expect("bodies checked before run");
+    let n = instances.len();
+    let mut outcomes: Vec<Result<Vec<StagedStore>, String>> = Vec::with_capacity(n);
+    while outcomes.len() < n {
+        // Set before each body invocation so a panic's partial runtime
+        // still lands in the instruments.
+        let mut last_start: Option<Instant> = None;
+        IN_KERNEL.with(|c| c.set(true));
+        let segment = {
+            let outcomes = &mut outcomes;
+            let inputs = &mut *inputs;
+            let body_time = &mut *body_time;
+            let last_start = &mut last_start;
+            std::panic::catch_unwind(AssertUnwindSafe(move || {
+                while outcomes.len() < n {
+                    let i = outcomes.len();
+                    let indices = &instances[i];
+                    shared.trace(|| TraceEvent::BodyStart {
+                        kernel,
+                        age: age.0,
+                        indices: indices.clone(),
+                        attempt: 0,
+                    });
+                    let mut ctx = KernelCtx {
+                        spec: kspec,
+                        age,
+                        indices,
+                        inputs: std::mem::take(&mut inputs[i]),
+                        staged: Vec::new(),
+                        timers: &shared.timers,
+                        cancel: None,
+                    };
+                    *last_start = Some(Instant::now());
+                    let result = body(&mut ctx);
+                    let elapsed = last_start.take().expect("set above").elapsed();
+                    *body_time += elapsed;
+                    shared.instruments.record_latency(kernel, elapsed);
+                    shared.trace(|| TraceEvent::BodyEnd {
+                        kernel,
+                        age: age.0,
+                        indices: indices.clone(),
+                        attempt: 0,
+                        ok: result.is_ok(),
+                    });
+                    outcomes.push(match result {
+                        Ok(()) => Ok(std::mem::take(&mut ctx.staged)),
+                        Err(e) => Err(e),
+                    });
+                }
+            }))
+        };
+        IN_KERNEL.with(|c| c.set(false));
+        if let Err(payload) = segment {
+            // The panicking body is the first without an outcome; its
+            // staging died with the unwound ctx.
+            let indices = &instances[outcomes.len()];
+            if let Some(t) = last_start {
+                let elapsed = t.elapsed();
+                *body_time += elapsed;
+                shared.instruments.record_latency(kernel, elapsed);
+            }
+            shared.trace(|| TraceEvent::BodyEnd {
+                kernel,
+                age: age.0,
+                indices: indices.clone(),
+                attempt: 0,
+                ok: false,
+            });
+            outcomes.push(Err(format!("panic: {}", panic_message(payload.as_ref()))));
+        }
+    }
+    outcomes
+}
+
+/// Apply one merged range store: a maximal run of consecutive instances'
+/// 1-D stores into the same declaration lands as one write-lock
+/// acquisition, one concatenated payload, and one store event whose
+/// region's leading dimension is the run's range. Row-major region
+/// enumeration makes the concatenation order (ascending instance
+/// coordinate) exactly the flattened element order.
+#[allow(clippy::too_many_arguments)]
+fn apply_store_merged(
+    shared: &Arc<Shared>,
+    kernel: KernelId,
+    kspec: &p2g_graph::spec::KernelSpec,
+    age: Age,
+    instances: &[Vec<usize>],
+    j: usize,
+    sidx: usize,
+    run: &[(usize, StagedStore)],
+    stored_any: &mut bool,
+) -> Result<(), RuntimeError> {
+    use p2g_field::DimSel;
+    let decl = &kspec.stores[sidx];
+    let target_age = decl.age.resolve(age);
+    let mut region = crate::program::resolve_region(&decl.dims, &instances[run[0].0]);
+    region.0[0] = DimSel::Range {
+        start: instances[run[0].0][j],
+        len: run.len(),
+    };
+    let payload = Buffer::concat(run.iter().map(|(_, st)| &st.buffer))?;
+    let (outcome, region, extents) = {
+        let mut field = shared.fields[decl.field.idx()].write();
+        // Batched units are first attempts with dedup ruled out by
+        // eligibility, so the strict write-once store applies.
+        let outcome = field.store(target_age, &region, &payload)?;
+        let extents = field
+            .extents(target_age)
+            .cloned()
+            .expect("age resident after store");
+        let resolved = region.resolved_against(&extents);
+        (outcome, resolved, extents)
+    };
+    *stored_any = true;
+    shared.trace(|| {
+        store_event(
+            Some(kernel),
+            decl.field,
+            target_age,
+            region.clone(),
+            outcome.stored,
+            outcome.deduped,
+            outcome.age_complete,
+        )
+    });
+    shared
+        .instruments
+        .record_store(kernel, decl.field, outcome.stored as u64);
+    if outcome.deduped > 0 {
+        shared.instruments.record_deduped(outcome.deduped as u64);
+    }
+    if let Some(tap) = &shared.store_tap {
+        tap(decl.field, target_age, &region, &payload);
+    }
+    // A merged region spans several points, so the inline fast path
+    // (single-point stores only) never applies here.
+    shared.send_event(Event::Store(StoreEvent {
+        field: decl.field,
+        age: target_age,
+        region,
+        extents,
+        elements: outcome.stored,
+        age_complete: outcome.age_complete,
+        resized: outcome.resized,
+        inline_dispatched: None,
+    }));
+    Ok(())
 }
 
 /// Invoke a kernel body inside `catch_unwind`: a panic is contained to

@@ -143,6 +143,60 @@ impl Default for KernelOptions {
     }
 }
 
+/// Configuration of the online granularity controller
+/// ([`crate::granularity::GranularityController`]): the adaptation loop
+/// that replaces static per-kernel `chunk_size` numbers with
+/// trace-driven decisions — multiplicative increase while per-instance
+/// dispatch overhead dominates, backoff when p95 instance latency
+/// threatens a deadline budget.
+#[derive(Debug, Clone)]
+pub struct AdaptiveGranularity {
+    /// Lower bound on the adapted chunk size.
+    pub min_chunk: usize,
+    /// Upper bound on the adapted chunk size.
+    pub max_chunk: usize,
+    /// Grow the chunk (×2) while `dispatch_ns / (dispatch_ns + kernel_ns)`
+    /// over the last interval exceeds this fraction.
+    pub overhead_high: f64,
+    /// Shrink the chunk (÷2) when estimated per-unit latency
+    /// (`p95 instance latency × chunk`) exceeds this budget. `None`
+    /// disables the backoff (grow-only adaptation).
+    pub p95_budget: Option<Duration>,
+    /// Minimum time between controller decisions per kernel.
+    pub interval: Duration,
+    /// Minimum new instance completions in an interval before deciding —
+    /// avoids adapting on noise.
+    pub min_samples: u64,
+}
+
+impl Default for AdaptiveGranularity {
+    fn default() -> AdaptiveGranularity {
+        AdaptiveGranularity {
+            min_chunk: 1,
+            max_chunk: 256,
+            overhead_high: 0.4,
+            p95_budget: Some(Duration::from_millis(5)),
+            interval: Duration::from_millis(2),
+            min_samples: 32,
+        }
+    }
+}
+
+impl AdaptiveGranularity {
+    /// Set the per-unit p95 latency budget that triggers chunk backoff.
+    pub fn with_p95_budget(mut self, d: Duration) -> AdaptiveGranularity {
+        self.p95_budget = Some(d);
+        self
+    }
+
+    /// Bound the adapted chunk size to `[min, max]`.
+    pub fn with_chunk_bounds(mut self, min: usize, max: usize) -> AdaptiveGranularity {
+        self.min_chunk = min.max(1);
+        self.max_chunk = max.max(self.min_chunk);
+        self
+    }
+}
+
 /// Limits that bound a run of a (possibly infinite) P2G program.
 #[derive(Debug, Clone)]
 pub struct RunLimits {
@@ -178,6 +232,18 @@ pub struct RunLimits {
     /// without a round trip through the analyzer. Always considered in
     /// sharded mode; this knob enables the fast path at `shards == 1` too.
     pub inline_dispatch: bool,
+    /// Execute multi-instance dispatch units as one batched work unit —
+    /// one queue pop, one `catch_unwind` segment chain, merged store
+    /// events with contiguous extents — instead of looping the full
+    /// per-instance machinery. Amortizes per-instance dispatch overhead
+    /// for sub-microsecond kernel bodies. Off by default.
+    pub batch_exec: bool,
+    /// Online granularity adaptation: when set, a
+    /// [`crate::granularity::GranularityController`] on the analyzer
+    /// thread adjusts each kernel's effective chunk size from live
+    /// per-kernel latency/overhead instruments, overriding the static
+    /// `chunk_size` numbers. `None` (the default) keeps static chunking.
+    pub adaptive: Option<AdaptiveGranularity>,
 }
 
 impl Default for RunLimits {
@@ -195,6 +261,8 @@ impl Default for RunLimits {
             shards: 1,
             analyzer_batch: 256,
             inline_dispatch: false,
+            batch_exec: false,
+            adaptive: None,
         }
     }
 }
@@ -267,6 +335,20 @@ impl RunLimits {
         self.inline_dispatch = true;
         self
     }
+
+    /// Execute multi-instance dispatch units as one batched work unit.
+    pub fn with_batch_exec(mut self) -> RunLimits {
+        self.batch_exec = true;
+        self
+    }
+
+    /// Enable online granularity adaptation with the given controller
+    /// configuration (implies nothing about `batch_exec`; enable both for
+    /// the full fast path).
+    pub fn with_adaptive(mut self, cfg: AdaptiveGranularity) -> RunLimits {
+        self.adaptive = Some(cfg);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -308,5 +390,22 @@ mod tests {
         let l = RunLimits::default().with_shards(0).with_analyzer_batch(0);
         assert_eq!(l.shards, 1);
         assert_eq!(l.analyzer_batch, 1);
+    }
+
+    #[test]
+    fn batch_and_adaptive_builders() {
+        let l = RunLimits::default();
+        assert!(!l.batch_exec);
+        assert!(l.adaptive.is_none());
+        let l = RunLimits::ages(5)
+            .with_batch_exec()
+            .with_adaptive(AdaptiveGranularity::default());
+        assert!(l.batch_exec);
+        let cfg = l.adaptive.unwrap();
+        assert_eq!(cfg.min_chunk, 1);
+        assert_eq!(cfg.max_chunk, 256);
+        // Bounds clamp: min at least 1, max at least min.
+        let cfg = AdaptiveGranularity::default().with_chunk_bounds(0, 0);
+        assert_eq!((cfg.min_chunk, cfg.max_chunk), (1, 1));
     }
 }

@@ -24,6 +24,10 @@ pub type BodyResult = Result<(), String>;
 /// A kernel body closure.
 pub type KernelBody = Box<dyn Fn(&mut KernelCtx) -> BodyResult + Send + Sync>;
 
+/// A batch kernel body closure: executes a whole dispatch unit's worth of
+/// instances in one call (see [`BatchCtx`]).
+pub type BatchKernelBody = Box<dyn Fn(&mut BatchCtx) -> BodyResult + Send + Sync>;
+
 /// A store staged by a kernel body, applied by the worker after the body
 /// returns.
 #[derive(Debug)]
@@ -143,6 +147,75 @@ impl KernelCtx<'_> {
     }
 }
 
+/// The execution context for a [`BatchKernelBody`]: every instance of one
+/// dispatch unit (same kernel, same age) at once, so the body can hoist
+/// per-unit setup (quantization tables, lookup tables) out of the
+/// per-instance loop and process instances back-to-back with warm caches.
+///
+/// Contract: batch bodies must be pure with respect to staged stores —
+/// when a batch body returns `Err` or panics, the runtime falls back to
+/// running the per-instance body for every instance of the unit, so any
+/// partial staging is discarded, never applied.
+pub struct BatchCtx<'a> {
+    pub(crate) spec: &'a KernelSpec,
+    pub(crate) age: Age,
+    pub(crate) instances: &'a [Vec<usize>],
+    /// `inputs[instance][fetch]`.
+    pub(crate) inputs: &'a [Vec<Buffer>],
+    /// `staged[instance]` — stores staged for each instance.
+    pub(crate) staged: Vec<Vec<StagedStore>>,
+    pub(crate) timers: &'a TimerTable,
+}
+
+impl BatchCtx<'_> {
+    /// Number of instances in the unit.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when the unit holds no instances (never happens in practice;
+    /// provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// The unit's age (shared by every instance).
+    pub fn age(&self) -> Age {
+        self.age
+    }
+
+    /// The kernel definition's name.
+    pub fn kernel_name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Index-variable values of instance `i`.
+    pub fn indices(&self, i: usize) -> &[usize] {
+        &self.instances[i]
+    }
+
+    /// The fetched buffer for instance `i`'s `fetch`-th fetch declaration.
+    pub fn input(&self, i: usize, fetch: usize) -> &Buffer {
+        &self.inputs[i][fetch]
+    }
+
+    /// Stage a store for instance `i` through store declaration
+    /// `store_idx`'s index pattern.
+    pub fn store(&mut self, i: usize, store_idx: usize, buffer: Buffer) {
+        self.staged[i].push(StagedStore {
+            store_idx,
+            region: None,
+            age: None,
+            buffer,
+        });
+    }
+
+    /// Elapsed time since a timer was reset.
+    pub fn timer_elapsed(&self, name: &str) -> Option<Duration> {
+        self.timers.elapsed(name)
+    }
+}
+
 /// How a fused consumer kernel is executed inline after its producer.
 #[derive(Debug, Clone)]
 pub struct FusionPlan {
@@ -160,6 +233,7 @@ pub struct FusionPlan {
 pub struct Program {
     pub(crate) spec: Arc<ProgramSpec>,
     pub(crate) bodies: Vec<Option<KernelBody>>,
+    pub(crate) batch_bodies: Vec<Option<BatchKernelBody>>,
     pub(crate) options: Vec<KernelOptions>,
     pub(crate) fusions: Vec<FusionPlan>,
     pub(crate) timers: Arc<TimerTable>,
@@ -173,6 +247,7 @@ impl Program {
         Ok(Program {
             spec: Arc::new(spec),
             bodies: (0..n).map(|_| None).collect(),
+            batch_bodies: (0..n).map(|_| None).collect(),
             options: vec![KernelOptions::default(); n],
             fusions: Vec::new(),
             timers: Arc::new(TimerTable::new()),
@@ -209,6 +284,32 @@ impl Program {
         F: Fn(&mut KernelCtx) -> BodyResult + Send + Sync + 'static,
     {
         self.bodies[kernel.idx()] = Some(Box::new(f));
+        self
+    }
+
+    /// Register an optional batch body for a kernel by name. The runtime
+    /// uses it opportunistically when batched execution (`--batch`) hands
+    /// the worker a multi-instance unit with no retry/fusion/deadline in
+    /// play; every kernel still needs a per-instance [`Self::body`] as the
+    /// fallback and single-instance path.
+    pub fn batch_body<F>(&mut self, kernel: &str, f: F) -> &mut Program
+    where
+        F: Fn(&mut BatchCtx) -> BodyResult + Send + Sync + 'static,
+    {
+        let id = self
+            .spec
+            .kernel_by_name(kernel)
+            .unwrap_or_else(|| panic!("unknown kernel '{kernel}'"));
+        self.batch_bodies[id.idx()] = Some(Box::new(f));
+        self
+    }
+
+    /// Register a batch body by kernel id.
+    pub fn batch_body_id<F>(&mut self, kernel: KernelId, f: F) -> &mut Program
+    where
+        F: Fn(&mut BatchCtx) -> BodyResult + Send + Sync + 'static,
+    {
+        self.batch_bodies[kernel.idx()] = Some(Box::new(f));
         self
     }
 

@@ -140,6 +140,18 @@ pub enum TraceEvent {
         below: u64,
         collected: usize,
     },
+    /// The adaptive-granularity controller changed a kernel's chunk size
+    /// (always by a factor of two, `from` to `to`). `overhead_ppm` is the
+    /// dispatch-overhead fraction observed over the decision interval in
+    /// parts per million; `p95_ns` the kernel's p95 per-instance body
+    /// latency at decision time.
+    GranularityChange {
+        kernel: KernelId,
+        from: usize,
+        to: usize,
+        overhead_ppm: u64,
+        p95_ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -160,11 +172,12 @@ impl TraceEvent {
             TraceEvent::NodeDeath { .. } => "NodeDeath",
             TraceEvent::Replan { .. } => "Replan",
             TraceEvent::AgeRetired { .. } => "AgeRetired",
+            TraceEvent::GranularityChange { .. } => "GranularityChange",
         }
     }
 
     /// Every kind name, in declaration order — the event schema.
-    pub const KINDS: [&'static str; 13] = [
+    pub const KINDS: [&'static str; 14] = [
         "InstanceDispatched",
         "BodyStart",
         "BodyEnd",
@@ -178,6 +191,7 @@ impl TraceEvent {
         "NodeDeath",
         "Replan",
         "AgeRetired",
+        "GranularityChange",
     ];
 }
 
@@ -542,6 +556,23 @@ impl RunTrace {
                     json_escape(fname),
                     below,
                     collected
+                );
+            }
+            TraceEvent::GranularityChange {
+                kernel,
+                from,
+                to,
+                overhead_ppm,
+                p95_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kernel\":\"{}\",\"from\":{},\"to\":{},\"overhead_ppm\":{},\"p95_ns\":{}",
+                    json_escape(self.kernel_name(*kernel)),
+                    from,
+                    to,
+                    overhead_ppm,
+                    p95_ns
                 );
             }
         }

@@ -30,6 +30,9 @@
 //!    some age (`AgeRetired`), no later store targets that field at a
 //!    retired age: GC only collects ages every consumer is finished with,
 //!    so a late store would mean the safe-age clamp under-approximated.
+//! 6. **Granularity decisions sane** — adaptive chunk-size changes form a
+//!    per-kernel chain (each decision's `from` is the previous decision's
+//!    `to`), move by exactly a factor of two, and never reach zero.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -69,6 +72,46 @@ pub fn all(report: &RunReport) {
     );
     poisoned_consistent(trace, report);
     no_store_after_retire(trace);
+    granularity_sane(trace);
+}
+
+/// Invariant 6: the adaptive-granularity controller's decisions are sane.
+/// Per kernel, decisions chain (`from` equals the previous decision's
+/// `to`), every decision actually changes the chunk size, moves by exactly
+/// a factor of two (`to ∈ {from/2, from*2}`, halving rounds down), and the
+/// target never drops to zero.
+pub fn granularity_sane(trace: &RunTrace) {
+    let mut last_to: HashMap<u32, usize> = HashMap::new();
+    for r in trace.of_kind("GranularityChange") {
+        let TraceEvent::GranularityChange {
+            kernel, from, to, ..
+        } = &r.event
+        else {
+            continue;
+        };
+        let name = &trace.spec().kernel(*kernel).name;
+        if let Some(prev) = last_to.get(&kernel.0) {
+            assert_eq!(
+                from, prev,
+                "granularity chain broken for kernel {name}: change starts at {from} \
+                 but the previous decision ended at {prev}"
+            );
+        }
+        assert!(
+            *to >= 1,
+            "granularity of kernel {name} adapted to zero (from {from})"
+        );
+        assert_ne!(
+            to, from,
+            "granularity no-op decision traced for kernel {name} at {from}"
+        );
+        assert!(
+            *to == from / 2 || *to == from * 2,
+            "granularity of kernel {name} moved {from} -> {to}, which is not \
+             a factor-of-two step"
+        );
+        last_to.insert(kernel.0, *to);
+    }
 }
 
 /// Invariant 5: no store lands at a `(field, age)` the GC already retired.

@@ -1,0 +1,279 @@
+//! Remote session serving over real loopback TCP — N concurrent
+//! `ServeClient` tenants streaming synthetic i420 frames into one
+//! in-process serve node at live-source cadences (10–100 ms between
+//! frames), the paper's "distributed real-time processing" configuration
+//! measured end to end across the wire.
+//!
+//! Each tenant thread opens its own remote MJPEG session (its own QoS
+//! class and weight), paces submits at its cadence, and measures the
+//! client-observed submit→output latency per frame; the server's own
+//! gauges (pushed `SessionStats`) ride along in the artifact. Writes
+//! `results/BENCH_serve_tcp.json`.
+//!
+//! Usage:
+//! `cargo run -p p2g-bench --bin serve_tcp --release -- \
+//!    [--tenants 6] [--frames 100] [--width 64] [--height 64] \
+//!    [--workers N] [--quick] [--label after] [--out BENCH_serve_tcp.json]`
+
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use p2g_bench::{arg, has_flag, hwinfo, logical_cpus, write_result};
+use p2g_core::dist::{run_serve_node, RemoteStats, RetryConfig, ServeClient, ServeConfig};
+use p2g_core::graph::NodeId;
+use p2g_core::runtime::Qos;
+use p2g_mjpeg::{mjpeg_registry, pack_i420, FrameSource, SyntheticVideo};
+
+/// The per-tenant QoS mix: one realtime stream, a weighted and a plain
+/// normal tier, and bulk tenants absorbing the leftover capacity.
+fn tenant_qos(i: usize) -> Qos {
+    match i % 4 {
+        0 => Qos::high(),
+        1 => Qos::normal().weight(3),
+        2 => Qos::normal(),
+        _ => Qos::bulk(),
+    }
+}
+
+/// Live-source pacing spread across the 10–100 ms band.
+fn tenant_cadence(i: usize) -> Duration {
+    const MS: [u64; 6] = [10, 20, 33, 50, 75, 100];
+    Duration::from_millis(MS[i % MS.len()])
+}
+
+struct TenantStats {
+    client: u32,
+    cadence_ms: u64,
+    qos: Qos,
+    frames: u64,
+    dropped: u64,
+    bytes: u64,
+    elapsed: Duration,
+    /// Client-observed submit→output latency per frame, nanoseconds.
+    lat_ns: Vec<u64>,
+    /// The server's own view (last pushed SessionStats), if any arrived.
+    server: Option<RemoteStats>,
+}
+
+fn run_tenant(
+    server: SocketAddr,
+    i: usize,
+    frames: u64,
+    width: usize,
+    height: usize,
+    shutdown: bool,
+) -> TenantStats {
+    let id = i as u32 + 1;
+    let qos = tenant_qos(i);
+    let cadence = tenant_cadence(i);
+    let client = ServeClient::connect(NodeId(id), server, RetryConfig::default())
+        .expect("tenant connects");
+    let session = client
+        .open(
+            "mjpeg",
+            &[
+                ("width", width as i64),
+                ("height", height as i64),
+                ("quality", 75),
+                ("window", 8),
+            ],
+            qos,
+            Duration::from_secs(30),
+        )
+        .expect("session opens");
+
+    let video = SyntheticVideo::new(width, height, frames, 0xACE + i as u64);
+    let mut submit_at: Vec<Instant> = Vec::with_capacity(frames as usize);
+    let mut stats = TenantStats {
+        client: id,
+        cadence_ms: cadence.as_millis() as u64,
+        qos,
+        frames: 0,
+        dropped: 0,
+        bytes: 0,
+        elapsed: Duration::ZERO,
+        lat_ns: Vec::with_capacity(frames as usize),
+        server: None,
+    };
+    fn take(out: p2g_core::dist::RemoteOutput, submit_at: &[Instant], stats: &mut TenantStats) {
+        stats
+            .lat_ns
+            .push(submit_at[out.age as usize].elapsed().as_nanos() as u64);
+        stats.frames += 1;
+        match out.payload {
+            Some(bytes) => stats.bytes += bytes.len() as u64,
+            None => stats.dropped += 1,
+        }
+    }
+
+    let t0 = Instant::now();
+    for n in 0..frames {
+        let frame = video.frame(n).expect("synthetic frame");
+        let tick = Instant::now();
+        submit_at.push(tick);
+        session
+            .submit(pack_i420(&frame), Duration::from_secs(30))
+            .expect("submit admitted");
+        // Wait out the cadence *receiving*, not sleeping, so measured
+        // latency is delivery time rather than polling quantization.
+        loop {
+            let left = cadence.saturating_sub(tick.elapsed());
+            if left.is_zero() {
+                break;
+            }
+            if let Ok(Some(out)) = session.recv(left) {
+                take(out, &submit_at, &mut stats);
+            }
+        }
+    }
+    session.close();
+    while stats.frames < frames {
+        match session.recv(Duration::from_secs(30)) {
+            Ok(Some(out)) => take(out, &submit_at, &mut stats),
+            other => panic!("tenant {id} lost outputs at {}: {other:?}", stats.frames),
+        }
+    }
+    stats.elapsed = t0.elapsed();
+    stats.server = session.stats();
+    if shutdown {
+        client.shutdown_server();
+    }
+    client.close();
+    stats
+}
+
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[((sorted.len() - 1) as f64 * p) as usize]
+    }
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let tenants: usize = arg("--tenants", if quick { 4 } else { 6 });
+    let frames: u64 = arg("--frames", if quick { 25 } else { 100 });
+    let width: usize = arg("--width", 64);
+    let height: usize = arg("--height", 64);
+    let workers: usize = arg("--workers", logical_cpus().min(8));
+    let label: String = arg("--label", "after".to_string());
+    let out: String = arg("--out", "BENCH_serve_tcp.json".to_string());
+
+    eprintln!(
+        "serve_tcp: {tenants} remote tenants x {frames} frames ({width}x{height}) \
+         over loopback TCP, {workers} workers"
+    );
+    eprintln!("{}", hwinfo());
+
+    // Reserve a loopback port for the node (bind at 0, reuse the number).
+    let port = std::net::TcpListener::bind("127.0.0.1:0")
+        .and_then(|l| l.local_addr())
+        .expect("reserve port")
+        .port();
+    let cfg = ServeConfig {
+        port,
+        workers,
+        stats_interval: Duration::from_millis(100),
+        ..ServeConfig::default()
+    };
+    let node = std::thread::spawn(move || run_serve_node(mjpeg_registry(), &cfg));
+    let server = SocketAddr::from(([127, 0, 0, 1], port));
+    // The node announces readiness on stderr; just retry connects until
+    // the listener is up (connect_retry covers the race).
+    std::thread::sleep(Duration::from_millis(100));
+
+    let t0 = Instant::now();
+    let stats: Vec<TenantStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..tenants)
+            .map(|i| {
+                s.spawn(move || run_tenant(server, i, frames, width, height, false))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = t0.elapsed();
+
+    // All tenants are done: one throwaway client brings the node down.
+    let admin = ServeClient::connect(NodeId(999), server, RetryConfig::default())
+        .expect("admin connects");
+    admin.shutdown_server();
+    admin.close();
+    let outcome = node
+        .join()
+        .expect("serve thread joins")
+        .expect("serve node exits cleanly");
+
+    let frames_total: u64 = stats.iter().map(|s| s.frames).sum();
+    let dropped: u64 = stats.iter().map(|s| s.dropped).sum();
+    let fps = frames_total as f64 / elapsed.as_secs_f64();
+    eprintln!(
+        "{frames_total} frames from {tenants} tenants in {:.3}s -> {fps:.1} frames/s \
+         aggregate ({dropped} dropped; server saw {} sessions, {} orphans)",
+        elapsed.as_secs_f64(),
+        outcome.sessions_opened,
+        outcome.orphans_collected,
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"serve_tcp\",");
+    let _ = writeln!(json, "  \"label\": \"{label}\",");
+    let _ = writeln!(
+        json,
+        "  \"hw\": \"{}\",",
+        hwinfo().replace('"', "'").split_whitespace().collect::<Vec<_>>().join(" ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{ \"shape\": \"remote-mjpeg-serve\", \"tenants\": {tenants}, \
+         \"frames_per_tenant\": {frames}, \"width\": {width}, \"height\": {height}, \
+         \"workers\": {workers}, \"transport\": \"tcp-loopback\" }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"totals\": {{ \"frames\": {frames_total}, \"dropped\": {dropped}, \
+         \"elapsed_s\": {:.6}, \"fps\": {:.3}, \"sessions_opened\": {}, \
+         \"sessions_rejected\": {}, \"orphans_collected\": {} }},",
+        elapsed.as_secs_f64(),
+        fps,
+        outcome.sessions_opened,
+        outcome.sessions_rejected,
+        outcome.orphans_collected,
+    );
+    let _ = writeln!(json, "  \"tenants\": [");
+    for (i, s) in stats.iter().enumerate() {
+        let mut lat = s.lat_ns.clone();
+        lat.sort_unstable();
+        let tenant_fps = s.frames as f64 / s.elapsed.as_secs_f64().max(1e-9);
+        let comma = if i + 1 == stats.len() { "" } else { "," };
+        let server = match &s.server {
+            Some(v) => format!(
+                "{{ \"fps_milli\": {}, \"p50_latency_us\": {}, \"p95_latency_us\": {}, \
+                 \"resident_ages\": {}, \"resident_bytes\": {} }}",
+                v.fps_milli, v.p50_latency_us, v.p95_latency_us, v.resident_ages, v.resident_bytes
+            ),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            json,
+            "    {{ \"client\": {}, \"cadence_ms\": {}, \"priority\": {}, \"weight\": {}, \
+             \"frames\": {}, \"dropped\": {}, \"bytes\": {}, \"fps\": {:.3}, \
+             \"p50_latency_us\": {}, \"p95_latency_us\": {}, \"server\": {server} }}{comma}",
+            s.client,
+            s.cadence_ms,
+            s.qos.class,
+            s.qos.weight,
+            s.frames,
+            s.dropped,
+            s.bytes,
+            tenant_fps,
+            pct(&lat, 0.50) / 1_000,
+            pct(&lat, 0.95) / 1_000,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    write_result(&out, &json);
+}

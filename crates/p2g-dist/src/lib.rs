@@ -43,6 +43,7 @@
 pub mod cluster;
 pub mod cluster_proc;
 pub mod master;
+pub mod serve;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
@@ -52,6 +53,10 @@ pub use cluster::{
 };
 pub use cluster_proc::{results_digest, run_master, run_node, MasterConfig, MasterOutcome, NodeConfig};
 pub use master::MasterNode;
+pub use serve::{
+    run_serve_node, FrameDecoder, OpenRequest, PipelineFactory, PipelineRegistry, RemoteOutput,
+    RemoteSession, RemoteStats, ServeClient, ServeConfig, ServeOutcome, TenantPipeline,
+};
 pub use tcp::{TcpMesh, TcpNet};
 pub use transport::{
     FaultPlan, FaultyNet, KillSpec, KillTrigger, LinkStats, NetMsg, RetryConfig, SimNet, Transport,

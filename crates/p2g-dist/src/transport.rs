@@ -97,6 +97,61 @@ pub enum NetMsg {
     /// frames on this connection have been received; the sender may trim
     /// its resend window. Never routed — consumed inside the transport.
     Ack { count: u64 },
+    /// Client → serve-node: open a remote streaming session on a named
+    /// server-side pipeline. `params` are pipeline-specific integer
+    /// settings (e.g. `width`/`height`/`quality` for MJPEG); `priority`
+    /// and `weight` select the session's QoS class and fair share.
+    OpenSession {
+        session: u64,
+        pipeline: String,
+        params: Vec<(String, i64)>,
+        priority: u8,
+        weight: u32,
+    },
+    /// Serve-node → client: the session is live. `credits` is the initial
+    /// cumulative submit grant (the client may submit frames with ages
+    /// `0..credits` before the first [`NetMsg::Credit`]).
+    SessionOpened { session: u64, credits: u64 },
+    /// Serve-node → client: an open or submit was refused. After a
+    /// mid-stream reject the session is closed server-side.
+    SessionRejected { session: u64, reason: String },
+    /// Client → serve-node: one frame for `session` at `age`. Ages are
+    /// client-assigned, dense from 0, and double as the exactly-once dedup
+    /// key under the transport's at-least-once delivery.
+    SubmitFrame {
+        session: u64,
+        age: u64,
+        payload: Vec<u8>,
+    },
+    /// Serve-node → client: frame `age` completed. `None` payload means
+    /// the frame was dropped (poisoned / deadline-missed), mirroring the
+    /// in-process `SessionOutput`.
+    Output {
+        session: u64,
+        age: u64,
+        payload: Option<Vec<u8>>,
+    },
+    /// Serve-node → client: flow control. `granted` is the *cumulative*
+    /// number of frames the server will admit (ages `0..granted`), so
+    /// duplicated grants are harmless — the client takes the max.
+    Credit { session: u64, granted: u64 },
+    /// Client → serve-node: no more frames; in-flight frames still
+    /// complete and their outputs are still delivered.
+    CloseSession { session: u64 },
+    /// Serve-node → client: per-session gauges exported from the session
+    /// runtime's instruments (pushed periodically and on close).
+    SessionStats {
+        session: u64,
+        submitted: u64,
+        completed: u64,
+        dropped: u64,
+        in_flight: u64,
+        fps_milli: u64,
+        p50_latency_us: u64,
+        p95_latency_us: u64,
+        resident_ages: u64,
+        resident_bytes: u64,
+    },
 }
 
 impl NetMsg {
@@ -129,6 +184,21 @@ impl NetMsg {
                     .map(|(_, _, _, b)| 32 + (b.len() * b.scalar_type().size_bytes()) as u64)
                     .sum::<u64>()
             }
+            NetMsg::OpenSession {
+                pipeline, params, ..
+            } => {
+                32 + pipeline.len() as u64
+                    + params.iter().map(|(k, _)| 10 + k.len() as u64).sum::<u64>()
+            }
+            NetMsg::SessionOpened { .. } | NetMsg::Credit { .. } | NetMsg::CloseSession { .. } => {
+                24
+            }
+            NetMsg::SessionRejected { reason, .. } => 24 + reason.len() as u64,
+            NetMsg::SubmitFrame { payload, .. } => 32 + payload.len() as u64,
+            NetMsg::Output { payload, .. } => {
+                32 + payload.as_ref().map(|p| p.len() as u64).unwrap_or(0)
+            }
+            NetMsg::SessionStats { .. } => 88,
         }
     }
 

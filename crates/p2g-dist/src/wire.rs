@@ -142,6 +142,12 @@ impl Writer {
         self.0.extend_from_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
     }
 
+    fn bytes(&mut self, b: &[u8]) {
+        debug_assert!(b.len() <= u32::MAX as usize, "byte payload too long for wire");
+        self.u32(b.len().min(u32::MAX as usize) as u32);
+        self.0.extend_from_slice(&b[..b.len().min(u32::MAX as usize)]);
+    }
+
     fn region(&mut self, r: &Region) {
         debug_assert!(r.0.len() <= u8::MAX as usize, "region rank too high for wire");
         self.u8(r.0.len().min(u8::MAX as usize) as u8);
@@ -261,6 +267,13 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("invalid utf-8"))
     }
 
+    /// A length-prefixed byte blob; the bytes must actually be present, so
+    /// a corrupt length cannot trigger a large allocation.
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
     fn region(&mut self) -> Result<Region, WireError> {
         let ndim = self.u8()? as usize;
         let mut dims = Vec::with_capacity(ndim.min(16));
@@ -342,6 +355,14 @@ const TAG_REPLAY: u8 = 6;
 const TAG_FINISH: u8 = 7;
 const TAG_RESULTS: u8 = 8;
 const TAG_ACK: u8 = 9;
+const TAG_OPEN_SESSION: u8 = 10;
+const TAG_SESSION_OPENED: u8 = 11;
+const TAG_SESSION_REJECTED: u8 = 12;
+const TAG_SUBMIT_FRAME: u8 = 13;
+const TAG_OUTPUT: u8 = 14;
+const TAG_CREDIT: u8 = 15;
+const TAG_CLOSE_SESSION: u8 = 16;
+const TAG_SESSION_STATS: u8 = 17;
 
 /// Encode one message into a frame *payload* (no header).
 pub fn encode_payload(msg: &NetMsg) -> Vec<u8> {
@@ -433,6 +454,93 @@ pub fn encode_payload(msg: &NetMsg) -> Vec<u8> {
         NetMsg::Ack { count } => {
             w.u8(TAG_ACK);
             w.u64(*count);
+        }
+        NetMsg::OpenSession {
+            session,
+            pipeline,
+            params,
+            priority,
+            weight,
+        } => {
+            w.u8(TAG_OPEN_SESSION);
+            w.u64(*session);
+            w.str(pipeline);
+            w.u32(params.len() as u32);
+            for (key, value) in params {
+                w.str(key);
+                w.i64(*value);
+            }
+            w.u8(*priority);
+            w.u32(*weight);
+        }
+        NetMsg::SessionOpened { session, credits } => {
+            w.u8(TAG_SESSION_OPENED);
+            w.u64(*session);
+            w.u64(*credits);
+        }
+        NetMsg::SessionRejected { session, reason } => {
+            w.u8(TAG_SESSION_REJECTED);
+            w.u64(*session);
+            w.str(reason);
+        }
+        NetMsg::SubmitFrame {
+            session,
+            age,
+            payload,
+        } => {
+            w.u8(TAG_SUBMIT_FRAME);
+            w.u64(*session);
+            w.u64(*age);
+            w.bytes(payload);
+        }
+        NetMsg::Output {
+            session,
+            age,
+            payload,
+        } => {
+            w.u8(TAG_OUTPUT);
+            w.u64(*session);
+            w.u64(*age);
+            match payload {
+                Some(bytes) => {
+                    w.u8(1);
+                    w.bytes(bytes);
+                }
+                None => w.u8(0),
+            }
+        }
+        NetMsg::Credit { session, granted } => {
+            w.u8(TAG_CREDIT);
+            w.u64(*session);
+            w.u64(*granted);
+        }
+        NetMsg::CloseSession { session } => {
+            w.u8(TAG_CLOSE_SESSION);
+            w.u64(*session);
+        }
+        NetMsg::SessionStats {
+            session,
+            submitted,
+            completed,
+            dropped,
+            in_flight,
+            fps_milli,
+            p50_latency_us,
+            p95_latency_us,
+            resident_ages,
+            resident_bytes,
+        } => {
+            w.u8(TAG_SESSION_STATS);
+            w.u64(*session);
+            w.u64(*submitted);
+            w.u64(*completed);
+            w.u64(*dropped);
+            w.u64(*in_flight);
+            w.u64(*fps_milli);
+            w.u64(*p50_latency_us);
+            w.u64(*p95_latency_us);
+            w.u64(*resident_ages);
+            w.u64(*resident_bytes);
         }
     }
     w.0
@@ -528,6 +636,70 @@ pub fn decode_payload(payload: &[u8]) -> Result<NetMsg, WireError> {
             NetMsg::Results { entries }
         }
         TAG_ACK => NetMsg::Ack { count: r.u64()? },
+        TAG_OPEN_SESSION => {
+            let session = r.u64()?;
+            let pipeline = r.str()?;
+            let np = r.u32()? as usize;
+            if np > r.remaining() {
+                return Err(WireError::Malformed("param count exceeds payload"));
+            }
+            let mut params = Vec::with_capacity(np);
+            for _ in 0..np {
+                let key = r.str()?;
+                params.push((key, r.i64()?));
+            }
+            NetMsg::OpenSession {
+                session,
+                pipeline,
+                params,
+                priority: r.u8()?,
+                weight: r.u32()?,
+            }
+        }
+        TAG_SESSION_OPENED => NetMsg::SessionOpened {
+            session: r.u64()?,
+            credits: r.u64()?,
+        },
+        TAG_SESSION_REJECTED => NetMsg::SessionRejected {
+            session: r.u64()?,
+            reason: r.str()?,
+        },
+        TAG_SUBMIT_FRAME => NetMsg::SubmitFrame {
+            session: r.u64()?,
+            age: r.u64()?,
+            payload: r.bytes()?,
+        },
+        TAG_OUTPUT => {
+            let session = r.u64()?;
+            let age = r.u64()?;
+            let payload = match r.u8()? {
+                0 => None,
+                1 => Some(r.bytes()?),
+                _ => return Err(WireError::Malformed("bad option flag")),
+            };
+            NetMsg::Output {
+                session,
+                age,
+                payload,
+            }
+        }
+        TAG_CREDIT => NetMsg::Credit {
+            session: r.u64()?,
+            granted: r.u64()?,
+        },
+        TAG_CLOSE_SESSION => NetMsg::CloseSession { session: r.u64()? },
+        TAG_SESSION_STATS => NetMsg::SessionStats {
+            session: r.u64()?,
+            submitted: r.u64()?,
+            completed: r.u64()?,
+            dropped: r.u64()?,
+            in_flight: r.u64()?,
+            fps_milli: r.u64()?,
+            p50_latency_us: r.u64()?,
+            p95_latency_us: r.u64()?,
+            resident_ages: r.u64()?,
+            resident_bytes: r.u64()?,
+        },
         t => return Err(WireError::UnknownTag(t)),
     };
     if r.remaining() != 0 {
@@ -717,6 +889,53 @@ mod tests {
                 )],
             },
             NetMsg::Ack { count: 17 },
+            NetMsg::OpenSession {
+                session: 5,
+                pipeline: "mjpeg".into(),
+                params: vec![("width".into(), 352), ("height".into(), -288)],
+                priority: 2,
+                weight: 3,
+            },
+            NetMsg::SessionOpened {
+                session: 5,
+                credits: 8,
+            },
+            NetMsg::SessionRejected {
+                session: 5,
+                reason: "unknown pipeline".into(),
+            },
+            NetMsg::SubmitFrame {
+                session: 5,
+                age: 11,
+                payload: vec![0xAB; 37],
+            },
+            NetMsg::Output {
+                session: 5,
+                age: 11,
+                payload: Some(vec![1, 2, 3]),
+            },
+            NetMsg::Output {
+                session: 5,
+                age: 12,
+                payload: None,
+            },
+            NetMsg::Credit {
+                session: 5,
+                granted: 19,
+            },
+            NetMsg::CloseSession { session: 5 },
+            NetMsg::SessionStats {
+                session: 5,
+                submitted: 100,
+                completed: 98,
+                dropped: 2,
+                in_flight: 2,
+                fps_milli: 29_970,
+                p50_latency_us: 1200,
+                p95_latency_us: 5400,
+                resident_ages: 12,
+                resident_bytes: 1 << 20,
+            },
         ];
         for msg in msgs {
             let framed = encode_frame(&msg);

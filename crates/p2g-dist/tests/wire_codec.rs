@@ -15,7 +15,7 @@ use p2g_graph::{KernelId, NodeId};
 /// Deterministic message generator driven by a single seed, so one u64
 /// strategy exercises every variant including deeply nested payloads.
 fn gen_msg(rng: &mut TestRng) -> NetMsg {
-    match rng.next_below(9) {
+    match rng.next_below(17) {
         0 => NetMsg::StoreForward {
             field: FieldId(rng.next_u64() as u32),
             age: Age(rng.next_u64()),
@@ -74,8 +74,68 @@ fn gen_msg(rng: &mut TestRng) -> NetMsg {
                 })
                 .collect(),
         },
-        _ => NetMsg::Ack { count: rng.next_u64() },
+        8 => NetMsg::Ack { count: rng.next_u64() },
+        9 => NetMsg::OpenSession {
+            session: rng.next_u64(),
+            pipeline: gen_string(rng),
+            params: (0..rng.next_below(4))
+                .map(|_| (gen_string(rng), rng.next_u64() as i64))
+                .collect(),
+            priority: rng.next_u64() as u8,
+            weight: rng.next_u64() as u32,
+        },
+        10 => NetMsg::SessionOpened {
+            session: rng.next_u64(),
+            credits: rng.next_u64(),
+        },
+        11 => NetMsg::SessionRejected {
+            session: rng.next_u64(),
+            reason: gen_string(rng),
+        },
+        12 => NetMsg::SubmitFrame {
+            session: rng.next_u64(),
+            age: rng.next_u64(),
+            payload: gen_bytes(rng),
+        },
+        13 => NetMsg::Output {
+            session: rng.next_u64(),
+            age: rng.next_u64(),
+            payload: if rng.next_below(2) == 0 {
+                None
+            } else {
+                Some(gen_bytes(rng))
+            },
+        },
+        14 => NetMsg::Credit {
+            session: rng.next_u64(),
+            granted: rng.next_u64(),
+        },
+        15 => NetMsg::CloseSession { session: rng.next_u64() },
+        _ => NetMsg::SessionStats {
+            session: rng.next_u64(),
+            submitted: rng.next_u64(),
+            completed: rng.next_u64(),
+            dropped: rng.next_u64(),
+            in_flight: rng.next_u64(),
+            fps_milli: rng.next_u64(),
+            p50_latency_us: rng.next_u64(),
+            p95_latency_us: rng.next_u64(),
+            resident_ages: rng.next_u64(),
+            resident_bytes: rng.next_u64(),
+        },
     }
+}
+
+/// Arbitrary (possibly non-ASCII, possibly empty) short string.
+fn gen_string(rng: &mut TestRng) -> String {
+    (0..rng.next_below(12))
+        .map(|_| char::from_u32(rng.next_below(0xD800) as u32).unwrap_or('?'))
+        .collect()
+}
+
+/// Arbitrary short binary payload (frame bytes on the wire).
+fn gen_bytes(rng: &mut TestRng) -> Vec<u8> {
+    (0..rng.next_below(48)).map(|_| rng.next_u64() as u8).collect()
 }
 
 fn gen_region(rng: &mut TestRng) -> Region {

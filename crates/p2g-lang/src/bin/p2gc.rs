@@ -25,14 +25,18 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use p2g_dist::{run_master, run_node, MasterConfig, NodeConfig, RetryConfig};
+use p2g_dist::{
+    run_master, run_node, run_serve_node, MasterConfig, NodeConfig, RetryConfig, ServeClient,
+    ServeConfig,
+};
 use p2g_graph::{FinalGraph, IntermediateGraph, NodeId};
 use p2g_lang::compile_source;
-use p2g_runtime::{FaultPolicy, NodeBuilder, RunLimits, SessionRuntime};
+use p2g_mjpeg::{mjpeg_registry, pack_i420, FrameSource, SyntheticVideo};
+use p2g_runtime::{FaultPolicy, NodeBuilder, Qos, RunLimits, SessionRuntime};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--shards S] [--gc-window W]\n                      [--deadline-ms D] [--retries R] [--kernel-deadline-ms D]\n                      [--trace-out PATH] [--batch] [--adaptive]\n  p2gc serve <file.p2g> [--sessions N] [--frames F] [--workers W] [--shards S]\n                        [--gc-window W] [--batch] [--adaptive]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>\n  p2gc cluster master <file.p2g> --nodes N [--port P] [--ages A]\n                      [--failure-timeout-ms D] [--deadline-ms D]\n                      [--net-retries R] [--net-backoff-us B]\n  p2gc cluster node <file.p2g> --node-id I --master HOST:PORT [--workers W]\n                      [--ages A] [--deadline-ms D]\n                      [--net-retries R] [--net-backoff-us B]\n\nmulti-process cluster (p2gc cluster):\n  master listens on loopback, plans the dependency graph across the\n  joined nodes, supervises heartbeats, replans and replays around node\n  deaths, and prints a chunking-invariant results digest; each node\n  process runs its assigned kernels and forwards stores over TCP\n  --net-retries R         send attempts before a peer is declared dead\n  --net-backoff-us B      initial reconnect/retry backoff (doubles, jittered)\n\nparallel dependency analysis:\n  --shards S              analyzer shards (default 1, the sequential\n                          analyzer); sharded runs also enable the\n                          worker-side inline dispatch fast path\n\nbatched execution and granularity adaptation:\n  --batch                 execute multi-instance dispatch units as one\n                          batched work unit (merged fetches and stores)\n  --adaptive              adapt kernel chunk sizes online from live\n                          dispatch-overhead and latency measurements\n\nmulti-tenant serving (p2gc serve):\n  --sessions N            concurrent tenant copies of the program (default 2)\n  --frames F              frames (ages) per tenant (default 4)\n  --workers W             shared worker-pool threads\n\nfault isolation (applies to every kernel, degrade instead of abort):\n  --retries R             retry failed kernel instances up to R times\n  --kernel-deadline-ms D  flag instances overrunning D ms for cancellation\n\ntracing:\n  --trace-out PATH        record a structured run trace; write Chrome\n                          trace-viewer JSON if PATH ends in .json, else JSONL"
+        "usage:\n  p2gc run <file.p2g> [--ages N] [--workers W] [--shards S] [--gc-window W]\n                      [--deadline-ms D] [--retries R] [--kernel-deadline-ms D]\n                      [--trace-out PATH] [--batch] [--adaptive]\n  p2gc serve <file.p2g> [--sessions N] [--frames F] [--workers W] [--shards S]\n                        [--gc-window W] [--batch] [--adaptive]\n  p2gc check <file.p2g>\n  p2gc graph <file.p2g>\n  p2gc cluster master <file.p2g> --nodes N [--port P] [--ages A]\n                      [--failure-timeout-ms D] [--deadline-ms D]\n                      [--net-retries R] [--net-backoff-us B]\n  p2gc cluster node <file.p2g> --node-id I --master HOST:PORT [--workers W]\n                      [--ages A] [--deadline-ms D]\n                      [--net-retries R] [--net-backoff-us B]\n  p2gc serve-node [--port P] [--workers W] [--stats-interval-ms D]\n                  [--orphan-timeout-ms D] [--deadline-ms D]\n                  [--net-retries R] [--net-backoff-us B]\n  p2gc submit --server HOST:PORT [--client-id I] [--width W] [--height H]\n              [--frames N] [--quality Q] [--seed S] [--cadence-ms C]\n              [--priority P] [--weight W] [--window N] [--out PATH]\n              [--shutdown-server]\n\nmulti-process cluster (p2gc cluster):\n  master listens on loopback, plans the dependency graph across the\n  joined nodes, supervises heartbeats, replans and replays around node\n  deaths, and prints a chunking-invariant results digest; each node\n  process runs its assigned kernels and forwards stores over TCP\n  --net-retries R         send attempts before a peer is declared dead\n  --net-backoff-us B      initial reconnect/retry backoff (doubles, jittered)\n\nremote session serving (p2gc serve-node / p2gc submit):\n  serve-node hosts a resident session runtime behind TCP, offering the\n  built-in \"mjpeg\" pipeline; submit streams synthetic i420 frames into\n  it as one remote session and receives the encoded MJPEG stream back\n  --cadence-ms C          delay between frame submits (live-source pacing)\n  --priority P            QoS class: 0 realtime, 1 normal, 2 bulk\n  --weight W              fair-share weight within the class\n  --out PATH              write the received MJPEG stream to PATH\n  --shutdown-server       send the admin shutdown after closing\n\nparallel dependency analysis:\n  --shards S              analyzer shards (default 1, the sequential\n                          analyzer); sharded runs also enable the\n                          worker-side inline dispatch fast path\n\nbatched execution and granularity adaptation:\n  --batch                 execute multi-instance dispatch units as one\n                          batched work unit (merged fetches and stores)\n  --adaptive              adapt kernel chunk sizes online from live\n                          dispatch-overhead and latency measurements\n\nmulti-tenant serving (p2gc serve):\n  --sessions N            concurrent tenant copies of the program (default 2)\n  --frames F              frames (ages) per tenant (default 4)\n  --workers W             shared worker-pool threads\n\nfault isolation (applies to every kernel, degrade instead of abort):\n  --retries R             retry failed kernel instances up to R times\n  --kernel-deadline-ms D  flag instances overrunning D ms for cancellation\n\ntracing:\n  --trace-out PATH        record a structured run trace; write Chrome\n                          trace-viewer JSON if PATH ends in .json, else JSONL"
     );
     ExitCode::from(2)
 }
@@ -46,6 +50,19 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Parse the shared `--net-retries` / `--net-backoff-us` transport flags.
+fn net_retry_flags(args: &[String]) -> RetryConfig {
+    let mut retry = RetryConfig::default();
+    if let Some(r) = flag::<u32>(args, "--net-retries") {
+        retry.attempts = r.max(1);
+    }
+    if let Some(us) = flag::<u64>(args, "--net-backoff-us") {
+        let base = Duration::from_micros(us.max(1));
+        retry = retry.with_backoff(base, base.saturating_mul(64));
+    }
+    retry
 }
 
 /// Apply the shared `--batch` / `--adaptive` execution flags to run limits.
@@ -64,6 +81,12 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         return usage();
     };
+    // The serving commands take no source file.
+    match cmd.as_str() {
+        "serve-node" => return cmd_serve_node(&args),
+        "submit" => return cmd_submit(&args),
+        _ => {}
+    }
     // `cluster` takes a role before the source path.
     let path_idx = if cmd == "cluster" { 2 } else { 1 };
     let Some(path) = args.get(path_idx) else {
@@ -173,14 +196,7 @@ fn main() -> ExitCode {
         }
         "cluster" => {
             let ages: u64 = flag(&args, "--ages").unwrap_or(4);
-            let mut retry = RetryConfig::default();
-            if let Some(r) = flag::<u32>(&args, "--net-retries") {
-                retry.attempts = r.max(1);
-            }
-            if let Some(us) = flag::<u64>(&args, "--net-backoff-us") {
-                let base = Duration::from_micros(us.max(1));
-                retry = retry.with_backoff(base, base.saturating_mul(64));
-            }
+            let retry = net_retry_flags(&args);
             match args.get(1).map(String::as_str) {
                 Some("master") => {
                     let Some(nodes) = flag::<usize>(&args, "--nodes") else {
@@ -312,4 +328,168 @@ fn main() -> ExitCode {
         }
         _ => usage(),
     }
+}
+
+/// `p2gc serve-node`: host the built-in pipeline registry behind TCP
+/// until an admin shutdown ([`p2g_dist::NetMsg::Finish`]) or the deadline.
+fn cmd_serve_node(args: &[String]) -> ExitCode {
+    let mut cfg = ServeConfig {
+        retry: net_retry_flags(args),
+        ..ServeConfig::default()
+    };
+    if let Some(p) = flag::<u16>(args, "--port") {
+        cfg.port = p;
+    }
+    if let Some(w) = flag::<usize>(args, "--workers") {
+        cfg.workers = w.max(1);
+    }
+    if let Some(ms) = flag::<u64>(args, "--stats-interval-ms") {
+        cfg.stats_interval = Duration::from_millis(ms.max(1));
+    }
+    if let Some(ms) = flag::<u64>(args, "--orphan-timeout-ms") {
+        cfg.orphan_timeout = Duration::from_millis(ms.max(1));
+    }
+    if let Some(ms) = flag::<u64>(args, "--deadline-ms") {
+        cfg.deadline = Duration::from_millis(ms);
+    }
+    match run_serve_node(mjpeg_registry(), &cfg) {
+        Ok(out) => {
+            println!(
+                "serve-node: {} sessions, {} rejected, {} frames ({} dropped), {} orphans",
+                out.sessions_opened,
+                out.sessions_rejected,
+                out.frames_completed,
+                out.frames_dropped,
+                out.orphans_collected
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("p2gc: serve-node: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `p2gc submit`: stream synthetic i420 frames into a serve node as one
+/// remote MJPEG session and collect the encoded stream back.
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let Some(server) = flag::<SocketAddr>(args, "--server") else {
+        eprintln!("p2gc: submit requires --server HOST:PORT");
+        return ExitCode::from(2);
+    };
+    let id: u32 = flag(args, "--client-id").unwrap_or(1);
+    let width: usize = flag(args, "--width").unwrap_or(64);
+    let height: usize = flag(args, "--height").unwrap_or(64);
+    let frames: u64 = flag(args, "--frames").unwrap_or(8);
+    let quality: i64 = flag(args, "--quality").unwrap_or(75);
+    let seed: u64 = flag(args, "--seed").unwrap_or(7);
+    let cadence = Duration::from_millis(flag::<u64>(args, "--cadence-ms").unwrap_or(0));
+    let qos = Qos {
+        class: flag::<u8>(args, "--priority").unwrap_or(1),
+        weight: flag::<u32>(args, "--weight").unwrap_or(1).max(1),
+    };
+    let window: i64 = flag(args, "--window").unwrap_or(8);
+    let out_path = flag::<String>(args, "--out");
+
+    let client = match ServeClient::connect(NodeId(id), server, net_retry_flags(args)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("p2gc: submit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let session = match client.open(
+        "mjpeg",
+        &[
+            ("width", width as i64),
+            ("height", height as i64),
+            ("quality", quality),
+            ("window", window),
+        ],
+        qos,
+        Duration::from_secs(10),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("p2gc: submit: {e}");
+            client.close();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let video = SyntheticVideo::new(width, height, frames, seed);
+    let mut stream = Vec::new();
+    let (mut received, mut dropped) = (0u64, 0u64);
+    fn take(
+        out: p2g_dist::RemoteOutput,
+        stream: &mut Vec<u8>,
+        received: &mut u64,
+        dropped: &mut u64,
+    ) {
+        *received += 1;
+        match out.payload {
+            Some(bytes) => stream.extend_from_slice(&bytes),
+            None => *dropped += 1,
+        }
+    }
+    for n in 0..frames {
+        let Some(frame) = video.frame(n) else { break };
+        if let Err(e) = session.submit(pack_i420(&frame), Duration::from_secs(30)) {
+            eprintln!("p2gc: submit: frame {n}: {e}");
+            client.close();
+            return ExitCode::FAILURE;
+        }
+        eprintln!("p2gc-submit: frame {n} submitted");
+        // Opportunistic drain keeps outputs flowing during the stream.
+        while let Ok(Some(out)) = session.recv(Duration::ZERO) {
+            take(out, &mut stream, &mut received, &mut dropped);
+        }
+        if !cadence.is_zero() {
+            std::thread::sleep(cadence);
+        }
+    }
+    session.close();
+    while received < frames {
+        match session.recv(Duration::from_secs(30)) {
+            Ok(Some(out)) => take(out, &mut stream, &mut received, &mut dropped),
+            Ok(None) => {
+                eprintln!("p2gc: submit: timed out after {received}/{frames} outputs");
+                client.close();
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("p2gc: submit: {e}");
+                client.close();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(stats) = session.stats() {
+        eprintln!(
+            "p2gc-submit: server stats: {} completed, {} dropped, fps_milli {}, p95 {}us",
+            stats.completed, stats.dropped, stats.fps_milli, stats.p95_latency_us
+        );
+    }
+    if has_flag(args, "--shutdown-server") {
+        client.shutdown_server();
+    }
+    client.close();
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &stream) {
+            eprintln!("p2gc: submit: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // FNV-1a digest so tests can compare streams without shipping bytes.
+    let digest = stream
+        .iter()
+        .fold(0xcbf29ce484222325u64, |h, &b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
+    println!(
+        "submit: {received} frames ({dropped} dropped), {} bytes, digest {digest:016x}",
+        stream.len()
+    );
+    ExitCode::SUCCESS
 }

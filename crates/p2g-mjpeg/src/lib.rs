@@ -29,6 +29,9 @@
 //!   standard players.
 //! * [`pipeline`] — the P2G program: `init`, `read/splityuv`, `yDCT`,
 //!   `uDCT`, `vDCT`, `vlc/write` kernels over aged block fields.
+//! * [`serve`] — the pipeline as a remotely servable tenant: the
+//!   `"mjpeg"` pipeline factory for `p2gc serve-node` and the i420 wire
+//!   payload format.
 
 pub mod avi;
 pub mod dct;
@@ -37,6 +40,7 @@ pub mod encoder;
 pub mod huffman;
 pub mod jpeg;
 pub mod pipeline;
+pub mod serve;
 pub mod synthetic;
 pub mod yuv;
 
@@ -47,5 +51,6 @@ pub use pipeline::{
     build_mjpeg_program, build_mjpeg_stream_program, mjpeg_spec, mjpeg_stream_spec,
     stream_frame_parts, MjpegConfig, MjpegSink,
 };
+pub use serve::{mjpeg_pipeline_factory, mjpeg_registry, pack_i420};
 pub use synthetic::{FrameSource, SyntheticVideo, YuvFileSource};
 pub use yuv::YuvFrame;

@@ -1,0 +1,89 @@
+//! The MJPEG pipeline as a remotely servable tenant: the
+//! [`PipelineFactory`] a `p2gc serve-node` registers under the name
+//! `"mjpeg"`, plus the frame payload format remote clients speak.
+//!
+//! Wire payload: one raw i420 frame (`width*height` luma bytes followed by
+//! two quarter-size chroma planes — [`YuvFrame::i420_size`] bytes total).
+//! The decoder rejects any other length, so a malformed remote payload
+//! becomes a `SessionRejected` instead of a panic.
+
+use std::sync::Arc;
+
+use p2g_dist::serve::{FrameDecoder, OpenRequest, PipelineFactory, PipelineRegistry, TenantPipeline};
+use p2g_runtime::{SessionConfig, SessionSink};
+
+use crate::pipeline::{build_mjpeg_stream_program, stream_frame_parts, MjpegConfig};
+use crate::yuv::YuvFrame;
+
+/// Encode a frame as the `"mjpeg"` pipeline's wire payload (raw i420).
+pub fn pack_i420(frame: &YuvFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(YuvFrame::i420_size(frame.width, frame.height));
+    out.extend_from_slice(&frame.y);
+    out.extend_from_slice(&frame.u);
+    out.extend_from_slice(&frame.v);
+    out
+}
+
+/// The factory for the `"mjpeg"` pipeline. Recognized open parameters:
+/// `width`/`height` (multiples of 16, default 64×64), `quality`
+/// (1..=100, default 75), `fast_dct` (nonzero enables the AAN FastDCT),
+/// `window` (admission cap, default 8) and `gc_window` (age GC window,
+/// default 16).
+pub fn mjpeg_pipeline_factory() -> PipelineFactory {
+    Arc::new(|req: &OpenRequest| build_tenant(req))
+}
+
+/// A registry offering exactly the `"mjpeg"` pipeline — what
+/// `p2gc serve-node` serves.
+pub fn mjpeg_registry() -> PipelineRegistry {
+    let mut reg = PipelineRegistry::new();
+    reg.insert("mjpeg".to_string(), mjpeg_pipeline_factory());
+    reg
+}
+
+fn dim(req: &OpenRequest, name: &str, default: i64) -> Result<usize, String> {
+    let v = req.param_or(name, default);
+    if !(16..=4096).contains(&v) || v % 16 != 0 {
+        return Err(format!("{name} must be a multiple of 16 in 16..=4096, got {v}"));
+    }
+    Ok(v as usize)
+}
+
+fn build_tenant(req: &OpenRequest) -> Result<TenantPipeline, String> {
+    let width = dim(req, "width", 64)?;
+    let height = dim(req, "height", 64)?;
+    let quality = req.param_or("quality", 75);
+    if !(1..=100).contains(&quality) {
+        return Err(format!("quality must be 1..=100, got {quality}"));
+    }
+    let window = req.param_or("window", 8).clamp(1, 1024) as usize;
+    let gc_window = req.param_or("gc_window", 16).clamp(1, 1 << 20) as u64;
+    let config = MjpegConfig {
+        quality: quality as u8,
+        fast_dct: req.param_or("fast_dct", 0) != 0,
+        ..MjpegConfig::default()
+    };
+    let sink = SessionSink::new();
+    let program = build_mjpeg_stream_program(width, height, config, sink.clone())
+        .map_err(|e| format!("cannot build mjpeg program: {e}"))?;
+    let expected = YuvFrame::i420_size(width, height);
+    let decode: FrameDecoder = Arc::new(move |session, payload| {
+        if payload.len() != expected {
+            return Err(format!(
+                "i420 payload is {} bytes, want {expected} for {width}x{height}",
+                payload.len()
+            ));
+        }
+        let frame = YuvFrame::from_i420(width, height, payload)
+            .ok_or_else(|| "truncated i420 payload".to_string())?;
+        Ok(stream_frame_parts(session, &frame))
+    });
+    Ok(TenantPipeline {
+        program,
+        config: SessionConfig::new("vlc/write")
+            .max_in_flight(window)
+            .gc_window(gc_window)
+            .sink(sink),
+        decode,
+    })
+}

@@ -74,11 +74,12 @@ pub use instance::InstanceKey;
 pub use instrument::{Instruments, KernelStats, LatencyHistogram, RunReport, Termination};
 pub use node::{FieldStore, NodeBuilder, NodeHandle, RunningNode, StoreTap};
 pub use options::{AdaptiveGranularity, ExhaustPolicy, FaultPolicy, KernelOptions, RunLimits};
-pub use pool::WorkerPool;
+pub use pool::{Qos, WorkerPool};
 pub use program::{BatchCtx, BodyResult, KernelCtx, Program};
+pub use ready::QOS_CLASS_NORMAL;
 pub use session::{
-    Session, SessionConfig, SessionOutput, SessionReport, SessionRuntime, SessionSink,
-    SubmitError, Ticket,
+    Session, SessionConfig, SessionMetrics, SessionOutput, SessionReport, SessionRuntime,
+    SessionSink, SubmitError, Ticket,
 };
 pub use shard::{ShardGc, ShardPlan};
 pub use timer::TimerTable;

@@ -27,7 +27,7 @@ use crate::granularity::GranularityController;
 use crate::instance::DispatchUnit;
 use crate::instrument::{Instruments, InstrumentsSnapshot, RunReport, Termination};
 use crate::options::{ExhaustPolicy, FaultPolicy, KernelOptions, RunLimits};
-use crate::pool::{PoolTask, WorkerPool};
+use crate::pool::{PoolTask, QosState, WorkerPool};
 use crate::program::{BatchCtx, BatchKernelBody, FusionPlan, KernelBody, KernelCtx, Program, StagedStore};
 use crate::ready::ReadyQueue;
 use crate::shard::{ShardGc, ShardPlan};
@@ -245,6 +245,9 @@ pub(crate) struct Shared {
     /// The online chunk-size controller, ticked by analyzer shard 0
     /// ([`RunLimits::adaptive`]).
     granularity: Option<Arc<GranularityController>>,
+    /// Per-session QoS rank source (session mode): the pool stamps each
+    /// submitted unit with this state's (class, vtime).
+    qos: Option<Arc<QosState>>,
 }
 
 impl Shared {
@@ -290,6 +293,11 @@ impl Shared {
 
     fn has_failed(&self) -> bool {
         self.failure.lock().is_some()
+    }
+
+    /// The node's QoS rank source, if any (set in session mode).
+    pub(crate) fn qos(&self) -> Option<&Arc<QosState>> {
+        self.qos.as_ref()
     }
 
     /// Route a counted ready unit to this node's execution surface: the
@@ -435,6 +443,7 @@ pub struct NodeBuilder {
     assigned: Option<std::collections::HashSet<KernelId>>,
     pool: Option<Arc<WorkerPool>>,
     watches: Vec<(String, AgeWatchFn)>,
+    qos: Option<Arc<QosState>>,
 }
 
 impl NodeBuilder {
@@ -447,6 +456,7 @@ impl NodeBuilder {
             assigned: None,
             pool: None,
             watches: Vec::new(),
+            qos: None,
         }
     }
 
@@ -463,6 +473,13 @@ impl NodeBuilder {
     /// hosts many tenants on one fixed thread set.
     pub fn pool(mut self, pool: Arc<WorkerPool>) -> NodeBuilder {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Rank this node's pool submissions with a per-session QoS state
+    /// (session mode only; no effect without [`NodeBuilder::pool`]).
+    pub(crate) fn qos_state(mut self, qos: Arc<QosState>) -> NodeBuilder {
+        self.qos = Some(qos);
         self
     }
 
@@ -623,6 +640,7 @@ impl NodeBuilder {
             pool: self.pool.clone(),
             batch_exec: limits.batch_exec,
             granularity: granularity.clone(),
+            qos: self.qos.clone(),
         });
 
         let mut analyzers = Vec::with_capacity(shards);

@@ -19,13 +19,32 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::instance::DispatchUnit;
 
-/// Payloads the queue knows how to rank. Lower (age, kernel) pops first;
-/// arrival order breaks ties.
+/// The default (and middle) QoS priority class; entries that do not
+/// override [`Ranked::rank_class`] rank here.
+pub const QOS_CLASS_NORMAL: u8 = 1;
+
+/// Payloads the queue knows how to rank. The full rank is
+/// `(class, vtime, age, kernel, seq)`, lowest first: `class` is a strict
+/// priority level, `vtime` a start-time-fair-queueing virtual time within
+/// the class (weighted fair shares across tenants), then the original
+/// (age, kernel, arrival) discipline. The class/vtime defaults keep every
+/// pre-QoS payload at `(QOS_CLASS_NORMAL, 0)` — i.e. pure age ranking,
+/// exactly the old behavior.
 pub trait Ranked {
-    /// The age this entry runs at (primary key, ascending).
+    /// The age this entry runs at (ascending).
     fn rank_age(&self) -> u64;
-    /// The kernel id (secondary key, ascending).
+    /// The kernel id (ascending).
     fn rank_kernel(&self) -> u32;
+    /// Strict priority class: entries of a lower class always pop before
+    /// any entry of a higher class.
+    fn rank_class(&self) -> u8 {
+        QOS_CLASS_NORMAL
+    }
+    /// Fair-queueing virtual start time within the class; 0 (the default)
+    /// ranks at the front of the class.
+    fn rank_vtime(&self) -> u64 {
+        0
+    }
 }
 
 impl Ranked for DispatchUnit {
@@ -37,9 +56,11 @@ impl Ranked for DispatchUnit {
     }
 }
 
-/// Min-heap entry: compares only the (age, kernel, seq) rank, never the
-/// payload.
+/// Min-heap entry: compares only the (class, vtime, age, kernel, seq)
+/// rank, never the payload.
 struct Entry<T> {
+    class: u8,
+    vtime: u64,
     age: u64,
     kernel: u32,
     seq: u64,
@@ -47,8 +68,8 @@ struct Entry<T> {
 }
 
 impl<T> Entry<T> {
-    fn rank(&self) -> (u64, u32, u64) {
-        (self.age, self.kernel, self.seq)
+    fn rank(&self) -> (u8, u64, u64, u32, u64) {
+        (self.class, self.vtime, self.age, self.kernel, self.seq)
     }
 }
 
@@ -105,6 +126,8 @@ impl<T: Ranked> ReadyQueue<T> {
     pub fn push(&self, payload: T) {
         let mut g = self.inner.lock();
         let entry = Entry {
+            class: payload.rank_class(),
+            vtime: payload.rank_vtime(),
             age: payload.rank_age(),
             kernel: payload.rank_kernel(),
             seq: g.seq,
@@ -246,5 +269,47 @@ mod tests {
         assert_eq!(q.try_pop().unwrap().1, "fresh");
         assert_eq!(q.try_pop().unwrap().1, "middle");
         assert_eq!(q.try_pop().unwrap().1, "laggard");
+    }
+
+    /// QoS-aware payload: class and vtime come before age.
+    struct Classed {
+        class: u8,
+        vtime: u64,
+        age: u64,
+        tag: &'static str,
+    }
+    impl Ranked for Classed {
+        fn rank_age(&self) -> u64 {
+            self.age
+        }
+        fn rank_kernel(&self) -> u32 {
+            0
+        }
+        fn rank_class(&self) -> u8 {
+            self.class
+        }
+        fn rank_vtime(&self) -> u64 {
+            self.vtime
+        }
+    }
+
+    #[test]
+    fn lower_class_always_pops_first() {
+        let q: ReadyQueue<Classed> = ReadyQueue::new();
+        q.push(Classed { class: 2, vtime: 0, age: 0, tag: "bulk" });
+        q.push(Classed { class: 0, vtime: 99, age: 50, tag: "rt" });
+        q.push(Classed { class: 1, vtime: 1, age: 1, tag: "normal" });
+        assert_eq!(q.try_pop().unwrap().tag, "rt");
+        assert_eq!(q.try_pop().unwrap().tag, "normal");
+        assert_eq!(q.try_pop().unwrap().tag, "bulk");
+    }
+
+    #[test]
+    fn vtime_orders_within_class_before_age() {
+        let q: ReadyQueue<Classed> = ReadyQueue::new();
+        q.push(Classed { class: 1, vtime: 20, age: 0, tag: "heavy" });
+        q.push(Classed { class: 1, vtime: 10, age: 9, tag: "light" });
+        assert_eq!(q.try_pop().unwrap().tag, "light");
+        assert_eq!(q.try_pop().unwrap().tag, "heavy");
     }
 }

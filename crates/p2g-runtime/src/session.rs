@@ -41,8 +41,11 @@ use crate::error::RuntimeError;
 use crate::instrument::RunReport;
 use crate::node::{FieldStore, NodeBuilder, RunningNode};
 use crate::options::RunLimits;
-use crate::pool::WorkerPool;
+use crate::pool::{Qos, QosState, WorkerPool};
 use crate::program::Program;
+
+/// Completed-frame latencies kept for the percentile gauges (ring buffer).
+const LATENCY_WINDOW: usize = 2048;
 
 /// Staging area between a pipeline's terminal kernel and the session
 /// output queue: the kernel body pushes each frame's encoded bytes here;
@@ -103,6 +106,9 @@ pub struct SessionConfig {
     /// Online chunk-size adaptation for this session's node. See
     /// [`RunLimits::with_adaptive`].
     pub adaptive: Option<crate::options::AdaptiveGranularity>,
+    /// Per-session QoS on the shared pool: priority class + fair-share
+    /// weight. `None` keeps the neutral default rank (pure age ordering).
+    pub qos: Option<Qos>,
 }
 
 impl SessionConfig {
@@ -118,6 +124,7 @@ impl SessionConfig {
             shards: 1,
             batch_exec: false,
             adaptive: None,
+            qos: None,
         }
     }
 
@@ -162,6 +169,12 @@ impl SessionConfig {
     /// Adapt kernel chunk sizes online while the session runs.
     pub fn with_adaptive(mut self, cfg: crate::options::AdaptiveGranularity) -> SessionConfig {
         self.adaptive = Some(cfg);
+        self
+    }
+
+    /// Rank this session's pool work with a QoS class and weight.
+    pub fn with_qos(mut self, qos: Qos) -> SessionConfig {
+        self.qos = Some(qos);
         self
     }
 }
@@ -235,6 +248,43 @@ struct SessionState {
     dropped: u64,
     ready: VecDeque<SessionOutput>,
     closed: bool,
+    /// Submit timestamps of in-flight frames, keyed by age (removed on
+    /// completion — bounded by the in-flight window).
+    submit_times: HashMap<u64, Instant>,
+    /// Submit→completion latencies (nanoseconds) of the most recent
+    /// [`LATENCY_WINDOW`] completed frames.
+    latencies: VecDeque<u64>,
+    /// When the first frame was submitted (fps gauge baseline).
+    first_submit: Option<Instant>,
+}
+
+/// A live per-tenant gauge snapshot ([`Session::metrics`]): the numbers a
+/// serving node exports per session over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionMetrics {
+    /// Frames accepted by submit so far.
+    pub frames_submitted: u64,
+    /// Frames whose age completed (including dropped ones).
+    pub frames_completed: u64,
+    /// Frames that completed poisoned (no payload).
+    pub frames_dropped: u64,
+    /// Frames submitted but not yet completed.
+    pub in_flight: u64,
+    /// Completed frames per second since the first submit, in millihertz
+    /// (frames per 1000 s) so the gauge stays integral on the wire.
+    pub fps_milli: u64,
+    /// Median submit→completion latency over the recent window, in
+    /// nanoseconds (0 until a frame completes).
+    pub p50_latency_ns: u64,
+    /// 95th-percentile submit→completion latency, in nanoseconds.
+    pub p95_latency_ns: u64,
+    /// Live `(field, age)` slabs resident in the session's node.
+    pub resident_ages: u64,
+    /// Resident field bytes in the session's node.
+    pub resident_bytes: u64,
+    /// Dispatch units this session has sent to the shared pool (0 without
+    /// QoS — the neutral rank path does not count).
+    pub dispatched_units: u64,
 }
 
 struct SessionShared {
@@ -253,6 +303,7 @@ pub struct Session {
     shared: Arc<SessionShared>,
     fields_by_name: HashMap<String, FieldId>,
     max_in_flight: usize,
+    qos_state: Option<Arc<QosState>>,
 }
 
 impl Session {
@@ -285,6 +336,9 @@ impl Session {
             let age = g.next_age;
             g.next_age += 1;
             g.in_flight += 1;
+            let now = Instant::now();
+            g.first_submit.get_or_insert(now);
+            g.submit_times.insert(age, now);
             age
         };
         for (field, region, buffer) in parts {
@@ -311,6 +365,9 @@ impl Session {
             let age = g.next_age;
             g.next_age += 1;
             g.in_flight += 1;
+            let now = Instant::now();
+            g.first_submit.get_or_insert(now);
+            g.submit_times.insert(age, now);
             age
         };
         for (field, region, buffer) in parts {
@@ -367,6 +424,54 @@ impl Session {
     /// True once the session's node recorded a fatal failure.
     pub fn has_failed(&self) -> bool {
         self.node.has_failed()
+    }
+
+    /// Snapshot the per-tenant gauges: throughput, latency percentiles,
+    /// drops and residency — what a serving node exports per session.
+    pub fn metrics(&self) -> SessionMetrics {
+        let (submitted, completed, dropped, in_flight, fps_milli, p50, p95) = {
+            let g = self.shared.state.lock();
+            let fps_milli = match g.first_submit {
+                Some(t0) if g.completed > 0 => {
+                    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+                    (g.completed as f64 * 1000.0 / secs) as u64
+                }
+                _ => 0,
+            };
+            let (p50, p95) = if g.latencies.is_empty() {
+                (0, 0)
+            } else {
+                let mut sorted: Vec<u64> = g.latencies.iter().copied().collect();
+                sorted.sort_unstable();
+                let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q) as usize];
+                (at(0.50), at(0.95))
+            };
+            (
+                g.next_age,
+                g.completed,
+                g.dropped,
+                g.in_flight as u64,
+                fps_milli,
+                p50,
+                p95,
+            )
+        };
+        SessionMetrics {
+            frames_submitted: submitted,
+            frames_completed: completed,
+            frames_dropped: dropped,
+            in_flight,
+            fps_milli,
+            p50_latency_ns: p50,
+            p95_latency_ns: p95,
+            resident_ages: self.node.resident_ages() as u64,
+            resident_bytes: self.node.bytes_resident() as u64,
+            dispatched_units: self
+                .qos_state
+                .as_ref()
+                .map(|q| q.units_dispatched())
+                .unwrap_or(0),
+        }
     }
 
     /// Refuse further submissions; in-flight frames keep completing.
@@ -448,6 +553,9 @@ impl SessionRuntime {
                 dropped: 0,
                 ready: VecDeque::new(),
                 closed: false,
+                submit_times: HashMap::new(),
+                latencies: VecDeque::new(),
+                first_submit: None,
             }),
             submit_cv: Condvar::new(),
             output_cv: Condvar::new(),
@@ -473,6 +581,13 @@ impl SessionRuntime {
             if poisoned {
                 g.dropped += 1;
             }
+            if let Some(t0) = g.submit_times.remove(&age) {
+                if g.latencies.len() >= LATENCY_WINDOW {
+                    g.latencies.pop_front();
+                }
+                let lat = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                g.latencies.push_back(lat);
+            }
             g.ready.push_back(SessionOutput { age, payload });
             drop(g);
             watch_shared.submit_cv.notify_all();
@@ -488,15 +603,20 @@ impl SessionRuntime {
         if let Some(cfg) = config.adaptive.clone() {
             limits = limits.with_adaptive(cfg);
         }
-        let node = NodeBuilder::new(program)
+        let qos_state = config.qos.map(QosState::new);
+        let mut builder = NodeBuilder::new(program)
             .pool(self.pool.clone())
-            .watch_ages(&config.output_kernel, watch)
-            .launch(limits)?;
+            .watch_ages(&config.output_kernel, watch);
+        if let Some(q) = &qos_state {
+            builder = builder.qos_state(q.clone());
+        }
+        let node = builder.launch(limits)?;
         Ok(Session {
             node,
             shared,
             fields_by_name,
             max_in_flight: config.max_in_flight,
+            qos_state,
         })
     }
 

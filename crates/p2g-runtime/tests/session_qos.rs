@@ -1,0 +1,278 @@
+//! Per-session QoS on the shared pool: weighted fair shares between
+//! saturating tenants, bounded high-priority latency under a bulk flood,
+//! and trace invariants (per-session age order) under QoS scheduling.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use p2g_field::{Buffer, Extents, FieldDef, FieldId, Region, ScalarType};
+use p2g_graph::spec::{AgeExpr, FetchDecl, IndexSel, KernelId, KernelSpec, ProgramSpec, StoreDecl};
+use p2g_runtime::{Program, Qos, Session, SessionConfig, SessionRuntime, SessionSink};
+
+const IN_FIELD: FieldId = FieldId(0);
+
+/// The minimal streaming tenant from the session tests: `work` burns
+/// `delay` per frame on the injected plane, `emit` (ordered, terminal)
+/// stages the result.
+fn stream_program(sink: Arc<SessionSink>, delay: Duration) -> Program {
+    let mut spec = ProgramSpec::new();
+    let f_in = spec.add_field(FieldDef::with_extents(
+        "in",
+        ScalarType::I32,
+        Extents::new([4]),
+    ));
+    let f_out = spec.add_field(FieldDef::with_extents(
+        "out",
+        ScalarType::I32,
+        Extents::new([4]),
+    ));
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "work".into(),
+        index_vars: 0,
+        has_age_var: true,
+        fetches: vec![FetchDecl {
+            field: f_in,
+            age: AgeExpr::Rel(0),
+            dims: vec![IndexSel::All],
+        }],
+        stores: vec![StoreDecl {
+            field: f_out,
+            age: AgeExpr::Rel(0),
+            dims: vec![IndexSel::All],
+        }],
+    });
+    spec.add_kernel(KernelSpec {
+        id: KernelId(0),
+        name: "emit".into(),
+        index_vars: 0,
+        has_age_var: true,
+        fetches: vec![FetchDecl {
+            field: f_out,
+            age: AgeExpr::Rel(0),
+            dims: vec![IndexSel::All],
+        }],
+        stores: vec![],
+    });
+    let mut program = Program::new(spec).unwrap();
+    program.body("work", move |ctx| {
+        // Busy-wait, not sleep: a sleeping worker thread would let the
+        // queue drain ordering stop mattering.
+        let until = Instant::now() + delay;
+        while Instant::now() < until {
+            std::hint::spin_loop();
+        }
+        let out: Vec<i32> = ctx
+            .input(0)
+            .as_i32()
+            .unwrap()
+            .iter()
+            .map(|v| v * 2)
+            .collect();
+        ctx.store(0, Buffer::from_vec(out));
+        Ok(())
+    });
+    program.body("emit", move |ctx| {
+        let bytes: Vec<u8> = ctx
+            .input(0)
+            .as_i32()
+            .unwrap()
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        sink.push(ctx.age().0, bytes);
+        Ok(())
+    });
+    program.set_ordered("emit");
+    program
+}
+
+fn frame(age: u64) -> Vec<(FieldId, Region, Buffer)> {
+    vec![(
+        IN_FIELD,
+        Region::all(1),
+        Buffer::from_vec(vec![age as i32, 1, 2, 3]),
+    )]
+}
+
+fn open_tenant(runtime: &SessionRuntime, qos: Qos, window: usize, delay: Duration) -> Session {
+    let sink = SessionSink::new();
+    runtime
+        .open(
+            stream_program(sink.clone(), delay),
+            SessionConfig::new("emit")
+                .sink(sink)
+                .max_in_flight(window)
+                .gc_window(8)
+                .with_qos(qos),
+        )
+        .unwrap()
+}
+
+/// Two tenants saturating the pool at weights 2:1 receive dispatch shares
+/// in that proportion, within tolerance. Measured over a mid-run window
+/// (deltas of the per-session dispatch gauge) so startup transients and
+/// the drain tail don't skew the ratio.
+#[test]
+fn weighted_fair_shares_two_to_one() {
+    const FRAMES: u64 = 4_000;
+    let runtime = SessionRuntime::new(2);
+    // The kernel must clearly dominate per-frame submit overhead or the
+    // ready queue never builds the backlog fair queueing arbitrates over.
+    let work = Duration::from_millis(1);
+    let heavy = open_tenant(&runtime, Qos::normal().weight(2), 64, work);
+    let light = open_tenant(&runtime, Qos::normal(), 64, work);
+
+    std::thread::scope(|s| {
+        let heavy = &heavy;
+        let light = &light;
+        s.spawn(move || {
+            for n in 0..FRAMES {
+                if heavy.submit(frame(n)).is_err() {
+                    break;
+                }
+                while heavy.poll_output().is_some() {}
+            }
+        });
+        s.spawn(move || {
+            for n in 0..FRAMES {
+                if light.submit(frame(n)).is_err() {
+                    break;
+                }
+                while light.poll_output().is_some() {}
+            }
+        });
+
+        // Let both reach steady saturation, then measure a window.
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(
+            heavy.in_flight() >= 32 && light.in_flight() >= 32,
+            "both tenants must be saturating their windows (heavy {}, light {})",
+            heavy.in_flight(),
+            light.in_flight()
+        );
+        let (h0, l0) = (
+            heavy.metrics().dispatched_units,
+            light.metrics().dispatched_units,
+        );
+        std::thread::sleep(Duration::from_millis(800));
+        let dh = heavy.metrics().dispatched_units - h0;
+        let dl = light.metrics().dispatched_units - l0;
+        assert!(
+            dh > 100 && dl > 50,
+            "both tenants must make progress in the window (heavy {dh}, light {dl})"
+        );
+        let ratio = dh as f64 / dl as f64;
+        assert!(
+            (1.4..=2.8).contains(&ratio),
+            "weight-2 tenant should get ~2x the dispatches of weight-1, got \
+             {dh}:{dl} = {ratio:.2}"
+        );
+        // Unblock the submit loops: stop admitting so the threads exit.
+        heavy.close();
+        light.close();
+    });
+
+    let _ = heavy.finish(Duration::from_secs(30)).unwrap();
+    let _ = light.finish(Duration::from_secs(30)).unwrap();
+    runtime.shutdown();
+}
+
+/// A realtime-class tenant's p95 completion latency stays bounded while a
+/// bulk tenant floods the pool with a deep backlog: strict classes mean
+/// the high tenant's units never queue behind the flood.
+#[test]
+fn high_priority_latency_bounded_under_bulk_flood() {
+    const HIGH_FRAMES: u64 = 60;
+    let runtime = SessionRuntime::new(2);
+    let work = Duration::from_micros(200);
+    let bulk = open_tenant(&runtime, Qos::bulk(), 256, work);
+    let high = open_tenant(&runtime, Qos::high(), 4, work);
+
+    std::thread::scope(|s| {
+        let bulk = &bulk;
+        let high = &high;
+        let flood = s.spawn(move || {
+            for n in 0..20_000u64 {
+                if bulk.submit(frame(n)).is_err() {
+                    break;
+                }
+                while bulk.poll_output().is_some() {}
+            }
+        });
+        // Paced realtime stream while the flood saturates the pool.
+        for n in 0..HIGH_FRAMES {
+            high.submit(frame(n)).unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+            while high.poll_output().is_some() {}
+        }
+        let m = high.metrics();
+        assert!(
+            m.frames_completed > HIGH_FRAMES / 2,
+            "realtime tenant must keep completing under the flood, got {}",
+            m.frames_completed
+        );
+        let p95_ms = m.p95_latency_ns as f64 / 1e6;
+        assert!(
+            p95_ms < 100.0,
+            "realtime p95 must stay bounded under a bulk flood, got {p95_ms:.1}ms"
+        );
+        let bulk_backlog = bulk.in_flight();
+        assert!(
+            bulk_backlog > 16,
+            "the flood must actually have a deep backlog (saw {bulk_backlog} in flight)"
+        );
+        bulk.close();
+        high.close();
+        let _ = flood.join();
+    });
+
+    let _ = bulk.finish(Duration::from_secs(60)).unwrap();
+    let _ = high.finish(Duration::from_secs(30)).unwrap();
+    runtime.shutdown();
+}
+
+/// QoS scheduling must not break per-session age order: outputs of each
+/// tenant arrive in strictly increasing age order and a traced QoS run
+/// passes every trace invariant.
+#[test]
+fn qos_preserves_per_session_age_order() {
+    const FRAMES: u64 = 200;
+    let runtime = SessionRuntime::new(2);
+    let sink = SessionSink::new();
+    let session = runtime
+        .open(
+            stream_program(sink.clone(), Duration::from_micros(50)),
+            SessionConfig::new("emit")
+                .sink(sink)
+                .max_in_flight(16)
+                .gc_window(8)
+                .with_qos(Qos::normal().weight(3))
+                .with_trace(),
+        )
+        .unwrap();
+
+    let mut ages = Vec::new();
+    for n in 0..FRAMES {
+        session.submit(frame(n)).unwrap();
+        while let Some(out) = session.poll_output() {
+            ages.push(out.age);
+        }
+    }
+    while ages.len() < FRAMES as usize {
+        let out = session
+            .recv(Duration::from_secs(20))
+            .expect("every frame completes");
+        ages.push(out.age);
+    }
+    assert_eq!(
+        ages,
+        (0..FRAMES).collect::<Vec<_>>(),
+        "outputs must arrive in age order under QoS scheduling"
+    );
+
+    let report = session.finish(Duration::from_secs(20)).unwrap();
+    assert!(report.report.trace.is_some(), "tracing was enabled");
+    p2g_runtime::trace_check::all(&report.report);
+    runtime.shutdown();
+}
